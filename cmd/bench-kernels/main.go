@@ -1,0 +1,52 @@
+// Command bench-kernels regenerates the kernel-level results of the paper:
+// Table III (the kin_prop optimization ladder), Table IV (DC-MESH throughput
+// vs problem size and precision), and Table V (hotspot kernel rates).
+//
+// Usage:
+//
+//	bench-kernels [-table3] [-table4] [-table5] [-mesh N] [-norb N] [-steps N]
+//
+// With no table flags, all three are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlmd/internal/bench"
+)
+
+func main() {
+	t3 := flag.Bool("table3", false, "print Table III (kin_prop ladder)")
+	t4 := flag.Bool("table4", false, "print Table IV (size and precision ladder)")
+	t5 := flag.Bool("table5", false, "print Table V (hotspot kernels)")
+	mesh := flag.Int("mesh", 24, "mesh points per axis for the kernel runs")
+	norb := flag.Int("norb", 64, "KS orbitals for Tables III/V")
+	steps := flag.Int("steps", 10, "QD steps for Table III timing")
+	flag.Parse()
+	all := !*t3 && !*t4 && !*t5
+
+	if *t3 || all {
+		tab, err := bench.Table3(*mesh, *norb, *steps)
+		exitOn(err)
+		fmt.Println(tab)
+	}
+	if *t4 || all {
+		tab, err := bench.Table4(16, []int{64, 128, 256})
+		exitOn(err)
+		fmt.Println(tab)
+	}
+	if *t5 || all {
+		tab, err := bench.Table5(*mesh, *norb)
+		exitOn(err)
+		fmt.Println(tab)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-kernels:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,60 @@
+// Command bench-scaling regenerates the machine-scale results of the paper
+// on the simulated Aurora: Tables I–II (time-to-solution vs the state of the
+// art) and Figs. 4–5 (weak/strong scaling of DC-MESH and XS-NNQMD), plus the
+// Allegro-Legato fidelity-scaling ablation.
+//
+// Usage:
+//
+//	bench-scaling [-table1] [-table2] [-fig4a] [-fig4b] [-fig5a] [-fig5b] [-legato]
+//
+// With no flags, everything except -legato (which trains models and runs MD,
+// taking ~a minute) is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mlmd/internal/bench"
+)
+
+func main() {
+	t1 := flag.Bool("table1", false, "Table I: Maxwell-Ehrenfest T2S vs SOTA")
+	t2 := flag.Bool("table2", false, "Table II: XS-NNQMD T2S vs SOTA")
+	f4a := flag.Bool("fig4a", false, "Fig 4a: DC-MESH weak scaling")
+	f4b := flag.Bool("fig4b", false, "Fig 4b: DC-MESH strong scaling")
+	f5a := flag.Bool("fig5a", false, "Fig 5a: XS-NNQMD weak scaling")
+	f5b := flag.Bool("fig5b", false, "Fig 5b: XS-NNQMD strong scaling")
+	legato := flag.Bool("legato", false, "Allegro-Legato fidelity-scaling ablation (slow)")
+	flag.Parse()
+	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato
+
+	if *t1 || all {
+		fmt.Println(bench.Table1())
+	}
+	if *t2 || all {
+		fmt.Println(bench.Table2())
+	}
+	if *f4a || all {
+		fmt.Println(bench.SeriesTable("Fig 4a: DC-MESH weak scaling (simulated Aurora)", bench.Fig4a()))
+	}
+	if *f4b || all {
+		fmt.Println(bench.SeriesTable("Fig 4b: DC-MESH strong scaling, 12.58M electrons (paper eff 0.843 at 4x)",
+			[]bench.ScalingSeries{bench.Fig4b()}))
+	}
+	if *f5a || all {
+		fmt.Println(bench.SeriesTable("Fig 5a: XS-NNQMD weak scaling (paper eff 0.957/0.964/0.997)", bench.Fig5a()))
+	}
+	if *f5b || all {
+		fmt.Println(bench.SeriesTable("Fig 5b: XS-NNQMD strong scaling (paper eff 0.44 / 0.773)", bench.Fig5b()))
+	}
+	if *legato {
+		res, err := bench.RunLegato(bench.DefaultLegatoConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.LegatoTable(res))
+	}
+}

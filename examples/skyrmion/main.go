@@ -1,0 +1,58 @@
+// Skyrmion: build a polar skyrmion superlattice in a PbTiO3 supercell,
+// verify its topological charge, photoexcite it, and watch the charge
+// change — the Fig. 3 science experiment in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlmd/internal/core"
+	"mlmd/internal/ferro"
+	"mlmd/internal/topo"
+	"mlmd/internal/units"
+)
+
+func main() {
+	// 20x20x2 unit cells of PbTiO3 (4,000 atoms).
+	sys, lat, err := ferro.NewLattice(20, 20, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gs := ferro.DefaultEffHam(lat)
+	xs := ferro.DefaultEffHam(lat)
+	xs.SetExcitation(1.0) // the fully-softened excited-state surface
+
+	// Stamp a 2x2 Néel skyrmion superlattice into the soft modes.
+	field := topo.NewField(20, 20)
+	field.Superlattice(2, 2, 2.5, gs.S0(), +1)
+	for cx := 0; cx < 20; cx++ {
+		for cy := 0; cy < 20; cy++ {
+			sx, sy, sz := field.At(cx, cy)
+			for cz := 0; cz < 2; cz++ {
+				lat.SetSoftMode(sys, lat.CellIndex(cx, cy, cz), sx, sy, sz)
+			}
+		}
+	}
+	sys.InitVelocities(units.ThermalEnergy(50), 1)
+
+	nn, err := core.NewXSNNQMD(sys, lat, gs, xs, 20, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prepared superlattice: Q = %+.2f (expected ±4)\n", nn.TopologicalCharge())
+
+	// Ground-state hold: the texture is topologically protected.
+	nn.Step(50)
+	fmt.Printf("after 50 GS steps:    Q = %+.2f (protected)\n", nn.TopologicalCharge())
+
+	// Photoexcite everything: wells soften, texture unwinds/switches.
+	nn.SetUniformExcitation(0.9)
+	nn.CarrierLifetime = 2000
+	for block := 0; block < 4; block++ {
+		nn.Step(60)
+		fmt.Printf("t = %5.1f fs excited:  Q = %+.2f, mean Pz = %+.4f\n",
+			units.Femtoseconds(nn.Time()), nn.TopologicalCharge(),
+			nn.PolarizationField().MeanPz())
+	}
+}

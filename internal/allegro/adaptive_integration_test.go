@@ -1,0 +1,59 @@
+package allegro
+
+import (
+	"testing"
+
+	"mlmd/internal/xsnn"
+)
+
+// TestAdaptiveEmbeddingWorkflow exercises the full adaptive multiscale loop
+// of Sec. V.A.8: a trained committee supplies per-atom uncertainty; the
+// embedding promotes uncertain atoms to the high-fidelity model and relaxes
+// them back when the disturbance passes.
+func TestAdaptiveEmbeddingWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	sys, _, eh := smallLattice(t)
+	samples := GenerateSamples(sys, eh, 12, 2e-4, 20, 5, 0, 41)
+	committee, err := NewCommittee(testSpec(), []int{8}, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := committee.Train(sys, samples, TrainConfig{Epochs: 40, LR: 3e-3, Batch: 6}); err != nil {
+		t.Fatal(err)
+	}
+	// High fidelity = the reference effective Hamiltonian ("QM"); low
+	// fidelity = the committee mean ("NN"). The trigger is the committee's
+	// own disagreement: where the NN is unsure, fall back to the reference.
+	emb := xsnn.NewEmbedding(eh, committee, sys.N)
+
+	// Calibrate the trigger threshold from the in-distribution noise floor.
+	committee.ComputeForces(sys)
+	floor := committee.MaxDisagreement(sys)
+	threshold := 3 * floor
+
+	// Quiet system: nothing should be promoted.
+	n0 := emb.AdaptRegion(committee.Disagreement(sys), threshold, 0.5)
+	if n0 != 0 {
+		t.Errorf("%d atoms promoted in a quiet system", n0)
+	}
+	// Perturb one atom far off-distribution and step the adaptive loop.
+	sys.X[0] += 1.5
+	committee.ComputeForces(sys)
+	n1 := emb.AdaptRegion(committee.Disagreement(sys), threshold, 0.5)
+	if n1 == 0 {
+		t.Fatal("perturbation did not grow the high-fidelity region")
+	}
+	// The blended force field evaluates cleanly with the mixed region.
+	emb.ComputeForces(sys)
+	// Restore the atom: the region must decay back to empty.
+	sys.X[0] -= 1.5
+	for i := 0; i < 16; i++ {
+		committee.ComputeForces(sys)
+		emb.AdaptRegion(committee.Disagreement(sys), threshold, 0.5)
+	}
+	if n := emb.HighFidelityAtoms(); n != 0 {
+		t.Errorf("%d atoms still promoted after the disturbance passed", n)
+	}
+}

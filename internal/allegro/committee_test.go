@@ -1,0 +1,106 @@
+package allegro
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/ferro"
+)
+
+func TestNewCommitteeValidation(t *testing.T) {
+	if _, err := NewCommittee(testSpec(), []int{4}, 1, 1); err == nil {
+		t.Error("single-member committee accepted")
+	}
+	c, err := NewCommittee(testSpec(), []int{4}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Members) != 3 {
+		t.Fatalf("members = %d", len(c.Members))
+	}
+	// Members differ (different seeds).
+	p0 := c.Members[0].Nets[0].Params(nil)
+	p1 := c.Members[1].Nets[0].Params(nil)
+	same := true
+	for i := range p0 {
+		if p0[i] != p1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("committee members identical")
+	}
+}
+
+func TestCommitteeMeanForce(t *testing.T) {
+	sys, lat, _ := smallLattice(t)
+	lat.SetSoftMode(sys, 0, 0.03, 0, 0)
+	c, _ := NewCommittee(testSpec(), []int{6}, 3, 2)
+	c.ComputeForces(sys)
+	mean := append([]float64(nil), sys.F...)
+	// Mean must equal the average of the members' own predictions.
+	var members [][]float64
+	for _, m := range c.Members {
+		m.ComputeForces(sys)
+		members = append(members, append([]float64(nil), sys.F...))
+	}
+	for i := range mean {
+		var want float64
+		for _, f := range members {
+			want += f[i]
+		}
+		want /= float64(len(members))
+		if math.Abs(mean[i]-want) > 1e-12 {
+			t.Fatalf("mean force mismatch at %d", i)
+		}
+	}
+}
+
+func TestDisagreementGrowsOffDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	// Train a committee on small thermal displacements, then measure
+	// disagreement on a training-like config vs a wildly distorted one.
+	sys, _, eh := smallLattice(t)
+	samples := GenerateSamples(sys, eh, 16, 2e-4, 20, 5, 0, 31)
+	c, err := NewCommittee(testSpec(), []int{8}, 3, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Train(sys, samples, TrainConfig{Epochs: 60, LR: 3e-3, Batch: 8}); err != nil {
+		t.Fatal(err)
+	}
+	inDist := cloneSystem(sys)
+	copy(inDist.X, samples[0].X)
+	c.ComputeForces(inDist)
+	dIn := c.MaxDisagreement(inDist)
+
+	outDist := cloneSystem(sys)
+	copy(outDist.X, samples[0].X)
+	// Slam one atom far off its site (well outside the training manifold).
+	outDist.X[0] += 1.5
+	c.ComputeForces(outDist)
+	dOut := c.MaxDisagreement(outDist)
+	t.Logf("committee disagreement: in-distribution %.3g, off-distribution %.3g", dIn, dOut)
+	if dOut <= dIn {
+		t.Errorf("disagreement did not grow off-distribution: %g vs %g", dOut, dIn)
+	}
+}
+
+func TestDisagreementShape(t *testing.T) {
+	sys, _, _ := smallLattice(t)
+	c, _ := NewCommittee(testSpec(), []int{4}, 2, 5)
+	c.ComputeForces(sys)
+	d := c.Disagreement(sys)
+	if len(d) != sys.N {
+		t.Fatalf("disagreement length %d, want %d", len(d), sys.N)
+	}
+	for i, v := range d {
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("bad disagreement %g at atom %d", v, i)
+		}
+	}
+	_ = ferro.LatticeConstant
+}

@@ -1,0 +1,189 @@
+// Package allegro implements the XS-NNQMD force-field model in the spirit of
+// the paper's Allegro family (Sec. V.A.6-7): strictly local per-atom
+// descriptors within a cutoff (no message passing, which is what makes
+// Allegro scalable), a per-species MLP mapping descriptors to atomic
+// energies, analytic forces by backpropagation through the descriptors,
+// Legato (SAM) training for robustness, total-energy-alignment (TEA) for
+// multi-fidelity foundation-model training, and two-batch block inference
+// (Sec. V.B.9).
+//
+// The descriptors are rotation- and permutation-invariant contractions of
+// l=0 and l=1 neighbor tensors: per species, Gaussian radial-basis sums
+// (scalars) and the squared modulus of radial-weighted direction sums
+// (vector channel contracted to an invariant) — a light-weight stand-in for
+// the full E(3)-equivariant tensor products of Allegro that preserves the
+// information needed by the ferroelectric workload (the off-centering of an
+// atom inside its cage is exactly an l=1 feature).
+package allegro
+
+import (
+	"fmt"
+	"math"
+
+	"mlmd/internal/md"
+)
+
+// DescriptorSpec fixes the descriptor layout.
+type DescriptorSpec struct {
+	Cutoff   float64 // radial cutoff (Bohr)
+	NRadial  int     // number of Gaussian radial basis functions
+	NSpecies int     // number of atom species
+}
+
+// Dim returns the descriptor length: per species, NRadial scalars plus
+// NRadial vector-channel invariants.
+func (d DescriptorSpec) Dim() int { return d.NSpecies * d.NRadial * 2 }
+
+// Validate reports configuration errors.
+func (d DescriptorSpec) Validate() error {
+	if d.Cutoff <= 0 {
+		return fmt.Errorf("allegro: cutoff %g must be positive", d.Cutoff)
+	}
+	if d.NRadial < 1 || d.NSpecies < 1 {
+		return fmt.Errorf("allegro: NRadial=%d NSpecies=%d must be >= 1", d.NRadial, d.NSpecies)
+	}
+	return nil
+}
+
+// centers returns the radial basis centers, evenly spaced in (0, cutoff).
+func (d DescriptorSpec) centers() []float64 {
+	c := make([]float64, d.NRadial)
+	for k := range c {
+		c[k] = d.Cutoff * float64(k+1) / float64(d.NRadial+1)
+	}
+	return c
+}
+
+// width returns the shared Gaussian width.
+func (d DescriptorSpec) width() float64 {
+	return d.Cutoff / float64(d.NRadial+1)
+}
+
+// cutoffFn is the smooth cosine cutoff and its radial derivative.
+func cutoffFn(r, rc float64) (f, df float64) {
+	if r >= rc {
+		return 0, 0
+	}
+	x := math.Pi * r / rc
+	return 0.5 * (math.Cos(x) + 1), -0.5 * math.Pi / rc * math.Sin(x)
+}
+
+// neighborEnv is the cached geometry of one atom's neighborhood.
+type neighborEnv struct {
+	j          []int     // neighbor atom indices
+	dx, dy, dz []float64 // displacement components (i → j? j − i)
+	r          []float64
+}
+
+// buildEnv collects all neighbors of atom i within cutoff using the full
+// neighbor list semantics (half list expanded by the caller).
+func buildEnv(sys *md.System, nl *md.NeighborList, full [][]int32, i int, rc float64) neighborEnv {
+	var env neighborEnv
+	for _, j32 := range full[i] {
+		j := int(j32)
+		dx, dy, dz := sys.MinImage(j, i) // vector from i to j
+		r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if r >= rc || r == 0 {
+			continue
+		}
+		env.j = append(env.j, j)
+		env.dx = append(env.dx, dx)
+		env.dy = append(env.dy, dy)
+		env.dz = append(env.dz, dz)
+		env.r = append(env.r, r)
+	}
+	_ = nl
+	return env
+}
+
+// Descriptor computes the invariant feature vector of atom i into out
+// (length Dim). The layout is, per neighbor species sp and radial index k:
+//
+//	out[(sp*NR+k)*2+0] = Σ_j g_k(r_ij) fc(r_ij)                (scalar)
+//	out[(sp*NR+k)*2+1] = |Σ_j g_k(r_ij) fc(r_ij) r̂_ij|²        (vector²)
+func (d DescriptorSpec) Descriptor(sys *md.System, env neighborEnv, out []float64) {
+	if len(out) != d.Dim() {
+		panic("allegro: descriptor output length mismatch")
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	cs := d.centers()
+	w := d.width()
+	nr := d.NRadial
+	// Vector accumulators per (species, k).
+	vec := make([]float64, d.NSpecies*nr*3)
+	for n := range env.j {
+		sp := sys.Type[env.j[n]]
+		r := env.r[n]
+		fc, _ := cutoffFn(r, d.Cutoff)
+		ux, uy, uz := env.dx[n]/r, env.dy[n]/r, env.dz[n]/r
+		for k := 0; k < nr; k++ {
+			g := math.Exp(-(r - cs[k]) * (r - cs[k]) / (2 * w * w))
+			base := (sp*nr + k)
+			out[base*2] += g * fc
+			vec[base*3] += g * fc * ux
+			vec[base*3+1] += g * fc * uy
+			vec[base*3+2] += g * fc * uz
+		}
+	}
+	for b := 0; b < d.NSpecies*nr; b++ {
+		out[b*2+1] = vec[b*3]*vec[b*3] + vec[b*3+1]*vec[b*3+1] + vec[b*3+2]*vec[b*3+2]
+	}
+}
+
+// DescriptorGrad accumulates dE/dx for all atoms given dE/dD of atom i
+// (gD, length Dim) and the cached environment, using the chain rule through
+// the descriptor. Forces are F = −dE/dx; the caller negates.
+func (d DescriptorSpec) DescriptorGrad(sys *md.System, env neighborEnv, i int, gD []float64, dEdx []float64) {
+	cs := d.centers()
+	w := d.width()
+	nr := d.NRadial
+	// Recompute the vector accumulators (needed for the vector² chain).
+	vec := make([]float64, d.NSpecies*nr*3)
+	for n := range env.j {
+		sp := sys.Type[env.j[n]]
+		r := env.r[n]
+		fc, _ := cutoffFn(r, d.Cutoff)
+		ux, uy, uz := env.dx[n]/r, env.dy[n]/r, env.dz[n]/r
+		for k := 0; k < nr; k++ {
+			g := math.Exp(-(r - cs[k]) * (r - cs[k]) / (2 * w * w))
+			base := sp*nr + k
+			vec[base*3] += g * fc * ux
+			vec[base*3+1] += g * fc * uy
+			vec[base*3+2] += g * fc * uz
+		}
+	}
+	for n := range env.j {
+		j := env.j[n]
+		sp := sys.Type[j]
+		r := env.r[n]
+		fc, dfc := cutoffFn(r, d.Cutoff)
+		ux, uy, uz := env.dx[n]/r, env.dy[n]/r, env.dz[n]/r
+		// d(unit vector)/d(x_j) pieces: du_a/dx_b = (δ_ab − u_a u_b)/r.
+		for k := 0; k < nr; k++ {
+			base := sp*nr + k
+			g := math.Exp(-(r - cs[k]) * (r - cs[k]) / (2 * w * w))
+			dg := g * (-(r - cs[k]) / (w * w))
+			// Scalar channel: D = Σ g fc ⇒ dD/dr = (dg fc + g dfc),
+			// dr/dx_j = u.
+			cS := gD[base*2] * (dg*fc + g*dfc)
+			// Vector channel: D = |S|², S = Σ g fc u.
+			// dD/dx_j = 2 S · [ (dg fc + g dfc) u ⊗ u + g fc (I − u⊗u)/r ].
+			sx, sy, sz := vec[base*3], vec[base*3+1], vec[base*3+2]
+			su := sx*ux + sy*uy + sz*uz
+			cRad := gD[base*2+1] * 2 * (su * (dg*fc + g*dfc))
+			cTan := gD[base*2+1] * 2 * g * fc / r
+			// Gradient w.r.t. x_j (displacement is j − i, so d r/dx_j = +u).
+			gx := cS*ux + cRad*ux + cTan*(sx-su*ux)
+			gy := cS*uy + cRad*uy + cTan*(sy-su*uy)
+			gz := cS*uz + cRad*uz + cTan*(sz-su*uz)
+			dEdx[3*j] += gx
+			dEdx[3*j+1] += gy
+			dEdx[3*j+2] += gz
+			dEdx[3*i] -= gx
+			dEdx[3*i+1] -= gy
+			dEdx[3*i+2] -= gz
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package allegro
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mlmd/internal/md"
+	"mlmd/internal/nn"
+)
+
+// Model is the Allegro-style force field: one MLP per species mapping the
+// invariant descriptor to an atomic energy; total energy is the sum of
+// atomic energies; forces follow analytically.
+type Model struct {
+	Spec DescriptorSpec
+	// Nets[sp] predicts the atomic energy of species sp.
+	Nets []*nn.MLP
+	// PerSpeciesShift[sp] is an additive atomic reference energy (learned
+	// or set by TEA alignment).
+	PerSpeciesShift []float64
+	// BlockSize caps how many atoms are evaluated per inference batch
+	// (block model inference, Sec. V.B.9). 0 means no blocking.
+	BlockSize int
+	// nl and the expanded full neighbor table are rebuilt on demand.
+	nl *md.NeighborList
+}
+
+// NewModel builds a model with hidden layer sizes hidden for every species.
+func NewModel(spec DescriptorSpec, hidden []int, seed int64) (*Model, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Model{Spec: spec, PerSpeciesShift: make([]float64, spec.NSpecies)}
+	sizes := append([]int{spec.Dim()}, hidden...)
+	sizes = append(sizes, 1)
+	for sp := 0; sp < spec.NSpecies; sp++ {
+		net, err := nn.NewMLP(sizes, nn.SiLU, seed+int64(sp)*7919)
+		if err != nil {
+			return nil, err
+		}
+		m.Nets = append(m.Nets, net)
+	}
+	nl, err := md.NewNeighborList(spec.Cutoff, 0.3)
+	if err != nil {
+		return nil, err
+	}
+	m.nl = nl
+	return m, nil
+}
+
+// NumWeights returns the total trainable parameter count over all species
+// nets (the "weights" of the paper's T2S metric).
+func (m *Model) NumWeights() int {
+	n := 0
+	for _, net := range m.Nets {
+		n += net.NumWeights()
+	}
+	return n + len(m.PerSpeciesShift)
+}
+
+// fullNeighbors expands the half list into per-atom neighbor slices.
+func (m *Model) fullNeighbors(sys *md.System) [][]int32 {
+	if m.nl.Stale(sys) {
+		m.nl.Build(sys)
+	}
+	full := make([][]int32, sys.N)
+	for i := 0; i < sys.N; i++ {
+		for _, j := range m.nl.Neighbors(i) {
+			full[i] = append(full[i], j)
+			full[int(j)] = append(full[int(j)], int32(i))
+		}
+	}
+	return full
+}
+
+// Energy returns the total predicted energy of sys.
+func (m *Model) Energy(sys *md.System) float64 {
+	full := m.fullNeighbors(sys)
+	desc := make([]float64, m.Spec.Dim())
+	var e float64
+	for i := 0; i < sys.N; i++ {
+		env := buildEnv(sys, m.nl, full, i, m.Spec.Cutoff)
+		m.Spec.Descriptor(sys, env, desc)
+		sp := sys.Type[i]
+		e += m.Nets[sp].Forward(desc)[0] + m.PerSpeciesShift[sp]
+	}
+	return e
+}
+
+// ComputeForces implements md.ForceField: fills sys.F with −dE/dx and
+// returns the predicted energy. Atoms are processed in blocks of BlockSize
+// (if set), and blocks are sharded over cores.
+func (m *Model) ComputeForces(sys *md.System) float64 {
+	full := m.fullNeighbors(sys)
+	for i := range sys.F {
+		sys.F[i] = 0
+	}
+	block := m.BlockSize
+	if block <= 0 || block > sys.N {
+		block = sys.N
+	}
+	var energy float64
+	for lo := 0; lo < sys.N; lo += block {
+		hi := lo + block
+		if hi > sys.N {
+			hi = sys.N
+		}
+		energy += m.forceBlock(sys, full, lo, hi)
+	}
+	return energy
+}
+
+// forceBlock evaluates atoms [lo,hi), parallel over workers with private
+// gradient buffers merged at the end.
+func (m *Model) forceBlock(sys *md.System, full [][]int32, lo, hi int) float64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > hi-lo {
+		workers = hi - lo
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type partial struct {
+		e    float64
+		dEdx []float64
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	chunk := (hi - lo + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		a := lo + w*chunk
+		b := a + chunk
+		if b > hi {
+			b = hi
+		}
+		if a >= b {
+			break
+		}
+		wg.Add(1)
+		go func(w, a, b int) {
+			defer wg.Done()
+			dEdx := make([]float64, 3*sys.N)
+			desc := make([]float64, m.Spec.Dim())
+			var e float64
+			for i := a; i < b; i++ {
+				env := buildEnv(sys, m.nl, full, i, m.Spec.Cutoff)
+				m.Spec.Descriptor(sys, env, desc)
+				sp := sys.Type[i]
+				net := m.Nets[sp]
+				tape := net.ForwardTape(desc)
+				e += tape.Out() + m.PerSpeciesShift[sp]
+				gD := net.Backward(tape, []float64{1}, nil)
+				m.Spec.DescriptorGrad(sys, env, i, gD, dEdx)
+			}
+			parts[w] = partial{e: e, dEdx: dEdx}
+		}(w, a, b)
+	}
+	wg.Wait()
+	var e float64
+	for _, p := range parts {
+		if p.dEdx == nil {
+			continue
+		}
+		e += p.e
+		for k, v := range p.dEdx {
+			sys.F[k] -= v
+		}
+	}
+	return e
+}
+
+// MemoryEstimate returns a rough per-block inference memory footprint in
+// bytes: neighbor-list tensors dominate with a prefactor of 50–200 per atom
+// (paper Sec. V.B.9). Used by the cluster model to derive the maximum
+// resident system size per device.
+func (m *Model) MemoryEstimate(atoms int) int64 {
+	block := m.BlockSize
+	if block <= 0 || block > atoms {
+		block = atoms
+	}
+	const neighborPrefactor = 100 // paper: 50–200
+	perAtom := int64(3*8+4) + neighborPrefactor*8
+	return int64(m.NumWeights())*8 + int64(block)*perAtom
+}
+
+// ForceError returns RMS and max force component errors against a reference
+// force field on the same system.
+func ForceError(sys *md.System, model, ref md.ForceField) (rms, worst float64) {
+	ref.ComputeForces(sys)
+	fRef := append([]float64(nil), sys.F...)
+	model.ComputeForces(sys)
+	var sum float64
+	for i := range fRef {
+		d := sys.F[i] - fRef[i]
+		sum += d * d
+		if a := math.Abs(d); a > worst {
+			worst = a
+		}
+	}
+	return math.Sqrt(sum / float64(len(fRef))), worst
+}
+
+// String implements fmt.Stringer.
+func (m *Model) String() string {
+	return fmt.Sprintf("allegro model: %d species, %d descriptors, %d weights",
+		m.Spec.NSpecies, m.Spec.Dim(), m.NumWeights())
+}

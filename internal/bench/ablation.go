@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"time"
+
+	"mlmd/internal/allegro"
+	"mlmd/internal/ferro"
+	"mlmd/internal/grid"
+	"mlmd/internal/precision"
+	"mlmd/internal/tddft"
+)
+
+// This file measures the ablations behind the paper's design choices:
+// what each optimization actually buys on this substrate.
+
+// AblationResult is a named pair of timings.
+type AblationResult struct {
+	Name              string
+	Baseline, Variant time.Duration
+	SpeedupOrOverhead float64
+}
+
+// AblationDSAWarmStart quantifies the shadow-dynamics amortization: a
+// warm-started DSA Hartree refresh (the previous step's potential as the
+// initial guess) reaches the working residual in a few sweeps, while a
+// cold start needs two orders of magnitude more. (On a single node the FFT
+// solve is still fastest in wall time — the paper keeps FFT for the *local*
+// dense solves and uses relaxation-style global updates because they need
+// only halo exchanges instead of global transposes.)
+func AblationDSAWarmStart(n, refreshes int) (AblationResult, error) {
+	g := grid.NewCubic(n, 0.7)
+	rho := make([]float64, g.Len())
+	for i := range rho {
+		rho[i] = 0.01 * float64(i%17)
+	}
+	// Warm path: converge once, then refresh against a drifting density
+	// with few sweeps; record the residual the warm refresh achieves.
+	warmSolver, err := tddft.NewHartreeSolver(g)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	warmSolver.StepDSA(rho, 600)
+	var target float64
+	start := time.Now()
+	for r := 0; r < refreshes; r++ {
+		for i := range rho {
+			rho[i] *= 1.0005
+		}
+		target = warmSolver.StepDSA(rho, 12)
+	}
+	warm := time.Since(start) / time.Duration(refreshes)
+	// Cold path: fresh solver must reach the same residual from zero.
+	coldSolver, err := tddft.NewHartreeSolver(g)
+	if err != nil {
+		return AblationResult{}, err
+	}
+	start = time.Now()
+	for it := 0; it < 200; it++ {
+		if coldSolver.StepDSA(rho, 12) <= target {
+			break
+		}
+	}
+	cold := time.Since(start)
+	return AblationResult{
+		Name:              "Hartree refresh to equal residual: cold DSA vs warm DSA",
+		Baseline:          cold,
+		Variant:           warm,
+		SpeedupOrOverhead: float64(cold) / float64(warm),
+	}, nil
+}
+
+// AblationScissorPrecision compares nlp_prop in FP64 against the
+// BF16-quantized path. In software the quantization is pure overhead (the
+// win is a device property); the measured overhead bounds what the hybrid
+// mode must recover on hardware.
+func AblationScissorPrecision(n, norb, reps int) (AblationResult, error) {
+	g := grid.NewCubic(n, 0.8)
+	psi := grid.NewWaveField(g, norb, grid.LayoutSoA)
+	psi0 := grid.NewWaveField(g, norb, grid.LayoutSoA)
+	for i := range psi.Data {
+		psi.Data[i] = complex(0.4/float64(i%7+1), -0.2)
+		psi0.Data[i] = complex(0.1, 0.3/float64(i%5+1))
+	}
+	run := func(mode precision.Mode) time.Duration {
+		sc := &tddft.Scissor{Delta: 1e-3, Mode: mode}
+		w := psi.Clone()
+		sc.Apply(psi0, w) // warm-up
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			sc.Apply(psi0, w)
+		}
+		return time.Since(start)
+	}
+	fp64 := run(precision.ModeFP64)
+	bf16 := run(precision.ModeBF16)
+	return AblationResult{
+		Name:              "nlp_prop: FP64 vs BF16-quantized (software emulation)",
+		Baseline:          fp64,
+		Variant:           bf16,
+		SpeedupOrOverhead: float64(bf16) / float64(fp64),
+	}, nil
+}
+
+// AblationBlockInference compares blocked vs unblocked neural-force
+// inference time and reports the memory-footprint ratio the blocking buys.
+func AblationBlockInference(cells, reps int) (AblationResult, int64, int64, error) {
+	sys, _, err := ferro.NewLattice(cells, cells, cells)
+	if err != nil {
+		return AblationResult{}, 0, 0, err
+	}
+	spec := allegro.DescriptorSpec{Cutoff: ferro.LatticeConstant * 0.9, NRadial: 5, NSpecies: 3}
+	m, err := allegro.NewModel(spec, []int{12}, 1)
+	if err != nil {
+		return AblationResult{}, 0, 0, err
+	}
+	run := func(block int) time.Duration {
+		m.BlockSize = block
+		m.ComputeForces(sys) // warm-up
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			m.ComputeForces(sys)
+		}
+		return time.Since(start)
+	}
+	full := run(0)
+	blocked := run(sys.N / 2)
+	m.BlockSize = 0
+	memFull := m.MemoryEstimate(sys.N)
+	m.BlockSize = sys.N / 2
+	memBlocked := m.MemoryEstimate(sys.N)
+	return AblationResult{
+		Name:              "block inference: unblocked vs 2 batches",
+		Baseline:          full,
+		Variant:           blocked,
+		SpeedupOrOverhead: float64(blocked) / float64(full),
+	}, memFull, memBlocked, nil
+}

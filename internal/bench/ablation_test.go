@@ -1,0 +1,52 @@
+package bench
+
+import "testing"
+
+func TestAblationDSAWarmStart(t *testing.T) {
+	res, err := AblationDSAWarmStart(16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s: cold %v, warm %v, speedup %.1fx", res.Name, res.Baseline, res.Variant, res.SpeedupOrOverhead)
+	// Amortization must buy a clear factor over converging from scratch
+	// (threshold leaves headroom for timing noise under parallel tests).
+	if res.SpeedupOrOverhead < 2.0 {
+		t.Errorf("warm start bought only %gx over cold DSA", res.SpeedupOrOverhead)
+	}
+}
+
+func TestAblationScissorPrecision(t *testing.T) {
+	res, err := AblationScissorPrecision(10, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s: FP64 %v, BF16 %v, overhead %.2fx", res.Name, res.Baseline, res.Variant, res.SpeedupOrOverhead)
+	// Software quantization costs something but must stay within ~4x.
+	if res.SpeedupOrOverhead > 4 {
+		t.Errorf("BF16 emulation overhead %gx too large", res.SpeedupOrOverhead)
+	}
+}
+
+func TestAblationBlockInference(t *testing.T) {
+	res, memFull, memBlocked, err := AblationBlockInference(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s: full %v, blocked %v (%.2fx), memory %d -> %d bytes",
+		res.Name, res.Baseline, res.Variant, res.SpeedupOrOverhead, memFull, memBlocked)
+	if memBlocked >= memFull {
+		t.Error("blocking did not reduce the memory estimate")
+	}
+	// Blocking costs little time (it is the same work in two batches).
+	if res.SpeedupOrOverhead > 3 {
+		t.Errorf("blocked inference overhead %gx too large", res.SpeedupOrOverhead)
+	}
+}
+
+func BenchmarkAblationDSAWarmStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationDSAWarmStart(16, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"mlmd/internal/allegro"
+	"mlmd/internal/ferro"
+	"mlmd/internal/md"
+	"mlmd/internal/perf"
+)
+
+// This file reproduces the Allegro-Legato fidelity-scaling experiment
+// (paper Sec. V.A.6, ref [27]): neural force fields accumulate unphysical
+// force outliers at a rate proportional to system size, so the MD
+// time-to-failure t_failure decreases with N; sharpness-aware minimization
+// (SAM) flattens the loss landscape, suppressing outliers and weakening the
+// N-dependence (paper: t ∝ N^-0.14 with SAM vs N^-0.29 without).
+
+// LegatoConfig tunes the experiment. The defaults deliberately underfit the
+// models (tiny nets, few samples) so failures occur within the step budget.
+type LegatoConfig struct {
+	TrainCells int // training supercell edge (cells)
+	Samples    int // training configurations
+	Epochs     int
+	Hidden     []int
+	SAMRho     float64
+	Sizes      []int   // MD supercell edges to probe
+	MaxSteps   int     // step budget per run
+	KT         float64 // MD temperature (Hartree)
+	Dt         float64 // MD step (a.u.)
+	FailForce  float64 // failure threshold on any force component (Ha/Bohr)
+	NSeeds     int     // MD seeds per size; the median t_fail is reported
+	Seed       int64
+}
+
+// DefaultLegatoConfig returns a configuration that completes in tens of
+// seconds on a laptop.
+func DefaultLegatoConfig() LegatoConfig {
+	return LegatoConfig{
+		TrainCells: 2,
+		Samples:    12,
+		Epochs:     80,
+		Hidden:     []int{10},
+		SAMRho:     0.05,
+		Sizes:      []int{2, 3, 4},
+		MaxSteps:   1500,
+		KT:         1.2e-3,
+		Dt:         40,
+		FailForce:  0.09,
+		NSeeds:     3,
+		Seed:       42,
+	}
+}
+
+// LegatoPoint is one (N, t_failure) measurement.
+type LegatoPoint struct {
+	Atoms    int
+	FailStep int // MaxSteps if no failure observed
+}
+
+// LegatoResult compares the plain and SAM-trained models.
+type LegatoResult struct {
+	Plain, SAM []LegatoPoint
+	// ExponentPlain/SAM are the fitted slopes of log t_fail vs log N
+	// (more negative = worse fidelity scaling).
+	ExponentPlain, ExponentSAM float64
+}
+
+// RunLegato trains two models (identical except for SAM) and measures MD
+// time-to-failure across system sizes.
+func RunLegato(cfg LegatoConfig) (*LegatoResult, error) {
+	trainSys, _, eh := mustLattice(cfg.TrainCells)
+	samples := allegro.GenerateSamples(trainSys, eh, cfg.Samples, cfg.KT, 20, 5, 0, cfg.Seed)
+	spec := allegro.DescriptorSpec{Cutoff: ferro.LatticeConstant * 0.9, NRadial: 5, NSpecies: 3}
+	train := func(rho float64) (*allegro.Model, error) {
+		m, err := allegro.NewModel(spec, cfg.Hidden, cfg.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		_, err = m.Train(trainSys, samples, allegro.TrainConfig{
+			Epochs: cfg.Epochs, LR: 3e-3, SAMRho: rho, Seed: cfg.Seed + 9, Batch: 6,
+		})
+		return m, err
+	}
+	plain, err := train(0)
+	if err != nil {
+		return nil, err
+	}
+	sam, err := train(cfg.SAMRho)
+	if err != nil {
+		return nil, err
+	}
+	res := &LegatoResult{}
+	for _, cells := range cfg.Sizes {
+		res.Plain = append(res.Plain, medianFailure(cfg, plain, cells))
+		res.SAM = append(res.SAM, medianFailure(cfg, sam, cells))
+	}
+	res.ExponentPlain = fitLogSlope(res.Plain)
+	res.ExponentSAM = fitLogSlope(res.SAM)
+	return res, nil
+}
+
+// medianFailure repeats runToFailure over NSeeds velocity seeds and
+// returns the median failure step (single runs are too noisy for scaling
+// fits).
+func medianFailure(cfg LegatoConfig, model *allegro.Model, cells int) LegatoPoint {
+	nSeeds := cfg.NSeeds
+	if nSeeds < 1 {
+		nSeeds = 1
+	}
+	steps := make([]int, 0, nSeeds)
+	var atoms int
+	for s := 0; s < nSeeds; s++ {
+		pt := runToFailure(cfg, model, cells, cfg.Seed+int64(cells)+int64(s)*101)
+		steps = append(steps, pt.FailStep)
+		atoms = pt.Atoms
+	}
+	for i := 1; i < len(steps); i++ {
+		for j := i; j > 0 && steps[j] < steps[j-1]; j-- {
+			steps[j], steps[j-1] = steps[j-1], steps[j]
+		}
+	}
+	return LegatoPoint{Atoms: atoms, FailStep: steps[len(steps)/2]}
+}
+
+// runToFailure runs NN-driven MD on a cells³ lattice until a force blows up
+// or the temperature runs away.
+func runToFailure(cfg LegatoConfig, model *allegro.Model, cells int, seed int64) LegatoPoint {
+	sys, _, _ := mustLattice(cells)
+	sys.InitVelocities(cfg.KT, seed)
+	model.ComputeForces(sys)
+	pt := LegatoPoint{Atoms: sys.N, FailStep: cfg.MaxSteps}
+	for step := 1; step <= cfg.MaxSteps; step++ {
+		md.VelocityVerlet(sys, model, cfg.Dt)
+		for _, f := range sys.F {
+			if math.Abs(f) > cfg.FailForce || math.IsNaN(f) {
+				pt.FailStep = step
+				return pt
+			}
+		}
+		if sys.Temperature() > 10*cfg.KT {
+			pt.FailStep = step
+			return pt
+		}
+	}
+	return pt
+}
+
+func mustLattice(cells int) (*md.System, *ferro.Lattice, *ferro.EffectiveHamiltonian) {
+	sys, lat, err := ferro.NewLattice(cells, cells, cells)
+	if err != nil {
+		panic(err)
+	}
+	return sys, lat, ferro.DefaultEffHam(lat)
+}
+
+// fitLogSlope returns the least-squares slope of log(t) vs log(N).
+func fitLogSlope(pts []LegatoPoint) float64 {
+	n := float64(len(pts))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x := math.Log(float64(p.Atoms))
+		y := math.Log(float64(p.FailStep))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// LegatoTable renders the experiment.
+func LegatoTable(res *LegatoResult) *perf.Table {
+	t := &perf.Table{
+		Title: fmt.Sprintf("Allegro-Legato fidelity scaling: t_fail exponent plain %.2f vs SAM %.2f (paper: -0.29 vs -0.14)",
+			res.ExponentPlain, res.ExponentSAM),
+		Headers: []string{"Atoms", "t_fail plain [steps]", "t_fail SAM [steps]"},
+	}
+	for i := range res.Plain {
+		t.Add(res.Plain[i].Atoms, res.Plain[i].FailStep, res.SAM[i].FailStep)
+	}
+	return t
+}

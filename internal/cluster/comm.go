@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Comm is an MPI-like communicator whose ranks run as goroutines and whose
+// clocks advance in virtual time: every operation records modeled seconds on
+// the calling rank, and synchronizing operations (barrier, allreduce) align
+// clocks to the slowest participant — exactly how a bulk-synchronous code
+// experiences load imbalance. Message payloads are real (correctness is
+// testable); only the clock is simulated.
+type Comm struct {
+	size int
+	net  Interconnect
+	// chans[dst][src] is the mailbox from src to dst.
+	chans [][]chan message
+	// clocks[rank] is protected by mu only during collective alignment;
+	// each rank otherwise owns its entry.
+	clocks []float64
+	mu     sync.Mutex
+	// barrier state
+	barrierWG *cyclicBarrier
+}
+
+type message struct {
+	data []float64
+	time float64 // sender's clock when the message was sent
+}
+
+// NewComm builds a communicator of the given size over the network model.
+func NewComm(size int, net Interconnect) (*Comm, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("cluster: communicator size %d", size)
+	}
+	c := &Comm{size: size, net: net, clocks: make([]float64, size)}
+	c.chans = make([][]chan message, size)
+	for dst := 0; dst < size; dst++ {
+		c.chans[dst] = make([]chan message, size)
+		for src := 0; src < size; src++ {
+			c.chans[dst][src] = make(chan message, 8)
+		}
+	}
+	c.barrierWG = newCyclicBarrier(size)
+	return c, nil
+}
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Clock returns rank's current virtual time (seconds).
+func (c *Comm) Clock(rank int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clocks[rank]
+}
+
+// AdvanceClock adds modeled compute seconds to rank's clock.
+func (c *Comm) AdvanceClock(rank int, seconds float64) {
+	c.mu.Lock()
+	c.clocks[rank] += seconds
+	c.mu.Unlock()
+}
+
+// Send transmits data from rank src to dst (non-blocking up to the mailbox
+// capacity). The sender's clock pays the injection overhead alpha.
+func (c *Comm) Send(src, dst int, data []float64) {
+	c.mu.Lock()
+	t := c.clocks[src] + c.net.Alpha
+	c.clocks[src] = t
+	c.mu.Unlock()
+	payload := append([]float64(nil), data...)
+	c.chans[dst][src] <- message{data: payload, time: t + 8*float64(len(data))*c.net.Beta}
+}
+
+// Recv blocks until a message from src arrives at dst, advancing dst's
+// clock to max(own, message arrival time).
+func (c *Comm) Recv(dst, src int) []float64 {
+	m := <-c.chans[dst][src]
+	c.mu.Lock()
+	if m.time > c.clocks[dst] {
+		c.clocks[dst] = m.time
+	}
+	c.mu.Unlock()
+	return m.data
+}
+
+// Barrier synchronizes all ranks and aligns every clock to the slowest rank
+// plus the modeled barrier cost.
+func (c *Comm) Barrier(rank int) {
+	c.barrierWG.await(func() {
+		// Executed once per generation while all ranks are parked.
+		var worst float64
+		for _, t := range c.clocks {
+			if t > worst {
+				worst = t
+			}
+		}
+		worst += c.net.AllReduce(c.size, 8)
+		for i := range c.clocks {
+			c.clocks[i] = worst
+		}
+	})
+	_ = rank
+}
+
+// AllReduceSum sums vec elementwise across all ranks (every rank receives
+// the total) and aligns clocks to slowest + modeled collective time.
+func (c *Comm) AllReduceSum(rank int, vec []float64) []float64 {
+	res := c.barrierWG.reduce(rank, vec, func(parts [][]float64) []float64 {
+		out := make([]float64, len(vec))
+		for _, p := range parts {
+			for i, v := range p {
+				out[i] += v
+			}
+		}
+		c.mu.Lock()
+		var worst float64
+		for _, t := range c.clocks {
+			if t > worst {
+				worst = t
+			}
+		}
+		worst += c.net.AllReduce(c.size, 8*float64(len(vec)))
+		for i := range c.clocks {
+			c.clocks[i] = worst
+		}
+		c.mu.Unlock()
+		return out
+	})
+	return res
+}
+
+// Gather collects each rank's vec at root (others receive nil), aligning
+// clocks.
+func (c *Comm) Gather(rank, root int, vec []float64) [][]float64 {
+	parts := c.barrierWG.gather(rank, vec, func() {
+		c.mu.Lock()
+		var worst float64
+		for _, t := range c.clocks {
+			if t > worst {
+				worst = t
+			}
+		}
+		worst += c.net.Gather(c.size, 8*float64(len(vec)))
+		for i := range c.clocks {
+			c.clocks[i] = worst
+		}
+		c.mu.Unlock()
+	})
+	if rank != root {
+		return nil
+	}
+	return parts
+}
+
+// MaxClock returns the slowest rank's clock — the wall-clock of a
+// bulk-synchronous step.
+func (c *Comm) MaxClock() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var worst float64
+	for _, t := range c.clocks {
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// cyclicBarrier lets size goroutines repeatedly rendezvous; one of them
+// runs the action while all are parked.
+type cyclicBarrier struct {
+	size    int
+	mu      sync.Mutex
+	cond    *sync.Cond
+	count   int
+	gen     int
+	parts   [][]float64
+	result  []float64
+	partsSn [][]float64
+}
+
+func newCyclicBarrier(size int) *cyclicBarrier {
+	b := &cyclicBarrier{size: size, parts: make([][]float64, size)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *cyclicBarrier) await(action func()) {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		action()
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+func (b *cyclicBarrier) reduce(rank int, vec []float64, combine func([][]float64) []float64) []float64 {
+	b.mu.Lock()
+	b.parts[rank] = vec
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.mu.Unlock()
+		res := combine(b.parts)
+		b.mu.Lock()
+		b.result = res
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	res := b.result
+	b.mu.Unlock()
+	return res
+}
+
+func (b *cyclicBarrier) gather(rank int, vec []float64, after func()) [][]float64 {
+	b.mu.Lock()
+	b.parts[rank] = append([]float64(nil), vec...)
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.mu.Unlock()
+		after()
+		b.mu.Lock()
+		b.partsSn = append([][]float64(nil), b.parts...)
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	res := b.partsSn
+	b.mu.Unlock()
+	return res
+}

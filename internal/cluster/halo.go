@@ -1,0 +1,31 @@
+package cluster
+
+// Halo exchange over the Comm: the nearest-neighbor communication pattern
+// of the spatial divide-and-conquer (both the potential boundaries of
+// DC-MESH and the skin atoms of XS-NNQMD). Ranks are arranged on a periodic
+// 1-D ring here (the 3-D pattern is three independent ring exchanges).
+
+// RingNeighbors returns the left and right neighbors of rank on a periodic
+// ring of size p.
+func RingNeighbors(rank, p int) (left, right int) {
+	left = (rank - 1 + p) % p
+	right = (rank + 1) % p
+	return
+}
+
+// HaloExchangeRing sends sendRight to the right neighbor and sendLeft to
+// the left neighbor, returning (fromLeft, fromRight). Deadlock-free on the
+// buffered mailboxes: all sends complete before receives. Every rank of the
+// communicator must call this collectively.
+func HaloExchangeRing(c *Comm, rank int, sendLeft, sendRight []float64) (fromLeft, fromRight []float64) {
+	left, right := RingNeighbors(rank, c.Size())
+	if c.Size() == 1 {
+		// Self-exchange: periodic wrap onto itself.
+		return append([]float64(nil), sendRight...), append([]float64(nil), sendLeft...)
+	}
+	c.Send(rank, right, sendRight)
+	c.Send(rank, left, sendLeft)
+	fromLeft = c.Recv(rank, left)
+	fromRight = c.Recv(rank, right)
+	return fromLeft, fromRight
+}

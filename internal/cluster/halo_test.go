@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingNeighbors(t *testing.T) {
+	l, r := RingNeighbors(0, 4)
+	if l != 3 || r != 1 {
+		t.Errorf("rank 0 of 4: left %d right %d", l, r)
+	}
+	l, r = RingNeighbors(3, 4)
+	if l != 2 || r != 0 {
+		t.Errorf("rank 3 of 4: left %d right %d", l, r)
+	}
+}
+
+func TestHaloExchangeRing(t *testing.T) {
+	const p = 5
+	c, err := NewComm(p, Slingshot11())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	type result struct{ fromLeft, fromRight []float64 }
+	results := make([]result, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			// Each rank sends its id+0.1 left and id+0.2 right.
+			fl, fr := HaloExchangeRing(c, rank,
+				[]float64{float64(rank) + 0.1},
+				[]float64{float64(rank) + 0.2})
+			results[rank] = result{fl, fr}
+		}(r)
+	}
+	wg.Wait()
+	for rank := 0; rank < p; rank++ {
+		left, right := RingNeighbors(rank, p)
+		// From the left neighbor we receive what it sent right.
+		if got := results[rank].fromLeft[0]; got != float64(left)+0.2 {
+			t.Errorf("rank %d fromLeft = %g, want %g", rank, got, float64(left)+0.2)
+		}
+		if got := results[rank].fromRight[0]; got != float64(right)+0.1 {
+			t.Errorf("rank %d fromRight = %g, want %g", rank, got, float64(right)+0.1)
+		}
+	}
+	// Clocks advanced by the exchange costs.
+	for rank := 0; rank < p; rank++ {
+		if c.Clock(rank) <= 0 {
+			t.Errorf("rank %d clock did not advance", rank)
+		}
+	}
+}
+
+func TestHaloExchangeSingleRank(t *testing.T) {
+	c, _ := NewComm(1, Slingshot11())
+	fl, fr := HaloExchangeRing(c, 0, []float64{1}, []float64{2})
+	// Periodic self-wrap: the left halo is what we sent right.
+	if fl[0] != 2 || fr[0] != 1 {
+		t.Errorf("self-exchange wrong: %v %v", fl, fr)
+	}
+}

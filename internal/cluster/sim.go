@@ -1,0 +1,206 @@
+package cluster
+
+import (
+	"math"
+
+	"mlmd/internal/precision"
+)
+
+// This file models the per-MD-step cost of the two MLMD modules on a
+// Machine, for rank counts up to the full 120,000 tiles of Aurora. The model
+// is bulk-synchronous: step time = slowest rank's compute + collective
+// costs. Load imbalance uses the extreme-value estimate for the max of P
+// jittered rank times, max ≈ mean·(1 + σ·sqrt(2 ln P)), so imbalance grows
+// (slowly) with scale instead of being hard-coded per experiment.
+
+// ImbalanceSigma is the relative per-rank compute jitter (OS noise, clock
+// variation). 0.3% is typical of a well-tuned GPU code.
+const ImbalanceSigma = 0.003
+
+// imbalanceFactor returns the max/mean ratio for p ranks.
+func imbalanceFactor(p int) float64 {
+	if p <= 1 {
+		return 1
+	}
+	return 1 + ImbalanceSigma*math.Sqrt(2*math.Log(float64(p)))
+}
+
+// DCMESHWorkload describes one spatial domain's per-MD-step work in the
+// DC-MESH module (Eq. 2): N_QD quantum-dynamics sub-steps of the local
+// propagator plus the GEMMified nonlocal correction, a Hartree refresh
+// cadence, and the shadow-dynamics communication pattern.
+type DCMESHWorkload struct {
+	// Norb is the number of KS orbitals in the padded domain.
+	Norb int
+	// Grid is the finite-difference points per axis of the padded domain.
+	Grid int
+	// NQD is the number of QD steps per MD step (paper: 1,000 in the
+	// benchmarks, ~100 in production shadow dynamics).
+	NQD int
+	// GEMMMode and StencilMode select kernel precisions (Sec. V.B.7).
+	GEMMMode    precision.Mode
+	StencilMode precision.Mode
+	// DomainsPerRank > 1 assigns several spatial domains to each rank
+	// (the strong-scaling regime starts from few ranks and many domains).
+	DomainsPerRank int
+	// DomainJitter is the relative spread of per-domain work caused by
+	// variable SCF convergence (domains in disordered regions need more
+	// global-local iterations). Owning several domains averages the
+	// jitter down by sqrt(DomainsPerRank); with one domain per rank the
+	// slowest domain sets the pace. Default 0.15.
+	DomainJitter float64
+}
+
+// ngrid returns total grid points.
+func (w DCMESHWorkload) ngrid() float64 { return float64(w.Grid * w.Grid * w.Grid) }
+
+// GEMMFlopsPerQD returns the nonlocal-correction flops of one QD step:
+// two complex GEMMs, 8·Norb²·Ngrid each (Eq. 5).
+func (w DCMESHWorkload) GEMMFlopsPerQD() float64 {
+	n := float64(w.Norb)
+	return 2 * 8 * n * n * w.ngrid()
+}
+
+// StencilFlopsPerQD returns the local-propagator flops of one QD step:
+// three axis sweeps of even/odd pair rotations (~14 flops per pair per
+// orbital, 3 sweeps) plus the potential phase (~12 flops per point).
+func (w DCMESHWorkload) StencilFlopsPerQD() float64 {
+	n := float64(w.Norb)
+	g := w.ngrid()
+	return n*g*(3*3*14/2) + n*g*12
+}
+
+// TotalFlopsPerMDStep returns the domain's flops for one MD step.
+func (w DCMESHWorkload) TotalFlopsPerMDStep() float64 {
+	hartree := w.ngrid() * 30 * float64(w.NQD) / 10 // DSA refresh every ~10 QD steps
+	return float64(w.NQD)*(w.GEMMFlopsPerQD()+w.StencilFlopsPerQD()) + hartree
+}
+
+// StepTime returns the modeled wall-clock seconds of one MD step of the
+// DC-MESH module on machine m with p ranks (each rank owns DomainsPerRank
+// spatial domains).
+func (w DCMESHWorkload) StepTime(m *Machine, p int) float64 {
+	dpr := w.DomainsPerRank
+	if dpr < 1 {
+		dpr = 1
+	}
+	jitter := w.DomainJitter
+	if jitter == 0 {
+		jitter = 0.15
+	}
+	dev := m.Device
+	// One domain's compute per MD step.
+	gemm := dev.ComputeTime(w.GEMMFlopsPerQD(), KernelGEMM, w.GEMMMode) * float64(w.NQD)
+	sten := dev.ComputeTime(w.StencilFlopsPerQD(), KernelStencil, w.StencilMode) * float64(w.NQD)
+	hart := dev.ComputeTime(w.ngrid()*30, KernelStencil, w.StencilMode) * float64(w.NQD) / 10
+	domain := gemm + sten + hart
+	// The slowest rank's compute: per-domain SCF jitter averages over the
+	// rank's domains (law of large numbers), and a ~3σ outlier sets the
+	// bulk-synchronous pace; generic OS noise grows slowly with P.
+	compute := float64(dpr) * domain * (1 + 3*jitter/math.Sqrt(float64(dpr))) * imbalanceFactor(p)
+	// Communication per MD step (shadow dynamics amortizes all CPU-GPU and
+	// most network traffic over the N_QD sub-steps):
+	// - halo exchange of the local-potential boundary with 6 neighbors;
+	surface := float64(w.Grid*w.Grid) * 8
+	comm := m.Net.HaloExchange(6, surface*float64(dpr))
+	// - one gather of n_exc per MD step (8 bytes per domain, Sec. V.A.8);
+	comm += m.Net.Gather(p, 8*float64(dpr))
+	// - one small global allreduce for the SCF consistency check.
+	comm += m.Net.AllReduce(p, 64)
+	return compute + comm
+}
+
+// Electrons returns the unique electron count represented by p ranks at
+// this granularity: Norb per padded domain, divided by the core-to-padded
+// factor 8, times the domains owned.
+func (w DCMESHWorkload) Electrons(p int) int {
+	dpr := w.DomainsPerRank
+	if dpr < 1 {
+		dpr = 1
+	}
+	return w.Norb / 8 * dpr * p
+}
+
+// NNQMDWorkload describes the per-rank XS-NNQMD work: Allegro-style
+// inference over AtomsPerRank atoms with a model of Weights parameters.
+type NNQMDWorkload struct {
+	AtomsPerRank int
+	Weights      int
+	// FlopsPerAtomWeight is the inference cost coefficient: total flops ≈
+	// coeff · atoms · weights. Equivariant tensor-product layers give
+	// ~2×10³ for Allegro-FM (calibrated against the paper's wall time).
+	FlopsPerAtomWeight float64
+	Mode               precision.Mode
+	// SaturationAtoms is the batch size at which the device reaches half
+	// its sustained inference throughput: small per-rank workloads leave
+	// the systolic arrays underfilled, util(a) = a/(a+SaturationAtoms) —
+	// the mechanism behind the poor strong scaling of small problems
+	// (Fig. 5b).
+	SaturationAtoms float64
+}
+
+// DefaultNNQMD returns the Allegro-FM workload shape of the paper's runs.
+func DefaultNNQMD(atomsPerRank int) NNQMDWorkload {
+	return NNQMDWorkload{
+		AtomsPerRank:       atomsPerRank,
+		Weights:            690000,
+		FlopsPerAtomWeight: 2000,
+		Mode:               precision.ModeFP32,
+		SaturationAtoms:    5000,
+	}
+}
+
+// StepTime returns modeled seconds per MD step on machine m with p ranks.
+func (w NNQMDWorkload) StepTime(m *Machine, p int) float64 {
+	dev := m.Device
+	flops := float64(w.AtomsPerRank) * float64(w.Weights) * w.FlopsPerAtomWeight
+	util := 1.0
+	if w.SaturationAtoms > 0 {
+		a := float64(w.AtomsPerRank)
+		util = a / (a + w.SaturationAtoms)
+	}
+	compute := dev.ComputeTime(flops, KernelNN, w.Mode) / util * imbalanceFactor(p)
+	// Neighbor-list migration: skin atoms on the 6 domain faces, ~96 bytes
+	// each (position, velocity, type, id).
+	surfaceAtoms := math.Pow(float64(w.AtomsPerRank), 2.0/3.0) * 6
+	comm := m.Net.HaloExchange(6, surfaceAtoms*96/6)
+	// Global thermodynamic reductions (energy, temperature, excitation).
+	comm += m.Net.AllReduce(p, 256)
+	// Per-step neighbor bookkeeping that does not parallelize (serial
+	// fraction): list rebuild fraction of compute.
+	serial := 2e-4
+	return compute + comm + serial
+}
+
+// TotalAtoms returns the atom count of a p-rank run.
+func (w NNQMDWorkload) TotalAtoms(p int) int64 {
+	return int64(w.AtomsPerRank) * int64(p)
+}
+
+// WeakScaling runs the workload model across rank counts and returns the
+// parallel efficiencies speed(P)/speed(P0) ÷ P/P0 (= stepTime(P0)/stepTime(P)
+// for isogranular workloads).
+func WeakScaling(step func(p int) float64, ranks []int) (times, eff []float64) {
+	times = make([]float64, len(ranks))
+	eff = make([]float64, len(ranks))
+	for i, p := range ranks {
+		times[i] = step(p)
+	}
+	for i := range ranks {
+		eff[i] = times[0] / times[i]
+	}
+	return
+}
+
+// StrongScaling returns times and efficiencies time(P0)·P0/(time(P)·P).
+func StrongScaling(step func(p int) float64, ranks []int) (times, eff []float64) {
+	times = make([]float64, len(ranks))
+	eff = make([]float64, len(ranks))
+	for i, p := range ranks {
+		times[i] = step(p)
+	}
+	for i, p := range ranks {
+		eff[i] = times[0] * float64(ranks[0]) / (times[i] * float64(p))
+	}
+	return
+}

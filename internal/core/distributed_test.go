@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/cluster"
+	"mlmd/internal/maxwell"
+	"mlmd/internal/units"
+)
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	mk := func() *DCMESH { return smallDCMESH(t, 0.3) }
+	serial := mk()
+	nSerial := serial.MDStep()
+	dist := mk()
+	comm, err := cluster.NewComm(2, cluster.Slingshot11())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dist.MDStepDistributed(comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.NExc) != len(nSerial) {
+		t.Fatalf("distributed returned %d excitations, want %d", len(res.NExc), len(nSerial))
+	}
+	for i := range nSerial {
+		if math.Abs(res.NExc[i]-nSerial[i]) > 1e-9 {
+			t.Errorf("domain %d: distributed %g vs serial %g", i, res.NExc[i], nSerial[i])
+		}
+	}
+	if res.VirtualTime <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+}
+
+func TestDistributedRankCountValidation(t *testing.T) {
+	m := smallDCMESH(t, 0.1)
+	comm, _ := cluster.NewComm(16, cluster.Slingshot11()) // more ranks than domains
+	if _, err := m.MDStepDistributed(comm); err == nil {
+		t.Error("too many ranks accepted")
+	}
+}
+
+func TestDistributedTimeAdvancesLikeSerial(t *testing.T) {
+	m := smallDCMESH(t, 0.1)
+	comm, _ := cluster.NewComm(4, cluster.Slingshot11())
+	if _, err := m.MDStepDistributed(comm); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(m.Cfg.NQD) * m.Cfg.DtQD
+	if math.Abs(m.Time()-want) > 1e-12 {
+		t.Errorf("time = %g, want %g", m.Time(), want)
+	}
+}
+
+func TestDistributedVirtualTimeIncludesCollectives(t *testing.T) {
+	// With 4 ranks, the final clock must include at least the gather +
+	// barrier costs on top of compute.
+	cfg := DefaultDCMESHConfig()
+	cfg.Global = smallDCMESH(t, 0).Cfg.Global
+	_ = cfg
+	m := smallDCMESH(t, 0.2)
+	comm, _ := cluster.NewComm(4, cluster.Slingshot11())
+	res, err := m.MDStepDistributed(comm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cluster.Slingshot11()
+	minCollectives := net.Gather(4, 16) // the n_exc pairs
+	if res.VirtualTime < minCollectives {
+		t.Errorf("virtual time %g below collective floor %g", res.VirtualTime, minCollectives)
+	}
+	// Using a pulse, some domain must have excited electrons.
+	var total float64
+	for _, n := range res.NExc {
+		total += n
+	}
+	if total <= 0 {
+		t.Error("no excitation through the distributed path")
+	}
+}
+
+func TestDistributedMultiStep(t *testing.T) {
+	// Several distributed steps accumulate excitation monotonically under
+	// a resonant pulse window.
+	cfg := DefaultDCMESHConfig()
+	cfg.Global = smallDCMESH(t, 0).Cfg.Global // reuse geometry
+	m := smallDCMESH(t, 0.3)
+	m.Cfg.Pulse = maxwell.NewPulse(0.3, units.Hartree(3.0), 1.0, 1.0)
+	comm, _ := cluster.NewComm(2, cluster.Slingshot11())
+	var prev float64
+	for s := 0; s < 2; s++ {
+		if _, err := m.MDStepDistributed(comm); err != nil {
+			t.Fatal(err)
+		}
+		tot := m.TotalExcitation()
+		if tot+1e-9 < prev {
+			t.Errorf("excitation decreased: %g -> %g", prev, tot)
+		}
+		prev = tot
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"mlmd/internal/ferro"
+	"mlmd/internal/md"
+	"mlmd/internal/topo"
+	"mlmd/internal/units"
+)
+
+// PipelineConfig configures the end-to-end multiscale run of Fig. 3:
+// GS-NNQMD prepares a polar-skyrmion superlattice, DC-MESH simulates the
+// femtosecond pulse and reports per-domain excitation, XS-NNQMD evolves the
+// texture under the softened wells.
+type PipelineConfig struct {
+	// Lattice supercell (unit cells per axis).
+	LatNx, LatNy, LatNz int
+	// Skyrmion superlattice: SkyGrid × SkyGrid array with the given core
+	// radius (in cells).
+	SkyGrid   int
+	SkyRadius float64
+	// DCMESH configures the quantum module (its Dx,Dy,Dz must divide the
+	// lattice dims).
+	DCMESH DCMESHConfig
+	// PulseMDSteps is how many DC-MESH MD steps the pulse window covers.
+	PulseMDSteps int
+	// ResponseSteps is the XS-NNQMD step count after the pulse.
+	ResponseSteps int
+	// NSat is the excitation saturation per domain for w mapping.
+	NSat float64
+	// DtMD is the XS-NNQMD time step (a.u.).
+	DtMD float64
+	// KT is the lattice temperature (Hartree).
+	KT   float64
+	Seed int64
+}
+
+// DefaultPipelineConfig returns a laptop-scale but complete configuration.
+func DefaultPipelineConfig() PipelineConfig {
+	cfg := PipelineConfig{
+		LatNx: 24, LatNy: 24, LatNz: 4,
+		SkyGrid:       2,
+		SkyRadius:     3,
+		DCMESH:        DefaultDCMESHConfig(),
+		PulseMDSteps:  2,
+		ResponseSteps: 150,
+		NSat:          0.05,
+		DtMD:          20,
+		KT:            units.ThermalEnergy(50),
+		Seed:          7,
+	}
+	return cfg
+}
+
+// PipelineResult records the science outcome.
+type PipelineResult struct {
+	ChargeBefore, ChargeAfterPulse, ChargeFinal float64
+	TotalExcitation                             float64
+	MeanPzBefore, MeanPzFinal                   float64
+	Switched                                    bool
+}
+
+// Pipeline holds the assembled modules.
+type Pipeline struct {
+	Cfg    PipelineConfig
+	Sys    *md.System
+	Lat    *ferro.Lattice
+	GS, XS *ferro.EffectiveHamiltonian
+	QD     *DCMESH
+	NN     *XSNNQMD
+}
+
+// NewPipeline builds lattice, superlattice texture, force fields and the
+// DC-MESH module.
+func NewPipeline(cfg PipelineConfig) (*Pipeline, error) {
+	sys, lat, err := ferro.NewLattice(cfg.LatNx, cfg.LatNy, cfg.LatNz)
+	if err != nil {
+		return nil, err
+	}
+	gs := ferro.DefaultEffHam(lat)
+	xs := ferro.DefaultEffHam(lat)
+	xs.SetExcitation(1.0) // the XS surface: fully softened wells
+	// Stamp the skyrmion superlattice into the soft modes.
+	field := topo.NewField(cfg.LatNx, cfg.LatNy)
+	s0 := gs.S0()
+	field.Superlattice(cfg.SkyGrid, cfg.SkyGrid, cfg.SkyRadius, s0, 1)
+	for cx := 0; cx < cfg.LatNx; cx++ {
+		for cy := 0; cy < cfg.LatNy; cy++ {
+			sx, sy, sz := field.At(cx, cy)
+			for cz := 0; cz < cfg.LatNz; cz++ {
+				lat.SetSoftMode(sys, lat.CellIndex(cx, cy, cz), sx, sy, sz)
+			}
+		}
+	}
+	sys.InitVelocities(cfg.KT, cfg.Seed)
+	qd, err := NewDCMESH(cfg.DCMESH)
+	if err != nil {
+		return nil, err
+	}
+	nn, err := NewXSNNQMD(sys, lat, gs, xs, cfg.DtMD, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	nn.KT = cfg.KT
+	nn.Gamma = 0.002
+	return &Pipeline{Cfg: cfg, Sys: sys, Lat: lat, GS: gs, XS: xs, QD: qd, NN: nn}, nil
+}
+
+// Run executes prepare → pulse → response and returns the result.
+func (p *Pipeline) Run() (*PipelineResult, error) {
+	cfg := p.Cfg
+	res := &PipelineResult{}
+	// Phase 1: GS relaxation of the prepared texture (short).
+	p.NN.SetUniformExcitation(0)
+	p.NN.Step(10)
+	res.ChargeBefore = p.NN.TopologicalCharge()
+	res.MeanPzBefore = p.NN.PolarizationField().MeanPz()
+	// Phase 2: DC-MESH pulse — per-domain excitation counts.
+	var nExc []float64
+	for s := 0; s < cfg.PulseMDSteps; s++ {
+		nExc = p.QD.MDStep()
+	}
+	res.TotalExcitation = p.QD.TotalExcitation()
+	// Phase 3: inform XS-NNQMD and evolve the texture.
+	if err := p.NN.SetExcitationFromDomains(nExc, cfg.DCMESH.Dx, cfg.DCMESH.Dy, cfg.DCMESH.Dz, cfg.NSat); err != nil {
+		return nil, fmt.Errorf("core: excitation handshake: %w", err)
+	}
+	res.ChargeAfterPulse = p.NN.TopologicalCharge()
+	p.NN.CarrierLifetime = 50 * cfg.DtMD
+	p.NN.Step(cfg.ResponseSteps)
+	res.ChargeFinal = p.NN.TopologicalCharge()
+	res.MeanPzFinal = p.NN.PolarizationField().MeanPz()
+	res.Switched = topo.Switched(res.ChargeBefore, res.ChargeFinal)
+	return res, nil
+}

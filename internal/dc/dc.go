@@ -1,0 +1,169 @@
+// Package dc implements the spatial divide-and-conquer decomposition of
+// Sec. V.A.1: the global cell Ω is split into domains Ω_α, each consisting of
+// a mutually exclusive core surrounded by a buffer layer. Local Kohn–Sham
+// problems are solved per domain; global quantities (density, potential) are
+// recombined from domain cores with partition-of-unity weights.
+//
+// With a buffer thickness equal to half the core length per Cartesian
+// direction, the padded domain is (1+2·1/2)³ = 8× larger than its core —
+// the factor the paper uses when counting unique electrons (Sec. VII.A.1).
+package dc
+
+import (
+	"fmt"
+
+	"mlmd/internal/grid"
+)
+
+// Decomposition describes a regular split of a global grid into
+// Dx×Dy×Dz domains with a buffer of Buffer core-lengths on each side.
+type Decomposition struct {
+	Global     grid.Grid
+	Dx, Dy, Dz int
+	// BufferFrac is the buffer thickness as a fraction of the core length
+	// per direction (the paper uses 1/2).
+	BufferFrac float64
+	domains    []Domain
+}
+
+// Domain is one Ω_α: core extent plus padded (core+buffer) extent, both in
+// global mesh coordinates.
+type Domain struct {
+	ID int
+	// Core start (inclusive) and size along each axis.
+	Cx, Cy, Cz    int
+	CNx, CNy, CNz int
+	// Padded start and size (wraps periodically).
+	Px, Py, Pz    int
+	PNx, PNy, PNz int
+}
+
+// NewDecomposition splits g into dx×dy×dz domains. Every axis must divide
+// evenly and the core sizes must be even (so the local propagator's even-odd
+// pairing closes).
+func NewDecomposition(g grid.Grid, dx, dy, dz int, bufferFrac float64) (*Decomposition, error) {
+	if dx < 1 || dy < 1 || dz < 1 {
+		return nil, fmt.Errorf("dc: domain counts must be >= 1, got %d,%d,%d", dx, dy, dz)
+	}
+	if g.Nx%dx != 0 || g.Ny%dy != 0 || g.Nz%dz != 0 {
+		return nil, fmt.Errorf("dc: grid %dx%dx%d not divisible by domains %dx%dx%d",
+			g.Nx, g.Ny, g.Nz, dx, dy, dz)
+	}
+	if bufferFrac < 0 || bufferFrac > 1 {
+		return nil, fmt.Errorf("dc: buffer fraction %g out of [0,1]", bufferFrac)
+	}
+	d := &Decomposition{Global: g, Dx: dx, Dy: dy, Dz: dz, BufferFrac: bufferFrac}
+	cnx, cny, cnz := g.Nx/dx, g.Ny/dy, g.Nz/dz
+	bx := int(bufferFrac * float64(cnx))
+	by := int(bufferFrac * float64(cny))
+	bz := int(bufferFrac * float64(cnz))
+	id := 0
+	for ix := 0; ix < dx; ix++ {
+		for iy := 0; iy < dy; iy++ {
+			for iz := 0; iz < dz; iz++ {
+				dom := Domain{
+					ID: id,
+					Cx: ix * cnx, Cy: iy * cny, Cz: iz * cnz,
+					CNx: cnx, CNy: cny, CNz: cnz,
+					Px: grid.Wrap(ix*cnx-bx, g.Nx), Py: grid.Wrap(iy*cny-by, g.Ny), Pz: grid.Wrap(iz*cnz-bz, g.Nz),
+					PNx: cnx + 2*bx, PNy: cny + 2*by, PNz: cnz + 2*bz,
+				}
+				if dom.PNx > g.Nx {
+					dom.Px, dom.PNx = 0, g.Nx
+				}
+				if dom.PNy > g.Ny {
+					dom.Py, dom.PNy = 0, g.Ny
+				}
+				if dom.PNz > g.Nz {
+					dom.Pz, dom.PNz = 0, g.Nz
+				}
+				d.domains = append(d.domains, dom)
+				id++
+			}
+		}
+	}
+	return d, nil
+}
+
+// NumDomains returns the number of domains.
+func (d *Decomposition) NumDomains() int { return len(d.domains) }
+
+// Domain returns domain α.
+func (d *Decomposition) Domain(alpha int) Domain { return d.domains[alpha] }
+
+// Domains returns all domains.
+func (d *Decomposition) Domains() []Domain { return d.domains }
+
+// LocalGrid returns the padded local grid of dom with the global spacings.
+func (d *Decomposition) LocalGrid(dom Domain) grid.Grid {
+	return grid.New(dom.PNx, dom.PNy, dom.PNz, d.Global.Hx, d.Global.Hy, d.Global.Hz)
+}
+
+// PaddedVolumeRatio returns (padded points)/(core points) per domain — the
+// factor 8 of the paper for BufferFrac = 1/2 (when buffers fit).
+func (d *Decomposition) PaddedVolumeRatio() float64 {
+	dom := d.domains[0]
+	return float64(dom.PNx*dom.PNy*dom.PNz) / float64(dom.CNx*dom.CNy*dom.CNz)
+}
+
+// GatherLocal copies the padded region of the global scalar field src into
+// the local field dst (length PNx*PNy*PNz), wrapping periodically.
+func (d *Decomposition) GatherLocal(dom Domain, src, dst []float64) {
+	g := d.Global
+	if len(src) != g.Len() {
+		panic("dc: GatherLocal global length mismatch")
+	}
+	if len(dst) != dom.PNx*dom.PNy*dom.PNz {
+		panic("dc: GatherLocal local length mismatch")
+	}
+	i := 0
+	for lx := 0; lx < dom.PNx; lx++ {
+		gx := grid.Wrap(dom.Px+lx, g.Nx)
+		for ly := 0; ly < dom.PNy; ly++ {
+			gy := grid.Wrap(dom.Py+ly, g.Ny)
+			for lz := 0; lz < dom.PNz; lz++ {
+				gz := grid.Wrap(dom.Pz+lz, g.Nz)
+				dst[i] = src[g.Index(gx, gy, gz)]
+				i++
+			}
+		}
+	}
+}
+
+// ScatterCore adds the core region of the local field src into the global
+// field dst — the "recombine" step. Only core points contribute (partition
+// weight 1 on cores, 0 on buffers: cores tile Ω exactly).
+func (d *Decomposition) ScatterCore(dom Domain, src, dst []float64) {
+	g := d.Global
+	if len(dst) != g.Len() {
+		panic("dc: ScatterCore global length mismatch")
+	}
+	lg := d.LocalGrid(dom)
+	if len(src) != lg.Len() {
+		panic("dc: ScatterCore local length mismatch")
+	}
+	// Core offset within the padded local frame.
+	ox := offsetWithin(dom.Px, dom.Cx, g.Nx)
+	oy := offsetWithin(dom.Py, dom.Cy, g.Ny)
+	oz := offsetWithin(dom.Pz, dom.Cz, g.Nz)
+	for cx := 0; cx < dom.CNx; cx++ {
+		gx := grid.Wrap(dom.Cx+cx, g.Nx)
+		for cy := 0; cy < dom.CNy; cy++ {
+			gy := grid.Wrap(dom.Cy+cy, g.Ny)
+			for cz := 0; cz < dom.CNz; cz++ {
+				gz := grid.Wrap(dom.Cz+cz, g.Nz)
+				dst[g.Index(gx, gy, gz)] += src[lg.Index(ox+cx, oy+cy, oz+cz)]
+			}
+		}
+	}
+}
+
+// offsetWithin returns the offset of global coordinate c within a padded
+// frame starting at p (periodic with length n).
+func offsetWithin(p, c, n int) int {
+	off := c - p
+	if off < 0 {
+		off += n
+	}
+	return off
+}

@@ -1,0 +1,129 @@
+package dc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlmd/internal/grid"
+)
+
+func TestNewDecompositionValidation(t *testing.T) {
+	g := grid.New(16, 16, 16, 0.5, 0.5, 0.5)
+	if _, err := NewDecomposition(g, 3, 2, 2, 0.5); err == nil {
+		t.Error("non-divisible split accepted")
+	}
+	if _, err := NewDecomposition(g, 0, 2, 2, 0.5); err == nil {
+		t.Error("zero domain count accepted")
+	}
+	if _, err := NewDecomposition(g, 2, 2, 2, 1.5); err == nil {
+		t.Error("buffer fraction > 1 accepted")
+	}
+	if _, err := NewDecomposition(g, 2, 2, 2, 0.5); err != nil {
+		t.Errorf("valid decomposition rejected: %v", err)
+	}
+}
+
+func TestPaddedVolumeRatioIsEight(t *testing.T) {
+	// Paper: buffer = half core length per direction ⇒ padded/core = 8
+	// (Sec. VII.A.1).
+	g := grid.New(32, 32, 32, 0.5, 0.5, 0.5)
+	d, err := NewDecomposition(g, 4, 4, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := d.PaddedVolumeRatio(); math.Abs(r-8) > 1e-12 {
+		t.Errorf("padded/core ratio = %g, want 8", r)
+	}
+}
+
+func TestCoresTileGlobalExactly(t *testing.T) {
+	g := grid.New(16, 8, 8, 0.5, 0.5, 0.5)
+	d, _ := NewDecomposition(g, 4, 2, 2, 0.5)
+	count := make([]int, g.Len())
+	for _, dom := range d.Domains() {
+		for cx := 0; cx < dom.CNx; cx++ {
+			for cy := 0; cy < dom.CNy; cy++ {
+				for cz := 0; cz < dom.CNz; cz++ {
+					count[g.Index(dom.Cx+cx, dom.Cy+cy, dom.Cz+cz)]++
+				}
+			}
+		}
+	}
+	for i, c := range count {
+		if c != 1 {
+			t.Fatalf("global point %d covered by %d cores, want exactly 1", i, c)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	// Gathering a global field into every domain and scattering the cores
+	// back must reproduce the field exactly.
+	g := grid.New(16, 16, 16, 0.6, 0.6, 0.6)
+	d, _ := NewDecomposition(g, 2, 2, 2, 0.5)
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float64, g.Len())
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, g.Len())
+	for _, dom := range d.Domains() {
+		local := make([]float64, d.LocalGrid(dom).Len())
+		d.GatherLocal(dom, src, local)
+		d.ScatterCore(dom, local, dst)
+	}
+	for i := range src {
+		if math.Abs(src[i]-dst[i]) > 1e-14 {
+			t.Fatalf("round trip mismatch at %d: %g vs %g", i, src[i], dst[i])
+		}
+	}
+}
+
+func TestGatherLocalWrapsPeriodically(t *testing.T) {
+	// A domain at the origin must see buffer data from the far side.
+	g := grid.New(8, 8, 8, 1, 1, 1)
+	d, _ := NewDecomposition(g, 2, 2, 2, 0.5)
+	src := make([]float64, g.Len())
+	for i := range src {
+		src[i] = float64(i)
+	}
+	dom := d.Domain(0)
+	lg := d.LocalGrid(dom)
+	local := make([]float64, lg.Len())
+	d.GatherLocal(dom, src, local)
+	// Local (0,0,0) corresponds to global (Px,Py,Pz).
+	want := src[g.Index(dom.Px, dom.Py, dom.Pz)]
+	if local[0] != want {
+		t.Errorf("local[0] = %g, want %g", local[0], want)
+	}
+	if dom.Px == 0 && d.BufferFrac > 0 {
+		t.Error("expected wrapped padded start for the origin domain")
+	}
+}
+
+func TestLocalGridsHaveEvenDims(t *testing.T) {
+	// The local kin_prop needs even dims; with even cores and bufferFrac
+	// 0.5 of even cores, padded dims stay even.
+	g := grid.New(32, 16, 16, 0.5, 0.5, 0.5)
+	d, _ := NewDecomposition(g, 4, 2, 2, 0.5)
+	for _, dom := range d.Domains() {
+		lg := d.LocalGrid(dom)
+		if lg.Nx%2 != 0 || lg.Ny%2 != 0 || lg.Nz%2 != 0 {
+			t.Fatalf("domain %d padded grid %v has odd dims", dom.ID, lg)
+		}
+	}
+}
+
+func TestSingleDomainCoversEverything(t *testing.T) {
+	g := grid.New(8, 8, 8, 1, 1, 1)
+	d, _ := NewDecomposition(g, 1, 1, 1, 0.5)
+	dom := d.Domain(0)
+	// Buffers cannot exceed the box: padded must clamp to the full grid.
+	if dom.PNx != 8 || dom.PNy != 8 || dom.PNz != 8 {
+		t.Errorf("single domain padded dims %dx%dx%d, want 8x8x8", dom.PNx, dom.PNy, dom.PNz)
+	}
+	if d.NumDomains() != 1 {
+		t.Errorf("NumDomains = %d", d.NumDomains())
+	}
+}

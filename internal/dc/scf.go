@@ -1,0 +1,204 @@
+package dc
+
+import (
+	"fmt"
+
+	"mlmd/internal/grid"
+	"mlmd/internal/multigrid"
+	"mlmd/internal/sh"
+	"mlmd/internal/tddft"
+)
+
+// SCF is the global–local self-consistent-field driver of DC-DFT
+// (Sec. V.A.1, ref [37]): local Kohn–Sham problems are solved inside padded
+// domains against the current global potential; domain-core densities are
+// recombined into the global density; the global Hartree +
+// exchange-correlation potential is refreshed by the O(N) multigrid solver
+// ("globally sparse"); and the loop repeats until the density stops moving.
+type SCF struct {
+	Decomp *Decomposition
+	// VExt is the external (ionic) potential on the global mesh.
+	VExt []float64
+	// NorbPerDomain sets the local problem size.
+	NorbPerDomain int
+	// NElectrons is the global electron count, enforced each iteration by
+	// a common chemical potential over all domain orbitals (Yang's DC-DFT
+	// global Fermi level): occupations f_αs = 2-free FD(ε_αs − μ), with μ
+	// found by bisection over the core-weighted counts
+	// N(μ) = Σ_αs f_αs ∫_core |ψ_αs|².
+	NElectrons float64
+	// KTel is the electronic smearing (Hartree) of the Fermi level.
+	KTel float64
+	// GroundIters is the per-iteration imaginary-time relaxation depth.
+	GroundIters int
+	// Mix is the linear density-mixing factor in (0, 1].
+	Mix float64
+	// Seed controls the deterministic initial orbital guesses.
+	Seed int64
+
+	mg *multigrid.Solver
+	// Converged state:
+	Rho  []float64 // global density
+	VKS  []float64 // global Kohn-Sham potential (vext + vH + vxc)
+	Psis []*grid.WaveField
+	// Energies[alpha] holds the local orbital energies of domain alpha;
+	// Occ[alpha] the global-Fermi-level occupations; Mu the chemical
+	// potential of the last iteration.
+	Energies [][]float64
+	Occ      [][]float64
+	Mu       float64
+}
+
+// coreWeights returns q[alpha][s] = ∫_core |ψ_αs|² dV, the core-projected
+// norm of every domain orbital.
+func (s *SCF) coreWeights() [][]float64 {
+	out := make([][]float64, len(s.Psis))
+	for alpha, dom := range s.Decomp.Domains() {
+		lg := s.Decomp.LocalGrid(dom)
+		psi := s.Psis[alpha]
+		q := make([]float64, s.NorbPerDomain)
+		// Single-orbital densities restricted to the core.
+		for k := 0; k < s.NorbPerDomain; k++ {
+			occ := make([]float64, s.NorbPerDomain)
+			occ[k] = 1
+			local := make([]float64, lg.Len())
+			psi.Density(local, occ)
+			global := make([]float64, s.Decomp.Global.Len())
+			s.Decomp.ScatterCore(dom, local, global)
+			sum := 0.0
+			for _, v := range global {
+				sum += v
+			}
+			q[k] = sum * s.Decomp.Global.DV()
+		}
+		out[alpha] = q
+	}
+	return out
+}
+
+// fermiLevel bisects μ so that Σ f(ε−μ) q = NElectrons.
+func (s *SCF) fermiLevel(coreW [][]float64) float64 {
+	count := func(mu float64) float64 {
+		var n float64
+		for alpha := range s.Energies {
+			for k, e := range s.Energies[alpha] {
+				n += sh.FermiDirac(e, mu, s.KTel) * coreW[alpha][k]
+			}
+		}
+		return n
+	}
+	lo, hi := -10.0, 10.0
+	for it := 0; it < 200; it++ {
+		mid := (lo + hi) / 2
+		if count(mid) < s.NElectrons {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// NewSCF wires a driver. The global grid must satisfy the multigrid dims
+// constraint (powers of two >= 4).
+func NewSCF(d *Decomposition, vext []float64, norb int) (*SCF, error) {
+	if len(vext) != d.Global.Len() {
+		return nil, fmt.Errorf("dc: external potential length %d != grid %d", len(vext), d.Global.Len())
+	}
+	if norb < 1 {
+		return nil, fmt.Errorf("dc: need at least one orbital per domain")
+	}
+	mg, err := multigrid.New(d.Global)
+	if err != nil {
+		return nil, err
+	}
+	return &SCF{
+		Decomp:        d,
+		VExt:          vext,
+		NorbPerDomain: norb,
+		NElectrons:    float64(norb*d.NumDomains()) / d.PaddedVolumeRatio(),
+		KTel:          0.01,
+		GroundIters:   200,
+		Mix:           0.5,
+		Seed:          1,
+		mg:            mg,
+		Rho:           make([]float64, d.Global.Len()),
+		VKS:           append([]float64(nil), vext...),
+	}, nil
+}
+
+// Run iterates SCF cycles until the density change per point drops below
+// tol or maxIter is reached. It returns the final change and iteration
+// count.
+func (s *SCF) Run(tol float64, maxIter int) (delta float64, iters int) {
+	g := s.Decomp.Global
+	n := g.Len()
+	vh := make([]float64, n)
+	vxc := make([]float64, n)
+	newRho := make([]float64, n)
+	for iters = 1; iters <= maxIter; iters++ {
+		// Local solves against the current global potential.
+		s.Psis = s.Psis[:0]
+		s.Energies = s.Energies[:0]
+		for i := range newRho {
+			newRho[i] = 0
+		}
+		for _, dom := range s.Decomp.Domains() {
+			lg := s.Decomp.LocalGrid(dom)
+			h := tddft.NewHamiltonian(lg, grid.Order2)
+			s.Decomp.GatherLocal(dom, s.VKS, h.Vloc)
+			psi, energies := tddft.GroundState(h, s.NorbPerDomain, s.GroundIters, s.Seed+int64(dom.ID))
+			s.Psis = append(s.Psis, psi)
+			s.Energies = append(s.Energies, energies)
+		}
+		// Global Fermi level: occupations from a common chemical potential
+		// with core-weighted electron counting (conserves NElectrons by
+		// construction).
+		coreW := s.coreWeights()
+		mu := s.fermiLevel(coreW)
+		s.Mu = mu
+		s.Occ = s.Occ[:0]
+		for alpha, dom := range s.Decomp.Domains() {
+			occ := make([]float64, s.NorbPerDomain)
+			for k := range occ {
+				occ[k] = sh.FermiDirac(s.Energies[alpha][k], mu, s.KTel)
+			}
+			s.Occ = append(s.Occ, occ)
+			lg := s.Decomp.LocalGrid(dom)
+			local := make([]float64, lg.Len())
+			s.Psis[alpha].Density(local, occ)
+			s.Decomp.ScatterCore(dom, local, newRho)
+		}
+		// Density mixing.
+		delta = 0
+		for i := range s.Rho {
+			d := newRho[i] - s.Rho[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > delta {
+				delta = d
+			}
+			s.Rho[i] += s.Mix * (newRho[i] - s.Rho[i])
+		}
+		// Global potential refresh: multigrid Hartree + LDA xc.
+		s.mg.SolveHartree(s.Rho, vh, 1e-8, 30)
+		tddft.XCPotentialLDA(s.Rho, vxc)
+		for i := range s.VKS {
+			s.VKS[i] = s.VExt[i] + vh[i] + vxc[i]
+		}
+		if delta < tol {
+			return delta, iters
+		}
+	}
+	return delta, maxIter
+}
+
+// TotalElectrons integrates the converged density.
+func (s *SCF) TotalElectrons() float64 {
+	sum := 0.0
+	for _, r := range s.Rho {
+		sum += r
+	}
+	return sum * s.Decomp.Global.DV()
+}

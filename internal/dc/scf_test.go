@@ -1,0 +1,135 @@
+package dc
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/grid"
+	"mlmd/internal/multigrid"
+)
+
+// scfSetup builds a 16³ global problem with a periodic array of harmonic
+// wells (one per domain core), 2 orbitals per domain.
+func scfSetup(t testing.TB) *SCF {
+	t.Helper()
+	g := grid.NewCubic(16, 0.7)
+	d, err := NewDecomposition(g, 2, 2, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vext := make([]float64, g.Len())
+	// Wells centered in every domain core.
+	for _, dom := range d.Domains() {
+		cx := float64(dom.Cx) + float64(dom.CNx)/2
+		cy := float64(dom.Cy) + float64(dom.CNy)/2
+		cz := float64(dom.Cz) + float64(dom.CNz)/2
+		for ix := 0; ix < g.Nx; ix++ {
+			for iy := 0; iy < g.Ny; iy++ {
+				for iz := 0; iz < g.Nz; iz++ {
+					dx := grid.MinImage((float64(ix)-cx)*g.Hx, float64(g.Nx)*g.Hx)
+					dy := grid.MinImage((float64(iy)-cy)*g.Hy, float64(g.Ny)*g.Hy)
+					dz := grid.MinImage((float64(iz)-cz)*g.Hz, float64(g.Nz)*g.Hz)
+					r2 := dx*dx + dy*dy + dz*dz
+					vext[g.Index(ix, iy, iz)] += -0.8 * math.Exp(-r2/4)
+				}
+			}
+		}
+	}
+	scf, err := NewSCF(d, vext, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scf.GroundIters = 150
+	scf.NElectrons = 4 // one electron per well, globally Fermi-filled
+	return scf
+}
+
+func TestSCFValidation(t *testing.T) {
+	g := grid.NewCubic(16, 0.7)
+	d, _ := NewDecomposition(g, 2, 2, 1, 0.5)
+	if _, err := NewSCF(d, make([]float64, 10), 2); err == nil {
+		t.Error("wrong potential length accepted")
+	}
+	if _, err := NewSCF(d, make([]float64, g.Len()), 0); err == nil {
+		t.Error("zero orbitals accepted")
+	}
+	// Non-power-of-two global grid fails through multigrid.
+	g2 := grid.New(12, 12, 12, 0.7, 0.7, 0.7)
+	d2, _ := NewDecomposition(g2, 2, 2, 1, 0.5)
+	if _, err := NewSCF(d2, make([]float64, g2.Len()), 2); err == nil {
+		t.Error("non-multigrid-compatible grid accepted")
+	}
+}
+
+func TestSCFConvergesAndConservesElectrons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SCF loop")
+	}
+	scf := scfSetup(t)
+	delta, iters := scf.Run(2e-3, 25)
+	t.Logf("SCF converged to delta=%.2e in %d iterations", delta, iters)
+	if delta > 2e-3 {
+		t.Errorf("SCF did not converge: delta=%g after %d iters", delta, iters)
+	}
+	// The global Fermi level enforces the configured electron count.
+	got := scf.TotalElectrons()
+	if math.Abs(got-scf.NElectrons) > 0.02*scf.NElectrons {
+		t.Errorf("total electrons = %g, want %g", got, scf.NElectrons)
+	}
+	// Density non-negative.
+	for i, r := range scf.Rho {
+		if r < -1e-12 {
+			t.Fatalf("negative density %g at %d", r, i)
+		}
+	}
+}
+
+func TestSCFDensityFollowsWells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SCF loop")
+	}
+	scf := scfSetup(t)
+	scf.Run(5e-3, 20)
+	g := scf.Decomp.Global
+	// Density at a well center must exceed the density at a core corner.
+	dom := scf.Decomp.Domain(0)
+	center := g.Index(dom.Cx+dom.CNx/2, dom.Cy+dom.CNy/2, dom.Cz+dom.CNz/2)
+	corner := g.Index(dom.Cx, dom.Cy, dom.Cz)
+	if scf.Rho[center] < 2*scf.Rho[corner] {
+		t.Errorf("density not localized in wells: center %g vs corner %g",
+			scf.Rho[center], scf.Rho[corner])
+	}
+}
+
+func TestSCFSymmetricDomainsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SCF loop")
+	}
+	scf := scfSetup(t)
+	scf.Run(5e-3, 20)
+	// All four domains are congruent; their lowest orbital energies agree.
+	e0 := scf.Energies[0]
+	for alpha := 1; alpha < len(scf.Energies); alpha++ {
+		for s := 0; s < 2; s++ {
+			if math.Abs(scf.Energies[alpha][s]-e0[s]) > 0.05 {
+				t.Errorf("domain %d energy %d = %g, domain 0 = %g",
+					alpha, s, scf.Energies[alpha][s], e0[s])
+			}
+		}
+	}
+	// The self-consistent potential must differ from the bare wells (the
+	// electrons screen): vKS - vext is nonzero, and the Hartree part of it
+	// is repulsive (positive) where the density piles up.
+	g := scf.Decomp.Global
+	dom := scf.Decomp.Domain(0)
+	center := g.Index(dom.Cx+dom.CNx/2, dom.Cy+dom.CNy/2, dom.Cz+dom.CNz/2)
+	mg, err := multigrid.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vh := make([]float64, g.Len())
+	mg.SolveHartree(scf.Rho, vh, 1e-8, 40)
+	if vh[center] <= 0 {
+		t.Errorf("Hartree potential at density maximum = %g, want repulsive (> 0)", vh[center])
+	}
+}

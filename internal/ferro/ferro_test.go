@@ -1,0 +1,223 @@
+package ferro
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/md"
+)
+
+func newTestLattice(t testing.TB, nx, ny, nz int) (*md.System, *Lattice, *EffectiveHamiltonian) {
+	t.Helper()
+	sys, lat, err := NewLattice(nx, ny, nz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, lat, DefaultEffHam(lat)
+}
+
+func TestLatticeGeometry(t *testing.T) {
+	sys, lat, _ := newTestLattice(t, 3, 2, 4)
+	if lat.NumCells() != 24 {
+		t.Errorf("NumCells = %d", lat.NumCells())
+	}
+	if sys.N != 24*AtomsPerCell {
+		t.Errorf("N = %d", sys.N)
+	}
+	// Cell index round trip.
+	for c := 0; c < lat.NumCells(); c++ {
+		cx, cy, cz := lat.CellCoords(c)
+		if lat.CellIndex(cx, cy, cz) != c {
+			t.Fatalf("cell round trip broken at %d", c)
+		}
+	}
+	// Stoichiometry 1:1:3.
+	counts := map[int]int{}
+	for i := 0; i < sys.N; i++ {
+		counts[sys.Type[i]]++
+	}
+	if counts[SpPb] != 24 || counts[SpTi] != 24 || counts[SpO] != 72 {
+		t.Errorf("stoichiometry wrong: %v", counts)
+	}
+	// Ti is heaviest... no: Pb heaviest, O lightest.
+	if !(sys.Mass[lat.TiIndex[0]] < sys.Mass[0]) {
+		t.Error("Pb should outweigh Ti")
+	}
+}
+
+func TestSoftModeRoundTrip(t *testing.T) {
+	sys, lat, _ := newTestLattice(t, 2, 2, 2)
+	lat.SetSoftMode(sys, 3, 0.02, -0.01, 0.04)
+	sx, sy, sz := lat.SoftMode(sys, 3)
+	if math.Abs(sx-0.02)+math.Abs(sy+0.01)+math.Abs(sz-0.04) > 1e-12 {
+		t.Errorf("soft mode round trip: %g %g %g", sx, sy, sz)
+	}
+	// Other cells untouched.
+	sx, sy, sz = lat.SoftMode(sys, 0)
+	if sx != 0 || sy != 0 || sz != 0 {
+		t.Error("other cells perturbed")
+	}
+}
+
+func TestParaelectricIsUnstable(t *testing.T) {
+	// At the ideal cubic structure the force vanishes (symmetric point),
+	// but a displaced Ti must be pushed further out (A < 0, double well).
+	sys, lat, eh := newTestLattice(t, 2, 2, 2)
+	pe0 := eh.ComputeForces(sys)
+	for _, f := range sys.F {
+		if math.Abs(f) > 1e-12 {
+			t.Fatal("ideal lattice should be a stationary point")
+		}
+	}
+	lat.SetSoftMode(sys, 0, 0.01, 0, 0) // small displacement, |s| < s0
+	eh.ComputeForces(sys)
+	ti := lat.TiIndex[0]
+	if sys.F[3*ti] <= 0 {
+		t.Errorf("sub-critical displacement should be amplified, F = %g", sys.F[3*ti])
+	}
+	// Energy at the well minimum is below the paraelectric energy.
+	s0 := eh.S0()
+	for c := 0; c < lat.NumCells(); c++ {
+		lat.SetSoftMode(sys, c, 0, 0, s0)
+	}
+	peMin := eh.ComputeForces(sys)
+	if peMin >= pe0 {
+		t.Errorf("polarized state not favored: %g vs %g", peMin, pe0)
+	}
+}
+
+func TestSpontaneousPolarizationMagnitude(t *testing.T) {
+	_, lat, eh := newTestLattice(t, 2, 2, 2)
+	s0 := eh.S0()
+	want := math.Sqrt(-eh.A / (2 * eh.B))
+	if math.Abs(s0-want) > 1e-15 {
+		t.Errorf("S0 = %g want %g", s0, want)
+	}
+	if eh.WellDepth() <= 0 {
+		t.Error("well depth must be positive in the FE phase")
+	}
+	_ = lat
+}
+
+func TestUniformPolarizedStateIsLocalMinimum(t *testing.T) {
+	// With all cells at +z s0, forces on Ti should vanish (uniform state
+	// is an extremum of well + coupling).
+	sys, lat, eh := newTestLattice(t, 3, 3, 3)
+	// Coupling shifts the optimal amplitude: minimize a s²+B s⁴ − 6J s²
+	// ⇒ s* = sqrt((6J − 2a)/4B)... solve −(2a+4Bs²)s + 6Js = 0.
+	sStar := math.Sqrt((6*eh.J - 2*eh.A) / (4 * eh.B))
+	for c := 0; c < lat.NumCells(); c++ {
+		lat.SetSoftMode(sys, c, 0, 0, sStar)
+	}
+	eh.ComputeForces(sys)
+	for c := 0; c < lat.NumCells(); c++ {
+		ti := lat.TiIndex[c]
+		for d := 0; d < 3; d++ {
+			if math.Abs(sys.F[3*ti+d]) > 1e-10 {
+				t.Fatalf("residual force %g on Ti of cell %d", sys.F[3*ti+d], c)
+			}
+		}
+	}
+}
+
+func TestExcitationFlattensWell(t *testing.T) {
+	sys, lat, eh := newTestLattice(t, 2, 2, 2)
+	s0 := eh.S0()
+	for c := 0; c < lat.NumCells(); c++ {
+		lat.SetSoftMode(sys, c, 0, 0, s0)
+	}
+	eh.ComputeForces(sys)
+	ti := lat.TiIndex[0]
+	fGround := sys.F[3*ti+2]
+	// Strong excitation: well becomes paraelectric, polarized Ti is pulled
+	// back toward the center (negative z force).
+	eh.SetExcitation(1.0)
+	eh.ComputeForces(sys)
+	fExcited := sys.F[3*ti+2]
+	if fExcited >= fGround {
+		t.Errorf("excitation should pull Ti inward: %g -> %g", fGround, fExcited)
+	}
+	if fExcited >= 0 {
+		t.Errorf("fully excited cell should depolarize, F_z = %g", fExcited)
+	}
+}
+
+func TestForcesMatchGradient(t *testing.T) {
+	sys, lat, eh := newTestLattice(t, 2, 2, 2)
+	// Random-ish but deterministic distortion.
+	for c := 0; c < lat.NumCells(); c++ {
+		fc := float64(c)
+		lat.SetSoftMode(sys, c, 0.01*math.Sin(fc), 0.02*math.Cos(2*fc), 0.03*math.Sin(3*fc+1))
+	}
+	eh.SetExcitation(0.2)
+	// Also displace a Pb and an O.
+	sys.X[0] += 0.05
+	sys.X[3*2+1] -= 0.03
+	eh.ComputeForces(sys)
+	h := 1e-6
+	for _, idx := range []int{0, 3*2 + 1, 3 * lat.TiIndex[3], 3*lat.TiIndex[5] + 2} {
+		f0 := sys.F[idx]
+		old := sys.X[idx]
+		sys.X[idx] = old + h
+		ep := eh.ComputeForces(sys)
+		sys.X[idx] = old - h
+		em := eh.ComputeForces(sys)
+		sys.X[idx] = old
+		want := -(ep - em) / (2 * h)
+		if math.Abs(f0-want) > 1e-6*math.Max(1, math.Abs(want)) {
+			t.Errorf("force[%d] = %g, -dE/dx = %g", idx, f0, want)
+		}
+	}
+}
+
+func TestPolarizationProxy(t *testing.T) {
+	sys, lat, _ := newTestLattice(t, 2, 2, 2)
+	lat.SetSoftMode(sys, 1, 0, 0, 0.04)
+	p := lat.Polarization(sys)
+	if p[3*1+2] <= 0 {
+		t.Error("polarization should follow soft mode")
+	}
+	if p[3*0+2] != 0 {
+		t.Error("undisplaced cell should have zero polarization")
+	}
+	// Proportionality.
+	lat.SetSoftMode(sys, 1, 0, 0, 0.08)
+	p2 := lat.Polarization(sys)
+	if math.Abs(p2[3*1+2]/p[3*1+2]-2) > 1e-12 {
+		t.Error("polarization not linear in soft mode")
+	}
+}
+
+func TestFerroelectricDynamicsStable(t *testing.T) {
+	// Short NVE run from the polarized state: energy bounded, polarization
+	// stays up (no spontaneous switching at low temperature).
+	sys, lat, eh := newTestLattice(t, 3, 3, 3)
+	s0 := eh.S0()
+	for c := 0; c < lat.NumCells(); c++ {
+		lat.SetSoftMode(sys, c, 0, 0, s0)
+	}
+	sys.InitVelocities(1e-5, 7)
+	pe := eh.ComputeForces(sys)
+	e0 := pe + sys.KineticEnergy()
+	dt := 20.0 // a.u. ≈ 0.5 fs
+	for step := 0; step < 400; step++ {
+		pe = VV(sys, eh, dt)
+	}
+	e1 := pe + sys.KineticEnergy()
+	if math.Abs(e1-e0) > 0.02*math.Abs(e0)+1e-6 {
+		t.Errorf("energy drift: %g -> %g", e0, e1)
+	}
+	var pz float64
+	pol := lat.Polarization(sys)
+	for c := 0; c < lat.NumCells(); c++ {
+		pz += pol[3*c+2]
+	}
+	if pz <= 0 {
+		t.Error("polarization collapsed during low-T NVE")
+	}
+}
+
+// VV is a local alias to keep the test readable.
+func VV(sys *md.System, ff md.ForceField, dt float64) float64 {
+	return md.VelocityVerlet(sys, ff, dt)
+}

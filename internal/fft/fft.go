@@ -1,0 +1,215 @@
+// Package fft implements the radix-2 complex fast Fourier transforms used by
+// the domain-local solvers of the divide-and-conquer scheme ("locally fast",
+// Sec. V.A.2 of the paper). Only power-of-two lengths are supported; grids
+// that feed the FFT solvers are constructed accordingly.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan caches twiddle factors and the bit-reversal permutation for a fixed
+// power-of-two length, so repeated transforms avoid re-computing them.
+type Plan struct {
+	n       int
+	logN    int
+	rev     []int
+	twiddle []complex128 // twiddle[k] = exp(-2πi k / n), k in [0, n/2)
+}
+
+// NewPlan builds a transform plan of length n. n must be a power of two >= 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	p := &Plan{n: n, logN: bits.TrailingZeros(uint(n))}
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - p.logN))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for k := range p.twiddle {
+		theta := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(math.Cos(theta), math.Sin(theta))
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan that panics on error, for static sizes.
+func MustPlan(n int) *Plan {
+	p, err := NewPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the in-place forward DFT: X[k] = Σ_j x[j] e^{-2πi jk/n}.
+func (p *Plan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT including the 1/n factor.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: input length %d != plan length %d", len(x), p.n))
+	}
+	// Bit-reversal permutation.
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Cooley-Tukey butterflies.
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size >> 1
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// Plan3 is a 3-D transform plan over an Nx×Ny×Nz mesh stored z-fastest.
+type Plan3 struct {
+	Nx, Ny, Nz int
+	px, py, pz *Plan
+}
+
+// NewPlan3 builds a 3-D plan; every axis length must be a power of two.
+func NewPlan3(nx, ny, nz int) (*Plan3, error) {
+	px, err := NewPlan(nx)
+	if err != nil {
+		return nil, err
+	}
+	py, err := NewPlan(ny)
+	if err != nil {
+		return nil, err
+	}
+	pz, err := NewPlan(nz)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan3{Nx: nx, Ny: ny, Nz: nz, px: px, py: py, pz: pz}, nil
+}
+
+// Len returns the total number of mesh points.
+func (p *Plan3) Len() int { return p.Nx * p.Ny * p.Nz }
+
+// Forward computes the in-place 3-D forward DFT of x (length Nx*Ny*Nz).
+func (p *Plan3) Forward(x []complex128) { p.apply(x, false) }
+
+// Inverse computes the in-place 3-D inverse DFT including normalization.
+func (p *Plan3) Inverse(x []complex128) { p.apply(x, true) }
+
+func (p *Plan3) apply(x []complex128, inverse bool) {
+	if len(x) != p.Len() {
+		panic("fft: Plan3 input length mismatch")
+	}
+	do1 := func(pl *Plan, buf []complex128) {
+		if inverse {
+			pl.Inverse(buf)
+		} else {
+			pl.Forward(buf)
+		}
+	}
+	// z lines are contiguous.
+	for i := 0; i < p.Nx*p.Ny; i++ {
+		do1(p.pz, x[i*p.Nz:(i+1)*p.Nz])
+	}
+	// y lines: stride Nz.
+	buf := make([]complex128, p.Ny)
+	for ix := 0; ix < p.Nx; ix++ {
+		for iz := 0; iz < p.Nz; iz++ {
+			base := ix*p.Ny*p.Nz + iz
+			for iy := 0; iy < p.Ny; iy++ {
+				buf[iy] = x[base+iy*p.Nz]
+			}
+			do1(p.py, buf)
+			for iy := 0; iy < p.Ny; iy++ {
+				x[base+iy*p.Nz] = buf[iy]
+			}
+		}
+	}
+	// x lines: stride Ny*Nz.
+	buf2 := make([]complex128, p.Nx)
+	for iy := 0; iy < p.Ny; iy++ {
+		for iz := 0; iz < p.Nz; iz++ {
+			base := iy*p.Nz + iz
+			for ix := 0; ix < p.Nx; ix++ {
+				buf2[ix] = x[base+ix*p.Ny*p.Nz]
+			}
+			do1(p.px, buf2)
+			for ix := 0; ix < p.Nx; ix++ {
+				x[base+ix*p.Ny*p.Nz] = buf2[ix]
+			}
+		}
+	}
+}
+
+// SolvePoissonPeriodic solves ∇²v = -4π rho on a periodic box with the given
+// spacings using the 3-D FFT, writing the potential into v. The zero mode
+// (net charge) is projected out, as is standard for periodic Coulomb
+// problems. rho and v must have length Nx*Ny*Nz; they may alias.
+func (p *Plan3) SolvePoissonPeriodic(rho, v []float64, hx, hy, hz float64) {
+	n := p.Len()
+	if len(rho) != n || len(v) != n {
+		panic("fft: SolvePoissonPeriodic length mismatch")
+	}
+	work := make([]complex128, n)
+	for i, r := range rho {
+		work[i] = complex(r, 0)
+	}
+	p.Forward(work)
+	lx := float64(p.Nx) * hx
+	ly := float64(p.Ny) * hy
+	lz := float64(p.Nz) * hz
+	kval := func(i, n int, l float64) float64 {
+		if i > n/2 {
+			i -= n
+		}
+		return 2 * math.Pi * float64(i) / l
+	}
+	for ix := 0; ix < p.Nx; ix++ {
+		kx := kval(ix, p.Nx, lx)
+		for iy := 0; iy < p.Ny; iy++ {
+			ky := kval(iy, p.Ny, ly)
+			for iz := 0; iz < p.Nz; iz++ {
+				kz := kval(iz, p.Nz, lz)
+				idx := (ix*p.Ny+iy)*p.Nz + iz
+				k2 := kx*kx + ky*ky + kz*kz
+				if k2 == 0 {
+					work[idx] = 0 // remove the average (neutralizing background)
+					continue
+				}
+				work[idx] *= complex(4*math.Pi/k2, 0)
+			}
+		}
+	}
+	p.Inverse(work)
+	for i := range v {
+		v[i] = real(work[i])
+	}
+}

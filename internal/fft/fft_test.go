@@ -1,0 +1,215 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n²) reference.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			theta := -2 * math.Pi * float64(j*k) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, theta))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+func randComplex(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestNewPlanRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, 3, 5, 6, 7, 12, -4} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) should fail", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 64, 1024} {
+		if _, err := NewPlan(n); err != nil {
+			t.Errorf("NewPlan(%d): %v", n, err)
+		}
+	}
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := randComplex(n, int64(n))
+		want := naiveDFT(x)
+		p := MustPlan(n)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: FFT[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 8, 128, 512} {
+		x := randComplex(n, 42)
+		got := append([]complex128(nil), x...)
+		p := MustPlan(n)
+		p.Forward(got)
+		p.Inverse(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-x[i]) > 1e-10 {
+				t.Fatalf("n=%d round trip error %g at %d", n, cmplx.Abs(got[i]-x[i]), i)
+			}
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	n := 256
+	x := randComplex(n, 9)
+	var timeE float64
+	for _, v := range x {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	p := MustPlan(n)
+	p.Forward(x)
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqE /= float64(n)
+	if math.Abs(timeE-freqE) > 1e-8*timeE {
+		t.Errorf("Parseval violated: time %g freq %g", timeE, freqE)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	n := 64
+	a := randComplex(n, 1)
+	b := randComplex(n, 2)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = 2*a[i] + 3i*b[i]
+	}
+	p := MustPlan(n)
+	fa := append([]complex128(nil), a...)
+	fb := append([]complex128(nil), b...)
+	fs := append([]complex128(nil), sum...)
+	p.Forward(fa)
+	p.Forward(fb)
+	p.Forward(fs)
+	for i := range fs {
+		want := 2*fa[i] + 3i*fb[i]
+		if cmplx.Abs(fs[i]-want) > 1e-9 {
+			t.Fatalf("linearity broken at %d: %v vs %v", i, fs[i], want)
+		}
+	}
+}
+
+func Test3DRoundTrip(t *testing.T) {
+	p, err := NewPlan3(8, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randComplex(p.Len(), 5)
+	got := append([]complex128(nil), x...)
+	p.Forward(got)
+	p.Inverse(got)
+	for i := range got {
+		if cmplx.Abs(got[i]-x[i]) > 1e-10 {
+			t.Fatalf("3D round trip error at %d", i)
+		}
+	}
+}
+
+func Test3DPlaneWaveIsDelta(t *testing.T) {
+	// A pure plane wave e^{2πi(x/Nx)} transforms to a single spike.
+	p, _ := NewPlan3(8, 8, 8)
+	x := make([]complex128, p.Len())
+	for ix := 0; ix < 8; ix++ {
+		for iy := 0; iy < 8; iy++ {
+			for iz := 0; iz < 8; iz++ {
+				theta := 2 * math.Pi * float64(ix) / 8
+				x[(ix*8+iy)*8+iz] = cmplx.Exp(complex(0, theta))
+			}
+		}
+	}
+	p.Forward(x)
+	for i, v := range x {
+		// Forward uses e^{-i...}: spike at kx=+1, i.e. index (1,0,0).
+		want := complex(0, 0)
+		if i == (1*8+0)*8+0 {
+			want = complex(512, 0)
+		}
+		if cmplx.Abs(v-want) > 1e-8 {
+			t.Fatalf("spectrum[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestPoissonPointChargePair(t *testing.T) {
+	// Solve ∇²v = -4πρ for a dipole of point charges; check that the
+	// numerical solution satisfies the discrete spectral identity by
+	// feeding it back through the Laplacian in Fourier space (round trip),
+	// and basic symmetry: potential is positive near +q, negative near -q.
+	n := 16
+	h := 0.5
+	p, _ := NewPlan3(n, n, n)
+	rho := make([]float64, p.Len())
+	ip := (2*n+2)*n + 2
+	im := (10*n+10)*n + 10
+	rho[ip] = 1 / (h * h * h)
+	rho[im] = -1 / (h * h * h)
+	v := make([]float64, p.Len())
+	p.SolvePoissonPeriodic(rho, v, h, h, h)
+	if v[ip] <= 0 {
+		t.Errorf("potential at +q should be positive, got %g", v[ip])
+	}
+	if v[im] >= 0 {
+		t.Errorf("potential at -q should be negative, got %g", v[im])
+	}
+	// Antisymmetry of the dipole field.
+	if math.Abs(v[ip]+v[im]) > 1e-8*math.Abs(v[ip]) {
+		t.Errorf("dipole antisymmetry broken: %g vs %g", v[ip], v[im])
+	}
+}
+
+func TestPoissonZeroChargeGivesZero(t *testing.T) {
+	p, _ := NewPlan3(8, 8, 8)
+	rho := make([]float64, p.Len())
+	v := make([]float64, p.Len())
+	p.SolvePoissonPeriodic(rho, v, 1, 1, 1)
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("v[%d] = %g for zero charge", i, x)
+		}
+	}
+}
+
+func BenchmarkFFT1D1024(b *testing.B) {
+	p := MustPlan(1024)
+	x := randComplex(1024, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkFFT3D32(b *testing.B) {
+	p, _ := NewPlan3(32, 32, 32)
+	x := randComplex(p.Len(), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}

@@ -1,0 +1,100 @@
+package grid
+
+// Central-difference Laplacian coefficient tables. The paper's local
+// Hamiltonian propagator applies -1/2 ∇² with a star stencil; order 2 uses
+// one neighbor per direction, order 4 uses two.
+
+// StencilOrder selects the finite-difference order of the Laplacian.
+type StencilOrder int
+
+const (
+	// Order2 is the 7-point star stencil.
+	Order2 StencilOrder = 2
+	// Order4 is the 13-point star stencil.
+	Order4 StencilOrder = 4
+)
+
+// LaplacianCoeffs returns the central coefficient c0 and the per-offset
+// coefficients c[k] for offsets ±(k+1), for a 1-D second derivative with
+// unit spacing. Divide by h² per axis when applying.
+func LaplacianCoeffs(order StencilOrder) (c0 float64, c []float64) {
+	switch order {
+	case Order2:
+		return -2.0, []float64{1.0}
+	case Order4:
+		return -5.0 / 2.0, []float64{4.0 / 3.0, -1.0 / 12.0}
+	default:
+		panic("grid: unsupported stencil order")
+	}
+}
+
+// NeighborTable precomputes, for every mesh point, the linear indices of its
+// ± offset neighbors along each axis, so stencil kernels avoid per-point
+// wrap arithmetic. Tables are the dominant setup cost of the propagators and
+// are shared between them.
+type NeighborTable struct {
+	G     Grid
+	Order StencilOrder
+	// XP[k][g], XM[k][g]: index of the +(k+1) / -(k+1) neighbor of g along x.
+	XP, XM, YP, YM, ZP, ZM [][]int32
+}
+
+// NewNeighborTable builds the neighbor index table for g at the given order.
+func NewNeighborTable(g Grid, order StencilOrder) *NeighborTable {
+	_, c := LaplacianCoeffs(order)
+	depth := len(c)
+	nt := &NeighborTable{G: g, Order: order}
+	alloc := func() [][]int32 {
+		t := make([][]int32, depth)
+		for k := range t {
+			t[k] = make([]int32, g.Len())
+		}
+		return t
+	}
+	nt.XP, nt.XM = alloc(), alloc()
+	nt.YP, nt.YM = alloc(), alloc()
+	nt.ZP, nt.ZM = alloc(), alloc()
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for iz := 0; iz < g.Nz; iz++ {
+				idx := g.Index(ix, iy, iz)
+				for k := 0; k < depth; k++ {
+					d := k + 1
+					nt.XP[k][idx] = int32(g.Index(Wrap(ix+d, g.Nx), iy, iz))
+					nt.XM[k][idx] = int32(g.Index(Wrap(ix-d, g.Nx), iy, iz))
+					nt.YP[k][idx] = int32(g.Index(ix, Wrap(iy+d, g.Ny), iz))
+					nt.YM[k][idx] = int32(g.Index(ix, Wrap(iy-d, g.Ny), iz))
+					nt.ZP[k][idx] = int32(g.Index(ix, iy, Wrap(iz+d, g.Nz)))
+					nt.ZM[k][idx] = int32(g.Index(ix, iy, Wrap(iz-d, g.Nz)))
+				}
+			}
+		}
+	}
+	return nt
+}
+
+// Laplacian applies the periodic finite-difference Laplacian to the real
+// scalar field src, writing into dst. Used by the Hartree solver.
+func Laplacian(g Grid, order StencilOrder, src, dst []float64) {
+	if len(src) != g.Len() || len(dst) != g.Len() {
+		panic("grid: Laplacian length mismatch")
+	}
+	c0, c := LaplacianCoeffs(order)
+	ihx2, ihy2, ihz2 := 1/(g.Hx*g.Hx), 1/(g.Hy*g.Hy), 1/(g.Hz*g.Hz)
+	diag := c0 * (ihx2 + ihy2 + ihz2)
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for iz := 0; iz < g.Nz; iz++ {
+				idx := g.Index(ix, iy, iz)
+				sum := diag * src[idx]
+				for k, ck := range c {
+					d := k + 1
+					sum += ck * ihx2 * (src[g.Index(Wrap(ix+d, g.Nx), iy, iz)] + src[g.Index(Wrap(ix-d, g.Nx), iy, iz)])
+					sum += ck * ihy2 * (src[g.Index(ix, Wrap(iy+d, g.Ny), iz)] + src[g.Index(ix, Wrap(iy-d, g.Ny), iz)])
+					sum += ck * ihz2 * (src[g.Index(ix, iy, Wrap(iz+d, g.Nz))] + src[g.Index(ix, iy, Wrap(iz-d, g.Nz))])
+				}
+				dst[idx] = sum
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// WaveField stores Norb complex Kohn–Sham orbitals on a Grid.
+//
+// Two layouts are supported, mirroring the paper's Sec. V.B.2 optimization:
+//
+//   - LayoutAoS ("array of structures"): orbital-major — all grid points of
+//     orbital 0, then orbital 1, ... Index = s*Ngrid + g. This is the
+//     baseline layout.
+//   - LayoutSoA ("structure of arrays"): orbital-fastest — the Norb complex
+//     values for grid point 0, then point 1, ... Index = g*Norb + s. Stencil
+//     coefficients are then reused across all orbitals of a point, which is
+//     what makes the re-ordered kin_prop kernel fast.
+type WaveField struct {
+	G      Grid
+	Norb   int
+	Layout Layout
+	Data   []complex128
+}
+
+// Layout selects the memory layout of a WaveField.
+type Layout int
+
+const (
+	// LayoutAoS is orbital-major storage (baseline).
+	LayoutAoS Layout = iota
+	// LayoutSoA is orbital-fastest storage (optimized).
+	LayoutSoA
+)
+
+func (l Layout) String() string {
+	if l == LayoutAoS {
+		return "AoS"
+	}
+	return "SoA"
+}
+
+// NewWaveField allocates a zeroed WaveField.
+func NewWaveField(g Grid, norb int, layout Layout) *WaveField {
+	if norb < 1 {
+		panic(fmt.Sprintf("grid: Norb must be >= 1, got %d", norb))
+	}
+	return &WaveField{
+		G:      g,
+		Norb:   norb,
+		Layout: layout,
+		Data:   make([]complex128, g.Len()*norb),
+	}
+}
+
+// At returns the amplitude of orbital s at mesh point g.
+func (w *WaveField) At(gIdx, s int) complex128 {
+	if w.Layout == LayoutSoA {
+		return w.Data[gIdx*w.Norb+s]
+	}
+	return w.Data[s*w.G.Len()+gIdx]
+}
+
+// Set stores the amplitude of orbital s at mesh point g.
+func (w *WaveField) Set(gIdx, s int, v complex128) {
+	if w.Layout == LayoutSoA {
+		w.Data[gIdx*w.Norb+s] = v
+	} else {
+		w.Data[s*w.G.Len()+gIdx] = v
+	}
+}
+
+// Clone returns a deep copy of the field.
+func (w *WaveField) Clone() *WaveField {
+	c := &WaveField{G: w.G, Norb: w.Norb, Layout: w.Layout, Data: make([]complex128, len(w.Data))}
+	copy(c.Data, w.Data)
+	return c
+}
+
+// CopyFrom copies src into w, converting layout if necessary.
+// The grids and orbital counts must match.
+func (w *WaveField) CopyFrom(src *WaveField) {
+	if w.G != src.G || w.Norb != src.Norb {
+		panic("grid: CopyFrom shape mismatch")
+	}
+	if w.Layout == src.Layout {
+		copy(w.Data, src.Data)
+		return
+	}
+	n := w.G.Len()
+	for g := 0; g < n; g++ {
+		for s := 0; s < w.Norb; s++ {
+			w.Set(g, s, src.At(g, s))
+		}
+	}
+}
+
+// ToLayout returns the field in the requested layout, copying if needed.
+func (w *WaveField) ToLayout(l Layout) *WaveField {
+	if w.Layout == l {
+		return w
+	}
+	out := NewWaveField(w.G, w.Norb, l)
+	out.CopyFrom(w)
+	return out
+}
+
+// Norm2 returns the squared L2 norm ∫|ψ_s|² dV of orbital s.
+func (w *WaveField) Norm2(s int) float64 {
+	dv := w.G.DV()
+	sum := 0.0
+	n := w.G.Len()
+	for g := 0; g < n; g++ {
+		v := w.At(g, s)
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return sum * dv
+}
+
+// Normalize scales every orbital to unit L2 norm. Orbitals with zero norm
+// are left untouched.
+func (w *WaveField) Normalize() {
+	for s := 0; s < w.Norb; s++ {
+		n2 := w.Norm2(s)
+		if n2 <= 0 {
+			continue
+		}
+		scale := complex(1/math.Sqrt(n2), 0)
+		n := w.G.Len()
+		for g := 0; g < n; g++ {
+			w.Set(g, s, w.At(g, s)*scale)
+		}
+	}
+}
+
+// Overlap returns ⟨ψ_a|ψ_b⟩ = ∫ ψ_a* ψ_b dV.
+func (w *WaveField) Overlap(a, b int) complex128 {
+	dv := complex(w.G.DV(), 0)
+	var sum complex128
+	n := w.G.Len()
+	for g := 0; g < n; g++ {
+		sum += cmplx.Conj(w.At(g, a)) * w.At(g, b)
+	}
+	return sum * dv
+}
+
+// Density accumulates the electron density n(r) = Σ_s f_s |ψ_s(r)|² into
+// dst (which must have length G.Len()). occ supplies the occupation of each
+// orbital; pass nil for fully occupied (f=1).
+func (w *WaveField) Density(dst []float64, occ []float64) {
+	if len(dst) != w.G.Len() {
+		panic("grid: Density dst length mismatch")
+	}
+	for g := range dst {
+		dst[g] = 0
+	}
+	n := w.G.Len()
+	for s := 0; s < w.Norb; s++ {
+		f := 1.0
+		if occ != nil {
+			f = occ[s]
+		}
+		if f == 0 {
+			continue
+		}
+		for g := 0; g < n; g++ {
+			v := w.At(g, s)
+			dst[g] += f * (real(v)*real(v) + imag(v)*imag(v))
+		}
+	}
+}
+
+// GramSchmidt orthonormalizes the orbitals in place (modified Gram-Schmidt).
+func (w *WaveField) GramSchmidt() {
+	n := w.G.Len()
+	dv := complex(w.G.DV(), 0)
+	for s := 0; s < w.Norb; s++ {
+		for r := 0; r < s; r++ {
+			var ov complex128
+			for g := 0; g < n; g++ {
+				ov += cmplx.Conj(w.At(g, r)) * w.At(g, s)
+			}
+			ov *= dv
+			for g := 0; g < n; g++ {
+				w.Set(g, s, w.At(g, s)-ov*w.At(g, r))
+			}
+		}
+		n2 := w.Norm2(s)
+		if n2 > 0 {
+			scale := complex(1/math.Sqrt(n2), 0)
+			for g := 0; g < n; g++ {
+				w.Set(g, s, w.At(g, s)*scale)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package linalg implements the dense linear-algebra kernels that the paper's
+// "GEMMification" (Sec. V.B.5) reduces nonlocal corrections to: complex
+// general matrix-matrix multiplies (CGEMM) in naive, blocked/tiled, and
+// parallel variants, plus the real GEMM used by the neural-network module.
+//
+// Matrices are dense, row-major: A[i*lda+j].
+package linalg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// flopCount is a process-wide ledger of floating-point operations executed by
+// the kernels in this package, used by the benchmark harness to report
+// FLOP/s the way the paper does (counted operations / wall time).
+var flopCount atomic.Uint64
+
+// AddFlops adds n floating-point operations to the global ledger.
+func AddFlops(n uint64) { flopCount.Add(n) }
+
+// Flops returns the cumulative FLOP count.
+func Flops() uint64 { return flopCount.Load() }
+
+// ResetFlops zeroes the ledger and returns the previous value.
+func ResetFlops() uint64 { return flopCount.Swap(0) }
+
+// CGEMMFlops returns the FLOP count of an m×k by k×n complex multiply-add:
+// each complex MAC is 8 real operations (4 mul + 4 add).
+func CGEMMFlops(m, n, k int) uint64 { return 8 * uint64(m) * uint64(n) * uint64(k) }
+
+// GEMMFlops returns the FLOP count of an m×k by k×n real multiply-add.
+func GEMMFlops(m, n, k int) uint64 { return 2 * uint64(m) * uint64(n) * uint64(k) }
+
+// Op selects an operand transformation, following BLAS conventions.
+type Op int
+
+const (
+	// NoTrans uses the operand as stored.
+	NoTrans Op = iota
+	// ConjTrans uses the conjugate transpose (Hermitian adjoint).
+	ConjTrans
+)
+
+// CGEMM computes C = alpha*op(A)*op(B) + beta*C with the naive triple loop.
+// op(A) is m×k, op(B) is k×n, C is m×n. Row-major with leading dimensions
+// lda, ldb, ldc. The naive kernel is the correctness reference; production
+// paths use CGEMMBlocked or CGEMMParallel.
+func CGEMM(opA, opB Op, m, n, k int, alpha complex128, a []complex128, lda int, b []complex128, ldb int, beta complex128, c []complex128, ldc int) {
+	checkGEMMArgs(opA, opB, m, n, k, len(a), lda, len(b), ldb, len(c), ldc)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum complex128
+			for p := 0; p < k; p++ {
+				sum += getOp(a, lda, opA, i, p) * getOp(b, ldb, opB, p, j)
+			}
+			c[i*ldc+j] = alpha*sum + beta*c[i*ldc+j]
+		}
+	}
+	AddFlops(CGEMMFlops(m, n, k))
+}
+
+func getOp(x []complex128, ld int, op Op, i, j int) complex128 {
+	if op == NoTrans {
+		return x[i*ld+j]
+	}
+	v := x[j*ld+i]
+	return complex(real(v), -imag(v))
+}
+
+func checkGEMMArgs(opA, opB Op, m, n, k, lenA, lda, lenB, ldb, lenC, ldc int) {
+	if m < 0 || n < 0 || k < 0 {
+		panic("linalg: negative dimension")
+	}
+	// Minimal bounds checks: the last touched element must exist.
+	need := func(rows, cols, ld int) int {
+		if rows == 0 || cols == 0 {
+			return 0
+		}
+		return (rows-1)*ld + cols
+	}
+	na, nb := need(m, k, lda), need(k, n, ldb)
+	if opA == ConjTrans {
+		na = need(k, m, lda)
+	}
+	if opB == ConjTrans {
+		nb = need(n, k, ldb)
+	}
+	if lenA < na || lenB < nb || lenC < need(m, n, ldc) {
+		panic("linalg: operand too short for given dimensions")
+	}
+}
+
+// blockSize is the tile edge for the cache-blocked kernels. 48 complex128
+// values per row-tile ≈ 0.75 KiB; a 48×48 tile pair fits in L1/L2 on
+// typical cores.
+const blockSize = 48
+
+// CGEMMBlocked computes C = alpha*op(A)*op(B) + beta*C with cache blocking
+// (the paper's Sec. V.B.3 tiling applied to the GEMM path).
+func CGEMMBlocked(opA, opB Op, m, n, k int, alpha complex128, a []complex128, lda int, b []complex128, ldb int, beta complex128, c []complex128, ldc int) {
+	checkGEMMArgs(opA, opB, m, n, k, len(a), lda, len(b), ldb, len(c), ldc)
+	// Scale C by beta first, then accumulate tile products.
+	for i := 0; i < m; i++ {
+		row := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	cgemmAccumRange(opA, opB, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	AddFlops(CGEMMFlops(m, n, k))
+}
+
+// cgemmAccumRange accumulates alpha*op(A)*op(B) into C for rows [i0,i1).
+func cgemmAccumRange(opA, opB Op, i0, i1, n, k int, alpha complex128, a []complex128, lda int, b []complex128, ldb int, c []complex128, ldc int) {
+	for ii := i0; ii < i1; ii += blockSize {
+		iMax := min(ii+blockSize, i1)
+		for pp := 0; pp < k; pp += blockSize {
+			pMax := min(pp+blockSize, k)
+			for jj := 0; jj < n; jj += blockSize {
+				jMax := min(jj+blockSize, n)
+				for i := ii; i < iMax; i++ {
+					for p := pp; p < pMax; p++ {
+						av := alpha * getOp(a, lda, opA, i, p)
+						if av == 0 {
+							continue
+						}
+						if opB == NoTrans {
+							brow := b[p*ldb+jj : p*ldb+jMax]
+							crow := c[i*ldc+jj : i*ldc+jMax]
+							for j := range brow {
+								crow[j] += av * brow[j]
+							}
+						} else {
+							for j := jj; j < jMax; j++ {
+								c[i*ldc+j] += av * getOp(b, ldb, opB, p, j)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// CGEMMParallel is CGEMMBlocked with the row blocks distributed over all
+// available cores — the package's proxy for the GPU-offloaded oneMKL path.
+func CGEMMParallel(opA, opB Op, m, n, k int, alpha complex128, a []complex128, lda int, b []complex128, ldb int, beta complex128, c []complex128, ldc int) {
+	checkGEMMArgs(opA, opB, m, n, k, len(a), lda, len(b), ldb, len(c), ldc)
+	for i := 0; i < m; i++ {
+		row := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*n*k < 32*32*32 {
+		cgemmAccumRange(opA, opB, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+		AddFlops(CGEMMFlops(m, n, k))
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		i1 := min(i0+chunk, m)
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			cgemmAccumRange(opA, opB, i0, i1, n, k, alpha, a, lda, b, ldb, c, ldc)
+		}(i0, i1)
+	}
+	wg.Wait()
+	AddFlops(CGEMMFlops(m, n, k))
+}

@@ -1,0 +1,70 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randC64(m, n int, seed int64) []complex64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]complex64, m*n)
+	for i := range a {
+		a[i] = complex(float32(rng.NormFloat64()), float32(rng.NormFloat64()))
+	}
+	return a
+}
+
+func TestCGEMM32MatchesCGEMM(t *testing.T) {
+	for _, cs := range []struct{ m, n, k int }{{5, 7, 9}, {64, 64, 64}, {65, 33, 70}} {
+		a32 := randC64(cs.m, cs.k, 1)
+		b32 := randC64(cs.k, cs.n, 2)
+		c32 := make([]complex64, cs.m*cs.n)
+		CGEMM32Parallel(NoTrans, NoTrans, cs.m, cs.n, cs.k, 1, a32, cs.k, b32, cs.n, 0, c32, cs.n)
+		want := make([]complex128, cs.m*cs.n)
+		CGEMM(NoTrans, NoTrans, cs.m, cs.n, cs.k, 1, ToComplex128(a32), cs.k, ToComplex128(b32), cs.n, 0, want, cs.n)
+		for i := range want {
+			d := complex128(c32[i]) - want[i]
+			if real(d)*real(d)+imag(d)*imag(d) > 1e-6 {
+				t.Fatalf("%v: mismatch at %d: %v vs %v", cs, i, c32[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCGEMM32ConjTrans(t *testing.T) {
+	m, n, k := 6, 5, 32
+	a := randC64(k, m, 3)
+	b := randC64(k, n, 4)
+	got := make([]complex64, m*n)
+	CGEMM32Parallel(ConjTrans, NoTrans, m, n, k, 1, a, m, b, n, 0, got, n)
+	want := make([]complex128, m*n)
+	CGEMM(ConjTrans, NoTrans, m, n, k, 1, ToComplex128(a), m, ToComplex128(b), n, 0, want, n)
+	for i := range want {
+		d := complex128(got[i]) - want[i]
+		if real(d)*real(d)+imag(d)*imag(d) > 1e-6 {
+			t.Fatalf("ConjTrans mismatch at %d", i)
+		}
+	}
+}
+
+func TestComplexConversionRoundTrip(t *testing.T) {
+	src := randC64(4, 4, 5)
+	back := ToComplex64(ToComplex128(src))
+	for i := range src {
+		if src[i] != back[i] {
+			t.Fatal("conversion round trip failed")
+		}
+	}
+}
+
+func BenchmarkCGEMM32Parallel512(b *testing.B) {
+	n := 512
+	a := randC64(n, n, 1)
+	bb := randC64(n, n, 2)
+	c := make([]complex64, n*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CGEMM32Parallel(NoTrans, NoTrans, n, n, n, 1, a, n, bb, n, 0, c, n)
+	}
+	b.ReportMetric(float64(CGEMMFlops(n, n, n))*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}

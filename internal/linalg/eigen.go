@@ -1,0 +1,87 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// JacobiEigenSym diagonalizes a dense symmetric n×n matrix (row-major, only
+// symmetric part used) with the cyclic Jacobi method. It returns the
+// eigenvalues in ascending order and the matching eigenvectors as rows of
+// vecs (vecs[i*n:j] is component j of eigenvector i). Used by the
+// surface-hopping module to obtain adiabatic states of small domain
+// Hamiltonians, and by the SCF subspace diagonalization.
+func JacobiEigenSym(n int, a []float64) (vals []float64, vecs []float64, err error) {
+	if len(a) < n*n {
+		return nil, nil, errors.New("linalg: matrix too short")
+	}
+	m := make([]float64, n*n)
+	copy(m, a[:n*n])
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i*n+j] * m[i*n+j]
+			}
+		}
+		if off < 1e-24*float64(n*n) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := m[p*n+p], m[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				cth := 1 / math.Sqrt(t*t+1)
+				sth := t * cth
+				for i := 0; i < n; i++ {
+					aip, aiq := m[i*n+p], m[i*n+q]
+					m[i*n+p] = cth*aip - sth*aiq
+					m[i*n+q] = sth*aip + cth*aiq
+				}
+				for i := 0; i < n; i++ {
+					api, aqi := m[p*n+i], m[q*n+i]
+					m[p*n+i] = cth*api - sth*aqi
+					m[q*n+i] = sth*api + cth*aqi
+				}
+				for i := 0; i < n; i++ {
+					vip, viq := v[i*n+p], v[i*n+q]
+					v[i*n+p] = cth*vip - sth*viq
+					v[i*n+q] = sth*vip + cth*viq
+				}
+			}
+		}
+	}
+	// Extract and sort.
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i*n+i]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && vals[order[j]] < vals[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	sortedVals := make([]float64, n)
+	vecs = make([]float64, n*n)
+	for r, idx := range order {
+		sortedVals[r] = vals[idx]
+		for i := 0; i < n; i++ {
+			vecs[r*n+i] = v[i*n+idx] // column idx of v is eigenvector idx
+		}
+	}
+	return sortedVals, vecs, nil
+}

@@ -1,0 +1,157 @@
+package linalg
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// GEMM32 computes C = alpha*A*B + beta*C for float32 row-major matrices with
+// cache blocking. A is m×k, B is k×n. The neural-network inference path of
+// XS-NNQMD runs on this kernel (the paper's Allegro uses FP32 activations).
+func GEMM32(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
+	if len(a) < (m-1)*lda+k && m > 0 {
+		panic("linalg: A too short")
+	}
+	if len(b) < (k-1)*ldb+n && k > 0 {
+		panic("linalg: B too short")
+	}
+	if len(c) < (m-1)*ldc+n && m > 0 {
+		panic("linalg: C too short")
+	}
+	for i := 0; i < m; i++ {
+		row := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	const bs = 64
+	for ii := 0; ii < m; ii += bs {
+		iMax := min(ii+bs, m)
+		for pp := 0; pp < k; pp += bs {
+			pMax := min(pp+bs, k)
+			for i := ii; i < iMax; i++ {
+				crow := c[i*ldc : i*ldc+n]
+				for p := pp; p < pMax; p++ {
+					av := alpha * a[i*lda+p]
+					if av == 0 {
+						continue
+					}
+					brow := b[p*ldb : p*ldb+n]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	AddFlops(GEMMFlops(m, n, k))
+}
+
+// GEMM64 computes C = alpha*A*B + beta*C for float64 row-major matrices.
+func GEMM64(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	for i := 0; i < m; i++ {
+		row := c[i*ldc : i*ldc+n]
+		if beta == 0 {
+			for j := range row {
+				row[j] = 0
+			}
+		} else if beta != 1 {
+			for j := range row {
+				row[j] *= beta
+			}
+		}
+	}
+	const bs = 64
+	for ii := 0; ii < m; ii += bs {
+		iMax := min(ii+bs, m)
+		for pp := 0; pp < k; pp += bs {
+			pMax := min(pp+bs, k)
+			for i := ii; i < iMax; i++ {
+				crow := c[i*ldc : i*ldc+n]
+				for p := pp; p < pMax; p++ {
+					av := alpha * a[i*lda+p]
+					if av == 0 {
+						continue
+					}
+					brow := b[p*ldb : p*ldb+n]
+					for j, bv := range brow {
+						crow[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+	AddFlops(GEMMFlops(m, n, k))
+}
+
+// GEMM64Parallel distributes GEMM64 row blocks across cores.
+func GEMM64Parallel(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 || m*n*k < 64*64*64 {
+		GEMM64(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		i1 := min(i0+chunk, m)
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			GEMM64(i1-i0, n, k, alpha, a[i0*lda:], lda, b, ldb, beta, c[i0*ldc:], ldc)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// MatVec64 computes y = A x for a dense row-major m×n matrix.
+func MatVec64(m, n int, a []float64, lda int, x, y []float64) {
+	for i := 0; i < m; i++ {
+		row := a[i*lda : i*lda+n]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+	AddFlops(2 * uint64(m) * uint64(n))
+}
+
+// Dot64 returns the dot product of two equal-length vectors.
+func Dot64(x, y []float64) float64 {
+	var sum float64
+	for i := range x {
+		sum += x[i] * y[i]
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// Axpy64 computes y += alpha*x.
+func Axpy64(alpha float64, x, y []float64) {
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}

@@ -1,0 +1,264 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fccLattice places n³ unit cells of a 4-atom fcc lattice in the box.
+func fccLattice(sys *System, cells int) {
+	a := sys.Lx / float64(cells)
+	basis := [][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	i := 0
+	for cx := 0; cx < cells; cx++ {
+		for cy := 0; cy < cells; cy++ {
+			for cz := 0; cz < cells; cz++ {
+				for _, b := range basis {
+					if i >= sys.N {
+						return
+					}
+					sys.X[3*i] = (float64(cx) + b[0]) * a
+					sys.X[3*i+1] = (float64(cy) + b[1]) * a
+					sys.X[3*i+2] = (float64(cz) + b[2]) * a
+					i++
+				}
+			}
+		}
+	}
+}
+
+func newLJSystem(t testing.TB, cells int, kT float64) (*System, *LennardJones) {
+	n := 4 * cells * cells * cells
+	l := float64(cells) * 1.7 // ~fcc near LJ minimum for sigma=1
+	sys, err := NewSystem(n, l, l, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.Mass {
+		sys.Mass[i] = 50
+	}
+	fccLattice(sys, cells)
+	sys.InitVelocities(kT, 1)
+	nl, err := NewNeighborList(2.0, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Build(sys)
+	return sys, &LennardJones{Epsilon: 0.01, Sigma: 1.0, NL: nl}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(0, 1, 1, 1); err == nil {
+		t.Error("zero atoms accepted")
+	}
+	if _, err := NewSystem(10, -1, 1, 1); err == nil {
+		t.Error("negative box accepted")
+	}
+}
+
+func TestWrapAndMinImage(t *testing.T) {
+	sys, _ := NewSystem(2, 10, 10, 10)
+	sys.X[0], sys.X[1], sys.X[2] = 11, -1, 25
+	sys.Wrap()
+	if sys.X[0] != 1 || sys.X[1] != 9 || sys.X[2] != 5 {
+		t.Errorf("Wrap gave %v", sys.X[:3])
+	}
+	sys.X[3], sys.X[4], sys.X[5] = 9.5, 0, 0
+	sys.X[0], sys.X[1], sys.X[2] = 0.5, 0, 0
+	dx, _, _ := sys.MinImage(0, 1)
+	if math.Abs(dx-1.0) > 1e-12 {
+		t.Errorf("MinImage dx = %g, want 1 (across boundary)", dx)
+	}
+}
+
+func TestMaxwellBoltzmannTemperature(t *testing.T) {
+	sys, _ := NewSystem(4000, 50, 50, 50)
+	for i := range sys.Mass {
+		sys.Mass[i] = 100
+	}
+	kT := 0.001
+	sys.InitVelocities(kT, 2)
+	if got := sys.Temperature(); math.Abs(got-kT) > 0.05*kT {
+		t.Errorf("temperature = %g, want %g ± 5%%", got, kT)
+	}
+	// COM momentum removed.
+	var px float64
+	for i := 0; i < sys.N; i++ {
+		px += sys.Mass[i] * sys.V[3*i]
+	}
+	if math.Abs(px) > 1e-8 {
+		t.Errorf("COM momentum = %g", px)
+	}
+}
+
+func TestNeighborListMatchesBruteForce(t *testing.T) {
+	sys, _ := NewSystem(200, 12, 12, 12)
+	rng := rand.New(rand.NewSource(3))
+	for i := range sys.X {
+		sys.X[i] = rng.Float64() * 12
+	}
+	for i := range sys.Mass {
+		sys.Mass[i] = 1
+	}
+	nl, _ := NewNeighborList(3.0, 0.3)
+	nl.Build(sys)
+	r := nl.Cutoff + nl.Skin
+	// Brute-force pair set.
+	type pair struct{ i, j int }
+	want := map[pair]bool{}
+	for i := 0; i < sys.N; i++ {
+		for j := i + 1; j < sys.N; j++ {
+			dx, dy, dz := sys.MinImage(i, j)
+			if dx*dx+dy*dy+dz*dz <= r*r {
+				want[pair{i, j}] = true
+			}
+		}
+	}
+	got := map[pair]bool{}
+	for i := 0; i < sys.N; i++ {
+		for _, j := range nl.Neighbors(i) {
+			got[pair{i, int(j)}] = true
+		}
+	}
+	for p := range want {
+		if !got[p] {
+			t.Errorf("missing pair %v", p)
+		}
+	}
+	for p := range got {
+		if !want[p] {
+			t.Errorf("spurious pair %v", p)
+		}
+	}
+}
+
+func TestNeighborListStaleness(t *testing.T) {
+	sys, _ := NewSystem(8, 10, 10, 10)
+	for i := range sys.Mass {
+		sys.Mass[i] = 1
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := range sys.X {
+		sys.X[i] = rng.Float64() * 10
+	}
+	nl, _ := NewNeighborList(2.0, 0.5)
+	nl.Build(sys)
+	if nl.Stale(sys) {
+		t.Error("fresh list reported stale")
+	}
+	sys.X[0] += 0.26 // > skin/2
+	if !nl.Stale(sys) {
+		t.Error("moved atom not detected")
+	}
+}
+
+func TestNVEEnergyConservation(t *testing.T) {
+	sys, lj := newLJSystem(t, 3, 0.0005)
+	pe := lj.ComputeForces(sys)
+	e0 := pe + sys.KineticEnergy()
+	dt := 2.0
+	var eDriftMax float64
+	for step := 0; step < 500; step++ {
+		pe = VelocityVerlet(sys, lj, dt)
+		e := pe + sys.KineticEnergy()
+		if d := math.Abs(e - e0); d > eDriftMax {
+			eDriftMax = d
+		}
+	}
+	if rel := eDriftMax / math.Abs(e0); rel > 5e-3 {
+		t.Errorf("NVE energy drift %g (relative %g)", eDriftMax, rel)
+	}
+}
+
+func TestNewtonThirdLaw(t *testing.T) {
+	sys, lj := newLJSystem(t, 2, 0.001)
+	lj.ComputeForces(sys)
+	var fx, fy, fz float64
+	for i := 0; i < sys.N; i++ {
+		fx += sys.F[3*i]
+		fy += sys.F[3*i+1]
+		fz += sys.F[3*i+2]
+	}
+	if math.Abs(fx)+math.Abs(fy)+math.Abs(fz) > 1e-9 {
+		t.Errorf("net force not zero: %g %g %g", fx, fy, fz)
+	}
+}
+
+func TestBerendsenDrivesTemperature(t *testing.T) {
+	sys, lj := newLJSystem(t, 3, 0.0001)
+	lj.ComputeForces(sys)
+	target := 0.0008
+	dt := 2.0
+	for step := 0; step < 800; step++ {
+		VelocityVerlet(sys, lj, dt)
+		BerendsenThermostat(sys, target, 50*dt, dt)
+	}
+	got := sys.Temperature()
+	if math.Abs(got-target) > 0.35*target {
+		t.Errorf("temperature = %g, want ≈ %g", got, target)
+	}
+}
+
+func TestLangevinEquilibrates(t *testing.T) {
+	sys, lj := newLJSystem(t, 3, 0.0001)
+	lj.ComputeForces(sys)
+	target := 0.0008
+	rng := rand.New(rand.NewSource(5))
+	dt := 2.0
+	var acc float64
+	var count int
+	for step := 0; step < 1500; step++ {
+		VelocityVerlet(sys, lj, dt)
+		LangevinThermostat(sys, target, 0.01, dt, rng)
+		if step > 700 {
+			acc += sys.Temperature()
+			count++
+		}
+	}
+	got := acc / float64(count)
+	if math.Abs(got-target) > 0.25*target {
+		t.Errorf("mean temperature = %g, want ≈ %g", got, target)
+	}
+}
+
+func TestForcesMatchEnergyGradient(t *testing.T) {
+	// Central-difference check of F = −∂E/∂x on a random atom.
+	sys, lj := newLJSystem(t, 3, 0)
+	// Nudge off the symmetric lattice point so the force is nonzero.
+	sys.X[3*7] += 0.2
+	lj.ComputeForces(sys)
+	f0 := sys.F[3*7] // atom 7, x component
+	h := 1e-5
+	sys.X[3*7] += h
+	ep := lj.ComputeForces(sys)
+	sys.X[3*7] -= 2 * h
+	em := lj.ComputeForces(sys)
+	sys.X[3*7] += h
+	want := -(ep - em) / (2 * h)
+	if math.Abs(f0-want) > 1e-6*math.Max(1, math.Abs(want)) {
+		t.Errorf("force %g vs -dE/dx %g", f0, want)
+	}
+}
+
+func BenchmarkNeighborListBuild(b *testing.B) {
+	sys, _ := NewSystem(4000, 30, 30, 30)
+	rng := rand.New(rand.NewSource(6))
+	for i := range sys.X {
+		sys.X[i] = rng.Float64() * 30
+	}
+	nl, _ := NewNeighborList(3.0, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nl.Build(sys)
+	}
+}
+
+func BenchmarkLJStep(b *testing.B) {
+	sys, lj := newLJSystem(b, 5, 0.0005)
+	lj.ComputeForces(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		VelocityVerlet(sys, lj, 1.0)
+	}
+}

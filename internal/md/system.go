@@ -1,0 +1,170 @@
+// Package md is the classical molecular-dynamics engine underlying the
+// XS-NNQMD module: periodic simulation cells, linked-cell neighbor lists,
+// velocity-Verlet integration, and thermostats. Forces come from a
+// ForceField interface so the same engine drives the analytic ferroelectric
+// model, the Allegro-style neural network, and the blended XS/GS force of
+// Eq. (4).
+package md
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// System is a periodic collection of atoms. Positions and velocities are
+// stored flat: X[3i], X[3i+1], X[3i+2] for atom i (Bohr; a.u. velocities).
+type System struct {
+	N          int
+	Lx, Ly, Lz float64
+	X, V, F    []float64
+	// Mass per atom (a.u.); Type is a small integer species index.
+	Mass []float64
+	Type []int
+}
+
+// NewSystem allocates a system of n atoms in an Lx×Ly×Lz periodic box.
+func NewSystem(n int, lx, ly, lz float64) (*System, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("md: need at least 1 atom, got %d", n)
+	}
+	if lx <= 0 || ly <= 0 || lz <= 0 {
+		return nil, fmt.Errorf("md: box lengths must be positive")
+	}
+	return &System{
+		N: n, Lx: lx, Ly: ly, Lz: lz,
+		X:    make([]float64, 3*n),
+		V:    make([]float64, 3*n),
+		F:    make([]float64, 3*n),
+		Mass: make([]float64, n),
+		Type: make([]int, n),
+	}, nil
+}
+
+// Wrap folds all positions into the primary cell.
+func (s *System) Wrap() {
+	for i := 0; i < s.N; i++ {
+		s.X[3*i] = wrap1(s.X[3*i], s.Lx)
+		s.X[3*i+1] = wrap1(s.X[3*i+1], s.Ly)
+		s.X[3*i+2] = wrap1(s.X[3*i+2], s.Lz)
+	}
+}
+
+func wrap1(x, l float64) float64 {
+	x = math.Mod(x, l)
+	if x < 0 {
+		x += l
+	}
+	return x
+}
+
+// MinImage returns the minimum-image displacement from atom j to atom i.
+func (s *System) MinImage(i, j int) (dx, dy, dz float64) {
+	dx = minImage1(s.X[3*i]-s.X[3*j], s.Lx)
+	dy = minImage1(s.X[3*i+1]-s.X[3*j+1], s.Ly)
+	dz = minImage1(s.X[3*i+2]-s.X[3*j+2], s.Lz)
+	return
+}
+
+func minImage1(d, l float64) float64 {
+	d -= l * math.Round(d/l)
+	return d
+}
+
+// KineticEnergy returns Σ ½ m v².
+func (s *System) KineticEnergy() float64 {
+	var ke float64
+	for i := 0; i < s.N; i++ {
+		v2 := s.V[3*i]*s.V[3*i] + s.V[3*i+1]*s.V[3*i+1] + s.V[3*i+2]*s.V[3*i+2]
+		ke += 0.5 * s.Mass[i] * v2
+	}
+	return ke
+}
+
+// Temperature returns the instantaneous kinetic temperature in Hartree
+// (k_B T = 2 KE / 3N).
+func (s *System) Temperature() float64 {
+	return 2 * s.KineticEnergy() / (3 * float64(s.N))
+}
+
+// InitVelocities draws Maxwell–Boltzmann velocities at thermal energy kT
+// (Hartree) and removes the center-of-mass drift.
+func (s *System) InitVelocities(kT float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < s.N; i++ {
+		sigma := math.Sqrt(kT / s.Mass[i])
+		for d := 0; d < 3; d++ {
+			s.V[3*i+d] = sigma * rng.NormFloat64()
+		}
+	}
+	s.RemoveDrift()
+}
+
+// RemoveDrift zeroes the center-of-mass momentum.
+func (s *System) RemoveDrift() {
+	var px, py, pz, m float64
+	for i := 0; i < s.N; i++ {
+		px += s.Mass[i] * s.V[3*i]
+		py += s.Mass[i] * s.V[3*i+1]
+		pz += s.Mass[i] * s.V[3*i+2]
+		m += s.Mass[i]
+	}
+	for i := 0; i < s.N; i++ {
+		s.V[3*i] -= px / m
+		s.V[3*i+1] -= py / m
+		s.V[3*i+2] -= pz / m
+	}
+}
+
+// ForceField computes forces (into sys.F, overwriting) and returns the
+// potential energy.
+type ForceField interface {
+	ComputeForces(sys *System) float64
+}
+
+// VelocityVerlet advances the system one step of dt under ff, returning the
+// potential energy after the step. sys.F must hold forces consistent with
+// the current positions (call ff.ComputeForces once before the first step).
+func VelocityVerlet(sys *System, ff ForceField, dt float64) float64 {
+	for i := 0; i < sys.N; i++ {
+		im := 1 / sys.Mass[i]
+		for d := 0; d < 3; d++ {
+			sys.V[3*i+d] += 0.5 * dt * sys.F[3*i+d] * im
+			sys.X[3*i+d] += dt * sys.V[3*i+d]
+		}
+	}
+	sys.Wrap()
+	pe := ff.ComputeForces(sys)
+	for i := 0; i < sys.N; i++ {
+		im := 1 / sys.Mass[i]
+		for d := 0; d < 3; d++ {
+			sys.V[3*i+d] += 0.5 * dt * sys.F[3*i+d] * im
+		}
+	}
+	return pe
+}
+
+// BerendsenThermostat rescales velocities toward target thermal energy kT
+// with time constant tau (apply once per step after VelocityVerlet).
+func BerendsenThermostat(sys *System, kT, tau, dt float64) {
+	cur := sys.Temperature()
+	if cur <= 0 {
+		return
+	}
+	lambda := math.Sqrt(1 + dt/tau*(kT/cur-1))
+	for i := range sys.V {
+		sys.V[i] *= lambda
+	}
+}
+
+// LangevinThermostat applies the BAOAB-style Ornstein-Uhlenbeck velocity
+// update with friction gamma (1/a.u.) at thermal energy kT.
+func LangevinThermostat(sys *System, kT, gamma, dt float64, rng *rand.Rand) {
+	c1 := math.Exp(-gamma * dt)
+	for i := 0; i < sys.N; i++ {
+		c2 := math.Sqrt((1 - c1*c1) * kT / sys.Mass[i])
+		for d := 0; d < 3; d++ {
+			sys.V[3*i+d] = c1*sys.V[3*i+d] + c2*rng.NormFloat64()
+		}
+	}
+}

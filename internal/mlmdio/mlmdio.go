@@ -1,0 +1,200 @@
+// Package mlmdio provides the serialization layer of the library: XYZ
+// trajectory output for visualization, and binary checkpoints (encoding/gob)
+// for MD systems, wave fields and trained neural-network models, so long
+// multiscale runs can stop and resume.
+package mlmdio
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mlmd/internal/allegro"
+	"mlmd/internal/grid"
+	"mlmd/internal/md"
+	"mlmd/internal/nn"
+	"mlmd/internal/units"
+)
+
+// SpeciesNames maps type indices to element symbols for XYZ output.
+// Defaults to the PbTiO3 convention; override per call as needed.
+var SpeciesNames = []string{"Pb", "Ti", "O"}
+
+// WriteXYZ appends one frame of sys to w in extended-XYZ format (positions
+// in Angstrom, lattice in the comment line).
+func WriteXYZ(w io.Writer, sys *md.System, comment string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n", sys.N)
+	fmt.Fprintf(bw, "Lattice=\"%.6f 0 0 0 %.6f 0 0 0 %.6f\" %s\n",
+		units.Angstrom(sys.Lx), units.Angstrom(sys.Ly), units.Angstrom(sys.Lz), comment)
+	for i := 0; i < sys.N; i++ {
+		name := "X"
+		if sys.Type[i] < len(SpeciesNames) {
+			name = SpeciesNames[sys.Type[i]]
+		}
+		fmt.Fprintf(bw, "%-2s %14.8f %14.8f %14.8f\n", name,
+			units.Angstrom(sys.X[3*i]), units.Angstrom(sys.X[3*i+1]), units.Angstrom(sys.X[3*i+2]))
+	}
+	return bw.Flush()
+}
+
+// ReadXYZ parses one XYZ frame, returning element names and positions in
+// Bohr. It does not reconstruct the full System (masses and velocities are
+// not part of XYZ).
+func ReadXYZ(r io.Reader) (names []string, xyz []float64, err error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("mlmdio: empty XYZ stream")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(sc.Text()))
+	if err != nil || n < 1 {
+		return nil, nil, fmt.Errorf("mlmdio: bad atom count %q", sc.Text())
+	}
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("mlmdio: missing comment line")
+	}
+	names = make([]string, n)
+	xyz = make([]float64, 3*n)
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			return nil, nil, fmt.Errorf("mlmdio: truncated frame at atom %d", i)
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 {
+			return nil, nil, fmt.Errorf("mlmdio: short atom line %q", sc.Text())
+		}
+		names[i] = fields[0]
+		for d := 0; d < 3; d++ {
+			v, err := strconv.ParseFloat(fields[d+1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("mlmdio: bad coordinate %q: %w", fields[d+1], err)
+			}
+			xyz[3*i+d] = units.Bohr(v)
+		}
+	}
+	return names, xyz, nil
+}
+
+// systemCheckpoint is the gob image of an md.System.
+type systemCheckpoint struct {
+	N          int
+	Lx, Ly, Lz float64
+	X, V, F    []float64
+	Mass       []float64
+	Type       []int
+}
+
+// SaveSystem writes a binary checkpoint of sys.
+func SaveSystem(w io.Writer, sys *md.System) error {
+	return gob.NewEncoder(w).Encode(systemCheckpoint{
+		N: sys.N, Lx: sys.Lx, Ly: sys.Ly, Lz: sys.Lz,
+		X: sys.X, V: sys.V, F: sys.F, Mass: sys.Mass, Type: sys.Type,
+	})
+}
+
+// LoadSystem reconstructs a System from a checkpoint.
+func LoadSystem(r io.Reader) (*md.System, error) {
+	var cp systemCheckpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("mlmdio: %w", err)
+	}
+	sys, err := md.NewSystem(cp.N, cp.Lx, cp.Ly, cp.Lz)
+	if err != nil {
+		return nil, err
+	}
+	copy(sys.X, cp.X)
+	copy(sys.V, cp.V)
+	copy(sys.F, cp.F)
+	copy(sys.Mass, cp.Mass)
+	copy(sys.Type, cp.Type)
+	return sys, nil
+}
+
+// fieldCheckpoint is the gob image of a WaveField.
+type fieldCheckpoint struct {
+	Nx, Ny, Nz int
+	Hx, Hy, Hz float64
+	Norb       int
+	Layout     int
+	Data       []complex128
+}
+
+// SaveWaveField writes a binary checkpoint of w.
+func SaveWaveField(wr io.Writer, w *grid.WaveField) error {
+	return gob.NewEncoder(wr).Encode(fieldCheckpoint{
+		Nx: w.G.Nx, Ny: w.G.Ny, Nz: w.G.Nz,
+		Hx: w.G.Hx, Hy: w.G.Hy, Hz: w.G.Hz,
+		Norb: w.Norb, Layout: int(w.Layout), Data: w.Data,
+	})
+}
+
+// LoadWaveField reconstructs a WaveField from a checkpoint.
+func LoadWaveField(r io.Reader) (*grid.WaveField, error) {
+	var cp fieldCheckpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("mlmdio: %w", err)
+	}
+	g := grid.New(cp.Nx, cp.Ny, cp.Nz, cp.Hx, cp.Hy, cp.Hz)
+	w := grid.NewWaveField(g, cp.Norb, grid.Layout(cp.Layout))
+	copy(w.Data, cp.Data)
+	return w, nil
+}
+
+// modelCheckpoint is the gob image of an allegro.Model.
+type modelCheckpoint struct {
+	Cutoff          float64
+	NRadial         int
+	NSpecies        int
+	Hidden          []int
+	Act             int
+	Weights         [][]float64
+	Biases          [][]float64
+	PerSpeciesShift []float64
+	BlockSize       int
+}
+
+// SaveModel writes a binary checkpoint of a trained force field.
+func SaveModel(w io.Writer, m *allegro.Model) error {
+	cp := modelCheckpoint{
+		Cutoff:          m.Spec.Cutoff,
+		NRadial:         m.Spec.NRadial,
+		NSpecies:        m.Spec.NSpecies,
+		PerSpeciesShift: m.PerSpeciesShift,
+		BlockSize:       m.BlockSize,
+	}
+	// All nets share an architecture; record it from the first.
+	sizes := m.Nets[0].Sizes
+	cp.Hidden = append([]int(nil), sizes[1:len(sizes)-1]...)
+	cp.Act = int(m.Nets[0].Act)
+	for _, net := range m.Nets {
+		cp.Weights = append(cp.Weights, net.Params(nil))
+		cp.Biases = append(cp.Biases, nil) // params carry biases already
+	}
+	return gob.NewEncoder(w).Encode(cp)
+}
+
+// LoadModel reconstructs a trained force field.
+func LoadModel(r io.Reader) (*allegro.Model, error) {
+	var cp modelCheckpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("mlmdio: %w", err)
+	}
+	spec := allegro.DescriptorSpec{Cutoff: cp.Cutoff, NRadial: cp.NRadial, NSpecies: cp.NSpecies}
+	m, err := allegro.NewModel(spec, cp.Hidden, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(cp.Weights) != len(m.Nets) {
+		return nil, fmt.Errorf("mlmdio: checkpoint has %d nets, model needs %d", len(cp.Weights), len(m.Nets))
+	}
+	for sp, net := range m.Nets {
+		net.Act = nn.Activation(cp.Act)
+		net.SetParams(cp.Weights[sp])
+	}
+	copy(m.PerSpeciesShift, cp.PerSpeciesShift)
+	m.BlockSize = cp.BlockSize
+	return m, nil
+}

@@ -1,0 +1,67 @@
+package mlmdio
+
+import (
+	"bytes"
+	"testing"
+
+	"mlmd/internal/ferro"
+	"mlmd/internal/md"
+)
+
+// TestCheckpointResumeBitwise verifies the restart guarantee: an MD run
+// checkpointed halfway and resumed produces bitwise-identical trajectories
+// to an uninterrupted run (NVE dynamics are deterministic).
+func TestCheckpointResumeBitwise(t *testing.T) {
+	build := func() (*md.System, md.ForceField) {
+		sys, lat, err := ferro.NewLattice(2, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eh := ferro.DefaultEffHam(lat)
+		s0 := eh.S0()
+		for c := 0; c < lat.NumCells(); c++ {
+			lat.SetSoftMode(sys, c, 0, 0, s0)
+		}
+		sys.InitVelocities(1e-4, 9)
+		eh.ComputeForces(sys)
+		return sys, eh
+	}
+	const dt = 10.0
+	// Uninterrupted: 20 steps.
+	ref, refFF := build()
+	for s := 0; s < 20; s++ {
+		md.VelocityVerlet(ref, refFF, dt)
+	}
+	// Interrupted: 10 steps, checkpoint, reload, 10 more.
+	half, halfFF := build()
+	for s := 0; s < 10; s++ {
+		md.VelocityVerlet(half, halfFF, dt)
+	}
+	var buf bytes.Buffer
+	if err := SaveSystem(&buf, half); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := LoadSystem(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The force field must be re-bound to a lattice matching the resumed
+	// system; rebuilding from scratch works because R0 depends only on
+	// geometry.
+	_, lat2, err := ferro.NewLattice(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff2 := ferro.DefaultEffHam(lat2)
+	for s := 0; s < 10; s++ {
+		md.VelocityVerlet(resumed, ff2, dt)
+	}
+	for i := range ref.X {
+		if ref.X[i] != resumed.X[i] {
+			t.Fatalf("trajectory diverged at coordinate %d: %g vs %g", i, ref.X[i], resumed.X[i])
+		}
+		if ref.V[i] != resumed.V[i] {
+			t.Fatalf("velocities diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package multigrid implements the O(N) tree-based multigrid Poisson solver
+// the paper uses for the *global* Kohn–Sham potential (the "globally
+// scalable"/"globally sparse" half of the GSLF/GSLD solver pair,
+// Sec. V.A.2), complementing the dense FFT solver used inside domains.
+//
+// Geometric multigrid with V-cycles: red-black Gauss–Seidel smoothing,
+// full-weighting restriction, trilinear prolongation, on periodic
+// power-of-two grids. Solves ∇²v = f (for the Hartree problem,
+// f = −4π(ρ − ρ̄): the mean is projected out as the periodic neutralizing
+// background).
+package multigrid
+
+import (
+	"fmt"
+	"math"
+
+	"mlmd/internal/grid"
+)
+
+// Solver is a planned multigrid hierarchy for a fixed grid.
+type Solver struct {
+	levels []level
+	// PreSmooth and PostSmooth are the smoothing sweeps per V-cycle leg.
+	PreSmooth, PostSmooth int
+}
+
+type level struct {
+	g         grid.Grid
+	v, f, res []float64
+}
+
+// New builds the hierarchy. Each grid dimension must be a power of two and
+// at least 4; coarsening stops at 4 points per axis.
+func New(g grid.Grid) (*Solver, error) {
+	check := func(n int) bool { return n >= 4 && n&(n-1) == 0 }
+	if !check(g.Nx) || !check(g.Ny) || !check(g.Nz) {
+		return nil, fmt.Errorf("multigrid: dims must be powers of two >= 4, got %dx%dx%d", g.Nx, g.Ny, g.Nz)
+	}
+	s := &Solver{PreSmooth: 3, PostSmooth: 3}
+	cur := g
+	for {
+		s.levels = append(s.levels, level{
+			g:   cur,
+			v:   make([]float64, cur.Len()),
+			f:   make([]float64, cur.Len()),
+			res: make([]float64, cur.Len()),
+		})
+		if cur.Nx == 4 || cur.Ny == 4 || cur.Nz == 4 {
+			break
+		}
+		cur = grid.New(cur.Nx/2, cur.Ny/2, cur.Nz/2, cur.Hx*2, cur.Hy*2, cur.Hz*2)
+	}
+	return s, nil
+}
+
+// NumLevels returns the depth of the hierarchy.
+func (s *Solver) NumLevels() int { return len(s.levels) }
+
+// Solve runs V-cycles on ∇²v = f until the relative residual drops below
+// tol or maxCycles is reached, writing the solution into v (which also
+// provides the initial guess). It returns the final relative residual.
+// The mean of f is removed (periodic solvability condition), and the mean
+// of v is pinned to zero (gauge).
+func (s *Solver) Solve(f, v []float64, tol float64, maxCycles int) float64 {
+	top := &s.levels[0]
+	n := top.g.Len()
+	if len(f) != n || len(v) != n {
+		panic("multigrid: Solve length mismatch")
+	}
+	mean := 0.0
+	for _, x := range f {
+		mean += x
+	}
+	mean /= float64(n)
+	for i := range f {
+		top.f[i] = f[i] - mean
+	}
+	copy(top.v, v)
+	fNorm := norm(top.f)
+	if fNorm == 0 {
+		for i := range v {
+			v[i] = 0
+		}
+		return 0
+	}
+	var rel float64
+	for c := 0; c < maxCycles; c++ {
+		s.vcycle(0)
+		residual(top.g, top.v, top.f, top.res)
+		rel = norm(top.res) / fNorm
+		if rel < tol {
+			break
+		}
+	}
+	// Zero-mean gauge.
+	mv := 0.0
+	for _, x := range top.v {
+		mv += x
+	}
+	mv /= float64(n)
+	for i := range v {
+		v[i] = top.v[i] - mv
+	}
+	return rel
+}
+
+// vcycle runs one V-cycle starting at level l.
+func (s *Solver) vcycle(l int) {
+	lev := &s.levels[l]
+	if l == len(s.levels)-1 {
+		// Coarsest: smooth hard.
+		for i := 0; i < 50; i++ {
+			smooth(lev.g, lev.v, lev.f)
+		}
+		return
+	}
+	for i := 0; i < s.PreSmooth; i++ {
+		smooth(lev.g, lev.v, lev.f)
+	}
+	residual(lev.g, lev.v, lev.f, lev.res)
+	coarse := &s.levels[l+1]
+	restrict(lev.g, coarse.g, lev.res, coarse.f)
+	for i := range coarse.v {
+		coarse.v[i] = 0
+	}
+	s.vcycle(l + 1)
+	prolongAdd(coarse.g, lev.g, coarse.v, lev.v)
+	for i := 0; i < s.PostSmooth; i++ {
+		smooth(lev.g, lev.v, lev.f)
+	}
+}
+
+// smooth performs one red-black Gauss–Seidel sweep of ∇²v = f.
+func smooth(g grid.Grid, v, f []float64) {
+	ihx2 := 1 / (g.Hx * g.Hx)
+	ihy2 := 1 / (g.Hy * g.Hy)
+	ihz2 := 1 / (g.Hz * g.Hz)
+	diag := -2 * (ihx2 + ihy2 + ihz2)
+	for color := 0; color < 2; color++ {
+		for ix := 0; ix < g.Nx; ix++ {
+			for iy := 0; iy < g.Ny; iy++ {
+				for iz := 0; iz < g.Nz; iz++ {
+					if (ix+iy+iz)&1 != color {
+						continue
+					}
+					idx := g.Index(ix, iy, iz)
+					nb := ihx2*(v[g.Index(grid.Wrap(ix+1, g.Nx), iy, iz)]+v[g.Index(grid.Wrap(ix-1, g.Nx), iy, iz)]) +
+						ihy2*(v[g.Index(ix, grid.Wrap(iy+1, g.Ny), iz)]+v[g.Index(ix, grid.Wrap(iy-1, g.Ny), iz)]) +
+						ihz2*(v[g.Index(ix, iy, grid.Wrap(iz+1, g.Nz))]+v[g.Index(ix, iy, grid.Wrap(iz-1, g.Nz))])
+					v[idx] = (f[idx] - nb) / diag
+				}
+			}
+		}
+	}
+}
+
+// residual computes res = f − ∇²v.
+func residual(g grid.Grid, v, f, res []float64) {
+	grid.Laplacian(g, grid.Order2, v, res)
+	for i := range res {
+		res[i] = f[i] - res[i]
+	}
+}
+
+// restrict transfers a fine field to the coarse grid by full weighting
+// (here: 8-point cell averaging, adequate for cell-aligned coarsening).
+func restrict(fine, coarse grid.Grid, src, dst []float64) {
+	for cx := 0; cx < coarse.Nx; cx++ {
+		for cy := 0; cy < coarse.Ny; cy++ {
+			for cz := 0; cz < coarse.Nz; cz++ {
+				var sum float64
+				for ox := 0; ox < 2; ox++ {
+					for oy := 0; oy < 2; oy++ {
+						for oz := 0; oz < 2; oz++ {
+							sum += src[fine.Index(2*cx+ox, 2*cy+oy, 2*cz+oz)]
+						}
+					}
+				}
+				dst[coarse.Index(cx, cy, cz)] = sum / 8
+			}
+		}
+	}
+}
+
+// prolongAdd adds the trilinear interpolation of the coarse correction to
+// the fine solution.
+func prolongAdd(coarse, fine grid.Grid, src, dst []float64) {
+	for fx := 0; fx < fine.Nx; fx++ {
+		cx := fx / 2
+		cx2 := cx
+		if fx&1 == 1 {
+			cx2 = grid.Wrap(cx+1, coarse.Nx)
+		} else {
+			cx2 = grid.Wrap(cx-1, coarse.Nx)
+		}
+		for fy := 0; fy < fine.Ny; fy++ {
+			cy := fy / 2
+			cy2 := cy
+			if fy&1 == 1 {
+				cy2 = grid.Wrap(cy+1, coarse.Ny)
+			} else {
+				cy2 = grid.Wrap(cy-1, coarse.Ny)
+			}
+			for fz := 0; fz < fine.Nz; fz++ {
+				cz := fz / 2
+				cz2 := cz
+				if fz&1 == 1 {
+					cz2 = grid.Wrap(cz+1, coarse.Nz)
+				} else {
+					cz2 = grid.Wrap(cz-1, coarse.Nz)
+				}
+				// Trilinear with weights 3/4 toward the containing cell.
+				const w1, w2 = 0.75, 0.25
+				val := 0.0
+				for _, t := range [8]struct {
+					x, y, z int
+					w       float64
+				}{
+					{cx, cy, cz, w1 * w1 * w1}, {cx2, cy, cz, w2 * w1 * w1},
+					{cx, cy2, cz, w1 * w2 * w1}, {cx, cy, cz2, w1 * w1 * w2},
+					{cx2, cy2, cz, w2 * w2 * w1}, {cx2, cy, cz2, w2 * w1 * w2},
+					{cx, cy2, cz2, w1 * w2 * w2}, {cx2, cy2, cz2, w2 * w2 * w2},
+				} {
+					val += t.w * src[coarse.Index(t.x, t.y, t.z)]
+				}
+				dst[fine.Index(fx, fy, fz)] += val
+			}
+		}
+	}
+}
+
+func norm(x []float64) float64 {
+	var sum float64
+	for _, v := range x {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// SolveHartree is the convenience wrapper for the Hartree problem:
+// ∇²v_H = −4πρ with the neutralizing background handled internally.
+func (s *Solver) SolveHartree(rho, vH []float64, tol float64, maxCycles int) float64 {
+	f := make([]float64, len(rho))
+	for i, r := range rho {
+		f[i] = -4 * math.Pi * r
+	}
+	return s.Solve(f, vH, tol, maxCycles)
+}

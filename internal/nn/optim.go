@@ -1,0 +1,155 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer over an MLP's parameters.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	m, v                  []float64
+	t                     int
+}
+
+// NewAdam returns an Adam optimizer with standard defaults and the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update of model parameters from grads.
+func (a *Adam) Step(model *MLP, grads *Grads) {
+	n := model.NumWeights()
+	if len(a.m) != n {
+		a.m = make([]float64, n)
+		a.v = make([]float64, n)
+		a.t = 0
+	}
+	a.t++
+	flatG := make([]float64, 0, n)
+	for l := range grads.W {
+		flatG = append(flatG, grads.W[l]...)
+		flatG = append(flatG, grads.B[l]...)
+	}
+	p := model.Params(nil)
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i := 0; i < n; i++ {
+		a.m[i] = a.Beta1*a.m[i] + (1-a.Beta1)*flatG[i]
+		a.v[i] = a.Beta2*a.v[i] + (1-a.Beta2)*flatG[i]*flatG[i]
+		mh := a.m[i] / bc1
+		vh := a.v[i] / bc2
+		p[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+	}
+	model.SetParams(p)
+}
+
+// GradNorm returns the Euclidean norm of all gradients.
+func GradNorm(g *Grads) float64 {
+	var sum float64
+	for l := range g.W {
+		for _, v := range g.W[l] {
+			sum += v * v
+		}
+		for _, v := range g.B[l] {
+			sum += v * v
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// SAM implements sharpness-aware minimization (Foret et al., the
+// Allegro-Legato training scheme): for each step the caller first computes
+// gradients at w, calls Perturb to move to the adversarial point
+// w + ρ g/‖g‖, recomputes gradients there, calls Restore, and applies the
+// optimizer with the perturbed gradients. Minimizing the perturbed loss
+// flattens the loss landscape, which the paper shows lengthens the MD
+// time-to-failure t_failure.
+type SAM struct {
+	Rho   float64
+	saved []float64
+}
+
+// NewSAM returns a SAM helper with neighborhood radius rho.
+func NewSAM(rho float64) *SAM { return &SAM{Rho: rho} }
+
+// Perturb saves the parameters of model and moves them to the adversarial
+// point along grads. It is a no-op for zero gradients.
+func (s *SAM) Perturb(model *MLP, grads *Grads) {
+	norm := GradNorm(grads)
+	s.saved = model.Params(s.saved)
+	if norm == 0 {
+		return
+	}
+	p := append([]float64(nil), s.saved...)
+	scale := s.Rho / norm
+	k := 0
+	for l := range grads.W {
+		for _, g := range grads.W[l] {
+			p[k] += scale * g
+			k++
+		}
+		for _, g := range grads.B[l] {
+			p[k] += scale * g
+			k++
+		}
+	}
+	model.SetParams(p)
+}
+
+// Restore returns the model to the parameters saved by Perturb.
+func (s *SAM) Restore(model *MLP) {
+	model.SetParams(s.saved)
+}
+
+// Sharpness estimates the loss-landscape sharpness of model under loss:
+// max over a few random unit directions of loss(w + ρu) − loss(w),
+// normalized by ρ². Lower is flatter (Legato's goal).
+func Sharpness(model *MLP, loss func(*MLP) float64, rho float64, probes int, seed int64) float64 {
+	base := loss(model)
+	p0 := model.Params(nil)
+	n := len(p0)
+	worst := 0.0
+	rng := newSplitMix(seed)
+	for k := 0; k < probes; k++ {
+		dir := make([]float64, n)
+		var norm float64
+		for i := range dir {
+			dir[i] = rng.norm()
+			norm += dir[i] * dir[i]
+		}
+		norm = math.Sqrt(norm)
+		p := append([]float64(nil), p0...)
+		for i := range p {
+			p[i] += rho * dir[i] / norm
+		}
+		model.SetParams(p)
+		if d := loss(model) - base; d > worst {
+			worst = d
+		}
+	}
+	model.SetParams(p0)
+	return worst / (rho * rho)
+}
+
+// splitMix is a tiny deterministic normal generator (Box-Muller over
+// SplitMix64) so Sharpness does not depend on math/rand global state.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed int64) *splitMix { return &splitMix{s: uint64(seed)*0x9E3779B97F4A7C15 + 1} }
+
+func (r *splitMix) next() float64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+func (r *splitMix) norm() float64 {
+	u1 := r.next()
+	for u1 == 0 {
+		u1 = r.next()
+	}
+	u2 := r.next()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

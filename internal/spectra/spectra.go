@@ -1,0 +1,115 @@
+// Package spectra turns time-domain observables of the quantum dynamics
+// into frequency-domain spectra: the dipole signal of a kicked or pulsed
+// system yields the optical absorption spectrum (the standard real-time
+// TDDFT analysis), and velocity autocorrelations yield vibrational spectra
+// for the MD side.
+package spectra
+
+import (
+	"fmt"
+	"math"
+
+	"mlmd/internal/fft"
+)
+
+// Spectrum is a one-sided power spectrum.
+type Spectrum struct {
+	// Omega holds angular frequencies (a.u.) and Power the corresponding
+	// spectral intensities.
+	Omega, Power []float64
+}
+
+// FromSignal computes the power spectrum of a uniformly sampled real signal
+// with time step dt (a.u.). A Hann window suppresses leakage; the signal's
+// mean is removed; the series is zero-padded to the next power of two.
+func FromSignal(signal []float64, dt float64) (*Spectrum, error) {
+	if len(signal) < 4 {
+		return nil, fmt.Errorf("spectra: signal too short (%d samples)", len(signal))
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("spectra: non-positive dt %g", dt)
+	}
+	n := len(signal)
+	mean := 0.0
+	for _, v := range signal {
+		mean += v
+	}
+	mean /= float64(n)
+	// Next power of two ≥ 2n for resolution.
+	m := 1
+	for m < 2*n {
+		m <<= 1
+	}
+	buf := make([]complex128, m)
+	for i, v := range signal {
+		w := 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1))) // Hann
+		buf[i] = complex((v-mean)*w, 0)
+	}
+	plan, err := fft.NewPlan(m)
+	if err != nil {
+		return nil, err
+	}
+	plan.Forward(buf)
+	half := m / 2
+	sp := &Spectrum{Omega: make([]float64, half), Power: make([]float64, half)}
+	for k := 0; k < half; k++ {
+		sp.Omega[k] = 2 * math.Pi * float64(k) / (float64(m) * dt)
+		re, im := real(buf[k]), imag(buf[k])
+		sp.Power[k] = re*re + im*im
+	}
+	return sp, nil
+}
+
+// Peak returns the frequency of the strongest spectral feature above
+// omegaMin (to skip the DC remnant).
+func (s *Spectrum) Peak(omegaMin float64) (omega, power float64) {
+	for k := range s.Omega {
+		if s.Omega[k] < omegaMin {
+			continue
+		}
+		if s.Power[k] > power {
+			power = s.Power[k]
+			omega = s.Omega[k]
+		}
+	}
+	return
+}
+
+// DipoleRecorder accumulates a dipole time series during propagation.
+type DipoleRecorder struct {
+	Dt     float64
+	Signal []float64
+}
+
+// Record appends one dipole sample.
+func (r *DipoleRecorder) Record(d float64) { r.Signal = append(r.Signal, d) }
+
+// Spectrum finalizes the absorption spectrum.
+func (r *DipoleRecorder) Spectrum() (*Spectrum, error) {
+	return FromSignal(r.Signal, r.Dt)
+}
+
+// VDOS computes the vibrational density of states from velocity snapshots:
+// vel[t][3N] sampled every dt. The velocity autocorrelation is estimated
+// directly and Fourier transformed.
+func VDOS(vel [][]float64, dt float64) (*Spectrum, error) {
+	if len(vel) < 8 {
+		return nil, fmt.Errorf("spectra: need at least 8 velocity frames, got %d", len(vel))
+	}
+	nT := len(vel)
+	maxLag := nT / 2
+	acf := make([]float64, maxLag)
+	for lag := 0; lag < maxLag; lag++ {
+		var sum float64
+		var count int
+		for t0 := 0; t0+lag < nT; t0++ {
+			a, b := vel[t0], vel[t0+lag]
+			for i := range a {
+				sum += a[i] * b[i]
+			}
+			count += len(a)
+		}
+		acf[lag] = sum / float64(count)
+	}
+	return FromSignal(acf, dt)
+}

@@ -1,0 +1,170 @@
+package spectra
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/grid"
+	"mlmd/internal/md"
+	"mlmd/internal/tddft"
+)
+
+func TestFromSignalValidation(t *testing.T) {
+	if _, err := FromSignal([]float64{1, 2}, 0.1); err == nil {
+		t.Error("short signal accepted")
+	}
+	if _, err := FromSignal(make([]float64, 100), -1); err == nil {
+		t.Error("negative dt accepted")
+	}
+}
+
+func TestPureToneRecovered(t *testing.T) {
+	// A sampled sinusoid must peak at its own frequency.
+	omega0 := 0.35
+	dt := 0.1
+	n := 4096
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = math.Sin(omega0*float64(i)*dt) + 3.0 // offset removed internally
+	}
+	sp, err := FromSignal(sig, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, power := sp.Peak(0.01)
+	if power <= 0 {
+		t.Fatal("no spectral power")
+	}
+	if math.Abs(peak-omega0) > 0.01 {
+		t.Errorf("peak at %g, want %g", peak, omega0)
+	}
+}
+
+func TestTwoTonesResolved(t *testing.T) {
+	dt := 0.05
+	n := 8192
+	sig := make([]float64, n)
+	for i := range sig {
+		ti := float64(i) * dt
+		sig[i] = math.Sin(0.3*ti) + 0.5*math.Sin(0.9*ti)
+	}
+	sp, _ := FromSignal(sig, dt)
+	p1, _ := sp.Peak(0.05)
+	if math.Abs(p1-0.3) > 0.01 {
+		t.Errorf("dominant tone at %g, want 0.3", p1)
+	}
+	// Check the secondary tone has a local max near 0.9.
+	var best float64
+	var bestW float64
+	for k := range sp.Omega {
+		if sp.Omega[k] > 0.8 && sp.Omega[k] < 1.0 && sp.Power[k] > best {
+			best = sp.Power[k]
+			bestW = sp.Omega[k]
+		}
+	}
+	if math.Abs(bestW-0.9) > 0.02 {
+		t.Errorf("secondary tone at %g, want 0.9", bestW)
+	}
+}
+
+func TestKohnModeSpectrum(t *testing.T) {
+	// Physics integration: a kicked electron in a harmonic trap oscillates
+	// at the trap frequency; the dipole spectrum must peak there.
+	if testing.Short() {
+		t.Skip("propagation test")
+	}
+	g := grid.NewCubic(12, 0.8)
+	h := tddft.NewHamiltonian(g, grid.Order2)
+	omega0 := 0.5
+	tddft.HarmonicPotential(g, omega0*omega0, h.Vloc)
+	w, _ := tddft.GroundState(h, 1, 400, 1)
+	// Momentum kick.
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for iz := 0; iz < g.Nz; iz++ {
+				x, _, _ := g.Position(ix, iy, iz)
+				idx := g.Index(ix, iy, iz)
+				re, im := math.Cos(0.2*x), math.Sin(0.2*x)
+				w.Set(idx, 0, w.At(idx, 0)*complex(re, im))
+			}
+		}
+	}
+	prop, err := tddft.NewPropagator(h, tddft.ImplParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := 0.08
+	rec := &DipoleRecorder{Dt: dt}
+	rho := make([]float64, g.Len())
+	for step := 0; step < 1200; step++ {
+		prop.Step(w, dt)
+		w.Density(rho, nil)
+		dx, _, _ := tddft.Dipole(g, rho)
+		rec.Record(dx)
+	}
+	sp, err := rec.Spectrum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _ := sp.Peak(0.1)
+	t.Logf("dipole spectrum peak at %.3f a.u. (trap frequency %.3f)", peak, omega0)
+	if math.Abs(peak-omega0) > 0.05 {
+		t.Errorf("Kohn mode at %g, want %g", peak, omega0)
+	}
+}
+
+func TestVDOSOfHarmonicCrystal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MD test")
+	}
+	// A single particle on a spring: VDOS peaks at sqrt(k/m).
+	sys, err := md.NewSystem(1, 20, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Mass[0] = 100
+	k := 0.4
+	omega0 := math.Sqrt(k / sys.Mass[0])
+	sys.X[0], sys.X[1], sys.X[2] = 10.5, 10, 10 // displaced from the spring site
+	spring := springFF{k: k, site: [3]float64{10, 10, 10}}
+	spring.ComputeForces(sys)
+	dt := 1.0
+	var vel [][]float64
+	for step := 0; step < 4000; step++ {
+		md.VelocityVerlet(sys, spring, dt)
+		vel = append(vel, append([]float64(nil), sys.V...))
+	}
+	sp, err := VDOS(vel, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, _ := sp.Peak(0.005)
+	t.Logf("VDOS peak at %.4f (expected %.4f)", peak, omega0)
+	if math.Abs(peak-omega0) > 0.01 {
+		t.Errorf("VDOS peak %g, want %g", peak, omega0)
+	}
+}
+
+// springFF tethers every atom to a fixed site.
+type springFF struct {
+	k    float64
+	site [3]float64
+}
+
+func (s springFF) ComputeForces(sys *md.System) float64 {
+	var pe float64
+	for i := 0; i < sys.N; i++ {
+		for d := 0; d < 3; d++ {
+			dx := sys.X[3*i+d] - s.site[d]
+			sys.F[3*i+d] = -s.k * dx
+			pe += 0.5 * s.k * dx * dx
+		}
+	}
+	return pe
+}
+
+func TestVDOSValidation(t *testing.T) {
+	if _, err := VDOS(nil, 1); err == nil {
+		t.Error("empty velocity set accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package tddft
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/grid"
+)
+
+func ehrenfestSetup(t testing.TB) (*Ehrenfest, *grid.WaveField) {
+	t.Helper()
+	g := grid.NewCubic(12, 0.8)
+	lx, _, _ := g.LxLyLz()
+	ip := &IonPotential{G: g, Ions: []Ion{
+		{Z: 1.2, Sigma: 1.2, R: [3]float64{lx / 2, lx / 2, lx / 2}},
+	}}
+	h := NewHamiltonian(g, grid.Order2)
+	ip.Fill(h.Vloc)
+	psi, _ := GroundState(h, 1, 400, 3)
+	masses := []float64{1836} // a proton-like ion
+	e, err := NewEhrenfest(h, ip, masses, ImplBlocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, psi
+}
+
+func TestEhrenfestEquilibriumIsStationary(t *testing.T) {
+	// Ion at the center of its own ground-state cloud: nothing should move.
+	e, psi := ehrenfestSetup(t)
+	r0 := e.Ions.Ions[0].R
+	for s := 0; s < 10; s++ {
+		e.Step(psi, 2.0)
+	}
+	for d := 0; d < 3; d++ {
+		if math.Abs(e.Ions.Ions[0].R[d]-r0[d]) > 0.02 {
+			t.Errorf("equilibrium ion drifted along %d: %g -> %g", d, r0[d], e.Ions.Ions[0].R[d])
+		}
+	}
+	if ke := e.IonKineticEnergy(); ke > 1e-5 {
+		t.Errorf("equilibrium ion gained kinetic energy %g", ke)
+	}
+}
+
+func TestEhrenfestRestoringPull(t *testing.T) {
+	// A bare ion+cloud pair is translation invariant (the cloud follows the
+	// ion), so to test the restoring force the electrons are anchored by an
+	// external trap; a displaced ion is then pulled back toward the pinned
+	// cloud.
+	g := grid.NewCubic(12, 0.8)
+	lx, _, _ := g.LxLyLz()
+	ip := &IonPotential{G: g, Ions: []Ion{
+		{Z: 1.2, Sigma: 1.2, R: [3]float64{lx / 2, lx / 2, lx / 2}},
+	}}
+	h := NewHamiltonian(g, grid.Order2)
+	trap := make([]float64, g.Len())
+	HarmonicPotential(g, 0.09, trap)
+	rebuild := func() {
+		ip.Fill(h.Vloc)
+		for i := range h.Vloc {
+			h.Vloc[i] += trap[i]
+		}
+	}
+	rebuild()
+	psi, _ := GroundState(h, 1, 400, 3)
+	e, err := NewEhrenfest(h, ip, []float64{50}, ImplBlocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.VStatic = trap
+	e.Ions.Ions[0].R[0] += 1.2
+	rebuild()
+	x0 := e.Ions.Ions[0].R[0]
+	minX := x0
+	for s := 0; s < 150; s++ {
+		e.Step(psi, 5.0)
+		if x := e.Ions.Ions[0].R[0]; x < minX {
+			minX = x
+		}
+	}
+	if minX > x0-0.1 {
+		t.Errorf("ion was not pulled back: start %g, min %g", x0, minX)
+	}
+	// Electrons stayed normalized through the coupled evolution.
+	if d := NormDrift(psi); d > 1e-9 {
+		t.Errorf("norm drift %g", d)
+	}
+}
+
+func TestEhrenfestValidation(t *testing.T) {
+	g := grid.NewCubic(8, 0.8)
+	ip := &IonPotential{G: g, Ions: []Ion{{Z: 1, Sigma: 1}}}
+	h := NewHamiltonian(g, grid.Order2)
+	if _, err := NewEhrenfest(h, ip, []float64{1, 2}, ImplBlocked); err == nil {
+		t.Error("mismatched masses accepted")
+	}
+}
+
+func TestEhrenfestPairRepulsion(t *testing.T) {
+	// Two ions with pair repulsion and no electrons: they push apart.
+	g := grid.NewCubic(12, 0.8)
+	lx, _, _ := g.LxLyLz()
+	ip := &IonPotential{G: g, Ions: []Ion{
+		{Z: 0.0, Sigma: 1.0, R: [3]float64{lx/2 - 0.5, lx / 2, lx / 2}},
+		{Z: 0.0, Sigma: 1.0, R: [3]float64{lx/2 + 0.5, lx / 2, lx / 2}},
+	}}
+	h := NewHamiltonian(g, grid.Order2)
+	psi := grid.NewWaveField(g, 1, grid.LayoutSoA)
+	psi.Set(0, 0, 1)
+	psi.Normalize()
+	e, err := NewEhrenfest(h, ip, []float64{500, 500}, ImplBlocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.IonPairK = 0.02
+	sep0 := ip.Ions[1].R[0] - ip.Ions[0].R[0]
+	for s := 0; s < 30; s++ {
+		e.Step(psi, 2.0)
+	}
+	sep := ip.Ions[1].R[0] - ip.Ions[0].R[0]
+	if sep <= sep0 {
+		t.Errorf("repelling ions did not separate: %g -> %g", sep0, sep)
+	}
+}

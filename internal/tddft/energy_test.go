@@ -1,0 +1,76 @@
+package tddft
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/grid"
+)
+
+func TestEnergyComponentsHarmonic(t *testing.T) {
+	// 3-D harmonic oscillator ground state (one electron, no Hartree/XC in
+	// the Hamiltonian used to find it): virial theorem gives
+	// Kinetic = External/... for V = ½ω²r²: ⟨T⟩ = ⟨V⟩ = E/2 = 3ω/4.
+	g := grid.NewCubic(16, 0.7)
+	h := NewHamiltonian(g, grid.Order2)
+	omega := 0.5
+	HarmonicPotential(g, omega*omega, h.Vloc)
+	w, _ := GroundState(h, 1, 800, 1)
+	hs, err := NewHartreeSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vext := make([]float64, g.Len())
+	HarmonicPotential(g, omega*omega, vext)
+	ec := ComputeEnergy(h, hs, w, nil, vext)
+	want := 3 * omega / 4
+	if math.Abs(ec.Kinetic-want) > 0.03 {
+		t.Errorf("⟨T⟩ = %g, want %g (virial)", ec.Kinetic, want)
+	}
+	if math.Abs(ec.External-want) > 0.03 {
+		t.Errorf("⟨V⟩ = %g, want %g (virial)", ec.External, want)
+	}
+	// Hartree self-energy of one electron is positive; XC negative.
+	if ec.Hartree <= 0 {
+		t.Errorf("Hartree = %g, want > 0", ec.Hartree)
+	}
+	if ec.XC >= 0 {
+		t.Errorf("XC = %g, want < 0", ec.XC)
+	}
+	if math.Abs(ec.Total-(ec.Kinetic+ec.External+ec.Hartree+ec.XC)) > 1e-12 {
+		t.Error("components do not sum to total")
+	}
+}
+
+func TestEnergyConservedUnderPropagation(t *testing.T) {
+	// With a static Hamiltonian (no pulse, fixed Vloc) the decomposed total
+	// computed against that same fixed potential is conserved.
+	g := grid.NewCubic(16, 0.8)
+	h := NewHamiltonian(g, grid.Order2)
+	HarmonicPotential(g, 0.25, h.Vloc)
+	w, _ := GroundState(h, 2, 600, 2)
+	// Kick so the state is non-stationary (energy above ground).
+	for gi := 0; gi < g.Len(); gi++ {
+		ix, _, _ := g.Coords(gi)
+		ph := complex(math.Cos(0.2*float64(ix)), math.Sin(0.2*float64(ix)))
+		w.Set(gi, 0, w.At(gi, 0)*ph)
+	}
+	hs, err := NewHartreeSolver(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vext := make([]float64, g.Len())
+	HarmonicPotential(g, 0.25, vext)
+	prop, _ := NewPropagator(h, ImplBlocked)
+	e0 := ComputeEnergy(h, hs, w, nil, vext)
+	kin0, ext0 := e0.Kinetic, e0.External
+	prop.Run(w, 0.04, 200)
+	e1 := ComputeEnergy(h, hs, w, nil, vext)
+	sum0 := kin0 + ext0
+	sum1 := e1.Kinetic + e1.External
+	if math.Abs(sum1-sum0) > 5e-3*math.Abs(sum0) {
+		t.Errorf("kinetic+external drifted: %g -> %g", sum0, sum1)
+	}
+	// Energy sloshes between kinetic and potential during the oscillation,
+	// so the individual terms are allowed to differ.
+}

@@ -1,0 +1,124 @@
+package tddft
+
+import (
+	"math"
+
+	"mlmd/internal/grid"
+)
+
+// This file implements the electron–ion coupling of the QXMD side: a soft
+// Gaussian local pseudopotential per ion and the Hellmann–Feynman forces the
+// electron density exerts back on the ions — the force channel of Ehrenfest
+// dynamics (the F^QM feeding Eq. 1 of the paper).
+
+// Ion is one classical ion with a Gaussian local pseudopotential
+// v(r) = −Z/(√(2π)σ)³-normalized well... in practice the unnormalized soft
+// form v(r) = −Z exp(−|r−R|²/2σ²) is used (Z in Hartree at the center).
+type Ion struct {
+	Z     float64    // well depth (Hartree)
+	Sigma float64    // Gaussian width (Bohr)
+	R     [3]float64 // position (Bohr)
+}
+
+// IonPotential is a set of ions on a grid.
+type IonPotential struct {
+	G    grid.Grid
+	Ions []Ion
+}
+
+// Fill writes Σ_i v_i(r) into vext (overwriting). The Gaussian is summed
+// over the 27 nearest periodic images, which makes the potential (and its
+// R-gradient) smooth across the cell seam — a plain minimum-image Gaussian
+// has a derivative kink at L/2 that breaks force/energy consistency.
+func (ip *IonPotential) Fill(vext []float64) {
+	g := ip.G
+	if len(vext) != g.Len() {
+		panic("tddft: Fill length mismatch")
+	}
+	lx, ly, lz := g.LxLyLz()
+	for i := range vext {
+		vext[i] = 0
+	}
+	for _, ion := range ip.Ions {
+		inv2s2 := 1 / (2 * ion.Sigma * ion.Sigma)
+		for ix := 0; ix < g.Nx; ix++ {
+			for iy := 0; iy < g.Ny; iy++ {
+				for iz := 0; iz < g.Nz; iz++ {
+					x, y, z := g.Position(ix, iy, iz)
+					var sum float64
+					for ox := -1.0; ox <= 1; ox++ {
+						dx := x - ion.R[0] + ox*lx
+						for oy := -1.0; oy <= 1; oy++ {
+							dy := y - ion.R[1] + oy*ly
+							for oz := -1.0; oz <= 1; oz++ {
+								dz := z - ion.R[2] + oz*lz
+								sum += math.Exp(-(dx*dx + dy*dy + dz*dz) * inv2s2)
+							}
+						}
+					}
+					vext[g.Index(ix, iy, iz)] -= ion.Z * sum
+				}
+			}
+		}
+	}
+}
+
+// Forces returns the Hellmann–Feynman force on every ion from the electron
+// density rho: F_i = −∂/∂R_i ∫ ρ(r) v_i(r−R_i) dV
+// = −∫ ρ(r) (∂v/∂R) dV, with ∂v/∂R = +∇_r v for a rigid potential.
+// Analytically, ∂v_i/∂R_x = −Z (dx/σ²) exp(−r²/2σ²) with dx = x−R_x.
+func (ip *IonPotential) Forces(rho []float64) [][3]float64 {
+	g := ip.G
+	if len(rho) != g.Len() {
+		panic("tddft: Forces length mismatch")
+	}
+	lx, ly, lz := g.LxLyLz()
+	dv := g.DV()
+	out := make([][3]float64, len(ip.Ions))
+	for k, ion := range ip.Ions {
+		inv2s2 := 1 / (2 * ion.Sigma * ion.Sigma)
+		invS2 := 1 / (ion.Sigma * ion.Sigma)
+		var fx, fy, fz float64
+		for ix := 0; ix < g.Nx; ix++ {
+			for iy := 0; iy < g.Ny; iy++ {
+				for iz := 0; iz < g.Nz; iz++ {
+					x, y, z := g.Position(ix, iy, iz)
+					rhoW := rho[g.Index(ix, iy, iz)] * ion.Z * invS2 * dv
+					if rhoW == 0 {
+						continue
+					}
+					// ∂v/∂R_x = −Z (x−R_x)/σ² e^{−r²/2σ²} per image, so the
+					// force F = −dE/dR points from the ion toward the
+					// electron density (attraction), image-summed like Fill.
+					for ox := -1.0; ox <= 1; ox++ {
+						dx := x - ion.R[0] + ox*lx
+						for oy := -1.0; oy <= 1; oy++ {
+							dy := y - ion.R[1] + oy*ly
+							for oz := -1.0; oz <= 1; oz++ {
+								dz := z - ion.R[2] + oz*lz
+								w := rhoW * math.Exp(-(dx*dx+dy*dy+dz*dz)*inv2s2)
+								fx += w * dx
+								fy += w * dy
+								fz += w * dz
+							}
+						}
+					}
+				}
+			}
+		}
+		out[k] = [3]float64{fx, fy, fz}
+	}
+	return out
+}
+
+// Energy returns ∫ ρ v_ext dV for the ion set — the electron–ion
+// interaction energy whose R-gradient the forces are.
+func (ip *IonPotential) Energy(rho []float64) float64 {
+	vext := make([]float64, ip.G.Len())
+	ip.Fill(vext)
+	sum := 0.0
+	for i, r := range rho {
+		sum += r * vext[i]
+	}
+	return sum * ip.G.DV()
+}

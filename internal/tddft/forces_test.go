@@ -1,0 +1,124 @@
+package tddft
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/grid"
+)
+
+func gaussianDensity(g grid.Grid, cx, cy, cz, sigma float64) []float64 {
+	rho := make([]float64, g.Len())
+	lx, ly, lz := g.LxLyLz()
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for iz := 0; iz < g.Nz; iz++ {
+				x, y, z := g.Position(ix, iy, iz)
+				dx := grid.MinImage(x-cx, lx)
+				dy := grid.MinImage(y-cy, ly)
+				dz := grid.MinImage(z-cz, lz)
+				rho[g.Index(ix, iy, iz)] = math.Exp(-(dx*dx + dy*dy + dz*dz) / (2 * sigma * sigma))
+			}
+		}
+	}
+	return rho
+}
+
+func TestIonPotentialFill(t *testing.T) {
+	g := grid.NewCubic(12, 0.8)
+	lx, _, _ := g.LxLyLz()
+	ip := &IonPotential{G: g, Ions: []Ion{{Z: 1.0, Sigma: 1.0, R: [3]float64{lx / 2, lx / 2, lx / 2}}}}
+	v := make([]float64, g.Len())
+	ip.Fill(v)
+	// Deepest at the ion, ~0 far away, always <= 0.
+	center := g.Index(6, 6, 6)
+	if math.Abs(v[center]+1.0) > 1e-6 {
+		t.Errorf("v at ion = %g, want -1", v[center])
+	}
+	if math.Abs(v[g.Index(0, 0, 0)]) > 1e-5 {
+		t.Errorf("v far away = %g, want ~0", v[g.Index(0, 0, 0)])
+	}
+	for _, x := range v {
+		if x > 1e-12 {
+			t.Fatal("attractive potential must be non-positive")
+		}
+	}
+}
+
+func TestHellmannFeynmanMatchesEnergyGradient(t *testing.T) {
+	g := grid.NewCubic(12, 0.8)
+	lx, _, _ := g.LxLyLz()
+	// Density centered slightly off the ion so the force is nonzero.
+	rho := gaussianDensity(g, lx/2+0.8, lx/2, lx/2-0.4, 1.4)
+	ip := &IonPotential{G: g, Ions: []Ion{
+		{Z: 0.9, Sigma: 1.1, R: [3]float64{lx / 2, lx / 2, lx / 2}},
+		{Z: 0.5, Sigma: 1.3, R: [3]float64{lx / 4, lx / 2, lx / 2}},
+	}}
+	forces := ip.Forces(rho)
+	h := 1e-5
+	for k := range ip.Ions {
+		for d := 0; d < 3; d++ {
+			old := ip.Ions[k].R[d]
+			ip.Ions[k].R[d] = old + h
+			ep := ip.Energy(rho)
+			ip.Ions[k].R[d] = old - h
+			em := ip.Energy(rho)
+			ip.Ions[k].R[d] = old
+			want := -(ep - em) / (2 * h)
+			// Tolerance covers the minimum-image seam: grid points at
+			// exactly L/2 from the ion flip images under the FD probe.
+			if math.Abs(forces[k][d]-want) > 1e-4*math.Max(1, math.Abs(want)) {
+				t.Errorf("ion %d axis %d: F = %g, -dE/dR = %g", k, d, forces[k][d], want)
+			}
+		}
+	}
+}
+
+func TestForceDirectionIsAttractive(t *testing.T) {
+	// Electron density to the +x side of the ion pulls the ion toward +x
+	// (electrons attract the ion).
+	g := grid.NewCubic(12, 0.8)
+	lx, _, _ := g.LxLyLz()
+	rho := gaussianDensity(g, lx/2+1.5, lx/2, lx/2, 1.0)
+	ip := &IonPotential{G: g, Ions: []Ion{{Z: 1.0, Sigma: 1.0, R: [3]float64{lx / 2, lx / 2, lx / 2}}}}
+	f := ip.Forces(rho)
+	if f[0][0] <= 0 {
+		t.Errorf("ion should be pulled toward the density: Fx = %g", f[0][0])
+	}
+	if math.Abs(f[0][1]) > 1e-8 || math.Abs(f[0][2]) > 1e-8 {
+		t.Errorf("transverse force should vanish by symmetry: %v", f[0])
+	}
+}
+
+func TestSymmetricDensityGivesZeroForce(t *testing.T) {
+	g := grid.NewCubic(12, 0.8)
+	lx, _, _ := g.LxLyLz()
+	rho := gaussianDensity(g, lx/2, lx/2, lx/2, 1.5)
+	ip := &IonPotential{G: g, Ions: []Ion{{Z: 1.0, Sigma: 1.0, R: [3]float64{lx / 2, lx / 2, lx / 2}}}}
+	f := ip.Forces(rho)
+	for d := 0; d < 3; d++ {
+		if math.Abs(f[0][d]) > 1e-8 {
+			t.Errorf("symmetric setup axis %d force = %g", d, f[0][d])
+		}
+	}
+}
+
+func TestEhrenfestLoop(t *testing.T) {
+	// Minimal Ehrenfest step: ground state in an ion well, then move the
+	// ion and verify the electrons exert a restoring force toward the
+	// density they left behind.
+	g := grid.NewCubic(12, 0.8)
+	lx, _, _ := g.LxLyLz()
+	ip := &IonPotential{G: g, Ions: []Ion{{Z: 1.2, Sigma: 1.2, R: [3]float64{lx / 2, lx / 2, lx / 2}}}}
+	h := NewHamiltonian(g, grid.Order2)
+	ip.Fill(h.Vloc)
+	psi, _ := GroundState(h, 1, 300, 1)
+	rho := make([]float64, g.Len())
+	psi.Density(rho, nil)
+	// Displace the ion; the electron cloud stays put for this instant.
+	ip.Ions[0].R[0] += 1.0
+	f := ip.Forces(rho)
+	if f[0][0] >= 0 {
+		t.Errorf("displaced ion should be pulled back: Fx = %g", f[0][0])
+	}
+}

@@ -1,0 +1,104 @@
+// Package tddft implements the real-time time-dependent density-functional
+// propagation at the heart of the DC-MESH module: the local split-operator
+// propagator (the paper's kin_prop kernel, in the four implementations of
+// Table III), the GEMMified nonlocal correction (nlp_prop, Eq. 5), the
+// Hartree solver, and the observables (density, dipole, current, energies)
+// that couple electrons to Maxwell's equations and to the ions.
+package tddft
+
+import (
+	"math"
+
+	"mlmd/internal/grid"
+)
+
+// Hamiltonian holds the domain-local Kohn–Sham Hamiltonian of Eq. (3):
+// h = ½(p + A/c)² + v_loc(r) + v_nl. The local potential v_loc collects the
+// external (ionic, local pseudopotential), Hartree, and exchange-correlation
+// parts; the vector potential A enters as a Peierls phase on the hoppings;
+// the nonlocal parts are applied separately by NonlocalKB / ScissorCorrection.
+type Hamiltonian struct {
+	G     grid.Grid
+	Order grid.StencilOrder
+	NT    *grid.NeighborTable
+	// Vloc is the total local potential on the mesh (Hartree a.u.).
+	Vloc []float64
+	// A is the uniform vector potential (a.u.) sampled at the domain's
+	// macroscopic position; Ax is along x.
+	Ax float64
+}
+
+// NewHamiltonian allocates a Hamiltonian with zero potential on g.
+func NewHamiltonian(g grid.Grid, order grid.StencilOrder) *Hamiltonian {
+	return &Hamiltonian{
+		G:     g,
+		Order: order,
+		NT:    grid.NewNeighborTable(g, order),
+		Vloc:  make([]float64, g.Len()),
+	}
+}
+
+// KineticDiag returns the diagonal coefficient of the kinetic operator,
+// Σ_axes −c0/(2h²) ≥ 0 (c0 < 0 for a Laplacian stencil).
+func (h *Hamiltonian) KineticDiag() float64 {
+	c0, _ := grid.LaplacianCoeffs(h.Order)
+	return -0.5 * c0 * (1/(h.G.Hx*h.G.Hx) + 1/(h.G.Hy*h.G.Hy) + 1/(h.G.Hz*h.G.Hz))
+}
+
+// hopCoeff returns the hopping coefficient for neighbor offset k+1 along an
+// axis with spacing hx: −c[k]/(2h²).
+func hopCoeff(ck, hx float64) float64 { return -0.5 * ck / (hx * hx) }
+
+// Apply computes dst = H ψ for every orbital of src (excluding nonlocal
+// terms), used by the ground-state solver and by energy evaluation.
+// src and dst must be SoA fields on h.G with matching Norb.
+func (h *Hamiltonian) Apply(src, dst *grid.WaveField) {
+	if src.G != h.G || dst.G != h.G || src.Norb != dst.Norb {
+		panic("tddft: Apply shape mismatch")
+	}
+	if src.Layout != grid.LayoutSoA || dst.Layout != grid.LayoutSoA {
+		panic("tddft: Apply requires SoA layout")
+	}
+	norb := src.Norb
+	n := h.G.Len()
+	_, c := grid.LaplacianCoeffs(h.Order)
+	diag := h.KineticDiag()
+	// Peierls phases along x for each hop distance.
+	type hop struct {
+		coeff float64
+		phase complex128 // e^{+i A h d / c-like twist}; see kinprop.go
+	}
+	hx := make([]hop, len(c))
+	for k, ck := range c {
+		theta := h.Ax * h.G.Hx * float64(k+1) / lightC
+		hx[k] = hop{hopCoeff(ck, h.G.Hx), complex(math.Cos(theta), math.Sin(theta))}
+	}
+	for g := 0; g < n; g++ {
+		base := g * norb
+		vg := complex(h.Vloc[g]+diag, 0)
+		for s := 0; s < norb; s++ {
+			dst.Data[base+s] = vg * src.Data[base+s]
+		}
+		for k, ck := range c {
+			cy := complex(hopCoeff(ck, h.G.Hy), 0)
+			cz := complex(hopCoeff(ck, h.G.Hz), 0)
+			xp := int(h.NT.XP[k][g]) * norb
+			xm := int(h.NT.XM[k][g]) * norb
+			yp := int(h.NT.YP[k][g]) * norb
+			ym := int(h.NT.YM[k][g]) * norb
+			zp := int(h.NT.ZP[k][g]) * norb
+			zm := int(h.NT.ZM[k][g]) * norb
+			cxp := complex(hx[k].coeff, 0) * hx[k].phase
+			cxm := complex(hx[k].coeff, 0) * conj(hx[k].phase)
+			for s := 0; s < norb; s++ {
+				dst.Data[base+s] += cxp*src.Data[xp+s] + cxm*src.Data[xm+s] +
+					cy*(src.Data[yp+s]+src.Data[ym+s]) +
+					cz*(src.Data[zp+s]+src.Data[zm+s])
+			}
+		}
+	}
+}
+
+func conj(z complex128) complex128 { return complex(real(z), -imag(z)) }
+
+const lightC = 137.035999084

@@ -1,0 +1,376 @@
+package tddft
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mlmd/internal/grid"
+)
+
+// This file implements the paper's kin_prop kernel — the local kinetic
+// propagator exp(−iΔt T) of the split-operator scheme (Sec. V.A.5) — in the
+// four implementations whose runtimes Table III compares:
+//
+//	ImplBaseline   AoS layout, per-point wrap arithmetic, trig in the
+//	               innermost loop (the untuned original).
+//	ImplReordered  SoA layout with orbital-fastest storage; stencil
+//	               rotations are computed once per pair and reused across
+//	               all Norb orbitals (Sec. V.B.2).
+//	ImplBlocked    + planned pair lists, fully hoisted coefficients and a
+//	               blocked orbital loop (Sec. V.B.3).
+//	ImplParallel   + hierarchical parallelism over independent pair sets
+//	               (Sec. V.B.4) — the GPU-offload proxy.
+//
+// The kinetic operator uses the 7-point star (order-2) stencil
+// T = Σ_axis d·I + o·(S₊+S₋), d = 1/h², o = −1/(2h²), and is applied as the
+// unitary even–odd pair-rotation scheme of Richardson [41]: within each axis
+// the hopping term splits into commuting 2×2 blocks over even and odd point
+// pairs, each exponentiated exactly, composed as a Strang product
+// R_even(Δt/2) R_odd(Δt) R_even(Δt/2). A uniform vector potential enters as
+// a Peierls phase on the x hoppings.
+
+// Impl selects a kin_prop implementation.
+type Impl int
+
+const (
+	// ImplBaseline is the untuned AoS kernel.
+	ImplBaseline Impl = iota
+	// ImplReordered applies the data/loop re-ordering optimization.
+	ImplReordered
+	// ImplBlocked adds blocking/tiling.
+	ImplBlocked
+	// ImplParallel adds hierarchical parallel regions.
+	ImplParallel
+)
+
+// String implements fmt.Stringer.
+func (im Impl) String() string {
+	switch im {
+	case ImplBaseline:
+		return "baseline"
+	case ImplReordered:
+		return "reordered"
+	case ImplBlocked:
+		return "blocked"
+	case ImplParallel:
+		return "parallel"
+	}
+	return "unknown"
+}
+
+// KinProp is a planned kinetic propagator for a fixed grid.
+type KinProp struct {
+	G grid.Grid
+	// pairs[axis][parity] lists point-index pairs (a0,b0,a1,b1,...).
+	pairs [3][2][]int32
+	// hop coefficient per axis: o = −1/(2h²).
+	hop [3]float64
+	// diag is Σ_axis 1/h².
+	diag float64
+}
+
+// NewKinProp plans a propagator. Every axis length must be even so that the
+// even–odd pairing closes periodically.
+func NewKinProp(g grid.Grid) (*KinProp, error) {
+	if g.Nx%2 != 0 || g.Ny%2 != 0 || g.Nz%2 != 0 {
+		return nil, fmt.Errorf("tddft: kin_prop needs even grid dims, got %dx%dx%d", g.Nx, g.Ny, g.Nz)
+	}
+	kp := &KinProp{G: g}
+	h := [3]float64{g.Hx, g.Hy, g.Hz}
+	for ax := 0; ax < 3; ax++ {
+		kp.hop[ax] = -0.5 / (h[ax] * h[ax])
+		kp.diag += 1 / (h[ax] * h[ax])
+	}
+	dims := [3]int{g.Nx, g.Ny, g.Nz}
+	for ax := 0; ax < 3; ax++ {
+		for parity := 0; parity < 2; parity++ {
+			var list []int32
+			n := dims[ax]
+			for ix := 0; ix < g.Nx; ix++ {
+				for iy := 0; iy < g.Ny; iy++ {
+					for iz := 0; iz < g.Nz; iz++ {
+						var i int
+						switch ax {
+						case 0:
+							i = ix
+						case 1:
+							i = iy
+						default:
+							i = iz
+						}
+						if i%2 != parity {
+							continue
+						}
+						a := g.Index(ix, iy, iz)
+						var b int
+						switch ax {
+						case 0:
+							b = g.Index(grid.Wrap(ix+1, n), iy, iz)
+						case 1:
+							b = g.Index(ix, grid.Wrap(iy+1, n), iz)
+						default:
+							b = g.Index(ix, iy, grid.Wrap(iz+1, n))
+						}
+						list = append(list, int32(a), int32(b))
+					}
+				}
+			}
+			kp.pairs[ax][parity] = list
+		}
+	}
+	return kp, nil
+}
+
+// Flops returns the floating-point operation count of one Propagate call on
+// norb orbitals: per pair rotation, a 2×2 complex rotation costs ~14 real
+// ops per orbital; 3 axes × 2 sub-steps worth of pair sets (even twice at
+// half step + odd once = 3 sweeps of N/2 pairs each), plus the diagonal
+// phase (6 ops per point per orbital).
+func (kp *KinProp) Flops(norb int) uint64 {
+	n := uint64(kp.G.Len())
+	perAxis := 3 * (n / 2) * 14 // 3 pair sweeps of n/2 rotations
+	return uint64(norb) * (3*perAxis + 6*n)
+}
+
+// Propagate applies exp(−iΔt T) to all orbitals of w in place using the
+// selected implementation. ax is the uniform vector potential along x
+// (Peierls phase). The field layout must match the implementation: AoS for
+// ImplBaseline, SoA otherwise.
+func (kp *KinProp) Propagate(w *grid.WaveField, dt float64, axPot float64, impl Impl) {
+	if w.G != kp.G {
+		panic("tddft: Propagate grid mismatch")
+	}
+	switch impl {
+	case ImplBaseline:
+		if w.Layout != grid.LayoutAoS {
+			panic("tddft: baseline kin_prop needs AoS layout")
+		}
+		kp.propagateBaseline(w, dt, axPot)
+	case ImplReordered:
+		kp.requireSoA(w)
+		kp.propagateReordered(w, dt, axPot)
+	case ImplBlocked:
+		kp.requireSoA(w)
+		kp.propagateBlocked(w, dt, axPot, false)
+	case ImplParallel:
+		kp.requireSoA(w)
+		kp.propagateBlocked(w, dt, axPot, true)
+	default:
+		panic("tddft: unknown Impl")
+	}
+}
+
+func (kp *KinProp) requireSoA(w *grid.WaveField) {
+	if w.Layout != grid.LayoutSoA {
+		panic("tddft: optimized kin_prop needs SoA layout")
+	}
+}
+
+// peierlsTheta returns the Peierls phase angle for a +x hop.
+func (kp *KinProp) peierlsTheta(axPot float64) float64 {
+	return axPot * kp.G.Hx / lightC
+}
+
+// --- Baseline: AoS, wrap arithmetic and trig inside the loops. ---
+
+func (kp *KinProp) propagateBaseline(w *grid.WaveField, dt, axPot float64) {
+	g := kp.G
+	ngrid := g.Len()
+	theta := kp.peierlsTheta(axPot)
+	// Axis sweep x, y, z; within each axis: even(dt/2), odd(dt), even(dt/2).
+	for s := 0; s < w.Norb; s++ {
+		orb := w.Data[s*ngrid : (s+1)*ngrid]
+		for ax := 0; ax < 3; ax++ {
+			for _, sub := range [3]struct {
+				parity int
+				frac   float64
+			}{{0, 0.5}, {1, 1.0}, {0, 0.5}} {
+				kp.baselineSweep(orb, ax, sub.parity, dt*sub.frac, theta)
+			}
+		}
+		// Diagonal kinetic phase, trig per point (deliberately untuned).
+		for i := 0; i < ngrid; i++ {
+			ph := -dt * kp.diag
+			orb[i] *= complex(math.Cos(ph), math.Sin(ph))
+		}
+	}
+}
+
+func (kp *KinProp) baselineSweep(orb []complex128, ax, parity int, t, theta float64) {
+	g := kp.G
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for iz := 0; iz < g.Nz; iz++ {
+				var i, b int
+				switch ax {
+				case 0:
+					i = ix
+					b = g.Index(grid.Wrap(ix+1, g.Nx), iy, iz)
+				case 1:
+					i = iy
+					b = g.Index(ix, grid.Wrap(iy+1, g.Ny), iz)
+				default:
+					i = iz
+					b = g.Index(ix, iy, grid.Wrap(iz+1, g.Nz))
+				}
+				if i%2 != parity {
+					continue
+				}
+				a := g.Index(ix, iy, iz)
+				// Recompute the rotation every pair (the baseline sin).
+				angle := kp.hop[ax] * t
+				cth, sth := math.Cos(angle), math.Sin(angle)
+				var ph complex128 = 1
+				if ax == 0 && theta != 0 {
+					ph = complex(math.Cos(theta), math.Sin(theta))
+				}
+				va, vb := orb[a], orb[b]
+				c := complex(cth, 0)
+				is := complex(0, -sth)
+				orb[a] = c*va + is*ph*vb
+				orb[b] = c*vb + is*conj(ph)*va
+			}
+		}
+	}
+}
+
+// --- Reordered: SoA, neighbor plans, rotation hoisted out of orbital loop. ---
+
+func (kp *KinProp) propagateReordered(w *grid.WaveField, dt, axPot float64) {
+	norb := w.Norb
+	theta := kp.peierlsTheta(axPot)
+	for ax := 0; ax < 3; ax++ {
+		for _, sub := range [3]struct {
+			parity int
+			frac   float64
+		}{{0, 0.5}, {1, 1.0}, {0, 0.5}} {
+			angle := kp.hop[ax] * dt * sub.frac
+			c := complex(math.Cos(angle), 0)
+			is := complex(0, -math.Sin(angle))
+			var ph complex128 = 1
+			if ax == 0 && theta != 0 {
+				ph = complex(math.Cos(theta), math.Sin(theta))
+			}
+			isF, isB := is*ph, is*conj(ph)
+			pairs := kp.pairs[ax][sub.parity]
+			for p := 0; p < len(pairs); p += 2 {
+				ra := int(pairs[p]) * norb
+				rb := int(pairs[p+1]) * norb
+				for s := 0; s < norb; s++ {
+					va, vb := w.Data[ra+s], w.Data[rb+s]
+					w.Data[ra+s] = c*va + isF*vb
+					w.Data[rb+s] = c*vb + isB*va
+				}
+			}
+		}
+	}
+	ph := -dt * kp.diag
+	rot := complex(math.Cos(ph), math.Sin(ph))
+	for i := range w.Data {
+		w.Data[i] *= rot
+	}
+}
+
+// --- Blocked (+ optional parallel): slice-based inner loops over orbital
+// blocks; pair sets within one parity touch disjoint rows, so they shard
+// safely across goroutines. ---
+
+// orbBlock is the orbital tile size: 2 rows × 32 complex128 = 1 KiB per
+// pair, far inside L1.
+const orbBlock = 32
+
+func (kp *KinProp) propagateBlocked(w *grid.WaveField, dt, axPot float64, parallel bool) {
+	norb := w.Norb
+	theta := kp.peierlsTheta(axPot)
+	workers := 1
+	if parallel {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for ax := 0; ax < 3; ax++ {
+		for _, sub := range [3]struct {
+			parity int
+			frac   float64
+		}{{0, 0.5}, {1, 1.0}, {0, 0.5}} {
+			angle := kp.hop[ax] * dt * sub.frac
+			c := complex(math.Cos(angle), 0)
+			is := complex(0, -math.Sin(angle))
+			var ph complex128 = 1
+			if ax == 0 && theta != 0 {
+				ph = complex(math.Cos(theta), math.Sin(theta))
+			}
+			isF, isB := is*ph, is*conj(ph)
+			pairs := kp.pairs[ax][sub.parity]
+			nPairs := len(pairs) / 2
+			if workers <= 1 || nPairs < 1024 {
+				kp.blockedSweep(w.Data, norb, pairs, c, isF, isB)
+				continue
+			}
+			var wg sync.WaitGroup
+			chunk := (nPairs + workers - 1) / workers
+			for wk := 0; wk < workers; wk++ {
+				lo := wk * chunk * 2
+				hi := min(lo+chunk*2, len(pairs))
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(sl []int32) {
+					defer wg.Done()
+					kp.blockedSweep(w.Data, norb, sl, c, isF, isB)
+				}(pairs[lo:hi])
+			}
+			wg.Wait()
+		}
+	}
+	ph := -dt * kp.diag
+	rot := complex(math.Cos(ph), math.Sin(ph))
+	if !parallel {
+		for i := range w.Data {
+			w.Data[i] *= rot
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	n := len(w.Data)
+	chunk := (n + workers - 1) / workers
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(sl []complex128) {
+			defer wg.Done()
+			for i := range sl {
+				sl[i] *= rot
+			}
+		}(w.Data[lo:hi])
+	}
+	wg.Wait()
+}
+
+func (kp *KinProp) blockedSweep(data []complex128, norb int, pairs []int32, c, isF, isB complex128) {
+	// Blocking only pays once a row pair outgrows L1; below that a single
+	// full-width pass avoids re-traversing the pair list.
+	block := orbBlock
+	if norb <= 2*orbBlock {
+		block = norb
+	}
+	for s0 := 0; s0 < norb; s0 += block {
+		s1 := min(s0+block, norb)
+		for p := 0; p < len(pairs); p += 2 {
+			ra := int(pairs[p]) * norb
+			rb := int(pairs[p+1]) * norb
+			rowA := data[ra+s0 : ra+s1]
+			rowB := data[rb+s0 : rb+s1]
+			for s := range rowA {
+				va, vb := rowA[s], rowB[s]
+				rowA[s] = c*va + isF*vb
+				rowB[s] = c*vb + isB*va
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package tddft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"mlmd/internal/fft"
+	"mlmd/internal/grid"
+)
+
+func randField(g grid.Grid, norb int, layout grid.Layout, seed int64) *grid.WaveField {
+	w := grid.NewWaveField(g, norb, layout)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range w.Data {
+		w.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	w.Normalize()
+	return w
+}
+
+func TestNewKinPropRejectsOddGrid(t *testing.T) {
+	if _, err := NewKinProp(grid.New(5, 4, 4, 1, 1, 1)); err == nil {
+		t.Error("odd Nx accepted")
+	}
+	if _, err := NewKinProp(grid.New(4, 4, 6, 1, 1, 1)); err != nil {
+		t.Errorf("even grid rejected: %v", err)
+	}
+}
+
+func TestKinPropUnitary(t *testing.T) {
+	g := grid.New(8, 8, 8, 0.7, 0.7, 0.7)
+	kp, err := NewKinProp(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, impl := range []Impl{ImplBaseline, ImplReordered, ImplBlocked, ImplParallel} {
+		layout := grid.LayoutSoA
+		if impl == ImplBaseline {
+			layout = grid.LayoutAoS
+		}
+		w := randField(g, 4, layout, 1)
+		for step := 0; step < 20; step++ {
+			kp.Propagate(w, 0.05, 0.3, impl)
+		}
+		for s := 0; s < w.Norb; s++ {
+			if d := math.Abs(w.Norm2(s) - 1); d > 1e-12 {
+				t.Errorf("%v: norm drift %g on orbital %d", impl, d, s)
+			}
+		}
+	}
+}
+
+func TestAllImplementationsAgree(t *testing.T) {
+	g := grid.New(8, 6, 10, 0.8, 0.9, 0.7)
+	kp, err := NewKinProp(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := randField(g, 5, grid.LayoutAoS, 2)
+	fields := map[Impl]*grid.WaveField{
+		ImplBaseline:  ref.Clone(),
+		ImplReordered: ref.ToLayout(grid.LayoutSoA),
+		ImplBlocked:   ref.ToLayout(grid.LayoutSoA).Clone(),
+		ImplParallel:  ref.ToLayout(grid.LayoutSoA).Clone(),
+	}
+	const dt, ax = 0.04, 0.5
+	for impl, w := range fields {
+		for step := 0; step < 5; step++ {
+			kp.Propagate(w, dt, ax, impl)
+		}
+	}
+	base := fields[ImplBaseline]
+	for impl, w := range fields {
+		if impl == ImplBaseline {
+			continue
+		}
+		for gi := 0; gi < g.Len(); gi++ {
+			for s := 0; s < base.Norb; s++ {
+				if d := cmplx.Abs(base.At(gi, s) - w.At(gi, s)); d > 1e-11 {
+					t.Fatalf("%v differs from baseline by %g at g=%d s=%d", impl, d, gi, s)
+				}
+			}
+		}
+	}
+}
+
+// exactKineticEvolve applies exp(-i dt T) exactly via FFT with the discrete
+// dispersion λ(k) = Σ_axis (1-cos(k h))/h².
+func exactKineticEvolve(g grid.Grid, w *grid.WaveField, dt float64) {
+	plan, err := fft.NewPlan3(g.Nx, g.Ny, g.Nz)
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]complex128, g.Len())
+	for s := 0; s < w.Norb; s++ {
+		for gi := 0; gi < g.Len(); gi++ {
+			buf[gi] = w.At(gi, s)
+		}
+		plan.Forward(buf)
+		for ix := 0; ix < g.Nx; ix++ {
+			for iy := 0; iy < g.Ny; iy++ {
+				for iz := 0; iz < g.Nz; iz++ {
+					kx := 2 * math.Pi * float64(ix) / float64(g.Nx)
+					ky := 2 * math.Pi * float64(iy) / float64(g.Ny)
+					kz := 2 * math.Pi * float64(iz) / float64(g.Nz)
+					lam := (1-math.Cos(kx))/(g.Hx*g.Hx) + (1-math.Cos(ky))/(g.Hy*g.Hy) + (1-math.Cos(kz))/(g.Hz*g.Hz)
+					idx := (ix*g.Ny+iy)*g.Nz + iz
+					buf[idx] *= cmplx.Exp(complex(0, -dt*lam))
+				}
+			}
+		}
+		plan.Inverse(buf)
+		for gi := 0; gi < g.Len(); gi++ {
+			w.Set(gi, s, buf[gi])
+		}
+	}
+}
+
+func TestKinPropMatchesExactSpectralEvolution(t *testing.T) {
+	// The even-odd Strang product converges to exp(-i dt T) as dt → 0:
+	// error per unit time should drop ~quadratically with dt.
+	g := grid.New(8, 8, 8, 0.9, 0.9, 0.9)
+	kp, _ := NewKinProp(g)
+	errAt := func(dt float64, steps int) float64 {
+		w := randField(g, 2, grid.LayoutSoA, 3)
+		exact := w.Clone()
+		for i := 0; i < steps; i++ {
+			kp.Propagate(w, dt, 0, ImplBlocked)
+		}
+		exactKineticEvolve(g, exact, dt*float64(steps))
+		worst := 0.0
+		for i := range w.Data {
+			if d := cmplx.Abs(w.Data[i] - exact.Data[i]); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+	e1 := errAt(0.08, 10)
+	e2 := errAt(0.04, 20)
+	if e1 > 0.05 {
+		t.Errorf("error %g too large at dt=0.08", e1)
+	}
+	ratio := e1 / e2
+	if ratio < 2.5 {
+		t.Errorf("Strang convergence order too low: err(0.08)=%g err(0.04)=%g ratio=%g", e1, e2, ratio)
+	}
+}
+
+func TestFreeGaussianSpreads(t *testing.T) {
+	// A free Gaussian wave packet must spread monotonically (variance grows).
+	g := grid.New(16, 16, 16, 0.8, 0.8, 0.8)
+	kp, _ := NewKinProp(g)
+	w := grid.NewWaveField(g, 1, grid.LayoutSoA)
+	GaussianOrbital(w, 0, 1.2)
+	w.Normalize()
+	variance := func() float64 {
+		rho := make([]float64, g.Len())
+		w.Density(rho, nil)
+		lx, ly, lz := g.LxLyLz()
+		var v float64
+		for ix := 0; ix < g.Nx; ix++ {
+			for iy := 0; iy < g.Ny; iy++ {
+				for iz := 0; iz < g.Nz; iz++ {
+					x, y, z := g.Position(ix, iy, iz)
+					dx := grid.MinImage(x-lx/2, lx)
+					dy := grid.MinImage(y-ly/2, ly)
+					dz := grid.MinImage(z-lz/2, lz)
+					v += (dx*dx + dy*dy + dz*dz) * rho[g.Index(ix, iy, iz)]
+				}
+			}
+		}
+		return v * g.DV()
+	}
+	v0 := variance()
+	for i := 0; i < 100; i++ {
+		kp.Propagate(w, 0.05, 0, ImplParallel)
+	}
+	v1 := variance()
+	if v1 <= v0 {
+		t.Errorf("free packet did not spread: %g -> %g", v0, v1)
+	}
+}
+
+func TestPeierlsPhaseImpartsMomentum(t *testing.T) {
+	// With A_x ≠ 0 a uniform state acquires current along x; with A_x = 0
+	// it stays current-free.
+	g := grid.New(12, 6, 6, 0.8, 0.8, 0.8)
+	h := NewHamiltonian(g, grid.Order2)
+	kp, _ := NewKinProp(g)
+	w := grid.NewWaveField(g, 1, grid.LayoutSoA)
+	for i := range w.Data {
+		w.Data[i] = 1
+	}
+	w.Normalize()
+	h.Ax = 30.0
+	for i := 0; i < 30; i++ {
+		kp.Propagate(w, 0.05, h.Ax, ImplBlocked)
+	}
+	j := CurrentX(h, w, nil)
+	if math.Abs(j) < 1e-6 {
+		t.Errorf("no current generated by vector potential: J=%g", j)
+	}
+	// Gauge check: diamagnetic and paramagnetic parts both present.
+	h2 := NewHamiltonian(g, grid.Order2)
+	w2 := grid.NewWaveField(g, 1, grid.LayoutSoA)
+	for i := range w2.Data {
+		w2.Data[i] = 1
+	}
+	w2.Normalize()
+	for i := 0; i < 30; i++ {
+		kp.Propagate(w2, 0.05, 0, ImplBlocked)
+	}
+	if j2 := CurrentX(h2, w2, nil); math.Abs(j2) > 1e-10 {
+		t.Errorf("current without vector potential: %g", j2)
+	}
+}
+
+func TestKinPropFlopsPositive(t *testing.T) {
+	g := grid.New(8, 8, 8, 1, 1, 1)
+	kp, _ := NewKinProp(g)
+	if f := kp.Flops(16); f == 0 {
+		t.Error("zero FLOP estimate")
+	}
+	if kp.Flops(32) != 2*kp.Flops(16) {
+		t.Error("FLOPs must scale linearly with orbitals")
+	}
+}
+
+func benchKinProp(b *testing.B, impl Impl, norb int) {
+	g := grid.New(24, 24, 24, 0.8, 0.8, 0.8)
+	kp, err := NewKinProp(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	layout := grid.LayoutSoA
+	if impl == ImplBaseline {
+		layout = grid.LayoutAoS
+	}
+	w := randField(g, norb, layout, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kp.Propagate(w, 0.02, 0.1, impl)
+	}
+	b.ReportMetric(float64(kp.Flops(norb))*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func BenchmarkKinPropBaseline(b *testing.B)  { benchKinProp(b, ImplBaseline, 32) }
+func BenchmarkKinPropReordered(b *testing.B) { benchKinProp(b, ImplReordered, 32) }
+func BenchmarkKinPropBlocked(b *testing.B)   { benchKinProp(b, ImplBlocked, 32) }
+func BenchmarkKinPropParallel(b *testing.B)  { benchKinProp(b, ImplParallel, 32) }

@@ -1,0 +1,138 @@
+package tddft
+
+import (
+	"math"
+
+	"mlmd/internal/grid"
+)
+
+// TotalEnergy returns Σ_s f_s ⟨ψ_s|H|ψ_s⟩ for the local Hamiltonian
+// (kinetic + v_loc). occ may be nil for unit occupations.
+func TotalEnergy(h *Hamiltonian, w *grid.WaveField, occ []float64) float64 {
+	hw := grid.NewWaveField(h.G, w.Norb, grid.LayoutSoA)
+	ws := w.ToLayout(grid.LayoutSoA)
+	h.Apply(ws, hw)
+	var sum float64
+	for s := 0; s < w.Norb; s++ {
+		f := 1.0
+		if occ != nil {
+			f = occ[s]
+		}
+		if f == 0 {
+			continue
+		}
+		sum += f * rayleigh(ws, hw, s)
+	}
+	return sum
+}
+
+// Dipole returns the electronic dipole moment −∫ r n(r) dV relative to the
+// box center, the observable whose oscillation under a field kick gives the
+// optical absorption spectrum.
+func Dipole(g grid.Grid, rho []float64) (dx, dy, dz float64) {
+	lx, ly, lz := g.LxLyLz()
+	cx, cy, cz := lx/2, ly/2, lz/2
+	dv := g.DV()
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for iz := 0; iz < g.Nz; iz++ {
+				x, y, z := g.Position(ix, iy, iz)
+				n := rho[g.Index(ix, iy, iz)]
+				dx -= (x - cx) * n * dv
+				dy -= (y - cy) * n * dv
+				dz -= (z - cz) * n * dv
+			}
+		}
+	}
+	return
+}
+
+// CurrentX returns the x component of the total electronic current
+// J_x = Σ_s f_s Im⟨ψ_s|∂_x|ψ_s⟩ + n A_x/c (paramagnetic + diamagnetic),
+// the TDCDFT source term fed back into Maxwell's equations.
+func CurrentX(h *Hamiltonian, w *grid.WaveField, occ []float64) float64 {
+	g := h.G
+	norb := w.Norb
+	ws := w.ToLayout(grid.LayoutSoA)
+	dv := g.DV()
+	inv2h := 1 / (2 * g.Hx)
+	var jPara float64
+	nt := h.NT
+	for gi := 0; gi < g.Len(); gi++ {
+		xp := int(nt.XP[0][gi]) * norb
+		xm := int(nt.XM[0][gi]) * norb
+		base := gi * norb
+		for s := 0; s < norb; s++ {
+			f := 1.0
+			if occ != nil {
+				f = occ[s]
+			}
+			if f == 0 {
+				continue
+			}
+			psi := ws.Data[base+s]
+			dpsi := (ws.Data[xp+s] - ws.Data[xm+s]) * complex(inv2h, 0)
+			// Im(ψ* ∂x ψ)
+			jPara += f * (real(psi)*imag(dpsi) - imag(psi)*real(dpsi)) * dv
+		}
+	}
+	// Diamagnetic term: (A/c) ∫ n dV.
+	var nTot float64
+	for s := 0; s < norb; s++ {
+		f := 1.0
+		if occ != nil {
+			f = occ[s]
+		}
+		nTot += f
+	}
+	return jPara + h.Ax/lightC*nTot
+}
+
+// ExcitedPopulation returns the number of photoexcited electrons
+// n_exc = ½ Σ_s |f_s(t) − f_s(0)| — since total occupation is conserved,
+// every electron that leaves an initially occupied orbital shows up in an
+// initially empty one, so half the total absolute occupation change counts
+// excitations. This is the quantity DC-MESH reports to XS-NNQMD (Sec. V.A.8).
+func ExcitedPopulation(occ0, occ []float64) float64 {
+	var n float64
+	for s := range occ {
+		n += math.Abs(occ[s] - occ0[s])
+	}
+	return n / 2
+}
+
+// ProjectOccupations returns |⟨ψ0_s|ψ_s(t)⟩|² for each orbital, the survival
+// probability used to track excitation during Ehrenfest propagation.
+func ProjectOccupations(psi0, psi *grid.WaveField) []float64 {
+	norb := psi.Norb
+	ngrid := psi.G.Len()
+	dv := psi.G.DV()
+	out := make([]float64, norb)
+	p0 := psi0.ToLayout(grid.LayoutSoA)
+	pt := psi.ToLayout(grid.LayoutSoA)
+	for s := 0; s < norb; s++ {
+		var re, im float64
+		for gi := 0; gi < ngrid; gi++ {
+			a := p0.Data[gi*norb+s]
+			b := pt.Data[gi*norb+s]
+			re += real(a)*real(b) + imag(a)*imag(b)
+			im += real(a)*imag(b) - imag(a)*real(b)
+		}
+		re *= dv
+		im *= dv
+		out[s] = re*re + im*im
+	}
+	return out
+}
+
+// NormDrift returns max_s |‖ψ_s‖² − 1|.
+func NormDrift(w *grid.WaveField) float64 {
+	worst := 0.0
+	for s := 0; s < w.Norb; s++ {
+		d := math.Abs(w.Norm2(s) - 1)
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

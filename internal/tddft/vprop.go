@@ -1,0 +1,75 @@
+package tddft
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"mlmd/internal/grid"
+)
+
+// VProp applies the local-potential phase exp(−iΔt v_loc(r)) to every
+// orbital of w in place. The potential half-steps of the split-operator
+// scheme call this with dt/2. Works for both layouts.
+func VProp(h *Hamiltonian, w *grid.WaveField, dt float64) {
+	n := h.G.Len()
+	if w.G != h.G {
+		panic("tddft: VProp grid mismatch")
+	}
+	if w.Layout == grid.LayoutSoA {
+		norb := w.Norb
+		for g := 0; g < n; g++ {
+			ph := -dt * h.Vloc[g]
+			rot := complex(math.Cos(ph), math.Sin(ph))
+			row := w.Data[g*norb : (g+1)*norb]
+			for s := range row {
+				row[s] *= rot
+			}
+		}
+		return
+	}
+	for s := 0; s < w.Norb; s++ {
+		orb := w.Data[s*n : (s+1)*n]
+		for g := 0; g < n; g++ {
+			ph := -dt * h.Vloc[g]
+			orb[g] *= complex(math.Cos(ph), math.Sin(ph))
+		}
+	}
+}
+
+// VPropParallel is VProp with the grid sharded over cores (SoA only).
+func VPropParallel(h *Hamiltonian, w *grid.WaveField, dt float64) {
+	if w.Layout != grid.LayoutSoA {
+		VProp(h, w, dt)
+		return
+	}
+	n := h.G.Len()
+	norb := w.Norb
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || n*norb < 1<<14 {
+		VProp(h, w, dt)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for wk := 0; wk < workers; wk++ {
+		lo := wk * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for g := lo; g < hi; g++ {
+				ph := -dt * h.Vloc[g]
+				rot := complex(math.Cos(ph), math.Sin(ph))
+				row := w.Data[g*norb : (g+1)*norb]
+				for s := range row {
+					row[s] *= rot
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,78 @@
+package topo
+
+import "math"
+
+// Domain-structure analysis of the polarization texture: classify cells by
+// polarization direction, count domains, and measure the domain-wall
+// fraction — the observables experimentalists extract from the diffraction
+// data the paper's simulations are compared against (ref [56]).
+
+// DomainStats summarizes a texture.
+type DomainStats struct {
+	// UpFraction and DownFraction are the area fractions with P_z above /
+	// below ±threshold; the remainder is in-plane or depolarized wall
+	// material.
+	UpFraction, DownFraction, WallFraction float64
+	// NumDomains counts connected regions of same-sign P_z.
+	NumDomains int
+	// MeanAmplitude is the average |P| over the field.
+	MeanAmplitude float64
+}
+
+// AnalyzeDomains classifies the field with the given z threshold (as a
+// fraction of the mean amplitude; 0.5 is a sensible default).
+func AnalyzeDomains(f *Field, thresholdFrac float64) DomainStats {
+	n := f.Nx * f.Ny
+	var stats DomainStats
+	for i := 0; i < n; i++ {
+		x, y, z := f.V[3*i], f.V[3*i+1], f.V[3*i+2]
+		stats.MeanAmplitude += math.Sqrt(x*x + y*y + z*z)
+	}
+	stats.MeanAmplitude /= float64(n)
+	thr := thresholdFrac * stats.MeanAmplitude
+	// Label: +1 up, −1 down, 0 wall.
+	label := make([]int8, n)
+	for i := 0; i < n; i++ {
+		z := f.V[3*i+2]
+		switch {
+		case z > thr:
+			label[i] = 1
+			stats.UpFraction++
+		case z < -thr:
+			label[i] = -1
+			stats.DownFraction++
+		default:
+			stats.WallFraction++
+		}
+	}
+	stats.UpFraction /= float64(n)
+	stats.DownFraction /= float64(n)
+	stats.WallFraction /= float64(n)
+	// Connected components over same-sign labels (periodic 4-neighbor).
+	visited := make([]bool, n)
+	var stack []int
+	for start := 0; start < n; start++ {
+		if visited[start] || label[start] == 0 {
+			continue
+		}
+		stats.NumDomains++
+		want := label[start]
+		stack = append(stack[:0], start)
+		visited[start] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cx, cy := cur/f.Ny, cur%f.Ny
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx := wrap(cx+d[0], f.Nx)
+				ny := wrap(cy+d[1], f.Ny)
+				idx := nx*f.Ny + ny
+				if !visited[idx] && label[idx] == want {
+					visited[idx] = true
+					stack = append(stack, idx)
+				}
+			}
+		}
+	}
+	return stats
+}

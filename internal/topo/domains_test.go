@@ -1,0 +1,76 @@
+package topo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeUniform(t *testing.T) {
+	f := NewField(16, 16)
+	f.FillUniform(1.0)
+	s := AnalyzeDomains(f, 0.5)
+	if s.UpFraction != 1 || s.DownFraction != 0 || s.WallFraction != 0 {
+		t.Errorf("uniform up state misclassified: %+v", s)
+	}
+	if s.NumDomains != 1 {
+		t.Errorf("uniform field has %d domains", s.NumDomains)
+	}
+	if math.Abs(s.MeanAmplitude-1) > 1e-12 {
+		t.Errorf("mean amplitude %g", s.MeanAmplitude)
+	}
+}
+
+func TestAnalyzeStripes(t *testing.T) {
+	// Two up stripes and two down stripes → 4 domains... periodic: stripes
+	// at x∈[0,4) up, [4,8) down, [8,12) up, [12,16) down → up stripes wrap?
+	// No: they are separated by down stripes, so 2 up + 2 down = 4 domains.
+	f := NewField(16, 16)
+	for ix := 0; ix < 16; ix++ {
+		pz := 1.0
+		if (ix/4)%2 == 1 {
+			pz = -1.0
+		}
+		for iy := 0; iy < 16; iy++ {
+			f.Set(ix, iy, 0, 0, pz)
+		}
+	}
+	s := AnalyzeDomains(f, 0.5)
+	if s.NumDomains != 4 {
+		t.Errorf("stripe pattern: %d domains, want 4", s.NumDomains)
+	}
+	if math.Abs(s.UpFraction-0.5) > 1e-12 || math.Abs(s.DownFraction-0.5) > 1e-12 {
+		t.Errorf("stripe fractions wrong: %+v", s)
+	}
+}
+
+func TestSkyrmionHasWallAndCore(t *testing.T) {
+	f := NewField(32, 32)
+	f.FillUniform(1.0)
+	f.WriteSkyrmion(SkyrmionParams{CX: 16, CY: 16, Radius: 4, Charge: 1, Pz0: 1.0})
+	s := AnalyzeDomains(f, 0.5)
+	if s.DownFraction == 0 {
+		t.Error("skyrmion core (down) not detected")
+	}
+	if s.WallFraction == 0 {
+		t.Error("skyrmion wall not detected")
+	}
+	if s.UpFraction < 0.5 {
+		t.Errorf("background should dominate: %+v", s)
+	}
+	// Core + background = 2 domains.
+	if s.NumDomains != 2 {
+		t.Errorf("skyrmion texture: %d domains, want 2", s.NumDomains)
+	}
+}
+
+func TestDepolarizedIsAllWall(t *testing.T) {
+	f := NewField(8, 8)
+	// Tiny random in-plane noise, no z component.
+	for i := 0; i < 64; i++ {
+		f.V[3*i] = 0.01 * math.Sin(float64(i))
+	}
+	s := AnalyzeDomains(f, 0.5)
+	if s.WallFraction != 1 || s.NumDomains != 0 {
+		t.Errorf("depolarized texture misclassified: %+v", s)
+	}
+}

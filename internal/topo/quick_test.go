@@ -1,0 +1,61 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestChargeQuantizationProperty: for any smooth texture built from a
+// background plus well-separated skyrmions, the Berg-Lüscher charge is
+// within a small tolerance of an integer — the lattice construction
+// guarantees exact quantization for non-degenerate fields.
+func TestChargeQuantizationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := NewField(32, 32)
+		fl.FillUniform(1.0)
+		n := rng.Intn(3)
+		for k := 0; k < n; k++ {
+			fl.WriteSkyrmion(SkyrmionParams{
+				CX:     8 + 16*float64(k%2),
+				CY:     8 + 16*float64(k/2),
+				Radius: 2 + rng.Float64(),
+				Charge: 1 - 2*rng.Intn(2),
+				Pz0:    1.0,
+			})
+		}
+		q := fl.Charge()
+		return math.Abs(q-math.Round(q)) < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChargeInvariantUnderSmoothDeformationProperty: small smooth
+// perturbations cannot change the integer charge (topological protection).
+func TestChargeInvariantUnderSmoothDeformationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := NewField(32, 32)
+		fl.FillUniform(1.0)
+		fl.WriteSkyrmion(SkyrmionParams{CX: 16, CY: 16, Radius: 4, Charge: 1, Pz0: 1.0})
+		q0 := math.Round(fl.Charge())
+		// Smooth long-wavelength deformation, amplitude 0.2.
+		kx := 2 * math.Pi / 32 * float64(1+rng.Intn(2))
+		phase := rng.Float64() * 2 * math.Pi
+		for ix := 0; ix < 32; ix++ {
+			for iy := 0; iy < 32; iy++ {
+				x, y, z := fl.At(ix, iy)
+				d := 0.2 * math.Sin(kx*float64(ix)+phase) * math.Cos(kx*float64(iy))
+				fl.Set(ix, iy, x+d, y-d/2, z+d/3)
+			}
+		}
+		return math.Round(fl.Charge()) == q0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestUniformFieldHasZeroCharge(t *testing.T) {
+	f := NewField(24, 24)
+	f.FillUniform(1.0)
+	if q := f.Charge(); math.Abs(q) > 1e-12 {
+		t.Errorf("uniform charge = %g", q)
+	}
+}
+
+func TestSingleSkyrmionChargeIsInteger(t *testing.T) {
+	f := NewField(48, 48)
+	f.FillUniform(1.0)
+	f.WriteSkyrmion(SkyrmionParams{CX: 24, CY: 24, Radius: 5, Charge: +1, Pz0: 1.0})
+	q := f.Charge()
+	if math.Abs(q-(-1)) > 0.05 && math.Abs(q-1) > 0.05 {
+		t.Fatalf("skyrmion charge = %g, want ±1", q)
+	}
+	// Opposite winding flips the sign.
+	f2 := NewField(48, 48)
+	f2.FillUniform(1.0)
+	f2.WriteSkyrmion(SkyrmionParams{CX: 24, CY: 24, Radius: 5, Charge: -1, Pz0: 1.0})
+	if q2 := f2.Charge(); math.Abs(q2+q) > 0.05 {
+		t.Errorf("winding reversal did not flip charge: %g vs %g", q, q2)
+	}
+}
+
+func TestChargeIsScaleInvariant(t *testing.T) {
+	// Charge must not depend on the polarization magnitude.
+	for _, p := range []float64{0.1, 1, 7.3} {
+		f := NewField(40, 40)
+		f.FillUniform(p)
+		f.WriteSkyrmion(SkyrmionParams{CX: 20, CY: 20, Radius: 4, Charge: 1, Pz0: p})
+		if math.Abs(math.Abs(f.Charge())-1) > 0.05 {
+			t.Errorf("charge at scale %g = %g", p, f.Charge())
+		}
+	}
+}
+
+func TestSuperlatticeChargeAdds(t *testing.T) {
+	f := NewField(96, 96)
+	want := f.Superlattice(3, 3, 4, 1.0, 1)
+	if want != 9 {
+		t.Fatalf("expected charge = %d", want)
+	}
+	q := f.Charge()
+	if math.Abs(math.Abs(q)-9) > 0.2 {
+		t.Errorf("superlattice charge = %g, want ±9", q)
+	}
+}
+
+func TestChargeRobustToNoise(t *testing.T) {
+	// Topological protection: small random perturbations must not change
+	// the integer charge.
+	f := NewField(48, 48)
+	f.Superlattice(2, 2, 5, 1.0, 1)
+	q0 := math.Round(f.Charge())
+	rng := rand.New(rand.NewSource(1))
+	for i := range f.V {
+		f.V[i] += 0.15 * rng.NormFloat64()
+	}
+	q1 := math.Round(f.Charge())
+	if q0 != q1 {
+		t.Errorf("charge changed under weak noise: %g -> %g", q0, q1)
+	}
+}
+
+func TestCollapseDestroysCharge(t *testing.T) {
+	// Depolarizing the field (paraelectric collapse, as under strong
+	// photoexcitation) erases the winding: all vectors → ~0 map to +z.
+	f := NewField(48, 48)
+	f.Superlattice(2, 2, 5, 1.0, 1)
+	for i := range f.V {
+		f.V[i] *= 1e-14
+	}
+	if q := f.Charge(); math.Abs(q) > 1e-9 {
+		t.Errorf("collapsed field retains charge %g", q)
+	}
+}
+
+func TestSwitchedDetector(t *testing.T) {
+	if Switched(4, 4.2) {
+		t.Error("small drift flagged as switch")
+	}
+	if !Switched(4, 3) {
+		t.Error("unit charge change not flagged")
+	}
+	if !Switched(-4, 4) {
+		t.Error("sign flip not flagged")
+	}
+}
+
+func TestFromCellsAverages(t *testing.T) {
+	nx, ny, nz := 4, 4, 3
+	pol := make([]float64, 3*nx*ny*nz)
+	// Cell column (1,2): pz = 1, 2, 3 over z ⇒ mean 2.
+	for cz := 0; cz < nz; cz++ {
+		c := (1*ny+2)*nz + cz
+		pol[3*c+2] = float64(cz + 1)
+	}
+	f := FromCells(pol, nx, ny, nz)
+	_, _, pz := f.At(1, 2)
+	if math.Abs(pz-2) > 1e-12 {
+		t.Errorf("averaged pz = %g, want 2", pz)
+	}
+	_, _, pz0 := f.At(0, 0)
+	if pz0 != 0 {
+		t.Errorf("empty column pz = %g", pz0)
+	}
+}
+
+func TestMeanPz(t *testing.T) {
+	f := NewField(10, 10)
+	f.FillUniform(0.5)
+	if math.Abs(f.MeanPz()-0.5) > 1e-12 {
+		t.Errorf("MeanPz = %g", f.MeanPz())
+	}
+	// A skyrmion reduces the mean (core points down).
+	f.WriteSkyrmion(SkyrmionParams{CX: 5, CY: 5, Radius: 2, Charge: 1, Pz0: 0.5})
+	if f.MeanPz() >= 0.5 {
+		t.Error("skyrmion did not reduce mean polarization")
+	}
+}
+
+func TestPeriodicWrapAt(t *testing.T) {
+	f := NewField(8, 8)
+	f.Set(0, 0, 1, 2, 3)
+	x, y, z := f.At(8, -8)
+	if x != 1 || y != 2 || z != 3 {
+		t.Errorf("periodic At failed: %g %g %g", x, y, z)
+	}
+}

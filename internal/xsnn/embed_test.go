@@ -1,0 +1,124 @@
+package xsnn
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/md"
+)
+
+func embedSys(t *testing.T, n int) *md.System {
+	t.Helper()
+	sys, err := md.NewSystem(n, 20, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sys.Mass {
+		sys.Mass[i] = 1
+	}
+	// Atoms on a line through the box.
+	for i := 0; i < n; i++ {
+		sys.X[3*i] = float64(i) * 20 / float64(n)
+		sys.X[3*i+1] = 10
+		sys.X[3*i+2] = 10
+	}
+	return sys
+}
+
+func TestSetSphereWeights(t *testing.T) {
+	sys := embedSys(t, 20)
+	e := NewEmbedding(constFF{f: 2, e: 4}, constFF{f: 0, e: 0}, sys.N)
+	if err := e.SetSphere(sys, [3]float64{10, 10, 10}, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Atom at x=10 is the center: w=1. Atom at x=0 is 10 away: w=0.
+	center, far := -1, -1
+	for i := 0; i < sys.N; i++ {
+		if sys.X[3*i] == 10 {
+			center = i
+		}
+		if sys.X[3*i] == 0 {
+			far = i
+		}
+	}
+	if center >= 0 && e.W[center] != 1 {
+		t.Errorf("center weight = %g", e.W[center])
+	}
+	if far >= 0 && e.W[far] != 0 {
+		t.Errorf("far weight = %g", e.W[far])
+	}
+	// Weights monotone in |x-10| along the line and inside [0,1].
+	for i := 0; i < sys.N; i++ {
+		if e.W[i] < 0 || e.W[i] > 1 {
+			t.Fatalf("weight out of range: %g", e.W[i])
+		}
+	}
+	if err := e.SetSphere(sys, [3]float64{0, 0, 0}, 5, 2); err == nil {
+		t.Error("inverted radii accepted")
+	}
+}
+
+func TestEmbeddingBlendsForces(t *testing.T) {
+	sys := embedSys(t, 10)
+	e := NewEmbedding(constFF{f: 2, e: 10}, constFF{f: 0, e: 0}, sys.N)
+	if err := e.SetSphere(sys, [3]float64{10, 10, 10}, 3, 6); err != nil {
+		t.Fatal(err)
+	}
+	e.ComputeForces(sys)
+	for i := 0; i < sys.N; i++ {
+		want := 2 * e.W[i]
+		if math.Abs(sys.F[3*i]-want) > 1e-12 {
+			t.Fatalf("atom %d force %g, want %g", i, sys.F[3*i], want)
+		}
+	}
+}
+
+func TestEmbeddingSmoothness(t *testing.T) {
+	// The weight profile must be continuous: no jumps bigger than the ramp
+	// slope allows between closely spaced atoms.
+	sys := embedSys(t, 200)
+	e := NewEmbedding(constFF{f: 1, e: 1}, constFF{f: 0, e: 0}, sys.N)
+	if err := e.SetSphere(sys, [3]float64{10, 10, 10}, 2, 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < sys.N; i++ {
+		dw := math.Abs(e.W[i] - e.W[i-1])
+		if dw > 0.1 {
+			t.Fatalf("weight jump %g between adjacent atoms", dw)
+		}
+	}
+}
+
+func TestAdaptRegionGrowsAndShrinks(t *testing.T) {
+	sys := embedSys(t, 10)
+	e := NewEmbedding(constFF{}, constFF{}, sys.N)
+	trigger := make([]float64, sys.N)
+	trigger[3] = 1.0
+	n := e.AdaptRegion(trigger, 0.5, 0.5)
+	if n != 1 || e.W[3] != 1 {
+		t.Fatalf("hot atom not captured: n=%d w=%v", n, e.W)
+	}
+	// Trigger gone: hysteresis decays the weight gradually.
+	trigger[3] = 0
+	e.AdaptRegion(trigger, 0.5, 0.5)
+	if e.W[3] != 0.5 {
+		t.Errorf("relaxed weight = %g, want 0.5", e.W[3])
+	}
+	for i := 0; i < 12; i++ {
+		e.AdaptRegion(trigger, 0.5, 0.5)
+	}
+	if e.W[3] != 0 {
+		t.Errorf("weight did not fully decay: %g", e.W[3])
+	}
+}
+
+func TestEmbeddingEnergyIsWeightedMean(t *testing.T) {
+	sys := embedSys(t, 4)
+	e := NewEmbedding(constFF{f: 0, e: 8}, constFF{f: 0, e: 0}, sys.N)
+	for i := range e.W {
+		e.W[i] = 0.25
+	}
+	if got := e.ComputeForces(sys); math.Abs(got-2) > 1e-12 {
+		t.Errorf("embedded energy = %g, want 2", got)
+	}
+}

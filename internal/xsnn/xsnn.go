@@ -1,0 +1,112 @@
+// Package xsnn implements the excited-state force blending of the XS-NNQMD
+// module (Eq. 4 of the paper): two force models — ground-state (GS) and
+// excited-state (XS) — predict forces from the same inputs, and the total
+// force is F_i = (1−w) F_GS,i + w F_XS,i with the XS fraction w set by the
+// photoexcited-electron count n_exc reported by DC-MESH per domain
+// (the multiscale XN/NN handshaking, MSA3, Sec. V.A.8).
+package xsnn
+
+import (
+	"fmt"
+	"math"
+
+	"mlmd/internal/md"
+)
+
+// Blend combines a GS and an XS force field with a per-atom (or global)
+// excitation weight. It implements md.ForceField.
+type Blend struct {
+	GS, XS md.ForceField
+	// W is the global XS fraction in [0,1] used when PerAtomW is nil.
+	W float64
+	// PerAtomW, if set, gives each atom its own blending weight — the
+	// per-domain excitation map projected onto atoms.
+	PerAtomW []float64
+
+	fBuf []float64
+}
+
+// NewBlend wires the two models with w = 0 (pure ground state).
+func NewBlend(gs, xs md.ForceField) *Blend {
+	return &Blend{GS: gs, XS: xs}
+}
+
+// SetWeight sets the global XS fraction, clamped to [0,1].
+func (b *Blend) SetWeight(w float64) {
+	b.W = clamp01(w)
+	b.PerAtomW = nil
+}
+
+// SetPerAtomWeights installs per-atom weights (copied, clamped).
+func (b *Blend) SetPerAtomWeights(w []float64) {
+	b.PerAtomW = append(b.PerAtomW[:0], w...)
+	for i := range b.PerAtomW {
+		b.PerAtomW[i] = clamp01(b.PerAtomW[i])
+	}
+}
+
+func clamp01(w float64) float64 {
+	if w < 0 {
+		return 0
+	}
+	if w > 1 {
+		return 1
+	}
+	return w
+}
+
+// WeightFromExcitation maps a photoexcited electron count per cell to the
+// XS model fraction: w = n_exc / n_sat saturating at 1. The saturation
+// scale n_sat is the excitation density at which the FE well fully flattens
+// (material-specific; the ferro model uses ~0.5 electrons/cell).
+func WeightFromExcitation(nExc, nSat float64) float64 {
+	if nSat <= 0 {
+		panic(fmt.Sprintf("xsnn: nSat %g must be positive", nSat))
+	}
+	return clamp01(nExc / nSat)
+}
+
+// ComputeForces evaluates both models and blends: implements md.ForceField.
+// The returned energy is the blended energy (1−w̄)E_GS + w̄E_XS with w̄ the
+// mean weight (exact for uniform weights).
+func (b *Blend) ComputeForces(sys *md.System) float64 {
+	if len(b.fBuf) != len(sys.F) {
+		b.fBuf = make([]float64, len(sys.F))
+	}
+	eGS := b.GS.ComputeForces(sys)
+	copy(b.fBuf, sys.F)
+	eXS := b.XS.ComputeForces(sys)
+	if b.PerAtomW == nil {
+		w := b.W
+		for i := range sys.F {
+			sys.F[i] = (1-w)*b.fBuf[i] + w*sys.F[i]
+		}
+		return (1-w)*eGS + w*eXS
+	}
+	if len(b.PerAtomW) != sys.N {
+		panic("xsnn: per-atom weight length mismatch")
+	}
+	var wSum float64
+	for i := 0; i < sys.N; i++ {
+		w := b.PerAtomW[i]
+		wSum += w
+		for d := 0; d < 3; d++ {
+			k := 3*i + d
+			sys.F[k] = (1-w)*b.fBuf[k] + w*sys.F[k]
+		}
+	}
+	wMean := wSum / float64(sys.N)
+	return (1-wMean)*eGS + wMean*eXS
+}
+
+// DecayExcitation relaxes an excitation map toward zero with lifetime tau
+// over time dt (carrier recombination between pulses).
+func DecayExcitation(w []float64, tau, dt float64) {
+	if tau <= 0 {
+		return
+	}
+	f := math.Exp(-dt / tau)
+	for i := range w {
+		w[i] *= f
+	}
+}
