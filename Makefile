@@ -1,0 +1,46 @@
+# mlmd build / verification entry points.
+#
+#   make check   - format check, vet, build, full test suite, and the race
+#                  detector over the pool-parallel packages
+#   make bench   - hot-kernel benchmarks (serial vs pool) with allocation
+#                  counts, written to BENCH_PR1.json (and echoed)
+#   make tables  - the full paper-table benchmark suite at the repo root
+
+GO ?= go
+
+# Fail pipelines on the first failing stage (so `make bench` cannot write
+# BENCH_PR1.json from a failed benchmark run and still exit 0).
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+# Packages whose kernels run on the internal/par worker pool.
+PAR_PKGS = ./internal/par ./internal/md ./internal/linalg ./internal/allegro \
+	./internal/tddft ./internal/core
+
+.PHONY: check fmt vet build test race bench tables
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(PAR_PKGS)
+
+bench:
+	$(GO) test ./internal/md ./internal/linalg ./internal/par \
+		-run '^$$' -bench . -benchmem -benchtime=1s \
+		| tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_PR1.json
+
+tables:
+	$(GO) test . -run '^$$' -bench . -benchmem

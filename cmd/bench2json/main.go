@@ -1,0 +1,102 @@
+// Command bench2json converts `go test -bench` text output on stdin into a
+// compact JSON document on stdout, so benchmark evidence can be committed
+// and diffed across PRs (see Makefile `bench` and BENCH_PR1.json).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name     string             `json:"name"`
+	Package  string             `json:"package,omitempty"`
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	BytesOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	Go         string   `json:"go"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	CPU        string   `json:"cpu,omitempty"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workers    string   `json:"mlmd_workers,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	doc := Doc{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    os.Getenv("MLMD_WORKERS"),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = rest
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.CPU = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r := Result{Name: m[1], Package: pkg, Iters: iters, NsPerOp: ns}
+		// Remaining fields come in "value unit" pairs.
+		fields := strings.Fields(m[4])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "B/op":
+				b := int64(val)
+				r.BytesOp = &b
+			case "allocs/op":
+				a := int64(val)
+				r.AllocsOp = &a
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = val
+			}
+		}
+		doc.Results = append(doc.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module mlmd
+
+go 1.24

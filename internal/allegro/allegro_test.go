@@ -40,8 +40,9 @@ func TestSpecValidation(t *testing.T) {
 
 func descriptorOf(t *testing.T, m *Model, sys *md.System, i int) []float64 {
 	t.Helper()
-	full := m.fullNeighbors(sys)
-	env := buildEnv(sys, m.nl, full, i, m.Spec.Cutoff)
+	m.ensureNeighbors(sys)
+	var env neighborEnv
+	buildEnv(sys, m.nl, i, m.Spec.Cutoff, &env)
 	d := make([]float64, m.Spec.Dim())
 	m.Spec.Descriptor(sys, env, d)
 	return d

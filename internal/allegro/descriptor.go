@@ -68,18 +68,30 @@ func cutoffFn(r, rc float64) (f, df float64) {
 	return 0.5 * (math.Cos(x) + 1), -0.5 * math.Pi / rc * math.Sin(x)
 }
 
-// neighborEnv is the cached geometry of one atom's neighborhood.
+// neighborEnv is the cached geometry of one atom's neighborhood. Its
+// backing slices are reused across atoms by reset, so a long-lived env
+// (e.g. one per pool worker) makes environment construction
+// allocation-free in steady state.
 type neighborEnv struct {
 	j          []int     // neighbor atom indices
-	dx, dy, dz []float64 // displacement components (i → j? j − i)
+	dx, dy, dz []float64 // displacement components (j − i)
 	r          []float64
 }
 
-// buildEnv collects all neighbors of atom i within cutoff using the full
-// neighbor list semantics (half list expanded by the caller).
-func buildEnv(sys *md.System, nl *md.NeighborList, full [][]int32, i int, rc float64) neighborEnv {
-	var env neighborEnv
-	for _, j32 := range full[i] {
+func (env *neighborEnv) reset() {
+	env.j = env.j[:0]
+	env.dx = env.dx[:0]
+	env.dy = env.dy[:0]
+	env.dz = env.dz[:0]
+	env.r = env.r[:0]
+}
+
+// buildEnv collects all neighbors of atom i within cutoff into env,
+// reusing its backing storage. The neighbor order comes from the list's
+// full-list CSR and matches the seed's per-call half-list expansion.
+func buildEnv(sys *md.System, nl *md.NeighborList, i int, rc float64, env *neighborEnv) {
+	env.reset()
+	for _, j32 := range nl.FullNeighbors(i) {
 		j := int(j32)
 		dx, dy, dz := sys.MinImage(j, i) // vector from i to j
 		r := math.Sqrt(dx*dx + dy*dy + dz*dz)
@@ -92,8 +104,6 @@ func buildEnv(sys *md.System, nl *md.NeighborList, full [][]int32, i int, rc flo
 		env.dz = append(env.dz, dz)
 		env.r = append(env.r, r)
 	}
-	_ = nl
-	return env
 }
 
 // Descriptor computes the invariant feature vector of atom i into out
@@ -102,17 +112,24 @@ func buildEnv(sys *md.System, nl *md.NeighborList, full [][]int32, i int, rc flo
 //	out[(sp*NR+k)*2+0] = Σ_j g_k(r_ij) fc(r_ij)                (scalar)
 //	out[(sp*NR+k)*2+1] = |Σ_j g_k(r_ij) fc(r_ij) r̂_ij|²        (vector²)
 func (d DescriptorSpec) Descriptor(sys *md.System, env neighborEnv, out []float64) {
+	d.descriptorInto(sys, env, out, d.centers(), make([]float64, d.NSpecies*d.NRadial*3))
+}
+
+// descriptorInto is Descriptor with caller-provided scratch (cs from
+// centers(), vec of length NSpecies*NRadial*3), so per-worker hot loops
+// avoid per-atom allocation.
+func (d DescriptorSpec) descriptorInto(sys *md.System, env neighborEnv, out, cs, vec []float64) {
 	if len(out) != d.Dim() {
 		panic("allegro: descriptor output length mismatch")
 	}
 	for i := range out {
 		out[i] = 0
 	}
-	cs := d.centers()
+	for i := range vec {
+		vec[i] = 0
+	}
 	w := d.width()
 	nr := d.NRadial
-	// Vector accumulators per (species, k).
-	vec := make([]float64, d.NSpecies*nr*3)
 	for n := range env.j {
 		sp := sys.Type[env.j[n]]
 		r := env.r[n]
@@ -136,11 +153,17 @@ func (d DescriptorSpec) Descriptor(sys *md.System, env neighborEnv, out []float6
 // (gD, length Dim) and the cached environment, using the chain rule through
 // the descriptor. Forces are F = −dE/dx; the caller negates.
 func (d DescriptorSpec) DescriptorGrad(sys *md.System, env neighborEnv, i int, gD []float64, dEdx []float64) {
-	cs := d.centers()
+	d.descriptorGradInto(sys, env, i, gD, dEdx, d.centers(), make([]float64, d.NSpecies*d.NRadial*3))
+}
+
+// descriptorGradInto is DescriptorGrad with caller-provided scratch.
+func (d DescriptorSpec) descriptorGradInto(sys *md.System, env neighborEnv, i int, gD, dEdx, cs, vec []float64) {
 	w := d.width()
 	nr := d.NRadial
 	// Recompute the vector accumulators (needed for the vector² chain).
-	vec := make([]float64, d.NSpecies*nr*3)
+	for k := range vec {
+		vec[k] = 0
+	}
 	for n := range env.j {
 		sp := sys.Type[env.j[n]]
 		r := env.r[n]

@@ -3,16 +3,20 @@ package allegro
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"mlmd/internal/md"
 	"mlmd/internal/nn"
+	"mlmd/internal/par"
 )
 
 // Model is the Allegro-style force field: one MLP per species mapping the
 // invariant descriptor to an atomic energy; total energy is the sum of
 // atomic energies; forces follow analytically.
+//
+// A Model is not safe for concurrent use: Energy/ComputeForces share the
+// neighbor list and per-part inference scratch (ComputeForces itself
+// parallelizes internally over the worker pool). Evaluate concurrent
+// configurations on separate Model instances.
 type Model struct {
 	Spec DescriptorSpec
 	// Nets[sp] predicts the atomic energy of species sp.
@@ -23,8 +27,32 @@ type Model struct {
 	// BlockSize caps how many atoms are evaluated per inference batch
 	// (block model inference, Sec. V.B.9). 0 means no blocking.
 	BlockSize int
-	// nl and the expanded full neighbor table are rebuilt on demand.
+	// nl (with its full-list CSR) is rebuilt on demand.
 	nl *md.NeighborList
+	// Per-worker inference scratch for the pool-parallel force path.
+	scratch *par.Scratch[inferState]
+	fctx    struct {
+		sys         *md.System
+		base        int
+		span, parts int
+	}
+	forceFn func(lo, hi, w int)
+}
+
+// inferState is one worker's reusable inference scratch: the neighbor
+// environment, descriptor/gradient buffers, and the private dE/dx
+// accumulator merged after each block.
+type inferState struct {
+	env  neighborEnv
+	desc []float64
+	cs   []float64
+	vec  []float64
+	gOut [1]float64
+	dEdx []float64
+	e    float64
+	// active marks slots touched in the current block (their partials
+	// need merging and their accumulators need zeroing next block).
+	active bool
 }
 
 // NewModel builds a model with hidden layer sizes hidden for every species.
@@ -60,29 +88,25 @@ func (m *Model) NumWeights() int {
 	return n + len(m.PerSpeciesShift)
 }
 
-// fullNeighbors expands the half list into per-atom neighbor slices.
-func (m *Model) fullNeighbors(sys *md.System) [][]int32 {
+// ensureNeighbors rebuilds the neighbor list (and its full-list CSR) if
+// any atom moved past the skin.
+func (m *Model) ensureNeighbors(sys *md.System) {
 	if m.nl.Stale(sys) {
 		m.nl.Build(sys)
 	}
-	full := make([][]int32, sys.N)
-	for i := 0; i < sys.N; i++ {
-		for _, j := range m.nl.Neighbors(i) {
-			full[i] = append(full[i], j)
-			full[int(j)] = append(full[int(j)], int32(i))
-		}
-	}
-	return full
 }
 
 // Energy returns the total predicted energy of sys.
 func (m *Model) Energy(sys *md.System) float64 {
-	full := m.fullNeighbors(sys)
+	m.ensureNeighbors(sys)
 	desc := make([]float64, m.Spec.Dim())
+	cs := m.Spec.centers()
+	vec := make([]float64, m.Spec.NSpecies*m.Spec.NRadial*3)
+	var env neighborEnv
 	var e float64
 	for i := 0; i < sys.N; i++ {
-		env := buildEnv(sys, m.nl, full, i, m.Spec.Cutoff)
-		m.Spec.Descriptor(sys, env, desc)
+		buildEnv(sys, m.nl, i, m.Spec.Cutoff, &env)
+		m.Spec.descriptorInto(sys, env, desc, cs, vec)
 		sp := sys.Type[i]
 		e += m.Nets[sp].Forward(desc)[0] + m.PerSpeciesShift[sp]
 	}
@@ -91,9 +115,10 @@ func (m *Model) Energy(sys *md.System) float64 {
 
 // ComputeForces implements md.ForceField: fills sys.F with −dE/dx and
 // returns the predicted energy. Atoms are processed in blocks of BlockSize
-// (if set), and blocks are sharded over cores.
+// (if set), each block sharded over the shared worker pool with private
+// per-worker gradient accumulators merged (in worker order) at the end.
 func (m *Model) ComputeForces(sys *md.System) float64 {
-	full := m.fullNeighbors(sys)
+	m.ensureNeighbors(sys)
 	for i := range sys.F {
 		sys.F[i] = 0
 	}
@@ -107,67 +132,74 @@ func (m *Model) ComputeForces(sys *md.System) float64 {
 		if hi > sys.N {
 			hi = sys.N
 		}
-		energy += m.forceBlock(sys, full, lo, hi)
+		energy += m.forceBlock(sys, lo, hi)
 	}
 	return energy
 }
 
-// forceBlock evaluates atoms [lo,hi), parallel over workers with private
-// gradient buffers merged at the end.
-func (m *Model) forceBlock(sys *md.System, full [][]int32, lo, hi int) float64 {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > hi-lo {
-		workers = hi - lo
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	type partial struct {
-		e    float64
-		dEdx []float64
-	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	chunk := (hi - lo + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		a := lo + w*chunk
-		b := a + chunk
-		if b > hi {
-			b = hi
-		}
-		if a >= b {
-			break
-		}
-		wg.Add(1)
-		go func(w, a, b int) {
-			defer wg.Done()
-			dEdx := make([]float64, 3*sys.N)
-			desc := make([]float64, m.Spec.Dim())
-			var e float64
-			for i := a; i < b; i++ {
-				env := buildEnv(sys, m.nl, full, i, m.Spec.Cutoff)
-				m.Spec.Descriptor(sys, env, desc)
+// forceBlock evaluates atoms [lo,hi) on the worker pool, split into one
+// contiguous range per part (parts = pool size). Each part accumulates
+// dE/dx into its own scratch slot (the descriptor gradient scatters to
+// neighbors, so naive sharding of sys.F would race); partials merge into
+// sys.F in part order afterwards. Keying the accumulator by the static
+// part index — not the scheduling-dependent worker id — makes the result
+// deterministic for a fixed worker count, like the seed's static split.
+func (m *Model) forceBlock(sys *md.System, lo, hi int) float64 {
+	if m.scratch == nil {
+		m.scratch = par.NewScratch(func() *inferState { return &inferState{} })
+		m.forceFn = func(part, _, _ int) {
+			sys := m.fctx.sys
+			base := m.fctx.base
+			flo := part * m.fctx.span / m.fctx.parts
+			fhi := (part + 1) * m.fctx.span / m.fctx.parts
+			ws := m.scratch.Get(part)
+			if len(ws.desc) != m.Spec.Dim() {
+				ws.desc = make([]float64, m.Spec.Dim())
+				ws.cs = m.Spec.centers()
+				ws.vec = make([]float64, m.Spec.NSpecies*m.Spec.NRadial*3)
+			}
+			if len(ws.dEdx) != 3*sys.N {
+				ws.dEdx = make([]float64, 3*sys.N)
+			}
+			// Zero the stale accumulator from the previous block.
+			for k := range ws.dEdx {
+				ws.dEdx[k] = 0
+			}
+			ws.e = 0
+			ws.active = true
+			ws.gOut[0] = 1
+			for i := base + flo; i < base+fhi; i++ {
+				buildEnv(sys, m.nl, i, m.Spec.Cutoff, &ws.env)
+				m.Spec.descriptorInto(sys, ws.env, ws.desc, ws.cs, ws.vec)
 				sp := sys.Type[i]
 				net := m.Nets[sp]
-				tape := net.ForwardTape(desc)
-				e += tape.Out() + m.PerSpeciesShift[sp]
-				gD := net.Backward(tape, []float64{1}, nil)
-				m.Spec.DescriptorGrad(sys, env, i, gD, dEdx)
+				tape := net.ForwardTape(ws.desc)
+				ws.e += tape.Out() + m.PerSpeciesShift[sp]
+				gD := net.Backward(tape, ws.gOut[:], nil)
+				m.Spec.descriptorGradInto(sys, ws.env, i, gD, ws.dEdx, ws.cs, ws.vec)
 			}
-			parts[w] = partial{e: e, dEdx: dEdx}
-		}(w, a, b)
-	}
-	wg.Wait()
-	var e float64
-	for _, p := range parts {
-		if p.dEdx == nil {
-			continue
 		}
-		e += p.e
-		for k, v := range p.dEdx {
+	}
+	m.scratch.Each(func(_ int, ws *inferState) { ws.active = false })
+	parts := par.Workers()
+	if parts > hi-lo {
+		parts = hi - lo
+	}
+	m.fctx.sys = sys
+	m.fctx.base = lo
+	m.fctx.span = hi - lo
+	m.fctx.parts = parts
+	par.For(parts, 1, m.forceFn)
+	var e float64
+	m.scratch.Each(func(_ int, ws *inferState) {
+		if !ws.active {
+			return
+		}
+		e += ws.e
+		for k, v := range ws.dEdx {
 			sys.F[k] -= v
 		}
-	}
+	})
 	return e
 }
 

@@ -1,0 +1,34 @@
+package allegro
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/par"
+)
+
+// TestForcesRunToRunDeterministic: with a fixed worker count, repeated
+// force evaluations must be bitwise identical — the per-part accumulators
+// are keyed by static part index, not by which pool worker ran them.
+func TestForcesRunToRunDeterministic(t *testing.T) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+	sys, _, _ := smallLattice(t)
+	m, err := NewModel(testSpec(), []int{8}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := m.ComputeForces(sys)
+	f0 := append([]float64(nil), sys.F...)
+	for rep := 0; rep < 5; rep++ {
+		e := m.ComputeForces(sys)
+		if math.Float64bits(e) != math.Float64bits(e0) {
+			t.Fatalf("rep %d: energy %v != first run %v", rep, e, e0)
+		}
+		for k := range f0 {
+			if math.Float64bits(sys.F[k]) != math.Float64bits(f0[k]) {
+				t.Fatalf("rep %d: F[%d] = %v != first run %v", rep, k, sys.F[k], f0[k])
+			}
+		}
+	}
+}

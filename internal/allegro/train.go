@@ -122,10 +122,11 @@ func (m *Model) Train(template *md.System, samples []Sample, cfg TrainConfig) (*
 		}
 		var loss float64
 		desc := make([]float64, m.Spec.Dim())
+		var env neighborEnv
 		for _, si := range idx {
 			s := samples[si]
 			copy(sys.X, s.X)
-			full := m.fullNeighbors(sys)
+			m.ensureNeighbors(sys)
 			// Forward pass with tapes kept per atom.
 			type atomTape struct {
 				sp   int
@@ -134,7 +135,7 @@ func (m *Model) Train(template *md.System, samples []Sample, cfg TrainConfig) (*
 			tapes := make([]atomTape, sys.N)
 			var ePred float64
 			for i := 0; i < sys.N; i++ {
-				env := buildEnv(sys, m.nl, full, i, m.Spec.Cutoff)
+				buildEnv(sys, m.nl, i, m.Spec.Cutoff, &env)
 				m.Spec.Descriptor(sys, env, desc)
 				sp := sys.Type[i]
 				tp := m.Nets[sp].ForwardTape(desc)

@@ -195,8 +195,10 @@ func Table5Measured(n, norb int) ([]KernelThroughput, error) {
 	var out []KernelThroughput
 	timeIt := func(name string, flops uint64, f func()) {
 		f() // warm-up
+		// Best-of-7: on shared/noisy hosts the minimum is the only robust
+		// estimator of kernel speed (anything else folds in steal time).
 		best := math.Inf(1)
-		for rep := 0; rep < 3; rep++ {
+		for rep := 0; rep < 7; rep++ {
 			start := time.Now()
 			f()
 			if sec := time.Since(start).Seconds(); sec < best {

@@ -11,12 +11,11 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"mlmd/internal/dc"
 	"mlmd/internal/grid"
 	"mlmd/internal/maxwell"
+	"mlmd/internal/par"
 	"mlmd/internal/precision"
 	"mlmd/internal/sh"
 	"mlmd/internal/tddft"
@@ -200,20 +199,16 @@ func (m *DCMESH) MDStep() []float64 {
 		}
 		aHist[q] = row
 	}
-	// Ehrenfest propagation per domain, in parallel (the shadow-dynamics
-	// survival/occupation hand-off happens inside advanceDomain).
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for di, d := range m.Domains {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(di int, d *DomainState) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			m.advanceDomain(d, aHist, di)
-		}(di, d)
-	}
-	wg.Wait()
+	// Ehrenfest propagation per domain, data-parallel on the shared worker
+	// pool (the paper's one-rank-per-domain map; the shadow-dynamics
+	// survival/occupation hand-off happens inside advanceDomain). Domain
+	// propagation itself nests pool-parallel kernels, which par handles
+	// without oversubscribing.
+	par.For(len(m.Domains), 1, func(lo, hi, _ int) {
+		for di := lo; di < hi; di++ {
+			m.advanceDomain(m.Domains[di], aHist, di)
+		}
+	})
 	m.step++
 	m.time += float64(cfg.NQD) * cfg.DtQD
 	if cfg.CurrentFeedback {

@@ -45,6 +45,10 @@ func (m *DCMESH) MDStepDistributed(comm *cluster.Comm) (*DistributedResult, erro
 		}
 		aHist[q] = row
 	}
+	// Rank goroutines coordinate through Gather/Barrier and must all run
+	// concurrently, so this fan-out deliberately stays on raw goroutines:
+	// the par pool schedules independent tasks and does not guarantee
+	// concurrency, which a barrier requires.
 	var wg sync.WaitGroup
 	rankNExc := make([][]float64, p)
 	for r := 0; r < p; r++ {

@@ -3,13 +3,16 @@
 // general matrix-matrix multiplies (CGEMM) in naive, blocked/tiled, and
 // parallel variants, plus the real GEMM used by the neural-network module.
 //
-// Matrices are dense, row-major: A[i*lda+j].
+// Matrices are dense, row-major: A[i*lda+j]. All production kernels shard
+// row blocks over the shared worker pool (internal/par); results are
+// bitwise independent of the worker count because rows are disjoint and
+// chunk boundaries depend only on the problem shape.
 package linalg
 
 import (
-	"runtime"
-	"sync"
 	"sync/atomic"
+
+	"mlmd/internal/par"
 )
 
 // flopCount is a process-wide ledger of floating-point operations executed by
@@ -98,32 +101,31 @@ func checkGEMMArgs(opA, opB Op, m, n, k, lenA, lda, lenB, ldb, lenC, ldc int) {
 const blockSize = 48
 
 // CGEMMBlocked computes C = alpha*op(A)*op(B) + beta*C with cache blocking
-// (the paper's Sec. V.B.3 tiling applied to the GEMM path).
+// (the paper's Sec. V.B.3 tiling applied to the GEMM path), row blocks
+// sharded over the shared worker pool. Beta scaling is fused into each row
+// chunk so C is traversed once.
 func CGEMMBlocked(opA, opB Op, m, n, k int, alpha complex128, a []complex128, lda int, b []complex128, ldb int, beta complex128, c []complex128, ldc int) {
 	checkGEMMArgs(opA, opB, m, n, k, len(a), lda, len(b), ldb, len(c), ldc)
-	// Scale C by beta first, then accumulate tile products.
-	for i := 0; i < m; i++ {
-		row := c[i*ldc : i*ldc+n]
-		if beta == 0 {
-			for j := range row {
-				row[j] = 0
-			}
-		} else if beta != 1 {
-			for j := range row {
-				row[j] *= beta
-			}
-		}
-	}
-	cgemmAccumRange(opA, opB, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc)
+	par.For(m, gemmRowGrain(n, k, 8), func(lo, hi, _ int) {
+		scaleRows(lo, hi, n, beta, c, ldc)
+		cgemmAccumRange(opA, opB, lo, hi, n, k, alpha, a, lda, b, ldb, c, ldc)
+	})
 	AddFlops(CGEMMFlops(m, n, k))
 }
 
 // cgemmAccumRange accumulates alpha*op(A)*op(B) into C for rows [i0,i1).
+// Row-major B goes through the shared register-tile kernel; the
+// conjugate-transpose B fallback keeps the straightforward blocked loop.
 func cgemmAccumRange(opA, opB Op, i0, i1, n, k int, alpha complex128, a []complex128, lda int, b []complex128, ldb int, c []complex128, ldc int) {
+	getA := func(i, p int) complex128 { return alpha * getOp(a, lda, opA, i, p) }
 	for ii := i0; ii < i1; ii += blockSize {
 		iMax := min(ii+blockSize, i1)
 		for pp := 0; pp < k; pp += blockSize {
 			pMax := min(pp+blockSize, k)
+			if opB == NoTrans {
+				tileNoTransB(blockSize, getA, ii, iMax, pp, pMax, n, b, ldb, c, ldc)
+				continue
+			}
 			for jj := 0; jj < n; jj += blockSize {
 				jMax := min(jj+blockSize, n)
 				for i := ii; i < iMax; i++ {
@@ -132,16 +134,8 @@ func cgemmAccumRange(opA, opB Op, i0, i1, n, k int, alpha complex128, a []comple
 						if av == 0 {
 							continue
 						}
-						if opB == NoTrans {
-							brow := b[p*ldb+jj : p*ldb+jMax]
-							crow := c[i*ldc+jj : i*ldc+jMax]
-							for j := range brow {
-								crow[j] += av * brow[j]
-							}
-						} else {
-							for j := jj; j < jMax; j++ {
-								c[i*ldc+j] += av * getOp(b, ldb, opB, p, j)
-							}
+						for j := jj; j < jMax; j++ {
+							c[i*ldc+j] += av * getOp(b, ldb, opB, p, j)
 						}
 					}
 				}
@@ -150,45 +144,8 @@ func cgemmAccumRange(opA, opB Op, i0, i1, n, k int, alpha complex128, a []comple
 	}
 }
 
-// CGEMMParallel is CGEMMBlocked with the row blocks distributed over all
-// available cores — the package's proxy for the GPU-offloaded oneMKL path.
+// CGEMMParallel is the historical name of the pool-parallel blocked kernel;
+// it now simply delegates to CGEMMBlocked, which owns the sharding.
 func CGEMMParallel(opA, opB Op, m, n, k int, alpha complex128, a []complex128, lda int, b []complex128, ldb int, beta complex128, c []complex128, ldc int) {
-	checkGEMMArgs(opA, opB, m, n, k, len(a), lda, len(b), ldb, len(c), ldc)
-	for i := 0; i < m; i++ {
-		row := c[i*ldc : i*ldc+n]
-		if beta == 0 {
-			for j := range row {
-				row[j] = 0
-			}
-		} else if beta != 1 {
-			for j := range row {
-				row[j] *= beta
-			}
-		}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 || m*n*k < 32*32*32 {
-		cgemmAccumRange(opA, opB, 0, m, n, k, alpha, a, lda, b, ldb, c, ldc)
-		AddFlops(CGEMMFlops(m, n, k))
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		i0 := w * chunk
-		i1 := min(i0+chunk, m)
-		if i0 >= i1 {
-			break
-		}
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			cgemmAccumRange(opA, opB, i0, i1, n, k, alpha, a, lda, b, ldb, c, ldc)
-		}(i0, i1)
-	}
-	wg.Wait()
-	AddFlops(CGEMMFlops(m, n, k))
+	CGEMMBlocked(opA, opB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 }

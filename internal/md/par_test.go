@@ -1,0 +1,239 @@
+package md
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlmd/internal/par"
+)
+
+// ljSystem builds a dense random system with an LJ force field whose
+// neighbor list is current.
+func ljSystem(tb testing.TB, n int, seed int64) (*System, *LennardJones) {
+	tb.Helper()
+	// Box sized for reduced density ~0.5.
+	l := math.Cbrt(float64(n) / 0.5)
+	sys, err := NewSystem(n, l, l, l)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := range sys.X {
+		sys.X[i] = rng.Float64() * l
+	}
+	for i := 0; i < n; i++ {
+		sys.Mass[i] = 1
+	}
+	nl, err := NewNeighborList(2.5, 0.3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys, &LennardJones{Epsilon: 1, Sigma: 1, NL: nl}
+}
+
+func withWorkers(tb testing.TB, n int, f func()) {
+	tb.Helper()
+	prev := par.SetWorkers(n)
+	defer par.SetWorkers(prev)
+	f()
+}
+
+// TestParallelBuildBitIdentical: the pool-parallel Build must produce the
+// exact pair list of the seed's serial algorithm for every worker count.
+func TestParallelBuildBitIdentical(t *testing.T) {
+	sys, lj := ljSystem(t, 801, 7)
+	ref, err := NewNeighborList(2.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.buildSerial(sys)
+	if len(ref.Pairs) == 0 {
+		t.Fatal("degenerate test: no pairs")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		withWorkers(t, workers, func() {
+			lj.NL.Build(sys)
+			if got, want := len(lj.NL.Pairs), len(ref.Pairs); got != want {
+				t.Fatalf("workers=%d: %d pairs, want %d", workers, got, want)
+			}
+			for i := 0; i < sys.N; i++ {
+				if lj.NL.Start[i] != ref.Start[i] || lj.NL.End[i] != ref.End[i] {
+					t.Fatalf("workers=%d: atom %d range [%d,%d) != [%d,%d)",
+						workers, i, lj.NL.Start[i], lj.NL.End[i], ref.Start[i], ref.End[i])
+				}
+			}
+			for p := range ref.Pairs {
+				if lj.NL.Pairs[p] != ref.Pairs[p] {
+					t.Fatalf("workers=%d: pair %d = %d, want %d", workers, p, lj.NL.Pairs[p], ref.Pairs[p])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelForcesBitIdentical: the two-phase parallel LJ kernel must
+// reproduce the serial half-list accumulation bit for bit (same adds on
+// each atom's accumulator in the same order), for every worker count.
+func TestParallelForcesBitIdentical(t *testing.T) {
+	sys, lj := ljSystem(t, 612, 11)
+	lj.NL.Build(sys)
+	peRef := lj.computeForcesSerial(sys)
+	fRef := append([]float64(nil), sys.F...)
+	for _, workers := range []int{1, 2, 4} {
+		withWorkers(t, workers, func() {
+			for i := range sys.F {
+				sys.F[i] = math.NaN() // catch unwritten components
+			}
+			pe := lj.ComputeForces(sys)
+			// Forces are bitwise; the energy is a chunk-ordered sum, so it
+			// is deterministic across worker counts but may differ from
+			// the single running sum by a few ulps.
+			if d := math.Abs(pe - peRef); d > 1e-9*math.Abs(peRef) {
+				t.Errorf("workers=%d: pe %v != serial %v (diff %g)", workers, pe, peRef, d)
+			}
+			for k := range fRef {
+				if math.Float64bits(sys.F[k]) != math.Float64bits(fRef[k]) {
+					t.Fatalf("workers=%d: F[%d] = %v != serial %v", workers, k, sys.F[k], fRef[k])
+				}
+			}
+		})
+	}
+}
+
+// TestFullNeighborsMatchesExpansion: the CSR full list must equal the
+// seed's per-call half-list expansion, including order.
+func TestFullNeighborsMatchesExpansion(t *testing.T) {
+	sys, lj := ljSystem(t, 345, 3)
+	nl := lj.NL
+	nl.Build(sys)
+	full := make([][]int32, sys.N)
+	for i := 0; i < sys.N; i++ {
+		for _, j := range nl.Neighbors(i) {
+			full[i] = append(full[i], j)
+			full[int(j)] = append(full[int(j)], int32(i))
+		}
+	}
+	for i := 0; i < sys.N; i++ {
+		got := nl.FullNeighbors(i)
+		if len(got) != len(full[i]) {
+			t.Fatalf("atom %d: %d full neighbors, want %d", i, len(got), len(full[i]))
+		}
+		for q := range got {
+			if got[q] != full[i][q] {
+				t.Fatalf("atom %d entry %d: %d, want %d", i, q, got[q], full[i][q])
+			}
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs: after warm-up, neighbor rebuilds and LJ force
+// evaluations must not allocate, serial or parallel.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		withWorkers(t, workers, func() {
+			sys, lj := ljSystem(t, 500, 5)
+			lj.NL.Build(sys)
+			lj.ComputeForces(sys)
+			if a := testing.AllocsPerRun(20, func() { lj.NL.Build(sys) }); a > 0 {
+				t.Errorf("workers=%d: neighbor rebuild allocates %.1f/op, want 0", workers, a)
+			}
+			if a := testing.AllocsPerRun(20, func() { lj.ComputeForces(sys) }); a > 0 {
+				t.Errorf("workers=%d: LJ forces allocate %.1f/op, want 0", workers, a)
+			}
+		})
+	}
+}
+
+// TestParallelMDTrajectory: a short NVE run under forced parallelism must
+// track the serial trajectory exactly (forces are bit-identical, so the
+// integrator sees identical inputs).
+func TestParallelMDTrajectory(t *testing.T) {
+	run := func(workers int) []float64 {
+		var out []float64
+		withWorkers(t, workers, func() {
+			sys, lj := ljSystem(t, 300, 9)
+			sys.InitVelocities(0.8, 4)
+			lj.ComputeForces(sys)
+			for s := 0; s < 25; s++ {
+				VelocityVerlet(sys, lj, 0.002)
+			}
+			out = append([]float64(nil), sys.X...)
+		})
+		return out
+	}
+	ref := run(1)
+	got := run(4)
+	for k := range ref {
+		if math.Float64bits(ref[k]) != math.Float64bits(got[k]) {
+			t.Fatalf("trajectory diverged at X[%d]: %v vs %v", k, ref[k], got[k])
+		}
+	}
+}
+
+// TestBuildEmptySystem: a zero-atom system (constructible by literal even
+// though NewSystem forbids it) must build an empty list, not panic.
+func TestBuildEmptySystem(t *testing.T) {
+	sys := &System{N: 0, Lx: 10, Ly: 10, Lz: 10}
+	nl, err := NewNeighborList(2.5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Build(sys)
+	if nl.NumPairs() != 0 {
+		t.Fatalf("empty system produced %d pairs", nl.NumPairs())
+	}
+	lj := &LennardJones{Epsilon: 1, Sigma: 1, NL: nl}
+	if pe := lj.ComputeForces(sys); pe != 0 {
+		t.Fatalf("empty system pe = %v", pe)
+	}
+}
+
+func benchSystem(b *testing.B, n int) (*System, *LennardJones) {
+	sys, lj := ljSystem(b, n, 42)
+	lj.NL.Build(sys)
+	lj.ComputeForces(sys)
+	return sys, lj
+}
+
+func BenchmarkNeighborBuildSerial(b *testing.B) {
+	sys, lj := benchSystem(b, 8192)
+	nl := lj.NL
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nl.buildSerial(sys)
+	}
+	b.ReportMetric(float64(sys.N)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Matoms/s")
+}
+
+func BenchmarkNeighborBuild(b *testing.B) {
+	sys, lj := benchSystem(b, 8192)
+	nl := lj.NL
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nl.Build(sys)
+	}
+	b.ReportMetric(float64(sys.N)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Matoms/s")
+}
+
+func BenchmarkLJForcesSerial(b *testing.B) {
+	sys, lj := benchSystem(b, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lj.computeForcesSerial(sys)
+	}
+	b.ReportMetric(float64(lj.NL.NumPairs())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpairs/s")
+}
+
+func BenchmarkLJForces(b *testing.B) {
+	sys, lj := benchSystem(b, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lj.ComputeForces(sys)
+	}
+	b.ReportMetric(float64(lj.NL.NumPairs())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpairs/s")
+}

@@ -3,10 +3,9 @@ package tddft
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"mlmd/internal/grid"
+	"mlmd/internal/par"
 )
 
 // This file implements the paper's kin_prop kernel — the local kinetic
@@ -281,13 +280,14 @@ func (kp *KinProp) propagateReordered(w *grid.WaveField, dt, axPot float64) {
 // pair, far inside L1.
 const orbBlock = 32
 
+// kinPairGrain is the pair-chunk size of the pool-parallel sweeps; pair
+// rotations within one parity set touch disjoint rows, so chunks shard
+// race-free at any boundary.
+const kinPairGrain = 512
+
 func (kp *KinProp) propagateBlocked(w *grid.WaveField, dt, axPot float64, parallel bool) {
 	norb := w.Norb
 	theta := kp.peierlsTheta(axPot)
-	workers := 1
-	if parallel {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	for ax := 0; ax < 3; ax++ {
 		for _, sub := range [3]struct {
 			parity int
@@ -303,25 +303,13 @@ func (kp *KinProp) propagateBlocked(w *grid.WaveField, dt, axPot float64, parall
 			isF, isB := is*ph, is*conj(ph)
 			pairs := kp.pairs[ax][sub.parity]
 			nPairs := len(pairs) / 2
-			if workers <= 1 || nPairs < 1024 {
+			if !parallel || nPairs < 1024 {
 				kp.blockedSweep(w.Data, norb, pairs, c, isF, isB)
 				continue
 			}
-			var wg sync.WaitGroup
-			chunk := (nPairs + workers - 1) / workers
-			for wk := 0; wk < workers; wk++ {
-				lo := wk * chunk * 2
-				hi := min(lo+chunk*2, len(pairs))
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(sl []int32) {
-					defer wg.Done()
-					kp.blockedSweep(w.Data, norb, sl, c, isF, isB)
-				}(pairs[lo:hi])
-			}
-			wg.Wait()
+			par.For(nPairs, kinPairGrain, func(lo, hi, _ int) {
+				kp.blockedSweep(w.Data, norb, pairs[2*lo:2*hi], c, isF, isB)
+			})
 		}
 	}
 	ph := -dt * kp.diag
@@ -332,24 +320,13 @@ func (kp *KinProp) propagateBlocked(w *grid.WaveField, dt, axPot float64, parall
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	n := len(w.Data)
-	chunk := (n + workers - 1) / workers
-	for wk := 0; wk < workers; wk++ {
-		lo := wk * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			break
+	data := w.Data
+	par.For(len(data), 1<<14, func(lo, hi, _ int) {
+		sl := data[lo:hi]
+		for i := range sl {
+			sl[i] *= rot
 		}
-		wg.Add(1)
-		go func(sl []complex128) {
-			defer wg.Done()
-			for i := range sl {
-				sl[i] *= rot
-			}
-		}(w.Data[lo:hi])
-	}
-	wg.Wait()
+	})
 }
 
 func (kp *KinProp) blockedSweep(data []complex128, norb int, pairs []int32, c, isF, isB complex128) {

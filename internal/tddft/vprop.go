@@ -2,10 +2,9 @@ package tddft
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"mlmd/internal/grid"
+	"mlmd/internal/par"
 )
 
 // VProp applies the local-potential phase exp(−iΔt v_loc(r)) to every
@@ -17,15 +16,7 @@ func VProp(h *Hamiltonian, w *grid.WaveField, dt float64) {
 		panic("tddft: VProp grid mismatch")
 	}
 	if w.Layout == grid.LayoutSoA {
-		norb := w.Norb
-		for g := 0; g < n; g++ {
-			ph := -dt * h.Vloc[g]
-			rot := complex(math.Cos(ph), math.Sin(ph))
-			row := w.Data[g*norb : (g+1)*norb]
-			for s := range row {
-				row[s] *= rot
-			}
-		}
+		vpropRange(h, w, dt, 0, n)
 		return
 	}
 	for s := 0; s < w.Norb; s++ {
@@ -37,7 +28,22 @@ func VProp(h *Hamiltonian, w *grid.WaveField, dt float64) {
 	}
 }
 
-// VPropParallel is VProp with the grid sharded over cores (SoA only).
+// vpropRange applies the phase on grid points [lo,hi) (SoA layout).
+func vpropRange(h *Hamiltonian, w *grid.WaveField, dt float64, lo, hi int) {
+	norb := w.Norb
+	for g := lo; g < hi; g++ {
+		ph := -dt * h.Vloc[g]
+		rot := complex(math.Cos(ph), math.Sin(ph))
+		row := w.Data[g*norb : (g+1)*norb]
+		for s := range row {
+			row[s] *= rot
+		}
+	}
+}
+
+// VPropParallel is VProp with the grid sharded over the shared worker pool
+// (SoA only). Grid rows are disjoint, so any chunking is race-free and the
+// result is bitwise identical to the serial sweep.
 func VPropParallel(h *Hamiltonian, w *grid.WaveField, dt float64) {
 	if w.Layout != grid.LayoutSoA {
 		VProp(h, w, dt)
@@ -45,31 +51,15 @@ func VPropParallel(h *Hamiltonian, w *grid.WaveField, dt float64) {
 	}
 	n := h.G.Len()
 	norb := w.Norb
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || n*norb < 1<<14 {
+	if n*norb < 1<<14 {
 		VProp(h, w, dt)
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for wk := 0; wk < workers; wk++ {
-		lo := wk * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for g := lo; g < hi; g++ {
-				ph := -dt * h.Vloc[g]
-				rot := complex(math.Cos(ph), math.Sin(ph))
-				row := w.Data[g*norb : (g+1)*norb]
-				for s := range row {
-					row[s] *= rot
-				}
-			}
-		}(lo, hi)
+	grain := 1 << 12 / norb
+	if grain < 1 {
+		grain = 1
 	}
-	wg.Wait()
+	par.For(n, grain, func(lo, hi, _ int) {
+		vpropRange(h, w, dt, lo, hi)
+	})
 }
