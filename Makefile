@@ -1,9 +1,15 @@
 # mlmd build / verification entry points.
 #
-#   make check   - format check, vet, build, full test suite, and the race
-#                  detector over the pool-parallel packages
+#   make check   - format check, vet, build, full test suite, the race
+#                  detector over the pool-parallel and sharded packages,
+#                  the coverage floor, and a short fuzz smoke
+#   make cover   - enforce the >=70% coverage floor on the MD/IO/cluster/
+#                  shard packages
+#   make fuzz    - 10s native-fuzz smoke per mlmdio deserializer
 #   make bench   - hot-kernel benchmarks (serial vs pool) with allocation
 #                  counts, written to BENCH_PR1.json (and echoed)
+#   make bench2  - sharded-engine strong scaling (1/2/4/8 ranks, best of 7),
+#                  written to BENCH_PR2.json (and echoed as a table)
 #   make tables  - the full paper-table benchmark suite at the repo root
 
 GO ?= go
@@ -13,13 +19,23 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-# Packages whose kernels run on the internal/par worker pool.
+# Packages whose kernels run on the internal/par worker pool, plus the
+# rank-parallel shard engine and its communicator (the rank-scaling race
+# surface).
 PAR_PKGS = ./internal/par ./internal/md ./internal/linalg ./internal/allegro \
-	./internal/tddft ./internal/core
+	./internal/tddft ./internal/core ./internal/cluster ./internal/shard
 
-.PHONY: check fmt vet build test race bench tables
+# Coverage-gated packages and floor (ISSUE 2 CI contract).
+COVER_PKGS = ./internal/md ./internal/mlmdio ./internal/cluster ./internal/shard
+COVER_MIN  = 70
 
-check: fmt vet build test race
+# mlmdio deserializers under native fuzzing.
+FUZZ_TARGETS = FuzzReadXYZ FuzzLoadSystem FuzzLoadModel FuzzLoadWaveField
+FUZZ_TIME   ?= 10s
+
+.PHONY: check fmt vet build test race cover fuzz bench bench2 tables
+
+check: fmt vet build test race cover fuzz
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -37,10 +53,28 @@ test:
 race:
 	$(GO) test -race $(PAR_PKGS)
 
+cover:
+	@for p in $(COVER_PKGS); do \
+		line="$$($(GO) test -cover $$p | tail -1)"; echo "$$line"; \
+		pct="$$(echo "$$line" | grep -o '[0-9.]*%' | head -1 | tr -d '%')"; \
+		if [ -z "$$pct" ]; then echo "no coverage reported for $$p"; exit 1; fi; \
+		awk -v p="$$pct" -v m=$(COVER_MIN) 'BEGIN { exit !(p >= m) }' || \
+			{ echo "coverage $$pct% of $$p below $(COVER_MIN)%"; exit 1; }; \
+	done
+
+fuzz:
+	@for f in $(FUZZ_TARGETS); do \
+		echo "fuzz $$f ($(FUZZ_TIME))"; \
+		$(GO) test ./internal/mlmdio -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZ_TIME) | tail -2; \
+	done
+
 bench:
 	$(GO) test ./internal/md ./internal/linalg ./internal/par \
 		-run '^$$' -bench . -benchmem -benchtime=1s \
 		| tee /dev/stderr | $(GO) run ./cmd/bench2json > BENCH_PR1.json
+
+bench2:
+	$(GO) run ./cmd/bench-scaling -shard -shardjson > BENCH_PR2.json
 
 tables:
 	$(GO) test . -run '^$$' -bench . -benchmem

@@ -6,12 +6,17 @@
 // Usage:
 //
 //	bench-scaling [-table1] [-table2] [-fig4a] [-fig4b] [-fig5a] [-fig5b] [-legato]
+//	              [-shard [-shardjson] [-shardcells N] [-shardsteps N]]
 //
 // With no flags, everything except -legato (which trains models and runs MD,
-// taking ~a minute) is printed.
+// taking ~a minute) and -shard (which measures the real sharded engine,
+// internal/shard, rather than the analytic machine model) is printed.
+// -shard -shardjson writes the committable BENCH_PR2.json document to
+// stdout and the human table to stderr (see `make bench2`).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,8 +32,12 @@ func main() {
 	f5a := flag.Bool("fig5a", false, "Fig 5a: XS-NNQMD weak scaling")
 	f5b := flag.Bool("fig5b", false, "Fig 5b: XS-NNQMD strong scaling")
 	legato := flag.Bool("legato", false, "Allegro-Legato fidelity-scaling ablation (slow)")
+	shardFlag := flag.Bool("shard", false, "real sharded-engine LJ strong scaling (1/2/4/8 ranks, best of 7)")
+	shardJSON := flag.Bool("shardjson", false, "with -shard: emit the JSON document (BENCH_PR2.json) instead of the table")
+	shardCells := flag.Int("shardcells", 11, "fcc cells per axis of the -shard system (atoms = 4·cells³; needs cells >= 11 so the 8-rank slab still fits the halo)")
+	shardSteps := flag.Int("shardsteps", 100, "MD steps per -shard trial")
 	flag.Parse()
-	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato
+	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato && !*shardFlag
 
 	if *t1 || all {
 		fmt.Println(bench.Table1())
@@ -56,5 +65,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(bench.LegatoTable(res))
+	}
+	if *shardFlag {
+		points, err := bench.ShardStrongScaling([]int{1, 2, 4, 8}, *shardCells, *shardSteps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+			os.Exit(1)
+		}
+		if *shardJSON {
+			// JSON on stdout (redirect into BENCH_PR2.json), the human
+			// table on stderr.
+			fmt.Fprintln(os.Stderr, bench.ShardScalingTable(points))
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(bench.ShardScalingDocument(points)); err != nil {
+				fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+				os.Exit(1)
+			}
+		} else {
+			fmt.Println(bench.ShardScalingTable(points))
+		}
 	}
 }

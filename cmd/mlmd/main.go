@@ -17,6 +17,7 @@ import (
 	"mlmd/internal/ferro"
 	"mlmd/internal/grid"
 	"mlmd/internal/maxwell"
+	"mlmd/internal/shard"
 	"mlmd/internal/units"
 )
 
@@ -29,6 +30,7 @@ func main() {
 	amp := flag.Float64("amp", 0.3, "peak laser E field (a.u.)")
 	photon := flag.Float64("photon", 3.0, "photon energy (eV)")
 	latCells := flag.Int("cells", 12, "XS-NNQMD lattice cells per axis (xy)")
+	ranks := flag.Int("ranks", 0, "shard the XS-NNQMD stage across N in-process ranks (0 = unsharded)")
 	flag.Parse()
 
 	cfg := core.DefaultDCMESHConfig()
@@ -70,6 +72,26 @@ func main() {
 	nn, err := core.NewXSNNQMD(sys, lat, gs, xs, 20, 1)
 	if err != nil {
 		fail(err)
+	}
+	if *ranks > 0 {
+		newFF, err := shard.BlendEffHamFactory(lat, gs, xs)
+		if err != nil {
+			fail(err)
+		}
+		// Halo: the soft-mode stencil reaches the neighbor cell's Ti, so
+		// cutoff must cover a lattice constant plus off-centering drift.
+		eng, err := shard.NewEngine(shard.Config{
+			Ranks:  *ranks,
+			Cutoff: 1.3 * ferro.LatticeConstant,
+			Skin:   0.4 * ferro.LatticeConstant,
+			NewFF:  newFF,
+		}, sys)
+		if err != nil {
+			fail(err)
+		}
+		defer eng.Close()
+		nn.SetForceField(eng)
+		fmt.Printf("(lattice stage sharded across %d ranks)\n", *ranks)
 	}
 	if err := nn.SetExcitationFromDomains(nExc, cfg.Dx, cfg.Dy, cfg.Dz, 0.02); err != nil {
 		fail(err)

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallArgs is the golden-file configuration: a full DC-MESH + XS-NNQMD
+// pipeline small enough for CI.
+var smallArgs = []string{"-mesh", "8", "-domains", "2", "-norb", "2", "-nqd", "10", "-mdsteps", "2", "-cells", "8"}
+
+func buildMLMD(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "mlmd")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return exe
+}
+
+func runMLMD(t *testing.T, exe string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(exe, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("mlmd %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+// stripShardNote drops the sharding announcement so sharded and unsharded
+// outputs are comparable line-for-line.
+func stripShardNote(s string) string {
+	lines := strings.Split(s, "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(l, "(lattice stage sharded") {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestSummaryGolden: the end-to-end summary trace is a committed golden
+// file — any change to the physics pipeline's numbers must be deliberate.
+func TestSummaryGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	exe := buildMLMD(t)
+	got := runMLMD(t, exe, smallArgs...)
+	want, err := os.ReadFile(filepath.Join("testdata", "summary_small.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("summary output drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestShardedSummaryMatches: running the lattice stage sharded (-ranks 2/4)
+// produces the identical summary — the decomposed blended effective
+// Hamiltonian is bitwise-equivalent through the whole module.
+func TestShardedSummaryMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	exe := buildMLMD(t)
+	ref := runMLMD(t, exe, smallArgs...)
+	for _, ranks := range []string{"2", "4"} {
+		got := runMLMD(t, exe, append(append([]string{}, smallArgs...), "-ranks", ranks)...)
+		if stripShardNote(got) != ref {
+			t.Errorf("-ranks %s output differs from unsharded run\n--- sharded ---\n%s\n--- unsharded ---\n%s", ranks, got, ref)
+		}
+	}
+}

@@ -118,23 +118,57 @@ func (m *Model) Energy(sys *md.System) float64 {
 // (if set), each block sharded over the shared worker pool with private
 // per-worker gradient accumulators merged (in worker order) at the end.
 func (m *Model) ComputeForces(sys *md.System) float64 {
+	return m.ComputeForcesOwned(sys, sys.N)
+}
+
+// ComputeForcesOwned evaluates the atomic energies of atoms [0, nOwned)
+// only, scattering −dE/dx into sys.F for every atom of sys (owned and
+// beyond), and returns Σ E_i over the owned range. This is the kernel of
+// domain-decomposed evaluation: a rank's local system holds its owned atoms
+// first and ghost copies after, each rank sums only its owned energies, and
+// the force partials accumulated on ghost rows are reverse-exchanged to the
+// owning ranks (internal/shard). With nOwned == sys.N it is exactly the
+// full ComputeForces.
+func (m *Model) ComputeForcesOwned(sys *md.System, nOwned int) float64 {
+	if nOwned < 0 || nOwned > sys.N {
+		nOwned = sys.N
+	}
 	m.ensureNeighbors(sys)
 	for i := range sys.F {
 		sys.F[i] = 0
 	}
 	block := m.BlockSize
-	if block <= 0 || block > sys.N {
-		block = sys.N
+	if block <= 0 || block > nOwned {
+		block = nOwned
 	}
 	var energy float64
-	for lo := 0; lo < sys.N; lo += block {
+	for lo := 0; lo < nOwned; lo += block {
 		hi := lo + block
-		if hi > sys.N {
-			hi = sys.N
+		if hi > nOwned {
+			hi = nOwned
 		}
 		energy += m.forceBlock(sys, lo, hi)
 	}
 	return energy
+}
+
+// CloneShared returns a new Model sharing this model's (read-only at
+// inference time) weights and per-species shifts, but with private neighbor
+// list and inference scratch, so several goroutines — e.g. the ranks of a
+// sharded run — can evaluate concurrently on different systems.
+func (m *Model) CloneShared() *Model {
+	c := &Model{
+		Spec:            m.Spec,
+		Nets:            m.Nets,
+		PerSpeciesShift: m.PerSpeciesShift,
+		BlockSize:       m.BlockSize,
+	}
+	nl, err := md.NewNeighborList(m.Spec.Cutoff, m.nl.Skin)
+	if err != nil {
+		panic(err) // unreachable: the source model validated the spec
+	}
+	c.nl = nl
+	return c
 }
 
 // forceBlock evaluates atoms [lo,hi) on the worker pool, split into one

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"mlmd/internal/cluster"
+	"mlmd/internal/md"
+	"mlmd/internal/shard"
+)
+
+// This file measures the *real* sharded MD engine (internal/shard) — wall
+// clock of P in-process ranks exchanging actual atoms over cluster.Comm —
+// complementing the analytic machine-scale model in internal/cluster. On a
+// host with fewer cores than ranks the strong-scaling wall time stays
+// roughly flat (the ranks time-share the cores) and the interesting outputs
+// are the decomposition overhead versus 1 rank and the modeled
+// communication seconds from the communicator's virtual clock.
+
+// ShardPoint is one rank count's measurement.
+type ShardPoint struct {
+	Ranks     int     `json:"ranks"`
+	Atoms     int     `json:"atoms"`
+	Steps     int     `json:"steps"`
+	NsPerStep float64 `json:"ns_per_step"` // best of Trials
+	// Speedup is wall-clock T(1 rank)/T(P ranks) on this host. On a
+	// single-core box (the CI container) it isolates pure decomposition
+	// overhead and sits just below 1; on a multi-core host it is the
+	// actual strong-scaling speedup and can approach P.
+	Speedup float64 `json:"speedup_vs_1rank"`
+	CommS   float64 `json:"modeled_comm_seconds"`
+}
+
+// ShardScalingDoc is the committable JSON document (BENCH_PR2.json).
+type ShardScalingDoc struct {
+	Go         string       `json:"go"`
+	GOOS       string       `json:"goos"`
+	GOARCH     string       `json:"goarch"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    string       `json:"mlmd_workers,omitempty"`
+	Benchmark  string       `json:"benchmark"`
+	Points     []ShardPoint `json:"points"`
+}
+
+// ShardTrials is the best-of count of ShardStrongScaling.
+const ShardTrials = 7
+
+// newShardLJSystem builds the fcc LJ benchmark system (the shared
+// md.NewFCCSystem fixture: spacing 1.7, mass 50 — identical geometry to
+// the internal/shard correctness tests).
+func newShardLJSystem(cells int, kT float64) (*md.System, error) {
+	sys, err := md.NewFCCSystem(cells, 1.7, 50)
+	if err != nil {
+		return nil, err
+	}
+	sys.InitVelocities(kT, 1)
+	return sys, nil
+}
+
+// ShardStrongScaling runs the sharded LJ engine at each rank count over the
+// same initial configuration (fixed total problem size — strong scaling),
+// best-of-ShardTrials wall times.
+func ShardStrongScaling(rankCounts []int, cells, steps int) ([]ShardPoint, error) {
+	if len(rankCounts) == 0 {
+		return nil, fmt.Errorf("bench: no rank counts given")
+	}
+	base, err := newShardLJSystem(cells, 3e-4)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ShardPoint, 0, len(rankCounts))
+	for _, p := range rankCounts {
+		best := 0.0
+		comm := 0.0
+		for trial := 0; trial < ShardTrials; trial++ {
+			eng, err := shard.NewEngine(shard.Config{
+				Ranks: p, Cutoff: 2.0, Skin: 0.3,
+				Net:   cluster.Slingshot11(),
+				NewFF: shard.LJFactory(0.01, 1.0),
+			}, base.Clone())
+			if err != nil {
+				return nil, err
+			}
+			eng.Run(0, 2, 0, 0) // prime: scatter is done, force the first rebuild
+			t0 := time.Now()
+			eng.Run(steps, 2, 0, 0)
+			dt := time.Since(t0)
+			if best == 0 || dt.Seconds() < best {
+				best = dt.Seconds()
+				comm = eng.ModeledCommSeconds()
+			}
+			eng.Close()
+		}
+		points = append(points, ShardPoint{
+			Ranks: p, Atoms: base.N, Steps: steps,
+			NsPerStep: best * 1e9 / float64(steps),
+			CommS:     comm,
+		})
+	}
+	// Anchor the speedup to the 1-rank measurement (the JSON field is
+	// named speedup_vs_1rank); a sweep without a 1-rank point is a
+	// caller error rather than a silently relabeled baseline.
+	base1 := -1
+	for i, pt := range points {
+		if pt.Ranks == 1 {
+			base1 = i
+			break
+		}
+	}
+	if base1 < 0 {
+		return nil, fmt.Errorf("bench: rank counts %v lack the 1-rank baseline", rankCounts)
+	}
+	for i := range points {
+		points[i].Speedup = points[base1].NsPerStep / points[i].NsPerStep
+	}
+	return points, nil
+}
+
+// ShardScalingDocument wraps points with the environment header.
+func ShardScalingDocument(points []ShardPoint) ShardScalingDoc {
+	return ShardScalingDoc{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    os.Getenv("MLMD_WORKERS"),
+		Benchmark:  "shard strong scaling, fcc LJ, best-of-7 wall clock",
+		Points:     points,
+	}
+}
+
+// ShardScalingTable formats the measurements.
+func ShardScalingTable(points []ShardPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded LJ strong scaling (real engine, %d atoms, %d steps, best of %d, GOMAXPROCS=%d)\n",
+		points[0].Atoms, points[0].Steps, ShardTrials, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%6s %14s %12s %16s\n", "ranks", "ns/step", "speedup", "model comm (ms)")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%6d %14.0f %12.3f %16.3f\n", pt.Ranks, pt.NsPerStep, pt.Speedup, pt.CommS*1e3)
+	}
+	return b.String()
+}

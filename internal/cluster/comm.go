@@ -22,6 +22,13 @@ type Comm struct {
 	mu     sync.Mutex
 	// barrier state
 	barrierWG *cyclicBarrier
+	// pool recycles message payload buffers between SendBuf and RecvInto so
+	// steady-state exchanges (e.g. the per-step halo refresh of a sharded MD
+	// run) allocate nothing.
+	pool struct {
+		mu   sync.Mutex
+		bufs [][]float64
+	}
 }
 
 type message struct {
@@ -86,6 +93,66 @@ func (c *Comm) Recv(dst, src int) []float64 {
 	return m.data
 }
 
+// getBuf returns a pooled payload buffer of length n (contents undefined).
+func (c *Comm) getBuf(n int) []float64 {
+	c.pool.mu.Lock()
+	for i := len(c.pool.bufs) - 1; i >= 0; i-- {
+		if cap(c.pool.bufs[i]) >= n {
+			b := c.pool.bufs[i]
+			last := len(c.pool.bufs) - 1
+			c.pool.bufs[i] = c.pool.bufs[last]
+			c.pool.bufs = c.pool.bufs[:last]
+			c.pool.mu.Unlock()
+			return b[:n]
+		}
+	}
+	c.pool.mu.Unlock()
+	return make([]float64, n)
+}
+
+// putBuf returns a payload buffer to the pool.
+func (c *Comm) putBuf(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	c.pool.mu.Lock()
+	c.pool.bufs = append(c.pool.bufs, b)
+	c.pool.mu.Unlock()
+}
+
+// SendBuf is Send with a pooled payload: the data is copied into a recycled
+// buffer, so steady-state messaging is allocation-free when the receiver
+// uses RecvInto (which releases the buffer back to the pool). Clock
+// accounting matches Send.
+func (c *Comm) SendBuf(src, dst int, data []float64) {
+	c.mu.Lock()
+	t := c.clocks[src] + c.net.Alpha
+	c.clocks[src] = t
+	c.mu.Unlock()
+	payload := c.getBuf(len(data))
+	copy(payload, data)
+	c.chans[dst][src] <- message{data: payload, time: t + 8*float64(len(data))*c.net.Beta}
+}
+
+// RecvInto receives a message from src at dst into the provided buffer
+// (grown if needed) and releases the transport buffer back to the pool.
+// It returns the filled buffer; clock accounting matches Recv.
+func (c *Comm) RecvInto(dst, src int, into []float64) []float64 {
+	m := <-c.chans[dst][src]
+	c.mu.Lock()
+	if m.time > c.clocks[dst] {
+		c.clocks[dst] = m.time
+	}
+	c.mu.Unlock()
+	if cap(into) < len(m.data) {
+		into = make([]float64, len(m.data))
+	}
+	into = into[:len(m.data)]
+	copy(into, m.data)
+	c.putBuf(m.data)
+	return into
+}
+
 // Barrier synchronizes all ranks and aligns every clock to the slowest rank
 // plus the modeled barrier cost.
 func (c *Comm) Barrier(rank int) {
@@ -130,6 +197,29 @@ func (c *Comm) AllReduceSum(rank int, vec []float64) []float64 {
 		return out
 	})
 	return res
+}
+
+// AllReduceSumInPlace sums vec elementwise across all ranks, overwriting
+// every rank's vec with the total. Unlike AllReduceSum it is allocation-free
+// in steady state: the combine buffer is retained by the barrier and each
+// rank copies the total into its own vec before leaving the rendezvous.
+// Every rank must pass a vec of the same length. Clocks align like
+// AllReduceSum.
+func (c *Comm) AllReduceSumInPlace(rank int, vec []float64) {
+	c.barrierWG.reduceInPlace(rank, vec, func() {
+		c.mu.Lock()
+		var worst float64
+		for _, t := range c.clocks {
+			if t > worst {
+				worst = t
+			}
+		}
+		worst += c.net.AllReduce(c.size, 8*float64(len(vec)))
+		for i := range c.clocks {
+			c.clocks[i] = worst
+		}
+		c.mu.Unlock()
+	})
 }
 
 // Gather collects each rank's vec at root (others receive nil), aligning
@@ -180,6 +270,8 @@ type cyclicBarrier struct {
 	parts   [][]float64
 	result  []float64
 	partsSn [][]float64
+	// red is the retained combine buffer of reduceInPlace.
+	red []float64
 }
 
 func newCyclicBarrier(size int) *cyclicBarrier {
@@ -226,6 +318,45 @@ func (b *cyclicBarrier) reduce(rank int, vec []float64, combine func([][]float64
 	res := b.result
 	b.mu.Unlock()
 	return res
+}
+
+// reduceInPlace sums the ranks' vectors into a retained buffer and copies
+// the total back into every participant's vec. The last-arriving rank runs
+// the combine (and after()) while the others are parked; each rank copies
+// the result under the barrier lock before leaving, so the buffer cannot be
+// overwritten by a subsequent generation while still being read (a rank
+// re-enters the barrier only after its copy completes).
+func (b *cyclicBarrier) reduceInPlace(rank int, vec []float64, after func()) {
+	b.mu.Lock()
+	b.parts[rank] = vec
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		if cap(b.red) < len(vec) {
+			b.red = make([]float64, len(vec))
+		}
+		b.red = b.red[:len(vec)]
+		for i := range b.red {
+			b.red[i] = 0
+		}
+		for _, p := range b.parts {
+			for i, v := range p {
+				b.red[i] += v
+			}
+		}
+		b.mu.Unlock()
+		after()
+		b.mu.Lock()
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	copy(vec, b.red)
+	b.mu.Unlock()
 }
 
 func (b *cyclicBarrier) gather(rank int, vec []float64, after func()) [][]float64 {

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAllReduceSumInPlace: every rank receives the elementwise total, in
+// its own buffer, across repeated generations.
+func TestAllReduceSumInPlace(t *testing.T) {
+	const p = 4
+	c, err := NewComm(p, Slingshot11())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	results := make([][3]float64, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			vec := make([]float64, 3)
+			for gen := 0; gen < 10; gen++ {
+				vec[0] = float64(rank)
+				vec[1] = float64(gen)
+				vec[2] = 1
+				c.AllReduceSumInPlace(rank, vec)
+				if vec[0] != float64(p*(p-1)/2) || vec[1] != float64(p*gen) || vec[2] != p {
+					t.Errorf("rank %d gen %d: got %v", rank, gen, vec)
+					return
+				}
+			}
+			copy(results[rank][:], vec)
+		}(r)
+	}
+	wg.Wait()
+	for r := 1; r < p; r++ {
+		if results[r] != results[0] {
+			t.Errorf("rank %d result %v differs from rank 0 %v", r, results[r], results[0])
+		}
+	}
+	if c.MaxClock() <= 0 {
+		t.Error("collective should advance the modeled clock")
+	}
+}
+
+// TestSendBufRecvInto: payloads round-trip exactly and transport buffers
+// recycle (steady state allocates nothing).
+func TestSendBufRecvInto(t *testing.T) {
+	c, err := NewComm(2, Interconnect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			c.SendBuf(0, 1, []float64{float64(i), float64(2 * i)})
+		}
+	}()
+	var bad bool
+	go func() {
+		defer wg.Done()
+		var buf []float64
+		for i := 0; i < 100; i++ {
+			buf = c.RecvInto(1, 0, buf)
+			if len(buf) != 2 || buf[0] != float64(i) || buf[1] != float64(2*i) {
+				bad = true
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if bad {
+		t.Fatal("payload corrupted through the buffer pool")
+	}
+
+	// Steady state: ping-pong on one goroutine pair with retained buffers.
+	send := []float64{1, 2, 3, 4}
+	recv := make([]float64, 4)
+	warm := func() {
+		c.SendBuf(0, 1, send)
+		recv = c.RecvInto(1, 0, recv)
+	}
+	warm()
+	if n := testing.AllocsPerRun(100, warm); n != 0 {
+		t.Errorf("SendBuf/RecvInto allocates %v allocs/op in steady state, want 0", n)
+	}
+}
+
+// TestRecvIntoGrows: an undersized destination is grown to fit.
+func TestRecvIntoGrows(t *testing.T) {
+	c, _ := NewComm(2, Interconnect{})
+	c.SendBuf(0, 1, []float64{1, 2, 3, 4, 5})
+	got := c.RecvInto(1, 0, nil)
+	if len(got) != 5 || got[4] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}

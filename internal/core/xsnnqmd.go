@@ -18,6 +18,11 @@ type XSNNQMD struct {
 	Sys   *md.System
 	Lat   *ferro.Lattice
 	Blend *xsnn.Blend
+	// FF is the force field the step loop integrates under. It defaults
+	// to Blend; SetForceField swaps in a drop-in replacement such as the
+	// sharded engine (internal/shard), which evaluates the same blended
+	// force decomposed across ranks.
+	FF md.ForceField
 	// ExcitationPerCell is the current w_c map (len NumCells).
 	ExcitationPerCell []float64
 	// DtMD is the MD time step (a.u.).
@@ -45,8 +50,25 @@ func NewXSNNQMD(sys *md.System, lat *ferro.Lattice, gs, xs md.ForceField, dtMD f
 		DtMD:              dtMD,
 		rng:               rand.New(rand.NewSource(seed)),
 	}
+	x.FF = x.Blend
 	x.Blend.GS.ComputeForces(sys) // prime forces
 	return x, nil
+}
+
+// perAtomWeighted is implemented by force fields that take the per-atom
+// excitation map (xsnn.Blend and the sharded engine both do).
+type perAtomWeighted interface {
+	SetPerAtomWeights(w []float64)
+}
+
+// SetForceField replaces the step loop's force field (e.g. with a sharded
+// engine) and re-primes forces so the next VelocityVerlet half-kick is
+// consistent. The replacement receives subsequent per-atom excitation
+// weights if it implements SetPerAtomWeights.
+func (x *XSNNQMD) SetForceField(ff md.ForceField) {
+	x.FF = ff
+	x.applyExcitation()
+	x.FF.ComputeForces(x.Sys)
 }
 
 // SetExcitationFromDomains maps DC-MESH per-domain n_exc onto per-cell
@@ -99,7 +121,9 @@ func (x *XSNNQMD) applyExcitation() {
 			perAtom[base+k] = w
 		}
 	}
-	x.Blend.SetPerAtomWeights(perAtom)
+	if wf, ok := x.FF.(perAtomWeighted); ok {
+		wf.SetPerAtomWeights(perAtom)
+	}
 }
 
 // Step advances the lattice by n MD steps, decaying the excitation map with
@@ -107,7 +131,7 @@ func (x *XSNNQMD) applyExcitation() {
 func (x *XSNNQMD) Step(n int) float64 {
 	var pe float64
 	for i := 0; i < n; i++ {
-		pe = md.VelocityVerlet(x.Sys, x.Blend, x.DtMD)
+		pe = md.VelocityVerlet(x.Sys, x.FF, x.DtMD)
 		if x.Gamma > 0 {
 			md.LangevinThermostat(x.Sys, x.KT, x.Gamma, x.DtMD, x.rng)
 		}

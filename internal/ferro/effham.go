@@ -78,27 +78,23 @@ func (eh *EffectiveHamiltonian) SetExcitationPerCell(w []float64) {
 	eh.W = append(eh.W[:0], w...)
 }
 
-// aEff returns the effective quadratic coefficient of cell c.
-func (eh *EffectiveHamiltonian) aEff(c int) float64 {
+// AEff returns the effective quadratic coefficient of cell c,
+// A·(1 − 2 w_c). Exported so decomposed evaluators (internal/shard) can
+// reproduce the per-cell force with bitwise-identical arithmetic.
+func (eh *EffectiveHamiltonian) AEff(c int) float64 {
 	if eh.W == nil {
 		return eh.A
 	}
 	return eh.A * (1 - 2*eh.W[c])
 }
 
+// aEff returns the effective quadratic coefficient of cell c.
+func (eh *EffectiveHamiltonian) aEff(c int) float64 { return eh.AEff(c) }
+
 // neighborCells returns the 6 nearest-neighbor cell ids of cell c
 // (periodic).
 func (eh *EffectiveHamiltonian) neighborCells(c int) [6]int {
-	l := eh.Lat
-	cx, cy, cz := l.CellCoords(c)
-	return [6]int{
-		l.CellIndex(wrapc(cx+1, l.Nx), cy, cz),
-		l.CellIndex(wrapc(cx-1, l.Nx), cy, cz),
-		l.CellIndex(cx, wrapc(cy+1, l.Ny), cz),
-		l.CellIndex(cx, wrapc(cy-1, l.Ny), cz),
-		l.CellIndex(cx, cy, wrapc(cz+1, l.Nz)),
-		l.CellIndex(cx, cy, wrapc(cz-1, l.Nz)),
-	}
+	return eh.Lat.NeighborCells(c)
 }
 
 func wrapc(i, n int) int {

@@ -113,6 +113,27 @@ func NewLattice(nx, ny, nz int) (*md.System, *Lattice, error) {
 	return sys, lat, nil
 }
 
+// NeighborCells returns the 6 nearest-neighbor cell ids of cell c in the
+// fixed order +x, −x, +y, −y, +z, −z (periodic). The order is part of the
+// contract: force accumulation follows it, so any decomposed evaluator
+// that walks the same order reproduces the serial sums bitwise.
+func (l *Lattice) NeighborCells(c int) [6]int {
+	cx, cy, cz := l.CellCoords(c)
+	return [6]int{
+		l.CellIndex(wrapc(cx+1, l.Nx), cy, cz),
+		l.CellIndex(wrapc(cx-1, l.Nx), cy, cz),
+		l.CellIndex(cx, wrapc(cy+1, l.Ny), cz),
+		l.CellIndex(cx, wrapc(cy-1, l.Ny), cz),
+		l.CellIndex(cx, cy, wrapc(cz+1, l.Nz)),
+		l.CellIndex(cx, cy, wrapc(cz-1, l.Nz)),
+	}
+}
+
+// MinImage1 returns the minimum-image reduction of displacement d in a
+// periodic box of length l (the mi() used throughout this package),
+// exported for decomposed evaluators that must match it bitwise.
+func MinImage1(d, l float64) float64 { return mi(d, l) }
+
 // SoftMode returns the soft-mode (Ti off-centering) displacement vector of
 // cell c, minimum-imaged.
 func (l *Lattice) SoftMode(sys *md.System, c int) (sx, sy, sz float64) {

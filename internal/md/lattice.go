@@ -1,0 +1,52 @@
+package md
+
+import "fmt"
+
+// NewFCCSystem builds a cells³-cell face-centered-cubic crystal (4 atoms
+// per cell, single species) with lattice constant a, in a periodic cube of
+// side cells·a, with every atom of the given mass. It is the standard
+// initial configuration of the LJ validation and scaling runs — one
+// implementation shared by the test fixtures and the committed benchmarks,
+// so their geometries cannot drift apart.
+func NewFCCSystem(cells int, a, mass float64) (*System, error) {
+	if cells < 1 {
+		return nil, fmt.Errorf("md: need at least 1 fcc cell, got %d", cells)
+	}
+	n := 4 * cells * cells * cells
+	l := float64(cells) * a
+	sys, err := NewSystem(n, l, l, l)
+	if err != nil {
+		return nil, err
+	}
+	basis := [4][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	i := 0
+	for cx := 0; cx < cells; cx++ {
+		for cy := 0; cy < cells; cy++ {
+			for cz := 0; cz < cells; cz++ {
+				for _, b := range basis {
+					sys.X[3*i] = (float64(cx) + b[0]) * a
+					sys.X[3*i+1] = (float64(cy) + b[1]) * a
+					sys.X[3*i+2] = (float64(cz) + b[2]) * a
+					i++
+				}
+			}
+		}
+	}
+	for j := range sys.Mass {
+		sys.Mass[j] = mass
+	}
+	return sys, nil
+}
+
+// Clone returns a deep copy of the system.
+func (s *System) Clone() *System {
+	c := &System{
+		N: s.N, Lx: s.Lx, Ly: s.Ly, Lz: s.Lz,
+		X:    append([]float64(nil), s.X...),
+		V:    append([]float64(nil), s.V...),
+		F:    append([]float64(nil), s.F...),
+		Mass: append([]float64(nil), s.Mass...),
+		Type: append([]int(nil), s.Type...),
+	}
+	return c
+}

@@ -6,39 +6,12 @@ import (
 	"testing"
 )
 
-// fccLattice places n³ unit cells of a 4-atom fcc lattice in the box.
-func fccLattice(sys *System, cells int) {
-	a := sys.Lx / float64(cells)
-	basis := [][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
-	i := 0
-	for cx := 0; cx < cells; cx++ {
-		for cy := 0; cy < cells; cy++ {
-			for cz := 0; cz < cells; cz++ {
-				for _, b := range basis {
-					if i >= sys.N {
-						return
-					}
-					sys.X[3*i] = (float64(cx) + b[0]) * a
-					sys.X[3*i+1] = (float64(cy) + b[1]) * a
-					sys.X[3*i+2] = (float64(cz) + b[2]) * a
-					i++
-				}
-			}
-		}
-	}
-}
-
 func newLJSystem(t testing.TB, cells int, kT float64) (*System, *LennardJones) {
-	n := 4 * cells * cells * cells
-	l := float64(cells) * 1.7 // ~fcc near LJ minimum for sigma=1
-	sys, err := NewSystem(n, l, l, l)
+	// spacing 1.7 puts the fcc shell near the LJ minimum for sigma=1
+	sys, err := NewFCCSystem(cells, 1.7, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range sys.Mass {
-		sys.Mass[i] = 50
-	}
-	fccLattice(sys, cells)
 	sys.InitVelocities(kT, 1)
 	nl, err := NewNeighborList(2.0, 0.3)
 	if err != nil {

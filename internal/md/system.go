@@ -58,6 +58,16 @@ func wrap1(x, l float64) float64 {
 	return x
 }
 
+// Wrap1 folds coordinate x into [0, l): the scalar form of Wrap, exported
+// for decomposed engines (internal/shard) that must reproduce the wrapping
+// arithmetic bitwise.
+func Wrap1(x, l float64) float64 { return wrap1(x, l) }
+
+// MinImage1 returns the minimum-image reduction of displacement d in a
+// periodic box of length l: the scalar form of MinImage, exported for
+// decomposed engines that must match it bitwise.
+func MinImage1(d, l float64) float64 { return minImage1(d, l) }
+
 // MinImage returns the minimum-image displacement from atom j to atom i.
 func (s *System) MinImage(i, j int) (dx, dy, dz float64) {
 	dx = minImage1(s.X[3*i]-s.X[3*j], s.Lx)
@@ -144,6 +154,22 @@ func VelocityVerlet(sys *System, ff ForceField, dt float64) float64 {
 	return pe
 }
 
+// BerendsenLambda returns the Berendsen velocity-rescaling factor toward
+// target thermal energy kT from current temperature cur with time constant
+// tau. The square-root argument 1 + dt/tau·(kT/cur − 1) goes negative when
+// the coupling is over-aggressive (dt > tau) and the system is much hotter
+// than the target (cur > kT·dt/(dt − tau)) — e.g. right after an excitation
+// kick with tau ≲ dt — which would yield a NaN scale factor that silently
+// poisons every velocity. The argument is clamped at 0, so extreme
+// overshoot quenches the velocities instead of destroying the state.
+func BerendsenLambda(cur, kT, tau, dt float64) float64 {
+	arg := 1 + dt/tau*(kT/cur-1)
+	if arg < 0 {
+		arg = 0
+	}
+	return math.Sqrt(arg)
+}
+
 // BerendsenThermostat rescales velocities toward target thermal energy kT
 // with time constant tau (apply once per step after VelocityVerlet).
 func BerendsenThermostat(sys *System, kT, tau, dt float64) {
@@ -151,7 +177,7 @@ func BerendsenThermostat(sys *System, kT, tau, dt float64) {
 	if cur <= 0 {
 		return
 	}
-	lambda := math.Sqrt(1 + dt/tau*(kT/cur-1))
+	lambda := BerendsenLambda(cur, kT, tau, dt)
 	for i := range sys.V {
 		sys.V[i] *= lambda
 	}

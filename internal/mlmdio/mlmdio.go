@@ -56,8 +56,12 @@ func ReadXYZ(r io.Reader) (names []string, xyz []float64, err error) {
 	if !sc.Scan() {
 		return nil, nil, fmt.Errorf("mlmdio: missing comment line")
 	}
-	names = make([]string, n)
-	xyz = make([]float64, 3*n)
+	// Grow incrementally rather than trusting the declared count: a frame
+	// claiming 10^12 atoms but carrying three lines must fail with a
+	// truncation error, not attempt a terabyte allocation (the fuzz
+	// harness exercises exactly this).
+	names = make([]string, 0, min(n, 4096))
+	xyz = make([]float64, 0, 3*min(n, 4096))
 	for i := 0; i < n; i++ {
 		if !sc.Scan() {
 			return nil, nil, fmt.Errorf("mlmdio: truncated frame at atom %d", i)
@@ -66,13 +70,13 @@ func ReadXYZ(r io.Reader) (names []string, xyz []float64, err error) {
 		if len(fields) < 4 {
 			return nil, nil, fmt.Errorf("mlmdio: short atom line %q", sc.Text())
 		}
-		names[i] = fields[0]
+		names = append(names, fields[0])
 		for d := 0; d < 3; d++ {
 			v, err := strconv.ParseFloat(fields[d+1], 64)
 			if err != nil {
 				return nil, nil, fmt.Errorf("mlmdio: bad coordinate %q: %w", fields[d+1], err)
 			}
-			xyz[3*i+d] = units.Bohr(v)
+			xyz = append(xyz, units.Bohr(v))
 		}
 	}
 	return names, xyz, nil
@@ -95,11 +99,19 @@ func SaveSystem(w io.Writer, sys *md.System) error {
 	})
 }
 
-// LoadSystem reconstructs a System from a checkpoint.
+// LoadSystem reconstructs a System from a checkpoint. The checkpoint's
+// declared atom count is validated against its array lengths before any
+// count-derived allocation, so a corrupt or hostile stream errors instead
+// of ballooning memory.
 func LoadSystem(r io.Reader) (*md.System, error) {
 	var cp systemCheckpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("mlmdio: %w", err)
+	}
+	if cp.N < 1 || len(cp.X) != 3*cp.N || len(cp.V) != 3*cp.N || len(cp.F) != 3*cp.N ||
+		len(cp.Mass) != cp.N || len(cp.Type) != cp.N {
+		return nil, fmt.Errorf("mlmdio: inconsistent system checkpoint (N=%d, |X|=%d, |V|=%d, |F|=%d, |Mass|=%d, |Type|=%d)",
+			cp.N, len(cp.X), len(cp.V), len(cp.F), len(cp.Mass), len(cp.Type))
 	}
 	sys, err := md.NewSystem(cp.N, cp.Lx, cp.Ly, cp.Lz)
 	if err != nil {
@@ -131,11 +143,22 @@ func SaveWaveField(wr io.Writer, w *grid.WaveField) error {
 	})
 }
 
-// LoadWaveField reconstructs a WaveField from a checkpoint.
+// LoadWaveField reconstructs a WaveField from a checkpoint, validating the
+// declared shape against the stored data before allocating from it.
 func LoadWaveField(r io.Reader) (*grid.WaveField, error) {
 	var cp fieldCheckpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("mlmdio: %w", err)
+	}
+	// grid.New requires >= 2 points per axis and positive spacings (it
+	// panics otherwise — validate here so a corrupt stream errors). The
+	// axis caps also keep the product comfortably inside int range.
+	const maxAxis, maxOrb = 1 << 12, 1 << 16
+	if cp.Nx < 2 || cp.Nx > maxAxis || cp.Ny < 2 || cp.Ny > maxAxis || cp.Nz < 2 || cp.Nz > maxAxis ||
+		cp.Norb < 1 || cp.Norb > maxOrb || !(cp.Hx > 0) || !(cp.Hy > 0) || !(cp.Hz > 0) ||
+		len(cp.Data) != cp.Nx*cp.Ny*cp.Nz*cp.Norb {
+		return nil, fmt.Errorf("mlmdio: inconsistent wave-field checkpoint (%dx%dx%d h=%g,%g,%g, %d orbitals, %d samples)",
+			cp.Nx, cp.Ny, cp.Nz, cp.Hx, cp.Hy, cp.Hz, cp.Norb, len(cp.Data))
 	}
 	g := grid.New(cp.Nx, cp.Ny, cp.Nz, cp.Hx, cp.Hy, cp.Hz)
 	w := grid.NewWaveField(g, cp.Norb, grid.Layout(cp.Layout))
@@ -176,19 +199,54 @@ func SaveModel(w io.Writer, m *allegro.Model) error {
 	return gob.NewEncoder(w).Encode(cp)
 }
 
+// Architecture sanity caps for LoadModel. A hostile checkpoint can claim an
+// enormous architecture in a few bytes; every count-derived allocation is
+// gated on these caps plus an exact match between the declared shape and
+// the parameter payload actually present in the stream, so the decode can
+// never allocate much more than it read.
+const (
+	maxModelSpecies = 256
+	maxModelRadial  = 4096
+	maxModelLayers  = 64
+	maxModelWidth   = 1 << 16
+)
+
 // LoadModel reconstructs a trained force field.
 func LoadModel(r io.Reader) (*allegro.Model, error) {
 	var cp modelCheckpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("mlmdio: %w", err)
 	}
+	if cp.NSpecies < 1 || cp.NSpecies > maxModelSpecies || cp.NRadial < 1 || cp.NRadial > maxModelRadial {
+		return nil, fmt.Errorf("mlmdio: implausible model shape (%d species, %d radial)", cp.NSpecies, cp.NRadial)
+	}
+	if len(cp.Hidden) > maxModelLayers {
+		return nil, fmt.Errorf("mlmdio: implausible depth %d", len(cp.Hidden))
+	}
 	spec := allegro.DescriptorSpec{Cutoff: cp.Cutoff, NRadial: cp.NRadial, NSpecies: cp.NSpecies}
+	sizes := append([]int{spec.Dim()}, cp.Hidden...)
+	sizes = append(sizes, 1)
+	wantParams := 0
+	for l := 0; l < len(sizes)-1; l++ {
+		if sizes[l] < 1 || sizes[l] > maxModelWidth {
+			return nil, fmt.Errorf("mlmdio: implausible layer width %d", sizes[l])
+		}
+		wantParams += sizes[l]*sizes[l+1] + sizes[l+1]
+	}
+	if len(cp.Weights) != cp.NSpecies {
+		return nil, fmt.Errorf("mlmdio: checkpoint has %d nets, model needs %d", len(cp.Weights), cp.NSpecies)
+	}
+	for sp, w := range cp.Weights {
+		if len(w) != wantParams {
+			return nil, fmt.Errorf("mlmdio: net %d carries %d parameters, architecture needs %d", sp, len(w), wantParams)
+		}
+	}
+	if len(cp.PerSpeciesShift) != cp.NSpecies {
+		return nil, fmt.Errorf("mlmdio: %d per-species shifts for %d species", len(cp.PerSpeciesShift), cp.NSpecies)
+	}
 	m, err := allegro.NewModel(spec, cp.Hidden, 0)
 	if err != nil {
 		return nil, err
-	}
-	if len(cp.Weights) != len(m.Nets) {
-		return nil, fmt.Errorf("mlmdio: checkpoint has %d nets, model needs %d", len(cp.Weights), len(m.Nets))
 	}
 	for sp, net := range m.Nets {
 		net.Act = nn.Activation(cp.Act)

@@ -1,0 +1,26 @@
+package shard
+
+import "testing"
+
+// TestShardSteadyStateAllocs: with no rebuild/migration events (a frozen
+// lattice), neither the bridge force call nor a decomposed step allocates —
+// the halo refresh, the collectives, the pool-parallel force pass and the
+// dispatch machinery all run on retained buffers.
+func TestShardSteadyStateAllocs(t *testing.T) {
+	base := fccLJSystem(t, 5, 0, 0)
+	eng := newLJEngine(t, base, 4)
+
+	// Warm up: initial rebuild plus enough calls to reach steady buffer
+	// sizes everywhere (comm pool, send/recv buffers, par free lists).
+	for i := 0; i < 5; i++ {
+		eng.ComputeForces(base)
+	}
+	if n := testing.AllocsPerRun(50, func() { eng.ComputeForces(base) }); n != 0 {
+		t.Errorf("bridge ComputeForces allocates %v allocs/op in steady state, want 0", n)
+	}
+
+	eng.Run(2, 2, 0, 0)
+	if n := testing.AllocsPerRun(50, func() { eng.Run(1, 2, 0, 0) }); n != 0 {
+		t.Errorf("decomposed step allocates %v allocs/op in steady state, want 0", n)
+	}
+}

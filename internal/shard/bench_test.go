@@ -1,0 +1,57 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkShardStep measures one decomposed MD step at each rank count on
+// the same fixed-size LJ problem (strong scaling). `make bench2` feeds this
+// through bench2json into BENCH_PR2.json.
+func BenchmarkShardStep(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			base := fccLJSystem(b, 9, 1e-3, 1)
+			eng, err := NewEngine(Config{
+				Ranks: p, Cutoff: testCutoff, Skin: testSkin,
+				NewFF: LJFactory(testEps, testSigma),
+			}, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			eng.Run(2, 2, 0, 0) // prime + settle
+			b.ReportAllocs()
+			b.ResetTimer()
+			eng.Run(b.N, 2, 0, 0)
+			b.StopTimer()
+			b.ReportMetric(float64(base.N)*float64(b.N)/b.Elapsed().Seconds(), "atomsteps/s")
+		})
+	}
+}
+
+// BenchmarkShardBridge measures the md.ForceField bridge call (the path
+// core.XSNNQMD exercises every step).
+func BenchmarkShardBridge(b *testing.B) {
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			base := fccLJSystem(b, 9, 0, 0)
+			eng, err := NewEngine(Config{
+				Ranks: p, Cutoff: testCutoff, Skin: testSkin,
+				NewFF: LJFactory(testEps, testSigma),
+			}, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			for i := 0; i < 3; i++ {
+				eng.ComputeForces(base)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.ComputeForces(base)
+			}
+		})
+	}
+}

@@ -1,0 +1,868 @@
+// Package shard is the domain-decomposed MD engine of the XS-NNQMD module:
+// an md.System slab-partitioned along x across P in-process ranks that
+// communicate through cluster.Comm exactly like an MPI code — ghost-atom
+// halo exchange sized by cutoff+skin, atom migration on neighbor-list
+// rebuild, per-rank force evaluation on the shared worker pool, and
+// AllReduceSum for the global thermodynamic observables. Message payloads
+// are real (atoms genuinely cross rank boundaries); the communicator's
+// virtual clock additionally yields the modeled network time of the run.
+//
+// Determinism contract: force fields that follow the canonical-order rule —
+// each owned atom's force is the sum over its neighbors in ascending
+// global-id order, computed from raw (wrapped, global-box) coordinates —
+// produce bitwise-identical trajectories for every rank count P, because
+// every term of every per-atom sum is decomposition-invariant. The LJ and
+// blended effective-Hamiltonian rank force fields obey the rule; the
+// Allegro adapter reverse-exchanges ghost force partials instead and is
+// deterministic per (P, worker count) at tolerance 0 but matches other
+// decompositions only to summation-order rounding.
+//
+// The Engine is exposed two ways: as a drop-in md.ForceField (the "bridge",
+// so core.XSNNQMD and cmd/mlmd step loops run sharded unchanged), and as a
+// self-contained decomposed step loop (Run) whose velocity-Verlet update
+// replicates md.VelocityVerlet bitwise.
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"mlmd/internal/cluster"
+	"mlmd/internal/md"
+)
+
+// RankFF is one rank's force evaluator. Compute fills v.F for the owned
+// atoms (and, when ScattersGhostForces reports true, accumulates partial
+// forces on ghost rows that the engine reverse-exchanges to their owners)
+// and writes its local energy partials into partial (length PartialLen).
+// The engine AllReduces the partials and calls Energy on the totals.
+type RankFF interface {
+	PartialLen() int
+	NeedsNeighborList() bool
+	ScattersGhostForces() bool
+	Compute(v *View, partial []float64)
+	Energy(v *View, total []float64) float64
+}
+
+// View is the rank-local window a RankFF sees: owned atoms first
+// ([0, NOwn)), ghost copies after ([NOwn, NLoc)). All coordinates are raw
+// global-box positions (ghosts are bitwise copies of their owners), so
+// global minimum-image arithmetic is decomposition-invariant.
+type View struct {
+	Rank, Size          int
+	NOwn, NLoc, NGlobal int
+	Lx, Ly, Lz          float64
+	// Cutoff and Skin echo the engine Config (the halo is Cutoff+Skin),
+	// so force fields can assert the ghost layer covers their interaction
+	// range.
+	Cutoff, Skin float64
+	// ID maps local index to global atom id.
+	ID []int32
+	// X, V, F, Mass, Type are the local atom arrays (ghost V/Mass are
+	// zero: ghosts are never integrated).
+	X, V, F []float64
+	Mass    []float64
+	Type    []int
+	// Weights is the engine's global per-atom blending weight array
+	// (indexed by global id), nil until SetPerAtomWeights is called.
+	Weights []float64
+	// NL is the rank neighbor list (built only when the force field
+	// reports NeedsNeighborList).
+	NL *NeighborList
+	// Sys aliases the local arrays as an md.System with the global box,
+	// for force fields built on the md engine (e.g. Allegro).
+	Sys *md.System
+
+	lookup map[int32]int32
+}
+
+// Lookup returns the local index of global atom gid, or −1 if the atom is
+// neither owned nor a ghost of this rank.
+func (v *View) Lookup(gid int32) int32 {
+	if li, ok := v.lookup[gid]; ok {
+		return li
+	}
+	return -1
+}
+
+// Config describes a sharded engine.
+type Config struct {
+	// Ranks is the number of in-process ranks P.
+	Ranks int
+	// Cutoff and Skin size the halo (cutoff+skin) and the rebuild
+	// criterion (any owned atom moving more than skin/2 triggers a
+	// collective migration + halo + neighbor-list rebuild).
+	Cutoff, Skin float64
+	// Net is the interconnect model for the communicator's virtual clock
+	// (zero value: free network).
+	Net cluster.Interconnect
+	// NewFF builds rank r's force field.
+	NewFF func(rank int) RankFF
+}
+
+// rank operation codes dispatched to the parked rank goroutines.
+const (
+	opQuit = iota
+	opForce
+	opRun
+)
+
+// Engine is the P-rank sharded MD engine. Driver methods (NewEngine,
+// ComputeForces, Run, Gather, SetPerAtomWeights, Close, Validate) must be
+// called from a single goroutine; the rank goroutines only run between a
+// dispatch and its completion, so outside those windows the driver owns all
+// rank memory.
+type Engine struct {
+	cfg  Config
+	comm *cluster.Comm
+	p, n int
+
+	lx, ly, lz  float64
+	slabW, halo float64
+
+	rs  []*rankState
+	cmd []chan int
+	wg  sync.WaitGroup
+
+	weights []float64
+
+	// per-dispatch parameters (set by the driver, read by ranks)
+	sys         *md.System
+	steps       int
+	dt          float64
+	thKT, thTau float64
+	primeNeeded bool
+
+	// per-dispatch results (written by ranks at their own index)
+	peRank, keRank []float64
+
+	primed bool
+	closed bool
+}
+
+type haloSide struct {
+	// sendIdx lists the owned atoms whose positions this rank sends to
+	// the side's neighbor every step.
+	sendIdx []int32
+	// recvSlot[k] is the local ghost slot of the side's k-th incoming
+	// entry; recvPrim[k] marks the canonical copy (with P = 2 the same
+	// atom arrives from both sides and is deduplicated into one slot —
+	// only the primary entry returns forces in the reverse exchange).
+	recvSlot []int32
+	recvPrim []bool
+}
+
+type rankState struct {
+	rank int
+	ff   RankFF
+	v    View
+
+	ids        []int32
+	x, vel, f  []float64
+	mass       []float64
+	typ        []int
+	nOwn, nLoc int
+
+	// refX holds owned positions at the last rebuild (staleness check).
+	refX        []float64
+	needRebuild bool
+
+	side             [2]haloSide
+	sendBuf, recvBuf [2][]float64
+
+	flag    []float64 // 1-element collective scratch
+	partial []float64
+
+	nl   *NeighborList
+	lsys md.System
+
+	// event counters (read driver-side through Engine.Stats)
+	nRebuilds, nMigrated int64
+}
+
+// migration record layout: gid, x, y, z, vx, vy, vz, mass, type.
+const migRec = 9
+
+// halo record layout: gid, x, y, z, type.
+const haloRec = 5
+
+// NewEngine partitions sys across cfg.Ranks slabs and starts the rank
+// goroutines. The engine keeps no reference to sys beyond the scatter;
+// bridge calls (ComputeForces) may pass the same or an equal-shape system.
+func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
+	if cfg.Ranks < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 rank, got %d", cfg.Ranks)
+	}
+	if cfg.Cutoff <= 0 || cfg.Skin < 0 {
+		return nil, fmt.Errorf("shard: bad cutoff %g / skin %g", cfg.Cutoff, cfg.Skin)
+	}
+	if cfg.NewFF == nil {
+		return nil, fmt.Errorf("shard: Config.NewFF is required")
+	}
+	if sys == nil || sys.N < 1 {
+		return nil, fmt.Errorf("shard: need a non-empty system")
+	}
+	p := cfg.Ranks
+	halo := cfg.Cutoff + cfg.Skin
+	slabW := sys.Lx / float64(p)
+	if p > 1 && halo > slabW {
+		return nil, fmt.Errorf("shard: halo %g exceeds slab width %g (Lx=%g, P=%d): use fewer ranks or a smaller cutoff+skin",
+			halo, slabW, sys.Lx, p)
+	}
+	comm, err := cluster.NewComm(p, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg: cfg, comm: comm, p: p, n: sys.N,
+		lx: sys.Lx, ly: sys.Ly, lz: sys.Lz,
+		slabW: slabW, halo: halo,
+		peRank: make([]float64, p), keRank: make([]float64, p),
+	}
+	e.rs = make([]*rankState, p)
+	e.cmd = make([]chan int, p)
+	for r := 0; r < p; r++ {
+		rs := &rankState{
+			rank: r, ff: cfg.NewFF(r),
+			flag:        make([]float64, 1),
+			needRebuild: true,
+		}
+		rs.partial = make([]float64, rs.ff.PartialLen())
+		rs.nl = &NeighborList{Cutoff: cfg.Cutoff, Skin: cfg.Skin}
+		e.rs[r] = rs
+		e.cmd[r] = make(chan int, 1)
+	}
+	e.scatter(sys)
+	for r := 0; r < p; r++ {
+		go e.rankLoop(e.rs[r])
+	}
+	return e, nil
+}
+
+// scatter assigns every atom of sys to its slab's rank (driver-side: the
+// rank goroutines are not running yet or are parked).
+func (e *Engine) scatter(sys *md.System) {
+	for gid := 0; gid < sys.N; gid++ {
+		// Positions are stored raw (not re-wrapped): force arithmetic must
+		// see exactly the values the unsharded engine sees; only the
+		// ownership decision folds into the primary cell.
+		rs := e.rs[e.slabOf(sys.X[3*gid])]
+		rs.ids = append(rs.ids, int32(gid))
+		rs.x = append(rs.x, sys.X[3*gid], sys.X[3*gid+1], sys.X[3*gid+2])
+		rs.vel = append(rs.vel, sys.V[3*gid], sys.V[3*gid+1], sys.V[3*gid+2])
+		rs.f = append(rs.f, 0, 0, 0)
+		rs.mass = append(rs.mass, sys.Mass[gid])
+		rs.typ = append(rs.typ, sys.Type[gid])
+	}
+	for _, rs := range e.rs {
+		rs.nOwn = len(rs.ids)
+		rs.nLoc = rs.nOwn
+		rs.needRebuild = true
+		e.refreshView(rs)
+	}
+}
+
+func (e *Engine) slabOf(x float64) int {
+	t := int(wrap1(x, e.lx) / e.lx * float64(e.p))
+	if t < 0 {
+		return 0
+	}
+	if t >= e.p {
+		return e.p - 1
+	}
+	return t
+}
+
+// refreshView re-slices the View and local md.System after the local atom
+// count changed.
+func (e *Engine) refreshView(rs *rankState) {
+	rs.v = View{
+		Rank: rs.rank, Size: e.p,
+		NOwn: rs.nOwn, NLoc: rs.nLoc, NGlobal: e.n,
+		Lx: e.lx, Ly: e.ly, Lz: e.lz,
+		Cutoff: e.cfg.Cutoff, Skin: e.cfg.Skin,
+		ID: rs.ids[:rs.nLoc], X: rs.x[:3*rs.nLoc], V: rs.vel[:3*rs.nLoc],
+		F: rs.f[:3*rs.nLoc], Mass: rs.mass[:rs.nLoc], Type: rs.typ[:rs.nLoc],
+		Weights: e.weights, NL: rs.nl,
+		lookup: rs.v.lookup,
+	}
+	rs.lsys = md.System{
+		N: rs.nLoc, Lx: e.lx, Ly: e.ly, Lz: e.lz,
+		X: rs.v.X, V: rs.v.V, F: rs.v.F, Mass: rs.v.Mass, Type: rs.v.Type,
+	}
+	rs.v.Sys = &rs.lsys
+}
+
+// rankLoop is one rank's goroutine: park on the command channel, execute
+// the dispatched collective operation, signal completion.
+func (e *Engine) rankLoop(rs *rankState) {
+	for op := range e.cmd[rs.rank] {
+		switch op {
+		case opForce:
+			e.bridgeForce(rs)
+		case opRun:
+			e.runSteps(rs)
+		case opQuit:
+			e.wg.Done()
+			return
+		}
+		e.wg.Done()
+	}
+}
+
+// broadcast dispatches op to every rank and waits for completion.
+func (e *Engine) broadcast(op int) {
+	e.wg.Add(e.p)
+	for _, ch := range e.cmd {
+		ch <- op
+	}
+	e.wg.Wait()
+}
+
+// Close stops the rank goroutines. The engine must not be used afterwards.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.broadcast(opQuit)
+}
+
+// Ranks returns the rank count P.
+func (e *Engine) Ranks() int { return e.p }
+
+// ModeledCommSeconds returns the communicator's virtual wall clock — the
+// alpha-beta modeled communication time accumulated by the run.
+func (e *Engine) ModeledCommSeconds() float64 { return e.comm.MaxClock() }
+
+// SetPerAtomWeights installs the global per-atom blending weights (copied,
+// clamped to [0,1] exactly like xsnn.Blend) read by weight-aware rank force
+// fields such as the blended effective Hamiltonian.
+func (e *Engine) SetPerAtomWeights(w []float64) {
+	if len(w) != e.n {
+		panic("shard: per-atom weight length mismatch")
+	}
+	e.weights = append(e.weights[:0], w...)
+	for i, v := range e.weights {
+		if v < 0 {
+			e.weights[i] = 0
+		} else if v > 1 {
+			e.weights[i] = 1
+		}
+	}
+	for _, rs := range e.rs {
+		rs.v.Weights = e.weights
+	}
+	e.primed = false
+}
+
+// ComputeForces implements md.ForceField: positions are pulled from sys for
+// each rank's owned atoms, ghosts are refreshed (or the decomposition is
+// rebuilt) over the communicator, forces are evaluated per rank on the
+// shared worker pool, owned forces are written back to sys.F, and the
+// global potential energy is AllReduced and returned. sys must have the
+// same atom count and box as the scattered system.
+func (e *Engine) ComputeForces(sys *md.System) float64 {
+	if sys.N != e.n || sys.Lx != e.lx || sys.Ly != e.ly || sys.Lz != e.lz {
+		panic("shard: bridge system shape does not match the scattered system")
+	}
+	e.sys = sys
+	e.broadcast(opForce)
+	e.sys = nil
+	e.primed = true
+	return e.peRank[0]
+}
+
+// bridgeForce is the rank side of ComputeForces.
+func (e *Engine) bridgeForce(rs *rankState) {
+	sys := e.sys
+	for i := 0; i < rs.nOwn; i++ {
+		g := int(rs.ids[i])
+		rs.x[3*i] = sys.X[3*g]
+		rs.x[3*i+1] = sys.X[3*g+1]
+		rs.x[3*i+2] = sys.X[3*g+2]
+	}
+	e.ensureFresh(rs)
+	e.forceEval(rs)
+	for i := 0; i < rs.nOwn; i++ {
+		g := int(rs.ids[i])
+		sys.F[3*g] = rs.f[3*i]
+		sys.F[3*g+1] = rs.f[3*i+1]
+		sys.F[3*g+2] = rs.f[3*i+2]
+	}
+}
+
+// RunResult carries the globally reduced observables of a Run.
+type RunResult struct {
+	PE, KE, Temperature float64
+}
+
+// Run advances the decomposed system steps velocity-Verlet steps of dt,
+// with an optional Berendsen thermostat toward thermal energy kT with time
+// constant tau (tau <= 0 disables it; the NVE path touches no velocities
+// beyond the Verlet kicks). The per-step update replicates
+// md.VelocityVerlet bitwise; PE/KE/temperature come from AllReduceSum.
+// Run(0, ...) evaluates forces and observables without stepping (a prime).
+// State stays distributed — use Gather to pull it back into a System.
+func (e *Engine) Run(steps int, dt, kT, tau float64) RunResult {
+	e.steps, e.dt, e.thKT, e.thTau = steps, dt, kT, tau
+	e.primeNeeded = !e.primed
+	e.broadcast(opRun)
+	e.primed = true
+	return RunResult{
+		PE:          e.peRank[0],
+		KE:          e.keRank[0],
+		Temperature: 2 * e.keRank[0] / (3 * float64(e.n)),
+	}
+}
+
+// runSteps is the rank side of Run. A zero-step dispatch re-evaluates
+// forces even when already primed, so Run(0, ...) always returns a PE
+// consistent with the current configuration (never a stale value from an
+// earlier dispatch).
+func (e *Engine) runSteps(rs *rankState) {
+	if e.primeNeeded || e.steps == 0 {
+		e.ensureFresh(rs)
+		e.forceEval(rs)
+	}
+	for s := 0; s < e.steps; s++ {
+		dt := e.dt
+		for i := 0; i < rs.nOwn; i++ {
+			im := 1 / rs.mass[i]
+			for d := 0; d < 3; d++ {
+				rs.vel[3*i+d] += 0.5 * dt * rs.f[3*i+d] * im
+				rs.x[3*i+d] += dt * rs.vel[3*i+d]
+			}
+		}
+		for i := 0; i < rs.nOwn; i++ {
+			rs.x[3*i] = wrap1(rs.x[3*i], e.lx)
+			rs.x[3*i+1] = wrap1(rs.x[3*i+1], e.ly)
+			rs.x[3*i+2] = wrap1(rs.x[3*i+2], e.lz)
+		}
+		e.ensureFresh(rs)
+		e.forceEval(rs)
+		for i := 0; i < rs.nOwn; i++ {
+			im := 1 / rs.mass[i]
+			for d := 0; d < 3; d++ {
+				rs.vel[3*i+d] += 0.5 * dt * rs.f[3*i+d] * im
+			}
+		}
+		if e.thTau > 0 {
+			cur := 2 * e.localKE(rs) / (3 * float64(e.n))
+			if cur > 0 {
+				lambda := md.BerendsenLambda(cur, e.thKT, e.thTau, dt)
+				for i := 0; i < 3*rs.nOwn; i++ {
+					rs.vel[i] *= lambda
+				}
+			}
+		}
+	}
+	e.keRank[rs.rank] = e.localKE(rs)
+}
+
+// localKE returns the globally AllReduced kinetic energy (every rank gets
+// the total; the partial sum follows md.KineticEnergy's per-atom form).
+func (e *Engine) localKE(rs *rankState) float64 {
+	var ke float64
+	for i := 0; i < rs.nOwn; i++ {
+		v2 := rs.vel[3*i]*rs.vel[3*i] + rs.vel[3*i+1]*rs.vel[3*i+1] + rs.vel[3*i+2]*rs.vel[3*i+2]
+		ke += 0.5 * rs.mass[i] * v2
+	}
+	rs.flag[0] = ke
+	e.comm.AllReduceSumInPlace(rs.rank, rs.flag)
+	return rs.flag[0]
+}
+
+// forceEval runs the rank force field, reverse-exchanges ghost force
+// partials when the field scatters them, AllReduces the energy partials and
+// records the global PE.
+func (e *Engine) forceEval(rs *rankState) {
+	rs.ff.Compute(&rs.v, rs.partial)
+	if rs.ff.ScattersGhostForces() {
+		e.reverseForces(rs)
+	}
+	e.comm.AllReduceSumInPlace(rs.rank, rs.partial)
+	e.peRank[rs.rank] = rs.ff.Energy(&rs.v, rs.partial)
+}
+
+// ensureFresh decides collectively between the cheap per-step ghost
+// position refresh and the full rebuild (migration + halo + neighbor
+// list). Any rank whose owned atoms moved more than skin/2 since its last
+// rebuild forces every rank to rebuild — the same criterion as
+// md.NeighborList.Stale, made global by an AllReduce.
+func (e *Engine) ensureFresh(rs *rankState) {
+	stale := 0.0
+	if rs.needRebuild {
+		stale = 1
+	} else {
+		lim2 := e.cfg.Skin * e.cfg.Skin / 4
+		for i := 0; i < rs.nOwn; i++ {
+			dx := minImage1(rs.x[3*i]-rs.refX[3*i], e.lx)
+			dy := minImage1(rs.x[3*i+1]-rs.refX[3*i+1], e.ly)
+			dz := minImage1(rs.x[3*i+2]-rs.refX[3*i+2], e.lz)
+			if dx*dx+dy*dy+dz*dz > lim2 {
+				stale = 1
+				break
+			}
+		}
+	}
+	rs.flag[0] = stale
+	e.comm.AllReduceSumInPlace(rs.rank, rs.flag)
+	if rs.flag[0] > 0 {
+		e.rebuild(rs)
+	} else {
+		e.refreshGhosts(rs)
+	}
+}
+
+// rebuild is the collective event path: migrate strayed atoms to their new
+// owners, rebuild the ghost halo, record the staleness reference, and
+// rebuild the rank neighbor list if the force field wants one.
+func (e *Engine) rebuild(rs *rankState) {
+	rs.nRebuilds++
+	e.migrate(rs)
+	e.buildHalo(rs)
+	rs.refX = resizeF64(rs.refX, 3*rs.nOwn)
+	copy(rs.refX, rs.x[:3*rs.nOwn])
+	e.refreshView(rs)
+	if rs.ff.NeedsNeighborList() {
+		rs.nl.Build(&rs.v)
+	}
+	rs.needRebuild = false
+}
+
+// migrate ring-routes owned atoms whose slab changed to their new owner,
+// one hop per round toward the shorter ring direction, until a global
+// AllReduce reports every atom home. In steady dynamics (moves bounded by
+// the skin criterion) a single round suffices; arbitrary teleports — e.g. a
+// bridge caller handing in a brand-new configuration — converge in at most
+// ⌈P/2⌉ rounds.
+func (e *Engine) migrate(rs *rankState) {
+	if e.p == 1 {
+		return
+	}
+	left, right := cluster.RingNeighbors(rs.rank, e.p)
+	for {
+		sendL := rs.sendBuf[0][:0]
+		sendR := rs.sendBuf[1][:0]
+		keep := 0
+		for i := 0; i < rs.nOwn; i++ {
+			t := e.slabOf(rs.x[3*i])
+			if t == rs.rank {
+				if keep != i {
+					rs.ids[keep] = rs.ids[i]
+					copy(rs.x[3*keep:3*keep+3], rs.x[3*i:3*i+3])
+					copy(rs.vel[3*keep:3*keep+3], rs.vel[3*i:3*i+3])
+					rs.mass[keep] = rs.mass[i]
+					rs.typ[keep] = rs.typ[i]
+				}
+				keep++
+				continue
+			}
+			rec := [migRec]float64{
+				float64(rs.ids[i]),
+				rs.x[3*i], rs.x[3*i+1], rs.x[3*i+2],
+				rs.vel[3*i], rs.vel[3*i+1], rs.vel[3*i+2],
+				rs.mass[i], float64(rs.typ[i]),
+			}
+			if ringDirRight(rs.rank, t, e.p) {
+				sendR = append(sendR, rec[:]...)
+			} else {
+				sendL = append(sendL, rec[:]...)
+			}
+		}
+		rs.sendBuf[0], rs.sendBuf[1] = sendL, sendR
+		rs.nOwn = keep
+		e.comm.SendBuf(rs.rank, right, sendR)
+		e.comm.SendBuf(rs.rank, left, sendL)
+		rs.recvBuf[0] = e.comm.RecvInto(rs.rank, left, rs.recvBuf[0])
+		rs.recvBuf[1] = e.comm.RecvInto(rs.rank, right, rs.recvBuf[1])
+		arrived := 0.0
+		for s := 0; s < 2; s++ {
+			buf := rs.recvBuf[s]
+			for k := 0; k+migRec <= len(buf); k += migRec {
+				i := rs.nOwn
+				rs.ids = appendI32At(rs.ids, i, int32(buf[k]))
+				rs.x = append3At(rs.x, i, buf[k+1], buf[k+2], buf[k+3])
+				rs.vel = append3At(rs.vel, i, buf[k+4], buf[k+5], buf[k+6])
+				rs.f = append3At(rs.f, i, 0, 0, 0)
+				rs.mass = appendF64At(rs.mass, i, buf[k+7])
+				rs.typ = appendIntAt(rs.typ, i, int(buf[k+8]))
+				rs.nOwn++
+				rs.nMigrated++
+				if e.slabOf(buf[k+1]) != rs.rank {
+					arrived++ // still in transit: forward next round
+				}
+			}
+		}
+		rs.flag[0] = arrived
+		e.comm.AllReduceSumInPlace(rs.rank, rs.flag)
+		if rs.flag[0] == 0 {
+			return
+		}
+	}
+}
+
+// ringDirRight reports whether the shorter ring path from rank to target
+// goes right (+1).
+func ringDirRight(rank, target, p int) bool {
+	return (target-rank+p)%p <= p/2
+}
+
+// buildHalo rebuilds the ghost layer: every owned atom within halo of a
+// slab face is sent to that side's neighbor; received records become ghost
+// atoms, deduplicated by global id (with P = 2 both faces share one
+// neighbor, so the same atom can arrive twice).
+func (e *Engine) buildHalo(rs *rankState) {
+	rs.nLoc = rs.nOwn
+	if rs.v.lookup == nil {
+		rs.v.lookup = make(map[int32]int32, rs.nOwn*2)
+	}
+	clear(rs.v.lookup)
+	for i := 0; i < rs.nOwn; i++ {
+		rs.v.lookup[rs.ids[i]] = int32(i)
+	}
+	if e.p == 1 {
+		rs.side[0].sendIdx = rs.side[0].sendIdx[:0]
+		rs.side[1].sendIdx = rs.side[1].sendIdx[:0]
+		rs.side[0].recvSlot = rs.side[0].recvSlot[:0]
+		rs.side[1].recvSlot = rs.side[1].recvSlot[:0]
+		return
+	}
+	left, right := cluster.RingNeighbors(rs.rank, e.p)
+	x0 := e.slabW * float64(rs.rank)
+	for s := 0; s < 2; s++ {
+		rs.side[s].sendIdx = rs.side[s].sendIdx[:0]
+	}
+	for i := 0; i < rs.nOwn; i++ {
+		dl := minImage1(rs.x[3*i]-x0, e.lx)
+		if dl <= e.halo {
+			rs.side[0].sendIdx = append(rs.side[0].sendIdx, int32(i))
+		}
+		if e.slabW-dl <= e.halo {
+			rs.side[1].sendIdx = append(rs.side[1].sendIdx, int32(i))
+		}
+	}
+	for s := 0; s < 2; s++ {
+		buf := rs.sendBuf[s][:0]
+		for _, i := range rs.side[s].sendIdx {
+			buf = append(buf, float64(rs.ids[i]), rs.x[3*i], rs.x[3*i+1], rs.x[3*i+2], float64(rs.typ[i]))
+		}
+		rs.sendBuf[s] = buf
+	}
+	e.comm.SendBuf(rs.rank, right, rs.sendBuf[1])
+	e.comm.SendBuf(rs.rank, left, rs.sendBuf[0])
+	rs.recvBuf[0] = e.comm.RecvInto(rs.rank, left, rs.recvBuf[0])
+	rs.recvBuf[1] = e.comm.RecvInto(rs.rank, right, rs.recvBuf[1])
+	for s := 0; s < 2; s++ {
+		side := &rs.side[s]
+		side.recvSlot = side.recvSlot[:0]
+		side.recvPrim = side.recvPrim[:0]
+		buf := rs.recvBuf[s]
+		for k := 0; k+haloRec <= len(buf); k += haloRec {
+			gid := int32(buf[k])
+			if slot, ok := rs.v.lookup[gid]; ok {
+				if int(slot) < rs.nOwn {
+					panic("shard: received an owned atom as ghost")
+				}
+				side.recvSlot = append(side.recvSlot, slot)
+				side.recvPrim = append(side.recvPrim, false)
+				continue
+			}
+			slot := rs.nLoc
+			rs.ids = appendI32At(rs.ids, slot, gid)
+			rs.x = append3At(rs.x, slot, buf[k+1], buf[k+2], buf[k+3])
+			rs.vel = append3At(rs.vel, slot, 0, 0, 0)
+			rs.f = append3At(rs.f, slot, 0, 0, 0)
+			rs.mass = appendF64At(rs.mass, slot, 0)
+			rs.typ = appendIntAt(rs.typ, slot, int(buf[k+4]))
+			rs.v.lookup[gid] = int32(slot)
+			side.recvSlot = append(side.recvSlot, int32(slot))
+			side.recvPrim = append(side.recvPrim, true)
+			rs.nLoc++
+		}
+	}
+}
+
+// refreshGhosts is the steady-state halo exchange: owned positions of the
+// rebuild-time send lists go out, incoming positions land in the fixed
+// ghost slots. Allocation-free once buffers reach steady size.
+func (e *Engine) refreshGhosts(rs *rankState) {
+	if e.p == 1 {
+		return
+	}
+	left, right := cluster.RingNeighbors(rs.rank, e.p)
+	for s := 0; s < 2; s++ {
+		buf := rs.sendBuf[s][:0]
+		for _, i := range rs.side[s].sendIdx {
+			buf = append(buf, rs.x[3*i], rs.x[3*i+1], rs.x[3*i+2])
+		}
+		rs.sendBuf[s] = buf
+	}
+	e.comm.SendBuf(rs.rank, right, rs.sendBuf[1])
+	e.comm.SendBuf(rs.rank, left, rs.sendBuf[0])
+	rs.recvBuf[0] = e.comm.RecvInto(rs.rank, left, rs.recvBuf[0])
+	rs.recvBuf[1] = e.comm.RecvInto(rs.rank, right, rs.recvBuf[1])
+	for s := 0; s < 2; s++ {
+		buf := rs.recvBuf[s]
+		for k, slot := range rs.side[s].recvSlot {
+			rs.x[3*slot] = buf[3*k]
+			rs.x[3*slot+1] = buf[3*k+1]
+			rs.x[3*slot+2] = buf[3*k+2]
+		}
+	}
+}
+
+// reverseForces returns the force partials accumulated on ghost rows to the
+// owning ranks (the standard reverse halo of half-shell and ML force
+// fields). Only the primary copy of a deduplicated ghost returns its
+// accumulated force; the owner adds incoming contributions in fixed
+// left-then-right, send-list order, so the result is deterministic.
+func (e *Engine) reverseForces(rs *rankState) {
+	if e.p == 1 {
+		return
+	}
+	left, right := cluster.RingNeighbors(rs.rank, e.p)
+	for s := 0; s < 2; s++ {
+		buf := rs.sendBuf[s][:0]
+		side := &rs.side[s]
+		for k, slot := range side.recvSlot {
+			if side.recvPrim[k] {
+				buf = append(buf, rs.f[3*slot], rs.f[3*slot+1], rs.f[3*slot+2])
+			} else {
+				buf = append(buf, 0, 0, 0)
+			}
+		}
+		rs.sendBuf[s] = buf
+	}
+	e.comm.SendBuf(rs.rank, right, rs.sendBuf[1])
+	e.comm.SendBuf(rs.rank, left, rs.sendBuf[0])
+	rs.recvBuf[0] = e.comm.RecvInto(rs.rank, left, rs.recvBuf[0])
+	rs.recvBuf[1] = e.comm.RecvInto(rs.rank, right, rs.recvBuf[1])
+	for s := 0; s < 2; s++ {
+		buf := rs.recvBuf[s]
+		for k, i := range rs.side[s].sendIdx {
+			rs.f[3*i] += buf[3*k]
+			rs.f[3*i+1] += buf[3*k+1]
+			rs.f[3*i+2] += buf[3*k+2]
+		}
+	}
+}
+
+// Stats reports decomposition event counts summed over ranks: collective
+// rebuilds (each rank counts every rebuild event) and atoms received
+// through migration messages. Driver-side.
+func (e *Engine) Stats() (rebuilds, migratedAtoms int64) {
+	for _, rs := range e.rs {
+		if rs.nRebuilds > rebuilds {
+			rebuilds = rs.nRebuilds
+		}
+		migratedAtoms += rs.nMigrated
+	}
+	return
+}
+
+// Gather copies the distributed positions, velocities and forces back into
+// sys (by global id). Driver-side.
+func (e *Engine) Gather(sys *md.System) {
+	if sys.N != e.n {
+		panic("shard: gather system size mismatch")
+	}
+	for _, rs := range e.rs {
+		for i := 0; i < rs.nOwn; i++ {
+			g := int(rs.ids[i])
+			copy(sys.X[3*g:3*g+3], rs.x[3*i:3*i+3])
+			copy(sys.V[3*g:3*g+3], rs.vel[3*i:3*i+3])
+			copy(sys.F[3*g:3*g+3], rs.f[3*i:3*i+3])
+		}
+	}
+}
+
+// Validate checks the decomposition invariants (driver-side, for tests):
+// the owned sets partition the global ids, every owned atom sat in its
+// rank's slab at the last rebuild, and ghost bookkeeping is consistent.
+func (e *Engine) Validate() error {
+	seen := make([]int, e.n)
+	for _, rs := range e.rs {
+		if rs.nOwn > rs.nLoc || len(rs.ids) < rs.nLoc {
+			return fmt.Errorf("shard: rank %d counts nOwn=%d nLoc=%d len(ids)=%d", rs.rank, rs.nOwn, rs.nLoc, len(rs.ids))
+		}
+		for i := 0; i < rs.nOwn; i++ {
+			g := int(rs.ids[i])
+			if g < 0 || g >= e.n {
+				return fmt.Errorf("shard: rank %d owns bad id %d", rs.rank, g)
+			}
+			seen[g]++
+			if !rs.needRebuild && e.slabOf(rs.refX[3*i]) != rs.rank {
+				return fmt.Errorf("shard: rank %d owns atom %d outside its slab at rebuild", rs.rank, g)
+			}
+		}
+		for i := rs.nOwn; i < rs.nLoc; i++ {
+			slot, ok := rs.v.lookup[rs.ids[i]]
+			if !ok || int(slot) != i {
+				return fmt.Errorf("shard: rank %d ghost %d lookup broken", rs.rank, rs.ids[i])
+			}
+		}
+	}
+	for g, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("shard: atom %d owned by %d ranks", g, c)
+		}
+	}
+	return nil
+}
+
+// --- small helpers ---
+
+// wrap1/minImage1 delegate to internal/md's exported scalar forms: the
+// bitwise-determinism contract requires the exact arithmetic of
+// System.Wrap/MinImage, so there is deliberately a single implementation.
+func wrap1(x, l float64) float64 { return md.Wrap1(x, l) }
+
+func minImage1(d, l float64) float64 { return md.MinImage1(d, l) }
+
+func appendI32At(s []int32, i int, v int32) []int32 {
+	if i < len(s) {
+		s[i] = v
+		return s
+	}
+	return append(s[:i], v)
+}
+
+func appendF64At(s []float64, i int, v float64) []float64 {
+	if i < len(s) {
+		s[i] = v
+		return s
+	}
+	return append(s[:i], v)
+}
+
+func append3At(s []float64, i int, a, b, c float64) []float64 {
+	if 3*i+3 <= len(s) {
+		s[3*i], s[3*i+1], s[3*i+2] = a, b, c
+		return s
+	}
+	return append(s[:3*i], a, b, c)
+}
+
+func appendIntAt(s []int, i int, v int) []int {
+	if i < len(s) {
+		s[i] = v
+		return s
+	}
+	return append(s[:i], v)
+}
+
+func resizeF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}

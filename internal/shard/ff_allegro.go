@@ -1,0 +1,52 @@
+package shard
+
+import (
+	"fmt"
+
+	"mlmd/internal/allegro"
+)
+
+// AllegroFF shards an Allegro-style neural force field: each rank holds a
+// CloneShared of the model (shared read-only weights, private neighbor
+// list and inference scratch) and evaluates the atomic energies of its
+// owned atoms only, through allegro.Model.ComputeForcesOwned on the view's
+// local md.System. The descriptor gradient scatters −dE/dx onto ghost
+// rows, which the engine reverse-exchanges to the owning ranks — the
+// standard force halo of ML potentials, keeping the ghost layer at
+// cutoff+skin instead of twice the cutoff.
+//
+// Unlike the canonical-order LJ field, the per-atom force here sums
+// reverse-exchanged partials, so different rank counts agree to
+// summation-order rounding (~1e-12 relative), not bitwise; a fixed (P,
+// worker count) pair is exactly reproducible.
+type AllegroFF struct {
+	m *allegro.Model
+}
+
+// AllegroFactory returns a Config.NewFF producing per-rank shared-weight
+// clones of model.
+func AllegroFactory(model *allegro.Model) func(rank int) RankFF {
+	return func(int) RankFF { return &AllegroFF{m: model.CloneShared()} }
+}
+
+// PartialLen implements RankFF.
+func (a *AllegroFF) PartialLen() int { return 1 }
+
+// NeedsNeighborList implements RankFF: the model builds its own
+// md.NeighborList over the local system.
+func (a *AllegroFF) NeedsNeighborList() bool { return false }
+
+// ScattersGhostForces implements RankFF.
+func (a *AllegroFF) ScattersGhostForces() bool { return true }
+
+// Compute implements RankFF.
+func (a *AllegroFF) Compute(v *View, partial []float64) {
+	if v.Cutoff < a.m.Spec.Cutoff {
+		panic(fmt.Sprintf("shard: engine cutoff %g is smaller than the Allegro model cutoff %g — the halo would miss interacting neighbors",
+			v.Cutoff, a.m.Spec.Cutoff))
+	}
+	partial[0] = a.m.ComputeForcesOwned(v.Sys, v.NOwn)
+}
+
+// Energy implements RankFF.
+func (a *AllegroFF) Energy(_ *View, total []float64) float64 { return total[0] }

@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mlmd/internal/allegro"
+	"mlmd/internal/md"
+)
+
+// newAllegroFixture builds a random two-species gas and an untrained (but
+// deterministic) Allegro-style model over it.
+func newAllegroFixture(t testing.TB, n int, l float64) (*md.System, *allegro.Model) {
+	t.Helper()
+	sys, err := md.NewSystem(n, l, l, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < n; i++ {
+		sys.X[3*i] = rng.Float64() * l
+		sys.X[3*i+1] = rng.Float64() * l
+		sys.X[3*i+2] = rng.Float64() * l
+		sys.Mass[i] = 30
+		sys.Type[i] = i % 2
+	}
+	model, err := allegro.NewModel(allegro.DescriptorSpec{Cutoff: 2.5, NRadial: 4, NSpecies: 2}, []int{16, 16}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, model
+}
+
+// TestShardAllegroMatchesGlobal: the sharded Allegro evaluation — per-rank
+// shared-weight clones, owned-energy blocks, reverse force halo — matches
+// the global model to summation-order rounding.
+func TestShardAllegroMatchesGlobal(t *testing.T) {
+	sys, model := newAllegroFixture(t, 400, 12.0)
+
+	ref := cloneSys(t, sys)
+	peRef := model.ComputeForces(ref)
+
+	for _, p := range []int{1, 2, 4} {
+		got := cloneSys(t, sys)
+		eng, err := NewEngine(Config{
+			Ranks: p, Cutoff: model.Spec.Cutoff, Skin: 0.3,
+			NewFF: AllegroFactory(model),
+		}, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pe := eng.ComputeForces(got)
+		if err := eng.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(pe-peRef) / math.Abs(peRef); rel > 1e-12 {
+			t.Errorf("P=%d: PE %v vs global %v (rel %g)", p, pe, peRef, rel)
+		}
+		worst := 0.0
+		scale := 0.0
+		for i := range ref.F {
+			if d := math.Abs(got.F[i] - ref.F[i]); d > worst {
+				worst = d
+			}
+			if a := math.Abs(ref.F[i]); a > scale {
+				scale = a
+			}
+		}
+		if worst > 1e-10*math.Max(scale, 1) {
+			t.Errorf("P=%d: worst force diff %g (scale %g)", p, worst, scale)
+		}
+		eng.Close()
+	}
+}
+
+// TestShardAllegroShortTrajectory: a short sharded NVE trajectory under the
+// neural force field stays within tolerance of the global one (reverse
+// force halo in the time loop).
+func TestShardAllegroShortTrajectory(t *testing.T) {
+	sys, model := newAllegroFixture(t, 200, 10.0)
+	const steps, dt = 25, 1.0
+
+	ref := cloneSys(t, sys)
+	refModel := model.CloneShared()
+	refModel.ComputeForces(ref)
+	for s := 0; s < steps; s++ {
+		md.VelocityVerlet(ref, refModel, dt)
+	}
+
+	got := cloneSys(t, sys)
+	eng, err := NewEngine(Config{
+		Ranks: 2, Cutoff: model.Spec.Cutoff, Skin: 0.3,
+		NewFF: AllegroFactory(model),
+	}, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.Run(steps, dt, 0, 0)
+	eng.Gather(got)
+
+	worst := 0.0
+	for i := range ref.X {
+		d := math.Abs(got.X[i] - ref.X[i])
+		d = math.Min(d, math.Abs(d-got.Lx))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-8 {
+		t.Errorf("worst |Δx| vs global Allegro after %d steps: %g", steps, worst)
+	}
+	t.Logf("worst |Δx| vs global Allegro after %d steps: %g", steps, worst)
+}

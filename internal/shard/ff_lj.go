@@ -1,0 +1,104 @@
+package shard
+
+import "mlmd/internal/par"
+
+// ljGrain is the fixed chunk size of the pool-parallel force pass. Like
+// internal/md, it is a constant (not worker-derived) so chunk boundaries —
+// and therefore the deterministic chunk-ordered energy partials — are
+// identical for every worker count.
+const ljGrain = 128
+
+// LJ is the canonical-order Lennard-Jones rank force field: each owned
+// atom's force is Σ_j f(i,j) over its full neighbor row
+// in ascending global-id order, evaluated from raw global coordinates. Per
+// the package determinism contract this makes P-rank trajectories bitwise
+// identical to the 1-rank run for every P. The potential energy is
+// accumulated as ½u(i,j) per directed pair (exact halving), summed in fixed
+// chunk order.
+//
+// Compute runs on the shared worker pool and is allocation-free in steady
+// state (closures and scratch are cached on first use).
+type LJ struct {
+	Epsilon, Sigma float64
+
+	peChunk []float64
+	fctx    struct {
+		v   *View
+		rc2 float64
+	}
+	forceFn func(lo, hi, w int)
+}
+
+// LJFactory returns a Config.NewFF for per-rank LJ fields.
+func LJFactory(epsilon, sigma float64) func(rank int) RankFF {
+	return func(int) RankFF { return &LJ{Epsilon: epsilon, Sigma: sigma} }
+}
+
+// PartialLen implements RankFF.
+func (lj *LJ) PartialLen() int { return 1 }
+
+// NeedsNeighborList implements RankFF.
+func (lj *LJ) NeedsNeighborList() bool { return true }
+
+// ScattersGhostForces implements RankFF: the canonical per-owned-atom sum
+// never writes ghost rows, so no reverse exchange is needed.
+func (lj *LJ) ScattersGhostForces() bool { return false }
+
+// Compute implements RankFF.
+func (lj *LJ) Compute(v *View, partial []float64) {
+	nchunks := (v.NOwn + ljGrain - 1) / ljGrain
+	lj.peChunk = resizeF64(lj.peChunk, nchunks)
+	lj.fctx.v = v
+	lj.fctx.rc2 = lj.Cutoff2(v)
+	lj.ensureClosures()
+	par.For(v.NOwn, ljGrain, lj.forceFn)
+	var pe float64
+	for _, e := range lj.peChunk[:nchunks] {
+		pe += e
+	}
+	partial[0] = pe
+}
+
+// Cutoff2 returns the squared force cutoff (the neighbor-list cutoff).
+func (lj *LJ) Cutoff2(v *View) float64 { return v.NL.Cutoff * v.NL.Cutoff }
+
+// Energy implements RankFF.
+func (lj *LJ) Energy(_ *View, total []float64) float64 { return total[0] }
+
+func (lj *LJ) ensureClosures() {
+	if lj.forceFn != nil {
+		return
+	}
+	lj.forceFn = func(lo, hi, _ int) {
+		v := lj.fctx.v
+		rc2 := lj.fctx.rc2
+		nl := v.NL
+		eps, sig2 := lj.Epsilon, lj.Sigma*lj.Sigma
+		var pe float64
+		for i := lo; i < hi; i++ {
+			xi, yi, zi := v.X[3*i], v.X[3*i+1], v.X[3*i+2]
+			var fx, fy, fz float64
+			for _, j := range nl.Row(i) {
+				dx := minImage1(xi-v.X[3*j], v.Lx)
+				dy := minImage1(yi-v.X[3*j+1], v.Ly)
+				dz := minImage1(zi-v.X[3*j+2], v.Lz)
+				r2 := dx*dx + dy*dy + dz*dz
+				if r2 > rc2 || r2 == 0 {
+					continue
+				}
+				sr2 := sig2 / r2
+				sr6 := sr2 * sr2 * sr2
+				sr12 := sr6 * sr6
+				pe += 0.5 * (4 * eps * (sr12 - sr6))
+				fmag := 24 * eps * (2*sr12 - sr6) / r2
+				fx += fmag * dx
+				fy += fmag * dy
+				fz += fmag * dz
+			}
+			v.F[3*i] = fx
+			v.F[3*i+1] = fy
+			v.F[3*i+2] = fz
+		}
+		lj.peChunk[lo/ljGrain] = pe
+	}
+}

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"cmp"
+	"math"
+	"slices"
+)
+
+// NeighborList is the rank-local full neighbor list: one CSR row per owned
+// atom listing every local atom (owned or ghost) within cutoff+skin, sorted
+// by ascending global id. The global-id order is the heart of the engine's
+// determinism contract: a force field that accumulates each owned atom's
+// pair sum in row order computes bitwise-identical forces for every
+// decomposition, because the set (same inclusion test on the same raw
+// coordinates) and the order (global ids) are both decomposition-invariant.
+//
+// Binning is linked-cell over the full global box — the same geometry as
+// md.NeighborList, so no slab-relative coordinate mapping (and its wrap
+// edge cases) is needed. The head array is sized to the global cell count
+// (O(global cells) memory per rank, allocated once), but each rebuild only
+// clears the cells the previous build touched, so rebuild *work* stays
+// O(local atoms + local pairs) regardless of the rank count.
+type NeighborList struct {
+	Cutoff, Skin float64
+
+	// Row i of the CSR is adj[start[i]:start[i+1]] (local indices).
+	start []int32
+	adj   []int32
+
+	head, next, cellIdx []int32
+	// headCells is the cell count head currently describes; prevLoc the
+	// atom count binned by the previous build (their cellIdx entries are
+	// the only head cells that need re-clearing).
+	headCells, prevLoc int
+}
+
+// Row returns owned atom i's neighbors (local indices, ascending gid).
+func (nl *NeighborList) Row(i int) []int32 {
+	return nl.adj[nl.start[i]:nl.start[i+1]]
+}
+
+// NumPairs returns the stored (directed) neighbor count.
+func (nl *NeighborList) NumPairs() int { return len(nl.adj) }
+
+// Build rebuilds the list from the view's local atoms. Called on the
+// rebuild event path (allocation there is acceptable; buffers are still
+// retained across rebuilds).
+func (nl *NeighborList) Build(v *View) {
+	r := nl.Cutoff + nl.Skin
+	ncx := cellCount(v.Lx, r)
+	ncy := cellCount(v.Ly, r)
+	ncz := cellCount(v.Lz, r)
+	ncells := ncx * ncy * ncz
+	n := v.NLoc
+	if nl.headCells != ncells {
+		nl.head = resizeI32(nl.head, ncells)
+		for i := range nl.head {
+			nl.head[i] = -1
+		}
+		nl.headCells = ncells
+	} else {
+		// Same grid as last build: only the previously touched cells hold
+		// non-empty chains.
+		for _, c := range nl.cellIdx[:nl.prevLoc] {
+			nl.head[c] = -1
+		}
+	}
+	nl.next = resizeI32(nl.next, n)
+	nl.cellIdx = resizeI32(nl.cellIdx, n)
+	nl.start = resizeI32(nl.start, v.NOwn+1)
+	nl.prevLoc = n
+	for i := 0; i < n; i++ {
+		cx := clampCell(int(v.X[3*i]/v.Lx*float64(ncx)), ncx)
+		cy := clampCell(int(v.X[3*i+1]/v.Ly*float64(ncy)), ncy)
+		cz := clampCell(int(v.X[3*i+2]/v.Lz*float64(ncz)), ncz)
+		c := int32((cx*ncy+cy)*ncz + cz)
+		nl.cellIdx[i] = c
+		nl.next[i] = nl.head[c]
+		nl.head[c] = int32(i)
+	}
+	r2cut := r * r
+	adj := nl.adj[:0]
+	ids := v.ID
+	for i := 0; i < v.NOwn; i++ {
+		nl.start[i] = int32(len(adj))
+		c := int(nl.cellIdx[i])
+		cz := c % ncz
+		cy := (c / ncz) % ncy
+		cx := c / (ncz * ncy)
+		for ox := -1; ox <= 1; ox++ {
+			// With fewer than 3 cells along an axis the ±1 offsets alias;
+			// skip the redundant sweep (same rule as md.NeighborList).
+			if ncx < 3 && ox > ncx-2 {
+				continue
+			}
+			for oy := -1; oy <= 1; oy++ {
+				if ncy < 3 && oy > ncy-2 {
+					continue
+				}
+				for oz := -1; oz <= 1; oz++ {
+					if ncz < 3 && oz > ncz-2 {
+						continue
+					}
+					cc := (modCell(cx+ox, ncx)*ncy+modCell(cy+oy, ncy))*ncz + modCell(cz+oz, ncz)
+					for j := nl.head[cc]; j >= 0; j = nl.next[j] {
+						if int(j) == i {
+							continue
+						}
+						dx := minImage1(v.X[3*i]-v.X[3*j], v.Lx)
+						dy := minImage1(v.X[3*i+1]-v.X[3*j+1], v.Ly)
+						dz := minImage1(v.X[3*i+2]-v.X[3*j+2], v.Lz)
+						if dx*dx+dy*dy+dz*dz <= r2cut {
+							adj = append(adj, j)
+						}
+					}
+				}
+			}
+		}
+		row := adj[nl.start[i]:]
+		slices.SortFunc(row, func(a, b int32) int { return cmp.Compare(ids[a], ids[b]) })
+	}
+	nl.start[v.NOwn] = int32(len(adj))
+	nl.adj = adj
+}
+
+// The binning helpers below mirror internal/md's unexported ones but are
+// not bit-critical: cells only propose candidate pairs, and membership is
+// decided by the min-image distance test (which delegates to md). A
+// divergence here could cost completeness, never bitwise reproducibility —
+// and completeness is cross-checked against brute force in the tests.
+
+func cellCount(l, r float64) int {
+	n := int(math.Floor(l / r))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func clampCell(c, n int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+func modCell(i, n int) int {
+	i %= n
+	if i < 0 {
+		i += n
+	}
+	return i
+}

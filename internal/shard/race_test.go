@@ -1,0 +1,39 @@
+package shard
+
+import (
+	"testing"
+
+	"mlmd/internal/par"
+)
+
+// TestShardRankWorkerInterplay drives P rank goroutines that each fan out
+// onto the shared worker pool, with migrations and halo rebuilds in flight.
+// Its real assertion is `go test -race` (wired into make check): any
+// unsynchronized access between ranks, pool workers and the communicator
+// trips the detector. It also re-checks bitwise P-independence under a
+// multi-worker pool.
+func TestShardRankWorkerInterplay(t *testing.T) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+
+	base := fccLJSystem(t, 6, 1e-3, 7)
+	const steps, dt = 60, 2.0
+
+	ref := cloneSys(t, base)
+	e1 := newLJEngine(t, ref, 1)
+	e1.Run(steps, dt, 0, 0)
+	e1.Gather(ref)
+
+	got := cloneSys(t, base)
+	e4 := newLJEngine(t, got, 4)
+	e4.Run(steps, dt, 0, 0)
+	e4.Gather(got)
+	if err := e4.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.X {
+		if got.X[i] != ref.X[i] {
+			t.Fatalf("X[%d] = %v, want %v", i, got.X[i], ref.X[i])
+		}
+	}
+}
