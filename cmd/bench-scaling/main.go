@@ -6,13 +6,14 @@
 // Usage:
 //
 //	bench-scaling [-table1] [-table2] [-fig4a] [-fig4b] [-fig5a] [-fig5b] [-legato]
-//	              [-shard [-shardjson] [-shardcells N] [-shardsteps N]]
+//	              [-shard | -grid [-shardjson] [-shardcells N] [-shardsteps N]]
 //
 // With no flags, everything except -legato (which trains models and runs MD,
-// taking ~a minute) and -shard (which measures the real sharded engine,
+// taking ~a minute) and -shard/-grid (which measure the real sharded engine,
 // internal/shard, rather than the analytic machine model) is printed.
 // -shard -shardjson writes the committable BENCH_PR2.json document to
-// stdout and the human table to stderr (see `make bench2`).
+// stdout and the human table to stderr (see `make bench2`); -grid -shardjson
+// likewise writes the 3-D grid-vs-slab BENCH_PR3.json (see `make bench3`).
 package main
 
 import (
@@ -32,12 +33,17 @@ func main() {
 	f5a := flag.Bool("fig5a", false, "Fig 5a: XS-NNQMD weak scaling")
 	f5b := flag.Bool("fig5b", false, "Fig 5b: XS-NNQMD strong scaling")
 	legato := flag.Bool("legato", false, "Allegro-Legato fidelity-scaling ablation (slow)")
-	shardFlag := flag.Bool("shard", false, "real sharded-engine LJ strong scaling (1/2/4/8 ranks, best of 7)")
-	shardJSON := flag.Bool("shardjson", false, "with -shard: emit the JSON document (BENCH_PR2.json) instead of the table")
-	shardCells := flag.Int("shardcells", 11, "fcc cells per axis of the -shard system (atoms = 4·cells³; needs cells >= 11 so the 8-rank slab still fits the halo)")
-	shardSteps := flag.Int("shardsteps", 100, "MD steps per -shard trial")
+	shardFlag := flag.Bool("shard", false, "real sharded-engine LJ strong scaling (1/2/4/8 slab ranks, best of 7)")
+	gridFlag := flag.Bool("grid", false, "real sharded-engine grid-vs-slab strong scaling (1x1x1 … 2x2x2, best of 7)")
+	shardJSON := flag.Bool("shardjson", false, "with -shard/-grid: emit the JSON document (BENCH_PR2.json / BENCH_PR3.json) instead of the table")
+	shardCells := flag.Int("shardcells", 11, "fcc cells per axis of the -shard/-grid system (atoms = 4·cells³; needs cells >= 11 so the 8-rank slab still fits the halo)")
+	shardSteps := flag.Int("shardsteps", 100, "MD steps per -shard/-grid trial")
 	flag.Parse()
-	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato && !*shardFlag
+	if *shardFlag && *gridFlag {
+		fmt.Fprintln(os.Stderr, "bench-scaling: -shard and -grid are mutually exclusive (each emits its own JSON document)")
+		os.Exit(2)
+	}
+	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato && !*shardFlag && !*gridFlag
 
 	if *t1 || all {
 		fmt.Println(bench.Table1())
@@ -72,18 +78,31 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
 			os.Exit(1)
 		}
-		if *shardJSON {
-			// JSON on stdout (redirect into BENCH_PR2.json), the human
-			// table on stderr.
-			fmt.Fprintln(os.Stderr, bench.ShardScalingTable(points))
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(bench.ShardScalingDocument(points)); err != nil {
-				fmt.Fprintln(os.Stderr, "bench-scaling:", err)
-				os.Exit(1)
-			}
-		} else {
-			fmt.Println(bench.ShardScalingTable(points))
+		emitShard(points, bench.ShardScalingDocument, *shardJSON)
+	}
+	if *gridFlag {
+		points, err := bench.ShardGridScaling(bench.GridShapes, *shardCells, *shardSteps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+			os.Exit(1)
 		}
+		emitShard(points, bench.ShardGridDocument, *shardJSON)
+	}
+}
+
+// emitShard prints the table, or with -shardjson the JSON document on
+// stdout (redirect into BENCH_PR2.json / BENCH_PR3.json) and the human
+// table on stderr.
+func emitShard(points []bench.ShardPoint, doc func([]bench.ShardPoint) bench.ShardScalingDoc, asJSON bool) {
+	if !asJSON {
+		fmt.Println(bench.ShardScalingTable(points))
+		return
+	}
+	fmt.Fprintln(os.Stderr, bench.ShardScalingTable(points))
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc(points)); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+		os.Exit(1)
 	}
 }

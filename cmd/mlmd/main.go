@@ -30,7 +30,8 @@ func main() {
 	amp := flag.Float64("amp", 0.3, "peak laser E field (a.u.)")
 	photon := flag.Float64("photon", 3.0, "photon energy (eV)")
 	latCells := flag.Int("cells", 12, "XS-NNQMD lattice cells per axis (xy)")
-	ranks := flag.Int("ranks", 0, "shard the XS-NNQMD stage across N in-process ranks (0 = unsharded)")
+	ranks := flag.Int("ranks", 0, "shard the XS-NNQMD stage across N in-process slab ranks (0 = unsharded)")
+	gridStr := flag.String("grid", "", "shard the XS-NNQMD stage across a PxxPyxPz domain grid, e.g. 2x2x1 (overrides -ranks; the demo lattice is 2 cells thick, so Pz must divide its thin axis with room for the halo)")
 	flag.Parse()
 
 	cfg := core.DefaultDCMESHConfig()
@@ -73,7 +74,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if *ranks > 0 {
+	if *ranks > 0 || *gridStr != "" {
+		var grid [3]int
+		if *gridStr != "" {
+			grid, err = shard.ParseGrid(*gridStr)
+			if err != nil {
+				fail(err)
+			}
+		}
 		newFF, err := shard.BlendEffHamFactory(lat, gs, xs)
 		if err != nil {
 			fail(err)
@@ -82,6 +90,7 @@ func main() {
 		// cutoff must cover a lattice constant plus off-centering drift.
 		eng, err := shard.NewEngine(shard.Config{
 			Ranks:  *ranks,
+			Grid:   grid,
 			Cutoff: 1.3 * ferro.LatticeConstant,
 			Skin:   0.4 * ferro.LatticeConstant,
 			NewFF:  newFF,
@@ -91,7 +100,8 @@ func main() {
 		}
 		defer eng.Close()
 		nn.SetForceField(eng)
-		fmt.Printf("(lattice stage sharded across %d ranks)\n", *ranks)
+		g := eng.Grid()
+		fmt.Printf("(lattice stage sharded across %d ranks, %dx%dx%d grid)\n", eng.Ranks(), g[0], g[1], g[2])
 	}
 	if err := nn.SetExcitationFromDomains(nExc, cfg.Dx, cfg.Dy, cfg.Dz, 0.02); err != nil {
 		fail(err)

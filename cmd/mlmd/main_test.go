@@ -62,19 +62,25 @@ func TestSummaryGolden(t *testing.T) {
 	}
 }
 
-// TestShardedSummaryMatches: running the lattice stage sharded (-ranks 2/4)
-// produces the identical summary — the decomposed blended effective
-// Hamiltonian is bitwise-equivalent through the whole module.
+// TestShardedSummaryMatches: running the lattice stage sharded — slab
+// (-ranks 2/4) or 3-D domain grid (-grid 2x2x1/4x2x1) — produces the
+// identical summary: the decomposed blended effective Hamiltonian is
+// bitwise-equivalent through the whole module for every decomposition.
 func TestShardedSummaryMatches(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs the binary")
 	}
 	exe := buildMLMD(t)
 	ref := runMLMD(t, exe, smallArgs...)
-	for _, ranks := range []string{"2", "4"} {
-		got := runMLMD(t, exe, append(append([]string{}, smallArgs...), "-ranks", ranks)...)
+	for _, shard := range [][]string{
+		{"-ranks", "2"},
+		{"-ranks", "4"},
+		{"-grid", "2x2x1"},
+		{"-grid", "4x2x1"},
+	} {
+		got := runMLMD(t, exe, append(append([]string{}, smallArgs...), shard...)...)
 		if stripShardNote(got) != ref {
-			t.Errorf("-ranks %s output differs from unsharded run\n--- sharded ---\n%s\n--- unsharded ---\n%s", ranks, got, ref)
+			t.Errorf("%v output differs from unsharded run\n--- sharded ---\n%s\n--- unsharded ---\n%s", shard, got, ref)
 		}
 	}
 }

@@ -45,6 +45,10 @@ func (d DescriptorSpec) Validate() error {
 	return nil
 }
 
+// Centers returns the radial basis centers, evenly spaced in (0, cutoff) —
+// the cs scratch argument of the *Into evaluation paths and of PairGradTerm.
+func (d DescriptorSpec) Centers() []float64 { return d.centers() }
+
 // centers returns the radial basis centers, evenly spaced in (0, cutoff).
 func (d DescriptorSpec) centers() []float64 {
 	c := make([]float64, d.NRadial)
@@ -179,34 +183,51 @@ func (d DescriptorSpec) descriptorGradInto(sys *md.System, env neighborEnv, i in
 	}
 	for n := range env.j {
 		j := env.j[n]
-		sp := sys.Type[j]
-		r := env.r[n]
-		fc, dfc := cutoffFn(r, d.Cutoff)
-		ux, uy, uz := env.dx[n]/r, env.dy[n]/r, env.dz[n]/r
-		// d(unit vector)/d(x_j) pieces: du_a/dx_b = (δ_ab − u_a u_b)/r.
-		for k := 0; k < nr; k++ {
-			base := sp*nr + k
-			g := math.Exp(-(r - cs[k]) * (r - cs[k]) / (2 * w * w))
-			dg := g * (-(r - cs[k]) / (w * w))
-			// Scalar channel: D = Σ g fc ⇒ dD/dr = (dg fc + g dfc),
-			// dr/dx_j = u.
-			cS := gD[base*2] * (dg*fc + g*dfc)
-			// Vector channel: D = |S|², S = Σ g fc u.
-			// dD/dx_j = 2 S · [ (dg fc + g dfc) u ⊗ u + g fc (I − u⊗u)/r ].
-			sx, sy, sz := vec[base*3], vec[base*3+1], vec[base*3+2]
-			su := sx*ux + sy*uy + sz*uz
-			cRad := gD[base*2+1] * 2 * (su * (dg*fc + g*dfc))
-			cTan := gD[base*2+1] * 2 * g * fc / r
-			// Gradient w.r.t. x_j (displacement is j − i, so d r/dx_j = +u).
-			gx := cS*ux + cRad*ux + cTan*(sx-su*ux)
-			gy := cS*uy + cRad*uy + cTan*(sy-su*uy)
-			gz := cS*uz + cRad*uz + cTan*(sz-su*uz)
-			dEdx[3*j] += gx
-			dEdx[3*j+1] += gy
-			dEdx[3*j+2] += gz
-			dEdx[3*i] -= gx
-			dEdx[3*i+1] -= gy
-			dEdx[3*i+2] -= gz
-		}
+		gx, gy, gz := d.PairGradTerm(sys.Type[j], gD, vec, cs, env.dx[n], env.dy[n], env.dz[n], env.r[n])
+		dEdx[3*j] += gx
+		dEdx[3*j+1] += gy
+		dEdx[3*j+2] += gz
+		dEdx[3*i] -= gx
+		dEdx[3*i+1] -= gy
+		dEdx[3*i+2] -= gz
 	}
+}
+
+// PairGradTerm evaluates the gradient of one atom's energy with respect to a
+// single neighbor's position: given the center atom's backpropagated dE/dD
+// (gD), its vector-channel accumulators S (vec, as filled by the descriptor
+// evaluation), the radial centers cs, the neighbor's species spJ and the pair
+// geometry (dx,dy,dz,r = displacement neighbor − center), it returns
+// G = dE_center/dx_neighbor. By Newton's third law through the descriptor
+// chain rule, the same G enters the center's own gradient with a minus sign.
+//
+// This is the single source of the pair-term arithmetic: both the global
+// scatter path (DescriptorGrad) and the sharded canonical assembly
+// (internal/shard's Allegro adapter) call it, so a force summed from
+// PairGradTerm values in a fixed order is bitwise reproducible across
+// decompositions.
+func (d DescriptorSpec) PairGradTerm(spJ int, gD, vec, cs []float64, dx, dy, dz, r float64) (gx, gy, gz float64) {
+	w := d.width()
+	nr := d.NRadial
+	fc, dfc := cutoffFn(r, d.Cutoff)
+	ux, uy, uz := dx/r, dy/r, dz/r
+	// d(unit vector)/d(x_j) pieces: du_a/dx_b = (δ_ab − u_a u_b)/r.
+	for k := 0; k < nr; k++ {
+		base := spJ*nr + k
+		g := math.Exp(-(r - cs[k]) * (r - cs[k]) / (2 * w * w))
+		dg := g * (-(r - cs[k]) / (w * w))
+		// Scalar channel: D = Σ g fc ⇒ dD/dr = (dg fc + g dfc),
+		// dr/dx_j = u.
+		cS := gD[base*2] * (dg*fc + g*dfc)
+		// Vector channel: D = |S|², S = Σ g fc u.
+		// dD/dx_j = 2 S · [ (dg fc + g dfc) u ⊗ u + g fc (I − u⊗u)/r ].
+		sx, sy, sz := vec[base*3], vec[base*3+1], vec[base*3+2]
+		su := sx*ux + sy*uy + sz*uz
+		cRad := gD[base*2+1] * 2 * (su * (dg*fc + g*dfc))
+		cTan := gD[base*2+1] * 2 * g * fc / r
+		gx += cS*ux + cRad*ux + cTan*(sx-su*ux)
+		gy += cS*uy + cRad*uy + cTan*(sy-su*uy)
+		gz += cS*uz + cRad*uz + cTan*(sz-su*uz)
+	}
+	return gx, gy, gz
 }

@@ -123,12 +123,13 @@ func (m *Model) ComputeForces(sys *md.System) float64 {
 
 // ComputeForcesOwned evaluates the atomic energies of atoms [0, nOwned)
 // only, scattering −dE/dx into sys.F for every atom of sys (owned and
-// beyond), and returns Σ E_i over the owned range. This is the kernel of
-// domain-decomposed evaluation: a rank's local system holds its owned atoms
-// first and ghost copies after, each rank sums only its owned energies, and
-// the force partials accumulated on ghost rows are reverse-exchanged to the
-// owning ranks (internal/shard). With nOwned == sys.N it is exactly the
-// full ComputeForces.
+// beyond), and returns Σ E_i over the owned range — the owned-prefix kernel
+// of a reverse-force-halo decomposition (sum the scattered ghost partials
+// back at the owners). The sharded engine no longer uses this scheme: its
+// canonical-order path evaluates per-atom payloads with EvalAtom and
+// assembles forces through PairGradTerm, which is bitwise reproducible
+// across decompositions where the scatter-sum here is not. With
+// nOwned == sys.N it is exactly the full ComputeForces.
 func (m *Model) ComputeForcesOwned(sys *md.System, nOwned int) float64 {
 	if nOwned < 0 || nOwned > sys.N {
 		nOwned = sys.N
@@ -150,6 +151,53 @@ func (m *Model) ComputeForcesOwned(sys *md.System, nOwned int) float64 {
 		energy += m.forceBlock(sys, lo, hi)
 	}
 	return energy
+}
+
+// EvalScratch holds the reusable buffers of EvalAtom (one per worker in a
+// pool-parallel caller makes the per-atom evaluation allocation-light).
+type EvalScratch struct {
+	env  neighborEnv
+	desc []float64
+	gOut [1]float64
+}
+
+// EvalAtom evaluates atom i in isolation for decomposed canonical-order
+// force assembly: it builds the environment from the candidate neighbor
+// indices cand (in the caller's order — the sharded engine passes its
+// ascending-global-id neighbor row; candidates at or beyond the cutoff are
+// skipped), computes the descriptor and the per-species network's energy,
+// and backpropagates to fill gD = dE_i/dDescriptor (length Spec.Dim()) and
+// vec = the vector-channel accumulators S_i (length NSpecies·NRadial·3).
+// cs must be Spec.Centers(). The return value is the atomic energy E_i.
+//
+// gD and vec are exactly the center-atom inputs PairGradTerm needs, so a
+// caller holding (gD, vec) for every atom of a pair can reconstruct both
+// sides' gradient contributions without re-running inference.
+func (m *Model) EvalAtom(sys *md.System, i int, cand []int32, cs []float64, scr *EvalScratch, gD, vec []float64) float64 {
+	scr.env.reset()
+	for _, j32 := range cand {
+		j := int(j32)
+		dx, dy, dz := sys.MinImage(j, i) // vector from i to j
+		r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+		if r >= m.Spec.Cutoff || r == 0 {
+			continue
+		}
+		scr.env.j = append(scr.env.j, j)
+		scr.env.dx = append(scr.env.dx, dx)
+		scr.env.dy = append(scr.env.dy, dy)
+		scr.env.dz = append(scr.env.dz, dz)
+		scr.env.r = append(scr.env.r, r)
+	}
+	if len(scr.desc) != m.Spec.Dim() {
+		scr.desc = make([]float64, m.Spec.Dim())
+	}
+	m.Spec.descriptorInto(sys, scr.env, scr.desc, cs, vec)
+	sp := sys.Type[i]
+	net := m.Nets[sp]
+	tape := net.ForwardTape(scr.desc)
+	scr.gOut[0] = 1
+	copy(gD, net.Backward(tape, scr.gOut[:], nil))
+	return tape.Out() + m.PerSpeciesShift[sp]
 }
 
 // CloneShared returns a new Model sharing this model's (read-only at

@@ -20,9 +20,12 @@ import (
 // are the decomposition overhead versus 1 rank and the modeled
 // communication seconds from the communicator's virtual clock.
 
-// ShardPoint is one rank count's measurement.
+// ShardPoint is one decomposition's measurement.
 type ShardPoint struct {
-	Ranks     int     `json:"ranks"`
+	Ranks int `json:"ranks"`
+	// Grid is the PxxPyxPz domain-grid shape ("" on legacy slab sweeps,
+	// where the shape is implicitly Ranks x1x1).
+	Grid      string  `json:"grid,omitempty"`
 	Atoms     int     `json:"atoms"`
 	Steps     int     `json:"steps"`
 	NsPerStep float64 `json:"ns_per_step"` // best of Trials
@@ -60,9 +63,56 @@ func newShardLJSystem(cells int, kT float64) (*md.System, error) {
 	return sys, nil
 }
 
-// ShardStrongScaling runs the sharded LJ engine at each rank count over the
-// same initial configuration (fixed total problem size — strong scaling),
-// best-of-ShardTrials wall times.
+// measureShardConfig measures one decomposition (best-of-ShardTrials wall
+// time over the same initial configuration).
+func measureShardConfig(base *md.System, cfg shard.Config, steps int) (ShardPoint, error) {
+	best := 0.0
+	comm := 0.0
+	for trial := 0; trial < ShardTrials; trial++ {
+		eng, err := shard.NewEngine(cfg, base.Clone())
+		if err != nil {
+			return ShardPoint{}, err
+		}
+		eng.Run(0, 2, 0, 0) // prime: scatter is done, force the first rebuild
+		t0 := time.Now()
+		eng.Run(steps, 2, 0, 0)
+		dt := time.Since(t0)
+		if best == 0 || dt.Seconds() < best {
+			best = dt.Seconds()
+			comm = eng.ModeledCommSeconds()
+		}
+		eng.Close()
+	}
+	return ShardPoint{
+		Atoms: base.N, Steps: steps,
+		NsPerStep: best * 1e9 / float64(steps),
+		CommS:     comm,
+	}, nil
+}
+
+// anchorSpeedup fills Speedup = T(1 rank)/T(P) against the sweep's 1-rank
+// point; a sweep without a 1-rank baseline is a caller error rather than a
+// silently relabeled baseline (the JSON field is named speedup_vs_1rank).
+func anchorSpeedup(points []ShardPoint) error {
+	base1 := -1
+	for i, pt := range points {
+		if pt.Ranks == 1 {
+			base1 = i
+			break
+		}
+	}
+	if base1 < 0 {
+		return fmt.Errorf("bench: shard sweep lacks the 1-rank baseline")
+	}
+	for i := range points {
+		points[i].Speedup = points[base1].NsPerStep / points[i].NsPerStep
+	}
+	return nil
+}
+
+// ShardStrongScaling runs the sharded LJ engine at each slab rank count
+// over the same initial configuration (fixed total problem size — strong
+// scaling), best-of-ShardTrials wall times.
 func ShardStrongScaling(rankCounts []int, cells, steps int) ([]ShardPoint, error) {
 	if len(rankCounts) == 0 {
 		return nil, fmt.Errorf("bench: no rank counts given")
@@ -73,61 +123,86 @@ func ShardStrongScaling(rankCounts []int, cells, steps int) ([]ShardPoint, error
 	}
 	points := make([]ShardPoint, 0, len(rankCounts))
 	for _, p := range rankCounts {
-		best := 0.0
-		comm := 0.0
-		for trial := 0; trial < ShardTrials; trial++ {
-			eng, err := shard.NewEngine(shard.Config{
-				Ranks: p, Cutoff: 2.0, Skin: 0.3,
-				Net:   cluster.Slingshot11(),
-				NewFF: shard.LJFactory(0.01, 1.0),
-			}, base.Clone())
-			if err != nil {
-				return nil, err
-			}
-			eng.Run(0, 2, 0, 0) // prime: scatter is done, force the first rebuild
-			t0 := time.Now()
-			eng.Run(steps, 2, 0, 0)
-			dt := time.Since(t0)
-			if best == 0 || dt.Seconds() < best {
-				best = dt.Seconds()
-				comm = eng.ModeledCommSeconds()
-			}
-			eng.Close()
+		pt, err := measureShardConfig(base, shard.Config{
+			Ranks: p, Cutoff: 2.0, Skin: 0.3,
+			Net:   cluster.Slingshot11(),
+			NewFF: shard.LJFactory(0.01, 1.0),
+		}, steps)
+		if err != nil {
+			return nil, err
 		}
-		points = append(points, ShardPoint{
-			Ranks: p, Atoms: base.N, Steps: steps,
-			NsPerStep: best * 1e9 / float64(steps),
-			CommS:     comm,
-		})
+		pt.Ranks = p
+		points = append(points, pt)
 	}
-	// Anchor the speedup to the 1-rank measurement (the JSON field is
-	// named speedup_vs_1rank); a sweep without a 1-rank point is a
-	// caller error rather than a silently relabeled baseline.
-	base1 := -1
-	for i, pt := range points {
-		if pt.Ranks == 1 {
-			base1 = i
-			break
+	if err := anchorSpeedup(points); err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// GridShapes is the default grid-vs-slab sweep of `bench-scaling -grid`:
+// for each rank count 2/4/8 the slab (Px1x1) against the most compact 3-D
+// grid that fits the benchmark box, anchored by the 1x1x1 baseline.
+var GridShapes = [][3]int{
+	{1, 1, 1},
+	{2, 1, 1},
+	{4, 1, 1},
+	{2, 2, 1},
+	{8, 1, 1},
+	{2, 2, 2},
+}
+
+// ShardGridScaling measures the same fixed-size LJ problem decomposed over
+// each domain-grid shape (BENCH_PR3.json / `make bench3`): the grid-vs-slab
+// comparison quantifies what the 3-D decomposition buys — smaller halo
+// surface and shorter per-axis rings — net of the extra per-axis exchange
+// latency.
+func ShardGridScaling(shapes [][3]int, cells, steps int) ([]ShardPoint, error) {
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("bench: no grid shapes given")
+	}
+	base, err := newShardLJSystem(cells, 3e-4)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ShardPoint, 0, len(shapes))
+	for _, g := range shapes {
+		pt, err := measureShardConfig(base, shard.Config{
+			Grid: g, Cutoff: 2.0, Skin: 0.3,
+			Net:   cluster.Slingshot11(),
+			NewFF: shard.LJFactory(0.01, 1.0),
+		}, steps)
+		if err != nil {
+			return nil, err
 		}
+		pt.Ranks = g[0] * g[1] * g[2]
+		pt.Grid = fmt.Sprintf("%dx%dx%d", g[0], g[1], g[2])
+		points = append(points, pt)
 	}
-	if base1 < 0 {
-		return nil, fmt.Errorf("bench: rank counts %v lack the 1-rank baseline", rankCounts)
-	}
-	for i := range points {
-		points[i].Speedup = points[base1].NsPerStep / points[i].NsPerStep
+	if err := anchorSpeedup(points); err != nil {
+		return nil, err
 	}
 	return points, nil
 }
 
 // ShardScalingDocument wraps points with the environment header.
 func ShardScalingDocument(points []ShardPoint) ShardScalingDoc {
+	return shardDocument("shard strong scaling, fcc LJ, best-of-7 wall clock", points)
+}
+
+// ShardGridDocument is the committable BENCH_PR3.json document.
+func ShardGridDocument(points []ShardPoint) ShardScalingDoc {
+	return shardDocument("shard 3-D grid vs slab strong scaling, fcc LJ, best-of-7 wall clock", points)
+}
+
+func shardDocument(benchmark string, points []ShardPoint) ShardScalingDoc {
 	return ShardScalingDoc{
 		Go:         runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    os.Getenv("MLMD_WORKERS"),
-		Benchmark:  "shard strong scaling, fcc LJ, best-of-7 wall clock",
+		Benchmark:  benchmark,
 		Points:     points,
 	}
 }
@@ -137,9 +212,13 @@ func ShardScalingTable(points []ShardPoint) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Sharded LJ strong scaling (real engine, %d atoms, %d steps, best of %d, GOMAXPROCS=%d)\n",
 		points[0].Atoms, points[0].Steps, ShardTrials, runtime.GOMAXPROCS(0))
-	fmt.Fprintf(&b, "%6s %14s %12s %16s\n", "ranks", "ns/step", "speedup", "model comm (ms)")
+	fmt.Fprintf(&b, "%6s %10s %14s %12s %16s\n", "ranks", "grid", "ns/step", "speedup", "model comm (ms)")
 	for _, pt := range points {
-		fmt.Fprintf(&b, "%6d %14.0f %12.3f %16.3f\n", pt.Ranks, pt.NsPerStep, pt.Speedup, pt.CommS*1e3)
+		grid := pt.Grid
+		if grid == "" {
+			grid = fmt.Sprintf("%dx1x1", pt.Ranks)
+		}
+		fmt.Fprintf(&b, "%6d %10s %14.0f %12.3f %16.3f\n", pt.Ranks, grid, pt.NsPerStep, pt.Speedup, pt.CommS*1e3)
 	}
 	return b.String()
 }

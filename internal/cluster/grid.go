@@ -1,0 +1,52 @@
+package cluster
+
+import "fmt"
+
+// Grid3D is the Cartesian rank topology of a 3-D spatial decomposition: P =
+// Px·Py·Pz ranks arranged on a periodic Px×Py×Pz torus, with each axis an
+// independent ring (the 3-D halo pattern is three sequential ring
+// exchanges). Rank numbering is x-major: rank = (cx·Py + cy)·Pz + cz, so a
+// slab decomposition along x is the special case Py = Pz = 1 with rank = cx.
+type Grid3D struct {
+	P [3]int
+}
+
+// NewGrid3D validates the per-axis rank counts.
+func NewGrid3D(px, py, pz int) (Grid3D, error) {
+	if px < 1 || py < 1 || pz < 1 {
+		return Grid3D{}, fmt.Errorf("cluster: grid %dx%dx%d needs at least one rank per axis", px, py, pz)
+	}
+	return Grid3D{P: [3]int{px, py, pz}}, nil
+}
+
+// Size returns the total rank count Px·Py·Pz.
+func (g Grid3D) Size() int { return g.P[0] * g.P[1] * g.P[2] }
+
+// Coords returns rank's grid coordinates (cx, cy, cz).
+func (g Grid3D) Coords(rank int) (cx, cy, cz int) {
+	cz = rank % g.P[2]
+	cy = (rank / g.P[2]) % g.P[1]
+	cx = rank / (g.P[2] * g.P[1])
+	return
+}
+
+// Rank returns the rank at grid coordinates (cx, cy, cz), which must be in
+// range (callers wrap periodic neighbors themselves or use AxisNeighbors).
+func (g Grid3D) Rank(cx, cy, cz int) int {
+	return (cx*g.P[1]+cy)*g.P[2] + cz
+}
+
+// AxisNeighbors returns rank's ring neighbors along axis (0 = x, 1 = y,
+// 2 = z) on the periodic torus: minus is one step toward lower coordinates,
+// plus one step toward higher. With a single rank along the axis both are
+// rank itself (no exchange needed: periodicity is handled by minimum-image
+// arithmetic, not by self-ghosts).
+func (g Grid3D) AxisNeighbors(rank, axis int) (minus, plus int) {
+	cx, cy, cz := g.Coords(rank)
+	c := [3]int{cx, cy, cz}
+	p := g.P[axis]
+	cm, cp := c, c
+	cm[axis] = (c[axis] - 1 + p) % p
+	cp[axis] = (c[axis] + 1) % p
+	return g.Rank(cm[0], cm[1], cm[2]), g.Rank(cp[0], cp[1], cp[2])
+}

@@ -1,26 +1,42 @@
 package shard
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // TestShardSteadyStateAllocs: with no rebuild/migration events (a frozen
 // lattice), neither the bridge force call nor a decomposed step allocates —
-// the halo refresh, the collectives, the pool-parallel force pass and the
-// dispatch machinery all run on retained buffers.
+// the overlapped three-axis halo refresh, the collectives, the
+// pool-parallel interior/boundary force passes and the dispatch machinery
+// all run on retained buffers. Pinned for the slab and for full 3-D grids.
 func TestShardSteadyStateAllocs(t *testing.T) {
-	base := fccLJSystem(t, 5, 0, 0)
-	eng := newLJEngine(t, base, 4)
+	for _, grid := range [][3]int{{4, 1, 1}, {2, 2, 1}, {2, 2, 2}} {
+		t.Run(fmt.Sprintf("%dx%dx%d", grid[0], grid[1], grid[2]), func(t *testing.T) {
+			base := fccLJSystem(t, 5, 0, 0)
+			eng, err := NewEngine(Config{
+				Grid: grid, Cutoff: testCutoff, Skin: testSkin,
+				NewFF: LJFactory(testEps, testSigma),
+			}, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(eng.Close)
 
-	// Warm up: initial rebuild plus enough calls to reach steady buffer
-	// sizes everywhere (comm pool, send/recv buffers, par free lists).
-	for i := 0; i < 5; i++ {
-		eng.ComputeForces(base)
-	}
-	if n := testing.AllocsPerRun(50, func() { eng.ComputeForces(base) }); n != 0 {
-		t.Errorf("bridge ComputeForces allocates %v allocs/op in steady state, want 0", n)
-	}
+			// Warm up: initial rebuild plus enough calls to reach steady
+			// buffer sizes everywhere (comm pool, send/recv buffers, par
+			// free lists).
+			for i := 0; i < 5; i++ {
+				eng.ComputeForces(base)
+			}
+			if n := testing.AllocsPerRun(50, func() { eng.ComputeForces(base) }); n != 0 {
+				t.Errorf("bridge ComputeForces allocates %v allocs/op in steady state, want 0", n)
+			}
 
-	eng.Run(2, 2, 0, 0)
-	if n := testing.AllocsPerRun(50, func() { eng.Run(1, 2, 0, 0) }); n != 0 {
-		t.Errorf("decomposed step allocates %v allocs/op in steady state, want 0", n)
+			eng.Run(2, 2, 0, 0)
+			if n := testing.AllocsPerRun(50, func() { eng.Run(1, 2, 0, 0) }); n != 0 {
+				t.Errorf("decomposed step allocates %v allocs/op in steady state, want 0", n)
+			}
+		})
 	}
 }

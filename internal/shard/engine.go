@@ -1,21 +1,33 @@
 // Package shard is the domain-decomposed MD engine of the XS-NNQMD module:
-// an md.System slab-partitioned along x across P in-process ranks that
-// communicate through cluster.Comm exactly like an MPI code — ghost-atom
-// halo exchange sized by cutoff+skin, atom migration on neighbor-list
-// rebuild, per-rank force evaluation on the shared worker pool, and
-// AllReduceSum for the global thermodynamic observables. Message payloads
-// are real (atoms genuinely cross rank boundaries); the communicator's
-// virtual clock additionally yields the modeled network time of the run.
+// an md.System partitioned over a full Px×Py×Pz spatial domain grid across
+// P in-process ranks that communicate through cluster.Comm exactly like an
+// MPI code. The halo pattern is the standard three sequential per-axis ring
+// exchanges — x first, then y (forwarding the freshly received x-ghosts),
+// then z (forwarding x- and y-ghosts) — so edge and corner ghosts arrive
+// through their face neighbors and every rank talks to at most six peers
+// regardless of the grid shape. Atom migration routes per-axis on the same
+// rings at neighbor-list rebuild; message payloads are real (atoms genuinely
+// cross rank boundaries) and the communicator's virtual clock additionally
+// yields the modeled network time of the run.
+//
+// Communication overlaps with compute: at every rebuild each rank reorders
+// its owned atoms so the interior ones — those whose interactions cannot
+// reach a ghost — come first, and the steady-state step evaluates that
+// interior block on the shared worker pool while the halo refresh is in
+// flight, finishing with the boundary block once ghosts land. The split is
+// bitwise neutral (forces are per-atom sums either way) and the steady-state
+// step stays allocation-free.
 //
 // Determinism contract: force fields that follow the canonical-order rule —
-// each owned atom's force is the sum over its neighbors in ascending
-// global-id order, computed from raw (wrapped, global-box) coordinates —
-// produce bitwise-identical trajectories for every rank count P, because
-// every term of every per-atom sum is decomposition-invariant. The LJ and
-// blended effective-Hamiltonian rank force fields obey the rule; the
-// Allegro adapter reverse-exchanges ghost force partials instead and is
-// deterministic per (P, worker count) at tolerance 0 but matches other
-// decompositions only to summation-order rounding.
+// each owned atom's force is assembled as a sum over its neighbors in
+// ascending global-id order, computed from raw (wrapped, global-box)
+// coordinates — produce bitwise-identical trajectories for every grid shape,
+// because every term of every per-atom sum is decomposition-invariant. The
+// LJ and blended effective-Hamiltonian rank force fields obey the rule
+// directly; the Allegro adapter obeys it through the two-phase path (a halo
+// exchange of per-atom gradient payloads followed by owner-side assembly in
+// neighbor-row order), replacing the summed reverse force halo whose
+// rank-grouped partials could never be decomposition-invariant.
 //
 // The Engine is exposed two ways: as a drop-in md.ForceField (the "bridge",
 // so core.XSNNQMD and cmd/mlmd step loops run sharded unchanged), and as a
@@ -25,6 +37,8 @@ package shard
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"mlmd/internal/cluster"
@@ -32,26 +46,54 @@ import (
 )
 
 // RankFF is one rank's force evaluator. Compute fills v.F for the owned
-// atoms (and, when ScattersGhostForces reports true, accumulates partial
-// forces on ghost rows that the engine reverse-exchanges to their owners)
-// and writes its local energy partials into partial (length PartialLen).
-// The engine AllReduces the partials and calls Energy on the totals.
+// atoms and accumulates its local energy partials into partial (length
+// PartialLen, zeroed by the engine before every evaluation). The engine
+// AllReduces the partials and calls Energy on the totals.
 type RankFF interface {
 	PartialLen() int
 	NeedsNeighborList() bool
-	ScattersGhostForces() bool
 	Compute(v *View, partial []float64)
 	Energy(v *View, total []float64) float64
+}
+
+// BlockFF is the optional overlap extension of RankFF: ComputeBlock
+// evaluates the owned atoms [lo, hi) only, accumulating energy partials.
+// The engine calls it with the interior block while the halo refresh is in
+// flight and with the boundary block after ghosts land; the per-atom
+// arithmetic must not depend on the split (which holds automatically for
+// canonical per-atom neighbor sums). Interior blocks (hi <= v.NInt) are
+// guaranteed not to require any ghost data.
+type BlockFF interface {
+	ComputeBlock(v *View, lo, hi int, partial []float64)
+}
+
+// TwoPhaseFF is the optional extension for force fields whose per-atom force
+// assembly needs quantities computed on other ranks (e.g. the backpropagated
+// descriptor gradients of an ML potential). PhaseOne runs with positions
+// fresh and fills, for every owned atom i, a fixed-width payload
+// aux[i*AuxLen():(i+1)*AuxLen()] plus its energy partials; the engine then
+// halo-exchanges the payloads over the same three-axis pattern as positions
+// (ghost rows of aux receive their owners' payloads), and PhaseTwo assembles
+// the forces of owned atoms [lo, hi) from local + ghost payloads. PhaseTwo
+// interior blocks (hi <= v.NInt) run while the payload exchange is in
+// flight.
+type TwoPhaseFF interface {
+	AuxLen() int
+	PhaseOne(v *View, aux, partial []float64)
+	PhaseTwo(v *View, aux []float64, lo, hi int)
 }
 
 // View is the rank-local window a RankFF sees: owned atoms first
 // ([0, NOwn)), ghost copies after ([NOwn, NLoc)). All coordinates are raw
 // global-box positions (ghosts are bitwise copies of their owners), so
-// global minimum-image arithmetic is decomposition-invariant.
+// global minimum-image arithmetic is decomposition-invariant. Owned atoms
+// are ordered interior-first: [0, NInt) cannot interact with any ghost,
+// [NInt, NOwn) may.
 type View struct {
-	Rank, Size          int
-	NOwn, NLoc, NGlobal int
-	Lx, Ly, Lz          float64
+	Rank, Size    int
+	NOwn, NInt    int
+	NLoc, NGlobal int
+	Lx, Ly, Lz    float64
 	// Cutoff and Skin echo the engine Config (the halo is Cutoff+Skin),
 	// so force fields can assert the ghost layer covers their interaction
 	// range.
@@ -87,8 +129,11 @@ func (v *View) Lookup(gid int32) int32 {
 
 // Config describes a sharded engine.
 type Config struct {
-	// Ranks is the number of in-process ranks P.
+	// Ranks is the legacy slab rank count: Grid {Ranks, 1, 1}. Ignored
+	// when Grid is set.
 	Ranks int
+	// Grid is the Px×Py×Pz domain grid ({0,0,0} means "use Ranks").
+	Grid [3]int
 	// Cutoff and Skin size the halo (cutoff+skin) and the rebuild
 	// criterion (any owned atom moving more than skin/2 triggers a
 	// collective migration + halo + neighbor-list rebuild).
@@ -98,6 +143,27 @@ type Config struct {
 	Net cluster.Interconnect
 	// NewFF builds rank r's force field.
 	NewFF func(rank int) RankFF
+	// DisableOverlap turns off the interior/boundary split, evaluating all
+	// forces only after the full halo refresh (for overlap-correctness
+	// tests and A/B benchmarks). Forces are bitwise identical either way.
+	DisableOverlap bool
+}
+
+// ParseGrid parses a "PxxPyxPz" grid shape such as "2x2x1".
+func ParseGrid(s string) ([3]int, error) {
+	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
+	if len(parts) != 3 {
+		return [3]int{}, fmt.Errorf("shard: grid %q is not of the form PxxPyxPz (e.g. 2x2x1)", s)
+	}
+	var g [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return [3]int{}, fmt.Errorf("shard: grid %q has a bad axis count %q", s, p)
+		}
+		g[i] = v
+	}
+	return g, nil
 }
 
 // rank operation codes dispatched to the parked rank goroutines.
@@ -115,10 +181,15 @@ const (
 type Engine struct {
 	cfg  Config
 	comm *cluster.Comm
+	grid cluster.Grid3D
 	p, n int
 
-	lx, ly, lz  float64
-	slabW, halo float64
+	box  [3]float64 // global box lengths
+	w    [3]float64 // subdomain widths per axis
+	halo float64
+	// axes lists the partitioned axes (grid count > 1), ascending — the
+	// exchange order x, y, z.
+	axes []int
 
 	rs  []*rankState
 	cmd []chan int
@@ -141,34 +212,55 @@ type Engine struct {
 }
 
 type haloSide struct {
-	// sendIdx lists the owned atoms whose positions this rank sends to
-	// the side's neighbor every step.
+	// sendIdx lists the local atoms (owned, or ghosts of an earlier axis)
+	// whose positions this rank sends to the side's neighbor every step.
 	sendIdx []int32
 	// recvSlot[k] is the local ghost slot of the side's k-th incoming
-	// entry; recvPrim[k] marks the canonical copy (with P = 2 the same
-	// atom arrives from both sides and is deduplicated into one slot —
-	// only the primary entry returns forces in the reverse exchange).
+	// entry (an atom can arrive twice on a 2-rank axis or through two
+	// sides; duplicates are deduplicated into one slot by global id).
 	recvSlot []int32
-	recvPrim []bool
+}
+
+// axisExch is one axis's halo bookkeeping: side 0 faces the minus
+// neighbor, side 1 the plus neighbor.
+type axisExch struct {
+	side [2]haloSide
 }
 
 type rankState struct {
-	rank int
-	ff   RankFF
-	v    View
+	rank   int
+	coords [3]int
+	lo     [3]float64 // subdomain low corner
+	ff     RankFF
+	block  BlockFF    // non-nil when ff implements BlockFF
+	two    TwoPhaseFF // non-nil when ff implements TwoPhaseFF
+	auxW   int
+	v      View
 
 	ids        []int32
 	x, vel, f  []float64
 	mass       []float64
 	typ        []int
 	nOwn, nLoc int
+	// nInt counts the interior owned atoms ([0, nInt) after the rebuild
+	// reorder); see classifyInterior.
+	nInt int
 
 	// refX holds owned positions at the last rebuild (staleness check).
 	refX        []float64
 	needRebuild bool
 
-	side             [2]haloSide
+	ax               [3]axisExch
 	sendBuf, recvBuf [2][]float64
+	// aux holds the two-phase payloads (nLoc × auxW).
+	aux []float64
+
+	// interior-reorder staging for the boundary class.
+	tmpIds  []int32
+	tmpX    []float64
+	tmpV    []float64
+	tmpMass []float64
+	tmpTyp  []int
 
 	flag    []float64 // 1-element collective scratch
 	partial []float64
@@ -186,12 +278,20 @@ const migRec = 9
 // halo record layout: gid, x, y, z, type.
 const haloRec = 5
 
-// NewEngine partitions sys across cfg.Ranks slabs and starts the rank
+// NewEngine partitions sys across the domain grid and starts the rank
 // goroutines. The engine keeps no reference to sys beyond the scatter;
 // bridge calls (ComputeForces) may pass the same or an equal-shape system.
 func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
-	if cfg.Ranks < 1 {
-		return nil, fmt.Errorf("shard: need at least 1 rank, got %d", cfg.Ranks)
+	g := cfg.Grid
+	if g == [3]int{} {
+		if cfg.Ranks < 1 {
+			return nil, fmt.Errorf("shard: need at least 1 rank, got %d", cfg.Ranks)
+		}
+		g = [3]int{cfg.Ranks, 1, 1}
+	}
+	grid, err := cluster.NewGrid3D(g[0], g[1], g[2])
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Cutoff <= 0 || cfg.Skin < 0 {
 		return nil, fmt.Errorf("shard: bad cutoff %g / skin %g", cfg.Cutoff, cfg.Skin)
@@ -202,21 +302,28 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 	if sys == nil || sys.N < 1 {
 		return nil, fmt.Errorf("shard: need a non-empty system")
 	}
-	p := cfg.Ranks
+	p := grid.Size()
 	halo := cfg.Cutoff + cfg.Skin
-	slabW := sys.Lx / float64(p)
-	if p > 1 && halo > slabW {
-		return nil, fmt.Errorf("shard: halo %g exceeds slab width %g (Lx=%g, P=%d): use fewer ranks or a smaller cutoff+skin",
-			halo, slabW, sys.Lx, p)
+	box := [3]float64{sys.Lx, sys.Ly, sys.Lz}
+	var w [3]float64
+	var axes []int
+	for a := 0; a < 3; a++ {
+		w[a] = box[a] / float64(g[a])
+		if g[a] > 1 {
+			if halo > w[a] {
+				return nil, fmt.Errorf("shard: halo %g exceeds the axis-%d subdomain width %g (L=%g, P=%d): use a coarser grid or a smaller cutoff+skin",
+					halo, a, w[a], box[a], g[a])
+			}
+			axes = append(axes, a)
+		}
 	}
 	comm, err := cluster.NewComm(p, cfg.Net)
 	if err != nil {
 		return nil, err
 	}
 	e := &Engine{
-		cfg: cfg, comm: comm, p: p, n: sys.N,
-		lx: sys.Lx, ly: sys.Ly, lz: sys.Lz,
-		slabW: slabW, halo: halo,
+		cfg: cfg, comm: comm, grid: grid, p: p, n: sys.N,
+		box: box, w: w, halo: halo, axes: axes,
 		peRank: make([]float64, p), keRank: make([]float64, p),
 	}
 	e.rs = make([]*rankState, p)
@@ -227,26 +334,40 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 			flag:        make([]float64, 1),
 			needRebuild: true,
 		}
+		rs.coords[0], rs.coords[1], rs.coords[2] = grid.Coords(r)
+		for a := 0; a < 3; a++ {
+			rs.lo[a] = w[a] * float64(rs.coords[a])
+		}
+		rs.block, _ = rs.ff.(BlockFF)
+		if two, ok := rs.ff.(TwoPhaseFF); ok {
+			rs.two = two
+			rs.auxW = two.AuxLen()
+			if rs.auxW < 1 {
+				return nil, fmt.Errorf("shard: rank %d two-phase force field reports AuxLen %d", r, rs.auxW)
+			}
+		}
 		rs.partial = make([]float64, rs.ff.PartialLen())
 		rs.nl = &NeighborList{Cutoff: cfg.Cutoff, Skin: cfg.Skin}
 		e.rs[r] = rs
-		e.cmd[r] = make(chan int, 1)
 	}
 	e.scatter(sys)
+	for r := 0; r < p; r++ {
+		e.cmd[r] = make(chan int, 1)
+	}
 	for r := 0; r < p; r++ {
 		go e.rankLoop(e.rs[r])
 	}
 	return e, nil
 }
 
-// scatter assigns every atom of sys to its slab's rank (driver-side: the
-// rank goroutines are not running yet or are parked).
+// scatter assigns every atom of sys to its subdomain's rank (driver-side:
+// the rank goroutines are not running yet or are parked).
 func (e *Engine) scatter(sys *md.System) {
 	for gid := 0; gid < sys.N; gid++ {
 		// Positions are stored raw (not re-wrapped): force arithmetic must
 		// see exactly the values the unsharded engine sees; only the
 		// ownership decision folds into the primary cell.
-		rs := e.rs[e.slabOf(sys.X[3*gid])]
+		rs := e.rs[e.ownerOf(sys.X[3*gid], sys.X[3*gid+1], sys.X[3*gid+2])]
 		rs.ids = append(rs.ids, int32(gid))
 		rs.x = append(rs.x, sys.X[3*gid], sys.X[3*gid+1], sys.X[3*gid+2])
 		rs.vel = append(rs.vel, sys.V[3*gid], sys.V[3*gid+1], sys.V[3*gid+2])
@@ -257,20 +378,27 @@ func (e *Engine) scatter(sys *md.System) {
 	for _, rs := range e.rs {
 		rs.nOwn = len(rs.ids)
 		rs.nLoc = rs.nOwn
+		rs.nInt = 0
 		rs.needRebuild = true
 		e.refreshView(rs)
 	}
 }
 
-func (e *Engine) slabOf(x float64) int {
-	t := int(wrap1(x, e.lx) / e.lx * float64(e.p))
+// gridCoord returns the grid coordinate of position pos along axis a.
+func (e *Engine) gridCoord(pos float64, a int) int {
+	t := int(wrap1(pos, e.box[a]) / e.box[a] * float64(e.grid.P[a]))
 	if t < 0 {
 		return 0
 	}
-	if t >= e.p {
-		return e.p - 1
+	if t >= e.grid.P[a] {
+		return e.grid.P[a] - 1
 	}
 	return t
+}
+
+// ownerOf returns the rank owning position (x, y, z).
+func (e *Engine) ownerOf(x, y, z float64) int {
+	return e.grid.Rank(e.gridCoord(x, 0), e.gridCoord(y, 1), e.gridCoord(z, 2))
 }
 
 // refreshView re-slices the View and local md.System after the local atom
@@ -278,8 +406,8 @@ func (e *Engine) slabOf(x float64) int {
 func (e *Engine) refreshView(rs *rankState) {
 	rs.v = View{
 		Rank: rs.rank, Size: e.p,
-		NOwn: rs.nOwn, NLoc: rs.nLoc, NGlobal: e.n,
-		Lx: e.lx, Ly: e.ly, Lz: e.lz,
+		NOwn: rs.nOwn, NInt: rs.nInt, NLoc: rs.nLoc, NGlobal: e.n,
+		Lx: e.box[0], Ly: e.box[1], Lz: e.box[2],
 		Cutoff: e.cfg.Cutoff, Skin: e.cfg.Skin,
 		ID: rs.ids[:rs.nLoc], X: rs.x[:3*rs.nLoc], V: rs.vel[:3*rs.nLoc],
 		F: rs.f[:3*rs.nLoc], Mass: rs.mass[:rs.nLoc], Type: rs.typ[:rs.nLoc],
@@ -287,10 +415,13 @@ func (e *Engine) refreshView(rs *rankState) {
 		lookup: rs.v.lookup,
 	}
 	rs.lsys = md.System{
-		N: rs.nLoc, Lx: e.lx, Ly: e.ly, Lz: e.lz,
+		N: rs.nLoc, Lx: e.box[0], Ly: e.box[1], Lz: e.box[2],
 		X: rs.v.X, V: rs.v.V, F: rs.v.F, Mass: rs.v.Mass, Type: rs.v.Type,
 	}
 	rs.v.Sys = &rs.lsys
+	if rs.auxW > 0 {
+		rs.aux = resizeF64(rs.aux, rs.nLoc*rs.auxW)
+	}
 }
 
 // rankLoop is one rank's goroutine: park on the command channel, execute
@@ -331,6 +462,9 @@ func (e *Engine) Close() {
 // Ranks returns the rank count P.
 func (e *Engine) Ranks() int { return e.p }
 
+// Grid returns the Px×Py×Pz domain grid shape.
+func (e *Engine) Grid() [3]int { return e.grid.P }
+
 // ModeledCommSeconds returns the communicator's virtual wall clock — the
 // alpha-beta modeled communication time accumulated by the run.
 func (e *Engine) ModeledCommSeconds() float64 { return e.comm.MaxClock() }
@@ -363,7 +497,7 @@ func (e *Engine) SetPerAtomWeights(w []float64) {
 // global potential energy is AllReduced and returned. sys must have the
 // same atom count and box as the scattered system.
 func (e *Engine) ComputeForces(sys *md.System) float64 {
-	if sys.N != e.n || sys.Lx != e.lx || sys.Ly != e.ly || sys.Lz != e.lz {
+	if sys.N != e.n || sys.Lx != e.box[0] || sys.Ly != e.box[1] || sys.Lz != e.box[2] {
 		panic("shard: bridge system shape does not match the scattered system")
 	}
 	e.sys = sys
@@ -382,8 +516,7 @@ func (e *Engine) bridgeForce(rs *rankState) {
 		rs.x[3*i+1] = sys.X[3*g+1]
 		rs.x[3*i+2] = sys.X[3*g+2]
 	}
-	e.ensureFresh(rs)
-	e.forceEval(rs)
+	e.forceStep(rs)
 	for i := 0; i < rs.nOwn; i++ {
 		g := int(rs.ids[i])
 		sys.F[3*g] = rs.f[3*i]
@@ -422,8 +555,7 @@ func (e *Engine) Run(steps int, dt, kT, tau float64) RunResult {
 // earlier dispatch).
 func (e *Engine) runSteps(rs *rankState) {
 	if e.primeNeeded || e.steps == 0 {
-		e.ensureFresh(rs)
-		e.forceEval(rs)
+		e.forceStep(rs)
 	}
 	for s := 0; s < e.steps; s++ {
 		dt := e.dt
@@ -435,12 +567,11 @@ func (e *Engine) runSteps(rs *rankState) {
 			}
 		}
 		for i := 0; i < rs.nOwn; i++ {
-			rs.x[3*i] = wrap1(rs.x[3*i], e.lx)
-			rs.x[3*i+1] = wrap1(rs.x[3*i+1], e.ly)
-			rs.x[3*i+2] = wrap1(rs.x[3*i+2], e.lz)
+			rs.x[3*i] = wrap1(rs.x[3*i], e.box[0])
+			rs.x[3*i+1] = wrap1(rs.x[3*i+1], e.box[1])
+			rs.x[3*i+2] = wrap1(rs.x[3*i+2], e.box[2])
 		}
-		e.ensureFresh(rs)
-		e.forceEval(rs)
+		e.forceStep(rs)
 		for i := 0; i < rs.nOwn; i++ {
 			im := 1 / rs.mass[i]
 			for d := 0; d < 3; d++ {
@@ -473,33 +604,37 @@ func (e *Engine) localKE(rs *rankState) float64 {
 	return rs.flag[0]
 }
 
-// forceEval runs the rank force field, reverse-exchanges ghost force
-// partials when the field scatters them, AllReduces the energy partials and
-// records the global PE.
-func (e *Engine) forceEval(rs *rankState) {
-	rs.ff.Compute(&rs.v, rs.partial)
-	if rs.ff.ScattersGhostForces() {
-		e.reverseForces(rs)
+// forceStep is one collective force evaluation: decide between the cheap
+// overlapped ghost refresh and the full rebuild, run the rank force field,
+// AllReduce the energy partials and record the global PE.
+func (e *Engine) forceStep(rs *rankState) {
+	for i := range rs.partial {
+		rs.partial[i] = 0
+	}
+	if e.checkStale(rs) {
+		e.rebuild(rs)
+		e.evalFresh(rs)
+	} else {
+		e.evalSteady(rs)
 	}
 	e.comm.AllReduceSumInPlace(rs.rank, rs.partial)
 	e.peRank[rs.rank] = rs.ff.Energy(&rs.v, rs.partial)
 }
 
-// ensureFresh decides collectively between the cheap per-step ghost
-// position refresh and the full rebuild (migration + halo + neighbor
-// list). Any rank whose owned atoms moved more than skin/2 since its last
-// rebuild forces every rank to rebuild — the same criterion as
-// md.NeighborList.Stale, made global by an AllReduce.
-func (e *Engine) ensureFresh(rs *rankState) {
+// checkStale decides collectively whether a rebuild is due: any rank whose
+// owned atoms moved more than skin/2 since its last rebuild forces every
+// rank to rebuild — the same criterion as md.NeighborList.Stale, made
+// global by an AllReduce.
+func (e *Engine) checkStale(rs *rankState) bool {
 	stale := 0.0
 	if rs.needRebuild {
 		stale = 1
 	} else {
 		lim2 := e.cfg.Skin * e.cfg.Skin / 4
 		for i := 0; i < rs.nOwn; i++ {
-			dx := minImage1(rs.x[3*i]-rs.refX[3*i], e.lx)
-			dy := minImage1(rs.x[3*i+1]-rs.refX[3*i+1], e.ly)
-			dz := minImage1(rs.x[3*i+2]-rs.refX[3*i+2], e.lz)
+			dx := minImage1(rs.x[3*i]-rs.refX[3*i], e.box[0])
+			dy := minImage1(rs.x[3*i+1]-rs.refX[3*i+1], e.box[1])
+			dz := minImage1(rs.x[3*i+2]-rs.refX[3*i+2], e.box[2])
 			if dx*dx+dy*dy+dz*dz > lim2 {
 				stale = 1
 				break
@@ -508,97 +643,226 @@ func (e *Engine) ensureFresh(rs *rankState) {
 	}
 	rs.flag[0] = stale
 	e.comm.AllReduceSumInPlace(rs.rank, rs.flag)
-	if rs.flag[0] > 0 {
-		e.rebuild(rs)
-	} else {
-		e.refreshGhosts(rs)
+	return rs.flag[0] > 0
+}
+
+// evalSteady is the steady-state path: ghost positions are stale but the
+// decomposition is valid. Block force fields evaluate their interior atoms
+// while the first axis's position exchange is in flight; everything else
+// refreshes fully first.
+func (e *Engine) evalSteady(rs *rankState) {
+	if rs.block != nil && rs.nInt > 0 && len(e.axes) > 0 {
+		a0 := e.axes[0]
+		e.postAxisSends(rs, a0)
+		rs.block.ComputeBlock(&rs.v, 0, rs.nInt, rs.partial)
+		e.recvAxis(rs, a0)
+		for _, a := range e.axes[1:] {
+			e.postAxisSends(rs, a)
+			e.recvAxis(rs, a)
+		}
+		rs.block.ComputeBlock(&rs.v, rs.nInt, rs.nOwn, rs.partial)
+		return
 	}
+	e.refreshGhosts(rs)
+	e.evalFresh(rs)
+}
+
+// evalFresh evaluates forces with ghost positions current (the rebuild path
+// and the non-overlapped steady path). Two-phase force fields run their
+// payload exchange here, overlapped with interior assembly.
+func (e *Engine) evalFresh(rs *rankState) {
+	if rs.two == nil {
+		rs.ff.Compute(&rs.v, rs.partial)
+		return
+	}
+	rs.two.PhaseOne(&rs.v, rs.aux, rs.partial)
+	if rs.nInt > 0 && len(e.axes) > 0 {
+		a0 := e.axes[0]
+		e.postAuxSends(rs, a0)
+		rs.two.PhaseTwo(&rs.v, rs.aux, 0, rs.nInt)
+		e.recvAuxAxis(rs, a0)
+		for _, a := range e.axes[1:] {
+			e.postAuxSends(rs, a)
+			e.recvAuxAxis(rs, a)
+		}
+		rs.two.PhaseTwo(&rs.v, rs.aux, rs.nInt, rs.nOwn)
+		return
+	}
+	for _, a := range e.axes {
+		e.postAuxSends(rs, a)
+		e.recvAuxAxis(rs, a)
+	}
+	rs.two.PhaseTwo(&rs.v, rs.aux, 0, rs.nOwn)
 }
 
 // rebuild is the collective event path: migrate strayed atoms to their new
-// owners, rebuild the ghost halo, record the staleness reference, and
+// owners per axis, reorder owned atoms interior-first, rebuild the ghost
+// halo over the three axis exchanges, record the staleness reference, and
 // rebuild the rank neighbor list if the force field wants one.
 func (e *Engine) rebuild(rs *rankState) {
 	rs.nRebuilds++
 	e.migrate(rs)
+	e.classifyInterior(rs)
 	e.buildHalo(rs)
 	rs.refX = resizeF64(rs.refX, 3*rs.nOwn)
 	copy(rs.refX, rs.x[:3*rs.nOwn])
 	e.refreshView(rs)
 	if rs.ff.NeedsNeighborList() {
 		rs.nl.Build(&rs.v)
+		e.verifyInteriorRows(rs)
 	}
 	rs.needRebuild = false
 }
 
-// migrate ring-routes owned atoms whose slab changed to their new owner,
-// one hop per round toward the shorter ring direction, until a global
-// AllReduce reports every atom home. In steady dynamics (moves bounded by
-// the skin criterion) a single round suffices; arbitrary teleports — e.g. a
-// bridge caller handing in a brand-new configuration — converge in at most
-// ⌈P/2⌉ rounds.
-func (e *Engine) migrate(rs *rankState) {
-	if e.p == 1 {
+// classifyInterior reorders the owned atoms so that the interior ones —
+// those farther than halo (= cutoff+skin) from every face of the subdomain
+// along each partitioned axis — come first, and records the split point
+// nInt. Between rebuilds every atom drifts at most skin/2, so an interior
+// atom's interactions can never reach a ghost: its forces are computable
+// before the halo refresh lands. The reorder is stable within each class;
+// owned ordering is free under the determinism contract (all canonical
+// sums are keyed by global id, not local index).
+func (e *Engine) classifyInterior(rs *rankState) {
+	if len(e.axes) == 0 {
+		rs.nInt = rs.nOwn
 		return
 	}
-	left, right := cluster.RingNeighbors(rs.rank, e.p)
-	for {
-		sendL := rs.sendBuf[0][:0]
-		sendR := rs.sendBuf[1][:0]
-		keep := 0
-		for i := 0; i < rs.nOwn; i++ {
-			t := e.slabOf(rs.x[3*i])
-			if t == rs.rank {
-				if keep != i {
-					rs.ids[keep] = rs.ids[i]
-					copy(rs.x[3*keep:3*keep+3], rs.x[3*i:3*i+3])
-					copy(rs.vel[3*keep:3*keep+3], rs.vel[3*i:3*i+3])
-					rs.mass[keep] = rs.mass[i]
-					rs.typ[keep] = rs.typ[i]
-				}
-				keep++
-				continue
-			}
-			rec := [migRec]float64{
-				float64(rs.ids[i]),
-				rs.x[3*i], rs.x[3*i+1], rs.x[3*i+2],
-				rs.vel[3*i], rs.vel[3*i+1], rs.vel[3*i+2],
-				rs.mass[i], float64(rs.typ[i]),
-			}
-			if ringDirRight(rs.rank, t, e.p) {
-				sendR = append(sendR, rec[:]...)
-			} else {
-				sendL = append(sendL, rec[:]...)
+	rs.nInt = 0
+	if e.cfg.DisableOverlap {
+		return
+	}
+	rs.tmpIds = resizeI32(rs.tmpIds, rs.nOwn)
+	rs.tmpX = resizeF64(rs.tmpX, 3*rs.nOwn)
+	rs.tmpV = resizeF64(rs.tmpV, 3*rs.nOwn)
+	rs.tmpMass = resizeF64(rs.tmpMass, rs.nOwn)
+	if cap(rs.tmpTyp) < rs.nOwn {
+		rs.tmpTyp = make([]int, rs.nOwn)
+	}
+	rs.tmpTyp = rs.tmpTyp[:rs.nOwn]
+	keep, nb := 0, 0
+	for i := 0; i < rs.nOwn; i++ {
+		interior := true
+		for _, a := range e.axes {
+			d := minImage1(rs.x[3*i+a]-rs.lo[a], e.box[a])
+			if d <= e.halo || e.w[a]-d <= e.halo {
+				interior = false
+				break
 			}
 		}
-		rs.sendBuf[0], rs.sendBuf[1] = sendL, sendR
-		rs.nOwn = keep
-		e.comm.SendBuf(rs.rank, right, sendR)
-		e.comm.SendBuf(rs.rank, left, sendL)
-		rs.recvBuf[0] = e.comm.RecvInto(rs.rank, left, rs.recvBuf[0])
-		rs.recvBuf[1] = e.comm.RecvInto(rs.rank, right, rs.recvBuf[1])
-		arrived := 0.0
-		for s := 0; s < 2; s++ {
-			buf := rs.recvBuf[s]
-			for k := 0; k+migRec <= len(buf); k += migRec {
-				i := rs.nOwn
-				rs.ids = appendI32At(rs.ids, i, int32(buf[k]))
-				rs.x = append3At(rs.x, i, buf[k+1], buf[k+2], buf[k+3])
-				rs.vel = append3At(rs.vel, i, buf[k+4], buf[k+5], buf[k+6])
-				rs.f = append3At(rs.f, i, 0, 0, 0)
-				rs.mass = appendF64At(rs.mass, i, buf[k+7])
-				rs.typ = appendIntAt(rs.typ, i, int(buf[k+8]))
-				rs.nOwn++
-				rs.nMigrated++
-				if e.slabOf(buf[k+1]) != rs.rank {
-					arrived++ // still in transit: forward next round
-				}
+		if interior {
+			if keep != i {
+				rs.ids[keep] = rs.ids[i]
+				copy(rs.x[3*keep:3*keep+3], rs.x[3*i:3*i+3])
+				copy(rs.vel[3*keep:3*keep+3], rs.vel[3*i:3*i+3])
+				rs.mass[keep] = rs.mass[i]
+				rs.typ[keep] = rs.typ[i]
+			}
+			keep++
+		} else {
+			rs.tmpIds[nb] = rs.ids[i]
+			copy(rs.tmpX[3*nb:3*nb+3], rs.x[3*i:3*i+3])
+			copy(rs.tmpV[3*nb:3*nb+3], rs.vel[3*i:3*i+3])
+			rs.tmpMass[nb] = rs.mass[i]
+			rs.tmpTyp[nb] = rs.typ[i]
+			nb++
+		}
+	}
+	copy(rs.ids[keep:rs.nOwn], rs.tmpIds[:nb])
+	copy(rs.x[3*keep:3*rs.nOwn], rs.tmpX[:3*nb])
+	copy(rs.vel[3*keep:3*rs.nOwn], rs.tmpV[:3*nb])
+	copy(rs.mass[keep:rs.nOwn], rs.tmpMass[:nb])
+	copy(rs.typ[keep:rs.nOwn], rs.tmpTyp[:nb])
+	rs.nInt = keep
+}
+
+// verifyInteriorRows is the belt over classifyInterior's geometric braces:
+// if floating-point edge effects ever put a ghost into an interior atom's
+// neighbor row, overlap is disabled for this rebuild window rather than
+// risking a stale-ghost read. (The geometric margin makes this effectively
+// unreachable; the scan is O(interior pairs) on the rebuild path only.)
+func (e *Engine) verifyInteriorRows(rs *rankState) {
+	for i := 0; i < rs.nInt; i++ {
+		for _, j := range rs.nl.Row(i) {
+			if int(j) >= rs.nOwn {
+				rs.nInt = 0
+				rs.v.NInt = 0
+				return
 			}
 		}
-		rs.flag[0] = arrived
-		e.comm.AllReduceSumInPlace(rs.rank, rs.flag)
-		if rs.flag[0] == 0 {
-			return
+	}
+}
+
+// migrate routes owned atoms whose subdomain changed to their new owners,
+// one axis at a time on that axis's ring (x, then y, then z — the same
+// pattern as the halo, so diagonal moves take one hop per differing axis).
+// Each axis repeats single-hop rounds toward the shorter ring direction
+// until a global AllReduce reports every atom home along that axis. In
+// steady dynamics (moves bounded by the skin criterion) one round per axis
+// suffices; arbitrary teleports — e.g. a bridge caller handing in a
+// brand-new configuration — converge in at most ⌈P_axis/2⌉ rounds per axis.
+func (e *Engine) migrate(rs *rankState) {
+	for _, a := range e.axes {
+		minus, plus := e.grid.AxisNeighbors(rs.rank, a)
+		pa := e.grid.P[a]
+		ca := rs.coords[a]
+		for {
+			sendM := rs.sendBuf[0][:0]
+			sendP := rs.sendBuf[1][:0]
+			keep := 0
+			for i := 0; i < rs.nOwn; i++ {
+				t := e.gridCoord(rs.x[3*i+a], a)
+				if t == ca {
+					if keep != i {
+						rs.ids[keep] = rs.ids[i]
+						copy(rs.x[3*keep:3*keep+3], rs.x[3*i:3*i+3])
+						copy(rs.vel[3*keep:3*keep+3], rs.vel[3*i:3*i+3])
+						rs.mass[keep] = rs.mass[i]
+						rs.typ[keep] = rs.typ[i]
+					}
+					keep++
+					continue
+				}
+				rec := [migRec]float64{
+					float64(rs.ids[i]),
+					rs.x[3*i], rs.x[3*i+1], rs.x[3*i+2],
+					rs.vel[3*i], rs.vel[3*i+1], rs.vel[3*i+2],
+					rs.mass[i], float64(rs.typ[i]),
+				}
+				if ringDirRight(ca, t, pa) {
+					sendP = append(sendP, rec[:]...)
+				} else {
+					sendM = append(sendM, rec[:]...)
+				}
+			}
+			rs.sendBuf[0], rs.sendBuf[1] = sendM, sendP
+			rs.nOwn = keep
+			e.comm.SendBuf(rs.rank, plus, sendP)
+			e.comm.SendBuf(rs.rank, minus, sendM)
+			rs.recvBuf[0] = e.comm.RecvInto(rs.rank, minus, rs.recvBuf[0])
+			rs.recvBuf[1] = e.comm.RecvInto(rs.rank, plus, rs.recvBuf[1])
+			arrived := 0.0
+			for s := 0; s < 2; s++ {
+				buf := rs.recvBuf[s]
+				for k := 0; k+migRec <= len(buf); k += migRec {
+					i := rs.nOwn
+					rs.ids = appendI32At(rs.ids, i, int32(buf[k]))
+					rs.x = append3At(rs.x, i, buf[k+1], buf[k+2], buf[k+3])
+					rs.vel = append3At(rs.vel, i, buf[k+4], buf[k+5], buf[k+6])
+					rs.f = append3At(rs.f, i, 0, 0, 0)
+					rs.mass = appendF64At(rs.mass, i, buf[k+7])
+					rs.typ = appendIntAt(rs.typ, i, int(buf[k+8]))
+					rs.nOwn++
+					rs.nMigrated++
+					if e.gridCoord(buf[k+1+a], a) != ca {
+						arrived++ // still in transit along this axis
+					}
+				}
+			}
+			rs.flag[0] = arrived
+			e.comm.AllReduceSumInPlace(rs.rank, rs.flag)
+			if rs.flag[0] == 0 {
+				break
+			}
 		}
 	}
 }
@@ -609,10 +873,13 @@ func ringDirRight(rank, target, p int) bool {
 	return (target-rank+p)%p <= p/2
 }
 
-// buildHalo rebuilds the ghost layer: every owned atom within halo of a
-// slab face is sent to that side's neighbor; received records become ghost
-// atoms, deduplicated by global id (with P = 2 both faces share one
-// neighbor, so the same atom can arrive twice).
+// buildHalo rebuilds the ghost layer with one ring exchange per partitioned
+// axis: every local atom — owned, or a ghost absorbed from an earlier axis
+// (which is what carries edge and corner ghosts around without extra
+// neighbor pairs) — within halo of an axis face is sent to that side's
+// neighbor; received records become ghost atoms, deduplicated by global id
+// (on a 2-rank axis both faces share one neighbor, so the same atom can
+// arrive twice).
 func (e *Engine) buildHalo(rs *rankState) {
 	rs.nLoc = rs.nOwn
 	if rs.v.lookup == nil {
@@ -622,90 +889,88 @@ func (e *Engine) buildHalo(rs *rankState) {
 	for i := 0; i < rs.nOwn; i++ {
 		rs.v.lookup[rs.ids[i]] = int32(i)
 	}
-	if e.p == 1 {
-		rs.side[0].sendIdx = rs.side[0].sendIdx[:0]
-		rs.side[1].sendIdx = rs.side[1].sendIdx[:0]
-		rs.side[0].recvSlot = rs.side[0].recvSlot[:0]
-		rs.side[1].recvSlot = rs.side[1].recvSlot[:0]
-		return
-	}
-	left, right := cluster.RingNeighbors(rs.rank, e.p)
-	x0 := e.slabW * float64(rs.rank)
-	for s := 0; s < 2; s++ {
-		rs.side[s].sendIdx = rs.side[s].sendIdx[:0]
-	}
-	for i := 0; i < rs.nOwn; i++ {
-		dl := minImage1(rs.x[3*i]-x0, e.lx)
-		if dl <= e.halo {
-			rs.side[0].sendIdx = append(rs.side[0].sendIdx, int32(i))
-		}
-		if e.slabW-dl <= e.halo {
-			rs.side[1].sendIdx = append(rs.side[1].sendIdx, int32(i))
+	for a := 0; a < 3; a++ {
+		for s := 0; s < 2; s++ {
+			rs.ax[a].side[s].sendIdx = rs.ax[a].side[s].sendIdx[:0]
+			rs.ax[a].side[s].recvSlot = rs.ax[a].side[s].recvSlot[:0]
 		}
 	}
-	for s := 0; s < 2; s++ {
-		buf := rs.sendBuf[s][:0]
-		for _, i := range rs.side[s].sendIdx {
-			buf = append(buf, float64(rs.ids[i]), rs.x[3*i], rs.x[3*i+1], rs.x[3*i+2], float64(rs.typ[i]))
-		}
-		rs.sendBuf[s] = buf
-	}
-	e.comm.SendBuf(rs.rank, right, rs.sendBuf[1])
-	e.comm.SendBuf(rs.rank, left, rs.sendBuf[0])
-	rs.recvBuf[0] = e.comm.RecvInto(rs.rank, left, rs.recvBuf[0])
-	rs.recvBuf[1] = e.comm.RecvInto(rs.rank, right, rs.recvBuf[1])
-	for s := 0; s < 2; s++ {
-		side := &rs.side[s]
-		side.recvSlot = side.recvSlot[:0]
-		side.recvPrim = side.recvPrim[:0]
-		buf := rs.recvBuf[s]
-		for k := 0; k+haloRec <= len(buf); k += haloRec {
-			gid := int32(buf[k])
-			if slot, ok := rs.v.lookup[gid]; ok {
-				if int(slot) < rs.nOwn {
-					panic("shard: received an owned atom as ghost")
-				}
-				side.recvSlot = append(side.recvSlot, slot)
-				side.recvPrim = append(side.recvPrim, false)
-				continue
+	for _, a := range e.axes {
+		minus, plus := e.grid.AxisNeighbors(rs.rank, a)
+		la, wa := rs.lo[a], e.w[a]
+		ax := &rs.ax[a]
+		for i := 0; i < rs.nLoc; i++ {
+			d := minImage1(rs.x[3*i+a]-la, e.box[a])
+			if d <= e.halo {
+				ax.side[0].sendIdx = append(ax.side[0].sendIdx, int32(i))
 			}
-			slot := rs.nLoc
-			rs.ids = appendI32At(rs.ids, slot, gid)
-			rs.x = append3At(rs.x, slot, buf[k+1], buf[k+2], buf[k+3])
-			rs.vel = append3At(rs.vel, slot, 0, 0, 0)
-			rs.f = append3At(rs.f, slot, 0, 0, 0)
-			rs.mass = appendF64At(rs.mass, slot, 0)
-			rs.typ = appendIntAt(rs.typ, slot, int(buf[k+4]))
-			rs.v.lookup[gid] = int32(slot)
-			side.recvSlot = append(side.recvSlot, int32(slot))
-			side.recvPrim = append(side.recvPrim, true)
-			rs.nLoc++
+			if wa-d <= e.halo {
+				ax.side[1].sendIdx = append(ax.side[1].sendIdx, int32(i))
+			}
+		}
+		for s := 0; s < 2; s++ {
+			buf := rs.sendBuf[s][:0]
+			for _, i := range ax.side[s].sendIdx {
+				buf = append(buf, float64(rs.ids[i]), rs.x[3*i], rs.x[3*i+1], rs.x[3*i+2], float64(rs.typ[i]))
+			}
+			rs.sendBuf[s] = buf
+		}
+		e.comm.SendBuf(rs.rank, plus, rs.sendBuf[1])
+		e.comm.SendBuf(rs.rank, minus, rs.sendBuf[0])
+		rs.recvBuf[0] = e.comm.RecvInto(rs.rank, minus, rs.recvBuf[0])
+		rs.recvBuf[1] = e.comm.RecvInto(rs.rank, plus, rs.recvBuf[1])
+		for s := 0; s < 2; s++ {
+			side := &ax.side[s]
+			buf := rs.recvBuf[s]
+			for k := 0; k+haloRec <= len(buf); k += haloRec {
+				gid := int32(buf[k])
+				if slot, ok := rs.v.lookup[gid]; ok {
+					if int(slot) < rs.nOwn {
+						panic("shard: received an owned atom as ghost")
+					}
+					side.recvSlot = append(side.recvSlot, slot)
+					continue
+				}
+				slot := rs.nLoc
+				rs.ids = appendI32At(rs.ids, slot, gid)
+				rs.x = append3At(rs.x, slot, buf[k+1], buf[k+2], buf[k+3])
+				rs.vel = append3At(rs.vel, slot, 0, 0, 0)
+				rs.f = append3At(rs.f, slot, 0, 0, 0)
+				rs.mass = appendF64At(rs.mass, slot, 0)
+				rs.typ = appendIntAt(rs.typ, slot, int(buf[k+4]))
+				rs.v.lookup[gid] = int32(slot)
+				side.recvSlot = append(side.recvSlot, int32(slot))
+				rs.nLoc++
+			}
 		}
 	}
 }
 
-// refreshGhosts is the steady-state halo exchange: owned positions of the
-// rebuild-time send lists go out, incoming positions land in the fixed
-// ghost slots. Allocation-free once buffers reach steady size.
-func (e *Engine) refreshGhosts(rs *rankState) {
-	if e.p == 1 {
-		return
-	}
-	left, right := cluster.RingNeighbors(rs.rank, e.p)
+// postAxisSends posts axis a's steady-state position messages: owned (or
+// earlier-axis ghost) positions of the rebuild-time send lists go out to
+// both ring neighbors. Allocation-free once buffers reach steady size.
+func (e *Engine) postAxisSends(rs *rankState, a int) {
+	minus, plus := e.grid.AxisNeighbors(rs.rank, a)
 	for s := 0; s < 2; s++ {
 		buf := rs.sendBuf[s][:0]
-		for _, i := range rs.side[s].sendIdx {
+		for _, i := range rs.ax[a].side[s].sendIdx {
 			buf = append(buf, rs.x[3*i], rs.x[3*i+1], rs.x[3*i+2])
 		}
 		rs.sendBuf[s] = buf
 	}
-	e.comm.SendBuf(rs.rank, right, rs.sendBuf[1])
-	e.comm.SendBuf(rs.rank, left, rs.sendBuf[0])
-	rs.recvBuf[0] = e.comm.RecvInto(rs.rank, left, rs.recvBuf[0])
-	rs.recvBuf[1] = e.comm.RecvInto(rs.rank, right, rs.recvBuf[1])
+	e.comm.SendBuf(rs.rank, plus, rs.sendBuf[1])
+	e.comm.SendBuf(rs.rank, minus, rs.sendBuf[0])
+}
+
+// recvAxis completes axis a's position exchange: incoming positions land in
+// the fixed ghost slots recorded at rebuild.
+func (e *Engine) recvAxis(rs *rankState, a int) {
+	minus, plus := e.grid.AxisNeighbors(rs.rank, a)
+	rs.recvBuf[0] = e.comm.RecvInto(rs.rank, minus, rs.recvBuf[0])
+	rs.recvBuf[1] = e.comm.RecvInto(rs.rank, plus, rs.recvBuf[1])
 	for s := 0; s < 2; s++ {
 		buf := rs.recvBuf[s]
-		for k, slot := range rs.side[s].recvSlot {
+		for k, slot := range rs.ax[a].side[s].recvSlot {
 			rs.x[3*slot] = buf[3*k]
 			rs.x[3*slot+1] = buf[3*k+1]
 			rs.x[3*slot+2] = buf[3*k+2]
@@ -713,38 +978,43 @@ func (e *Engine) refreshGhosts(rs *rankState) {
 	}
 }
 
-// reverseForces returns the force partials accumulated on ghost rows to the
-// owning ranks (the standard reverse halo of half-shell and ML force
-// fields). Only the primary copy of a deduplicated ghost returns its
-// accumulated force; the owner adds incoming contributions in fixed
-// left-then-right, send-list order, so the result is deterministic.
-func (e *Engine) reverseForces(rs *rankState) {
-	if e.p == 1 {
-		return
+// refreshGhosts is the full (non-overlapped) steady-state halo refresh:
+// three sequential per-axis exchanges, each forwarding the ghost positions
+// the previous axis just delivered.
+func (e *Engine) refreshGhosts(rs *rankState) {
+	for _, a := range e.axes {
+		e.postAxisSends(rs, a)
+		e.recvAxis(rs, a)
 	}
-	left, right := cluster.RingNeighbors(rs.rank, e.p)
+}
+
+// postAuxSends posts axis a's payload messages for the two-phase force
+// path: the aux rows of the same send lists as positions (ghost rows
+// forward payloads received on earlier axes, exactly like positions).
+func (e *Engine) postAuxSends(rs *rankState, a int) {
+	minus, plus := e.grid.AxisNeighbors(rs.rank, a)
+	w := rs.auxW
 	for s := 0; s < 2; s++ {
 		buf := rs.sendBuf[s][:0]
-		side := &rs.side[s]
-		for k, slot := range side.recvSlot {
-			if side.recvPrim[k] {
-				buf = append(buf, rs.f[3*slot], rs.f[3*slot+1], rs.f[3*slot+2])
-			} else {
-				buf = append(buf, 0, 0, 0)
-			}
+		for _, i := range rs.ax[a].side[s].sendIdx {
+			buf = append(buf, rs.aux[int(i)*w:(int(i)+1)*w]...)
 		}
 		rs.sendBuf[s] = buf
 	}
-	e.comm.SendBuf(rs.rank, right, rs.sendBuf[1])
-	e.comm.SendBuf(rs.rank, left, rs.sendBuf[0])
-	rs.recvBuf[0] = e.comm.RecvInto(rs.rank, left, rs.recvBuf[0])
-	rs.recvBuf[1] = e.comm.RecvInto(rs.rank, right, rs.recvBuf[1])
+	e.comm.SendBuf(rs.rank, plus, rs.sendBuf[1])
+	e.comm.SendBuf(rs.rank, minus, rs.sendBuf[0])
+}
+
+// recvAuxAxis completes axis a's payload exchange into the ghost aux rows.
+func (e *Engine) recvAuxAxis(rs *rankState, a int) {
+	minus, plus := e.grid.AxisNeighbors(rs.rank, a)
+	w := rs.auxW
+	rs.recvBuf[0] = e.comm.RecvInto(rs.rank, minus, rs.recvBuf[0])
+	rs.recvBuf[1] = e.comm.RecvInto(rs.rank, plus, rs.recvBuf[1])
 	for s := 0; s < 2; s++ {
 		buf := rs.recvBuf[s]
-		for k, i := range rs.side[s].sendIdx {
-			rs.f[3*i] += buf[3*k]
-			rs.f[3*i+1] += buf[3*k+1]
-			rs.f[3*i+2] += buf[3*k+2]
+		for k, slot := range rs.ax[a].side[s].recvSlot {
+			copy(rs.aux[int(slot)*w:(int(slot)+1)*w], buf[k*w:(k+1)*w])
 		}
 	}
 }
@@ -780,12 +1050,18 @@ func (e *Engine) Gather(sys *md.System) {
 
 // Validate checks the decomposition invariants (driver-side, for tests):
 // the owned sets partition the global ids, every owned atom sat in its
-// rank's slab at the last rebuild, and ghost bookkeeping is consistent.
+// rank's subdomain (along all three grid axes) at the last rebuild, ghost
+// bookkeeping is consistent, every ghost lies within cutoff+skin (plus the
+// skin/2 drift allowance) of the owning subdomain, and the interior split
+// point is in range.
 func (e *Engine) Validate() error {
 	seen := make([]int, e.n)
 	for _, rs := range e.rs {
 		if rs.nOwn > rs.nLoc || len(rs.ids) < rs.nLoc {
 			return fmt.Errorf("shard: rank %d counts nOwn=%d nLoc=%d len(ids)=%d", rs.rank, rs.nOwn, rs.nLoc, len(rs.ids))
+		}
+		if rs.nInt < 0 || rs.nInt > rs.nOwn {
+			return fmt.Errorf("shard: rank %d interior split %d outside [0,%d]", rs.rank, rs.nInt, rs.nOwn)
 		}
 		for i := 0; i < rs.nOwn; i++ {
 			g := int(rs.ids[i])
@@ -793,14 +1069,37 @@ func (e *Engine) Validate() error {
 				return fmt.Errorf("shard: rank %d owns bad id %d", rs.rank, g)
 			}
 			seen[g]++
-			if !rs.needRebuild && e.slabOf(rs.refX[3*i]) != rs.rank {
-				return fmt.Errorf("shard: rank %d owns atom %d outside its slab at rebuild", rs.rank, g)
+			if !rs.needRebuild {
+				for a := 0; a < 3; a++ {
+					if e.gridCoord(rs.refX[3*i+a], a) != rs.coords[a] {
+						return fmt.Errorf("shard: rank %d owns atom %d outside its subdomain along axis %d at rebuild", rs.rank, g, a)
+					}
+				}
 			}
 		}
+		slack := e.halo + e.cfg.Skin/2 + 1e-12
 		for i := rs.nOwn; i < rs.nLoc; i++ {
 			slot, ok := rs.v.lookup[rs.ids[i]]
 			if !ok || int(slot) != i {
 				return fmt.Errorf("shard: rank %d ghost %d lookup broken", rs.rank, rs.ids[i])
+			}
+			for _, a := range e.axes {
+				// Circular distance from the subdomain arc [lo, lo+w):
+				// fold into [0, box), then a point outside the arc is
+				// beyond the high face by d−w or beyond the low face
+				// through the wrap by box−d, whichever is nearer.
+				d := wrap1(rs.x[3*i+a]-rs.lo[a], e.box[a])
+				beyond := 0.0
+				if d > e.w[a] {
+					beyond = d - e.w[a]
+					if wrapDist := e.box[a] - d; wrapDist < beyond {
+						beyond = wrapDist
+					}
+				}
+				if beyond > slack {
+					return fmt.Errorf("shard: rank %d ghost %d is %g beyond the subdomain along axis %d (allowed %g)",
+						rs.rank, rs.ids[i], beyond, a, slack)
+				}
 			}
 		}
 	}

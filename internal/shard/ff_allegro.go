@@ -2,51 +2,198 @@ package shard
 
 import (
 	"fmt"
+	"math"
 
 	"mlmd/internal/allegro"
+	"mlmd/internal/par"
 )
 
-// AllegroFF shards an Allegro-style neural force field: each rank holds a
-// CloneShared of the model (shared read-only weights, private neighbor
-// list and inference scratch) and evaluates the atomic energies of its
-// owned atoms only, through allegro.Model.ComputeForcesOwned on the view's
-// local md.System. The descriptor gradient scatters −dE/dx onto ghost
-// rows, which the engine reverse-exchanges to the owning ranks — the
-// standard force halo of ML potentials, keeping the ghost layer at
-// cutoff+skin instead of twice the cutoff.
+// allegroGrain is the fixed chunk size of both pool-parallel phases (small:
+// per-atom inference is much heavier than an LJ row sum).
+const allegroGrain = 16
+
+// AllegroFF shards an Allegro-style neural force field with canonical-order
+// force assembly, making sharded trajectories bitwise identical across grid
+// shapes — the fixed-order ghost-partial gather that closes the PR 2
+// cross-P drift. Each rank holds a CloneShared of the model (shared
+// read-only weights) and runs the engine's two-phase path:
 //
-// Unlike the canonical-order LJ field, the per-atom force here sums
-// reverse-exchanged partials, so different rank counts agree to
-// summation-order rounding (~1e-12 relative), not bitwise; a fixed (P,
-// worker count) pair is exactly reproducible.
+//   - PhaseOne evaluates every owned atom i against its ascending-global-id
+//     neighbor row (allegro.Model.EvalAtom): the atomic energy E_i plus a
+//     fixed-width payload [gD_i | S_i] — the backpropagated descriptor
+//     cotangent and the vector-channel accumulators, exactly the
+//     center-atom inputs allegro.DescriptorSpec.PairGradTerm needs.
+//   - The engine halo-exchanges the payloads (same three-axis pattern and
+//     ghost slots as positions), so every rank holds the payload of every
+//     atom its owned atoms interact with.
+//   - PhaseTwo assembles each owned atom j's force as a single chain over
+//     its neighbor row in ascending global-id order: for every neighbor i
+//     within the model cutoff it adds G(i→j) (from i's payload — i may be a
+//     ghost) and subtracts G(j→i) (from j's own payload).
+//
+// Every term of that chain is computed by the one shared PairGradTerm
+// routine from raw global coordinates and owner-computed payloads, and the
+// chain order is the decomposition-invariant global-id order — so forces
+// are bitwise identical for every grid shape, per the package determinism
+// contract. (The PR 2 adapter reverse-exchanged rank-local force sums,
+// whose grouping necessarily depended on the decomposition.)
 type AllegroFF struct {
-	m *allegro.Model
+	m  *allegro.Model
+	cs []float64
+
+	scratch *par.Scratch[allegroWS]
+	eChunk  []float64
+
+	p1ctx struct {
+		v   *View
+		aux []float64
+	}
+	p2ctx struct {
+		v    *View
+		aux  []float64
+		base int
+	}
+	phase1Fn, phase2Fn func(lo, hi, w int)
+}
+
+type allegroWS struct {
+	scr allegro.EvalScratch
 }
 
 // AllegroFactory returns a Config.NewFF producing per-rank shared-weight
 // clones of model.
 func AllegroFactory(model *allegro.Model) func(rank int) RankFF {
-	return func(int) RankFF { return &AllegroFF{m: model.CloneShared()} }
+	return func(int) RankFF {
+		return &AllegroFF{m: model.CloneShared(), cs: model.Spec.Centers()}
+	}
 }
 
 // PartialLen implements RankFF.
 func (a *AllegroFF) PartialLen() int { return 1 }
 
-// NeedsNeighborList implements RankFF: the model builds its own
-// md.NeighborList over the local system.
-func (a *AllegroFF) NeedsNeighborList() bool { return false }
+// NeedsNeighborList implements RankFF: both phases run over the engine's
+// ascending-global-id neighbor rows — the order is the determinism
+// contract, not just an optimization.
+func (a *AllegroFF) NeedsNeighborList() bool { return true }
 
-// ScattersGhostForces implements RankFF.
-func (a *AllegroFF) ScattersGhostForces() bool { return true }
+// AuxLen implements TwoPhaseFF: [gD | S] per atom.
+func (a *AllegroFF) AuxLen() int {
+	return a.m.Spec.Dim() + a.m.Spec.NSpecies*a.m.Spec.NRadial*3
+}
 
-// Compute implements RankFF.
-func (a *AllegroFF) Compute(v *View, partial []float64) {
+// PhaseOne implements TwoPhaseFF: per-owned-atom inference on the worker
+// pool, filling the payloads and the chunk-ordered energy partial.
+func (a *AllegroFF) PhaseOne(v *View, aux, partial []float64) {
 	if v.Cutoff < a.m.Spec.Cutoff {
 		panic(fmt.Sprintf("shard: engine cutoff %g is smaller than the Allegro model cutoff %g — the halo would miss interacting neighbors",
 			v.Cutoff, a.m.Spec.Cutoff))
 	}
-	partial[0] = a.m.ComputeForcesOwned(v.Sys, v.NOwn)
+	n := v.NOwn
+	if n == 0 {
+		return
+	}
+	nchunks := (n + allegroGrain - 1) / allegroGrain
+	a.eChunk = resizeF64(a.eChunk, nchunks)
+	a.p1ctx.v = v
+	a.p1ctx.aux = aux
+	a.ensureClosures()
+	par.For(n, allegroGrain, a.phase1Fn)
+	var e float64
+	for _, c := range a.eChunk[:nchunks] {
+		e += c
+	}
+	partial[0] += e
+}
+
+// PhaseTwo implements TwoPhaseFF: canonical-order force assembly of owned
+// atoms [lo, hi) from the exchanged payloads.
+func (a *AllegroFF) PhaseTwo(v *View, aux []float64, lo, hi int) {
+	if hi-lo <= 0 {
+		return
+	}
+	a.p2ctx.v = v
+	a.p2ctx.aux = aux
+	a.p2ctx.base = lo
+	a.ensureClosures()
+	par.For(hi-lo, allegroGrain, a.phase2Fn)
+}
+
+// Compute implements RankFF for non-engine callers: both phases back to
+// back. It is only correct on a ghost-free view (single rank) — ghost
+// payload rows can come solely from the engine's aux halo exchange, so a
+// multi-rank view here would silently assemble from zeroed payloads.
+// The engine itself always drives the TwoPhaseFF path.
+func (a *AllegroFF) Compute(v *View, partial []float64) {
+	if v.NLoc != v.NOwn {
+		panic("shard: AllegroFF.Compute on a view with ghosts — ghost payloads require the engine's TwoPhaseFF aux exchange")
+	}
+	aux := make([]float64, v.NLoc*a.AuxLen())
+	a.PhaseOne(v, aux, partial)
+	a.PhaseTwo(v, aux, 0, v.NOwn)
 }
 
 // Energy implements RankFF.
 func (a *AllegroFF) Energy(_ *View, total []float64) float64 { return total[0] }
+
+func (a *AllegroFF) ensureClosures() {
+	if a.phase1Fn != nil {
+		return
+	}
+	if a.scratch == nil {
+		a.scratch = par.NewScratch(func() *allegroWS { return &allegroWS{} })
+	}
+	dim := a.m.Spec.Dim()
+	w := a.AuxLen()
+	a.phase1Fn = func(lo, hi, worker int) {
+		v := a.p1ctx.v
+		aux := a.p1ctx.aux
+		ws := a.scratch.Get(worker)
+		var e float64
+		for i := lo; i < hi; i++ {
+			row := aux[i*w : (i+1)*w]
+			e += a.m.EvalAtom(v.Sys, i, v.NL.Row(i), a.cs, &ws.scr, row[:dim], row[dim:])
+		}
+		a.eChunk[lo/allegroGrain] = e
+	}
+	a.phase2Fn = func(lo, hi, _ int) {
+		v := a.p2ctx.v
+		aux := a.p2ctx.aux
+		base := a.p2ctx.base
+		spec := a.m.Spec
+		rc := spec.Cutoff
+		sys := v.Sys
+		for j := base + lo; j < base+hi; j++ {
+			rowJ := aux[j*w : (j+1)*w]
+			var ax, ay, az float64 // dE/dx_j chain, ascending gid of i
+			for _, i32 := range v.NL.Row(j) {
+				i := int(i32)
+				// Geometry exactly as EvalAtom builds each center's
+				// environment: MinImage(neighbor, center). The two
+				// displacements are bitwise negations, so the membership
+				// test (r < cutoff) agrees with both owners' phase-one
+				// environments.
+				dxj, dyj, dzj := sys.MinImage(j, i) // center i, neighbor j
+				r := math.Sqrt(dxj*dxj + dyj*dyj + dzj*dzj)
+				if r >= rc || r == 0 {
+					continue
+				}
+				rowI := aux[i*w : (i+1)*w]
+				// + G(i→j): atom i's energy moved by x_j.
+				gx, gy, gz := spec.PairGradTerm(v.Type[j], rowI[:dim], rowI[dim:], a.cs, dxj, dyj, dzj, r)
+				ax += gx
+				ay += gy
+				az += gz
+				// − G(j→i): atom j's own energy moved by x_j (Newton's
+				// third law through the descriptor chain rule).
+				dxi, dyi, dzi := sys.MinImage(i, j) // center j, neighbor i
+				gx, gy, gz = spec.PairGradTerm(v.Type[i], rowJ[:dim], rowJ[dim:], a.cs, dxi, dyi, dzi, r)
+				ax -= gx
+				ay -= gy
+				az -= gz
+			}
+			v.F[3*j] = -ax
+			v.F[3*j+1] = -ay
+			v.F[3*j+2] = -az
+		}
+	}
+}

@@ -49,15 +49,20 @@ func (b *BlendEffHam) PartialLen() int { return 3 }
 // lookup of the neighbor cells' Ti atoms, not by a distance list.
 func (b *BlendEffHam) NeedsNeighborList() bool { return false }
 
-// ScattersGhostForces implements RankFF: every term of an owned atom's
-// force is computed locally.
-func (b *BlendEffHam) ScattersGhostForces() bool { return false }
-
-// Compute implements RankFF.
+// Compute implements RankFF (partial arrives zeroed from the engine).
 func (b *BlendEffHam) Compute(v *View, partial []float64) {
+	b.ComputeBlock(v, 0, v.NOwn, partial)
+}
+
+// ComputeBlock implements BlockFF: the blended forces and energy terms of
+// owned atoms [lo, hi) only, accumulated into partial. The lattice stencil
+// (one cell) is far inside the engine halo, so the interior block's lookups
+// always resolve to owned atoms — asserted below, because an interior-pass
+// ghost dereference would silently read a stale position.
+func (b *BlendEffHam) ComputeBlock(v *View, lo, hi int, partial []float64) {
 	lat, gs, xs := b.lat, b.gs, b.xs
 	var eGS, eXS, wSum float64
-	for i := 0; i < v.NOwn; i++ {
+	for i := lo; i < hi; i++ {
 		g := int(v.ID[i])
 		var w float64
 		if v.Weights != nil {
@@ -77,6 +82,9 @@ func (b *BlendEffHam) Compute(v *View, partial []float64) {
 				li := v.Lookup(int32(tg))
 				if li < 0 {
 					panic(fmt.Sprintf("shard: rank %d misses neighbor Ti of cell %d (gid %d): cutoff too small for the lattice stencil", v.Rank, c2, tg))
+				}
+				if hi <= v.NInt && int(li) >= v.NOwn {
+					panic(fmt.Sprintf("shard: rank %d interior atom %d dereferences ghost Ti %d — interior margin violated", v.Rank, i, tg))
 				}
 				ns[k][0] = ferro.MinImage1(v.X[3*li]-lat.R0[3*tg], v.Lx)
 				ns[k][1] = ferro.MinImage1(v.X[3*li+1]-lat.R0[3*tg+1], v.Ly)
@@ -102,9 +110,9 @@ func (b *BlendEffHam) Compute(v *View, partial []float64) {
 			v.F[3*i+2] = (1-w)*fgz + w*fxz
 		}
 	}
-	partial[0] = eGS
-	partial[1] = eXS
-	partial[2] = wSum
+	partial[0] += eGS
+	partial[1] += eXS
+	partial[2] += wSum
 }
 
 // tiForce evaluates one effective Hamiltonian's force on a Ti atom and the

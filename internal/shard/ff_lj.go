@@ -12,9 +12,14 @@ const ljGrain = 128
 // atom's force is Σ_j f(i,j) over its full neighbor row
 // in ascending global-id order, evaluated from raw global coordinates. Per
 // the package determinism contract this makes P-rank trajectories bitwise
-// identical to the 1-rank run for every P. The potential energy is
+// identical to the 1-rank run for every grid shape. The potential energy is
 // accumulated as ½u(i,j) per directed pair (exact halving), summed in fixed
 // chunk order.
+//
+// LJ implements BlockFF, so the engine evaluates its interior atoms while
+// the halo exchange is in flight; the split is bitwise neutral for forces
+// (each atom's force is a self-contained row sum) and perturbs only the
+// chunk grouping of the energy partial.
 //
 // Compute runs on the shared worker pool and is allocation-free in steady
 // state (closures and scratch are cached on first use).
@@ -23,8 +28,9 @@ type LJ struct {
 
 	peChunk []float64
 	fctx    struct {
-		v   *View
-		rc2 float64
+		v    *View
+		rc2  float64
+		base int
 	}
 	forceFn func(lo, hi, w int)
 }
@@ -40,23 +46,30 @@ func (lj *LJ) PartialLen() int { return 1 }
 // NeedsNeighborList implements RankFF.
 func (lj *LJ) NeedsNeighborList() bool { return true }
 
-// ScattersGhostForces implements RankFF: the canonical per-owned-atom sum
-// never writes ghost rows, so no reverse exchange is needed.
-func (lj *LJ) ScattersGhostForces() bool { return false }
-
-// Compute implements RankFF.
+// Compute implements RankFF (partial arrives zeroed from the engine).
 func (lj *LJ) Compute(v *View, partial []float64) {
-	nchunks := (v.NOwn + ljGrain - 1) / ljGrain
+	lj.ComputeBlock(v, 0, v.NOwn, partial)
+}
+
+// ComputeBlock implements BlockFF: forces and energy terms of owned atoms
+// [lo, hi) only, accumulated into partial.
+func (lj *LJ) ComputeBlock(v *View, lo, hi int, partial []float64) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	nchunks := (n + ljGrain - 1) / ljGrain
 	lj.peChunk = resizeF64(lj.peChunk, nchunks)
 	lj.fctx.v = v
 	lj.fctx.rc2 = lj.Cutoff2(v)
+	lj.fctx.base = lo
 	lj.ensureClosures()
-	par.For(v.NOwn, ljGrain, lj.forceFn)
+	par.For(n, ljGrain, lj.forceFn)
 	var pe float64
 	for _, e := range lj.peChunk[:nchunks] {
 		pe += e
 	}
-	partial[0] = pe
+	partial[0] += pe
 }
 
 // Cutoff2 returns the squared force cutoff (the neighbor-list cutoff).
@@ -72,10 +85,11 @@ func (lj *LJ) ensureClosures() {
 	lj.forceFn = func(lo, hi, _ int) {
 		v := lj.fctx.v
 		rc2 := lj.fctx.rc2
+		base := lj.fctx.base
 		nl := v.NL
 		eps, sig2 := lj.Epsilon, lj.Sigma*lj.Sigma
 		var pe float64
-		for i := lo; i < hi; i++ {
+		for i := base + lo; i < base+hi; i++ {
 			xi, yi, zi := v.X[3*i], v.X[3*i+1], v.X[3*i+2]
 			var fx, fy, fz float64
 			for _, j := range nl.Row(i) {

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"testing"
+
+	"mlmd/internal/ferro"
+	"mlmd/internal/md"
+)
+
+// TestOverlapSplitMatchesUnsplit is the overlap-correctness test: the
+// interior/boundary split evaluation (interior forces computed while the
+// halo exchange is in flight) must equal the unsplit full-refresh
+// evaluation bit-for-bit — both the per-call forces and a long trajectory
+// with live rebuilds.
+func TestOverlapSplitMatchesUnsplit(t *testing.T) {
+	for _, grid := range [][3]int{{2, 2, 1}, {2, 2, 2}} {
+		// 8 fcc cells per axis: wide enough subdomains that the octant
+		// grid still has a genuine interior region beyond the halo.
+		base := fccLJSystem(t, 8, 1e-3, 3)
+		mk := func(disable bool) (*Engine, *md.System) {
+			sys := base.Clone()
+			eng, err := NewEngine(Config{
+				Grid: grid, Cutoff: testCutoff, Skin: testSkin,
+				NewFF:          LJFactory(testEps, testSigma),
+				DisableOverlap: disable,
+			}, sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(eng.Close)
+			return eng, sys
+		}
+
+		on, sysOn := mk(false)
+		off, sysOff := mk(true)
+
+		// The overlapped engine must actually have interior work to hide
+		// the exchange behind — otherwise this test proves nothing.
+		on.ComputeForces(sysOn)
+		interior := 0
+		for _, rs := range on.rs {
+			interior += rs.nInt
+		}
+		if interior == 0 {
+			t.Fatalf("grid %v: no interior atoms classified — overlap never engages", grid)
+		}
+		off.ComputeForces(sysOff)
+		for i := range sysOn.F {
+			if sysOn.F[i] != sysOff.F[i] {
+				t.Fatalf("grid %v: split F[%d] = %v, unsplit %v", grid, i, sysOn.F[i], sysOff.F[i])
+			}
+		}
+
+		steps, dt := 150, 2.0
+		if testing.Short() {
+			steps = 40
+		}
+		on.Run(steps, dt, 0, 0)
+		off.Run(steps, dt, 0, 0)
+		gotOn, gotOff := base.Clone(), base.Clone()
+		on.Gather(gotOn)
+		off.Gather(gotOff)
+		for i := range gotOn.X {
+			if gotOn.X[i] != gotOff.X[i] {
+				t.Fatalf("grid %v: split X[%d] = %v, unsplit %v", grid, i, gotOn.X[i], gotOff.X[i])
+			}
+			if gotOn.V[i] != gotOff.V[i] {
+				t.Fatalf("grid %v: split V[%d] = %v, unsplit %v", grid, i, gotOn.V[i], gotOff.V[i])
+			}
+		}
+	}
+}
+
+// TestOverlapSplitEffHam repeats the split-vs-unsplit identity for the
+// stencil-lookup force field (whose interior classification is geometric,
+// not row-verified) including the two-phase per-atom weight path.
+func TestOverlapSplitEffHam(t *testing.T) {
+	sys, lat, gs, xs, w := newFerroFixture(t, 8, 8, 4)
+	sys.InitVelocities(1e-3, 7)
+	newFF, err := BlendEffHamFactory(lat, gs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(disable bool) *md.System {
+		got := sys.Clone()
+		eng, err := NewEngine(Config{
+			Grid:   [3]int{2, 2, 1},
+			Cutoff: 1.3 * ferro.LatticeConstant, Skin: 0.15 * ferro.LatticeConstant,
+			NewFF: newFF, DisableOverlap: disable,
+		}, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		eng.SetPerAtomWeights(w)
+		eng.Run(120, 20, 0, 0)
+		eng.Gather(got)
+		return got
+	}
+	on, off := run(false), run(true)
+	for i := range on.X {
+		if on.X[i] != off.X[i] || on.V[i] != off.V[i] {
+			t.Fatalf("EffHam split/unsplit diverge at coordinate %d", i)
+		}
+	}
+}
+
+// TestOverlapSplitAllegro repeats it for the two-phase path, where the
+// split applies to the payload exchange and the assembly phase.
+func TestOverlapSplitAllegro(t *testing.T) {
+	sys, model := newAllegroFixture(t, 160, 12.0)
+	sys.InitVelocities(3e-3, 6)
+	run := func(disable bool) *md.System {
+		got := sys.Clone()
+		eng, err := NewEngine(Config{
+			Grid:   [3]int{2, 2, 1},
+			Cutoff: model.Spec.Cutoff, Skin: 0.3,
+			NewFF: AllegroFactory(model), DisableOverlap: disable,
+		}, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		eng.Run(60, 1, 0, 0)
+		eng.Gather(got)
+		return got
+	}
+	on, off := run(false), run(true)
+	for i := range on.X {
+		if on.X[i] != off.X[i] || on.V[i] != off.V[i] {
+			t.Fatalf("Allegro split/unsplit diverge at coordinate %d", i)
+		}
+	}
+}

@@ -37,3 +37,41 @@ func TestShardRankWorkerInterplay(t *testing.T) {
 		}
 	}
 }
+
+// TestShardGridRankWorkerInterplay is the shard-grid race test wired into
+// make check: a full 3-D grid's eight rank goroutines fan out onto a
+// multi-worker pool with the overlapped halo refresh, per-axis migrations
+// and interior/boundary splits in flight. Its real assertion is
+// `go test -race`; it also re-checks bitwise grid-independence.
+func TestShardGridRankWorkerInterplay(t *testing.T) {
+	prev := par.SetWorkers(4)
+	defer par.SetWorkers(prev)
+
+	base := fccLJSystem(t, 6, 1e-3, 7)
+	const steps, dt = 60, 2.0
+
+	ref := cloneSys(t, base)
+	e1 := newLJEngine(t, ref, 1)
+	e1.Run(steps, dt, 0, 0)
+	e1.Gather(ref)
+
+	got := cloneSys(t, base)
+	e8, err := NewEngine(Config{
+		Grid: [3]int{2, 2, 2}, Cutoff: testCutoff, Skin: testSkin,
+		NewFF: LJFactory(testEps, testSigma),
+	}, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e8.Close)
+	e8.Run(steps, dt, 0, 0)
+	e8.Gather(got)
+	if err := e8.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.X {
+		if got.X[i] != ref.X[i] {
+			t.Fatalf("X[%d] = %v, want %v", i, got.X[i], ref.X[i])
+		}
+	}
+}
