@@ -2,7 +2,10 @@
 #
 #   make check   - format check, vet, build, full test suite, the race
 #                  detector over the pool-parallel and sharded packages,
-#                  the coverage floor, and a short fuzz smoke
+#                  the coverage floor, a short fuzz smoke, and the docs gate
+#   make docs    - documentation gate: gofmt -l on the documented packages,
+#                  go vet ./..., and cmd/checkdoc (fails on exported
+#                  identifiers missing doc comments in shard/cluster/par)
 #   make cover   - enforce the >=85% coverage floor on the MD/IO/cluster/
 #                  shard packages (grid/overlap paths included)
 #   make fuzz    - 10s native-fuzz smoke per mlmdio deserializer
@@ -12,7 +15,13 @@
 #                  written to BENCH_PR2.json (and echoed as a table)
 #   make bench3  - sharded-engine 3-D grid vs slab strong scaling
 #                  (1x1x1 ... 2x2x2, best of 7), written to BENCH_PR3.json
+#   make bench4  - hot-spot load-balancing sweep (static vs balanced grids
+#                  on the Gaussian-clustered workload, best of 5), written
+#                  to BENCH_PR4.json
 #   make tables  - the full paper-table benchmark suite at the repo root
+#
+# docs/benchmarks.md documents the bench workflow and the JSON schemas;
+# ARCHITECTURE.md maps the layers these targets exercise.
 
 GO ?= go
 
@@ -40,9 +49,17 @@ COVER_MIN  = 85
 FUZZ_TARGETS = FuzzReadXYZ FuzzLoadSystem FuzzLoadModel FuzzLoadWaveField
 FUZZ_TIME   ?= 10s
 
-.PHONY: check fmt vet build test race cover fuzz bench bench2 bench3 tables
+# Packages whose exported API must be fully doc-commented (`make docs`).
+DOC_PKGS = ./internal/shard ./internal/cluster ./internal/par
 
-check: fmt vet build test race cover fuzz
+.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 tables
+
+check: fmt vet build test race cover fuzz docs
+
+# docs = gofmt + vet (via prerequisites, so `make check` doesn't run them
+# twice) + the exported-doc-comment gate.
+docs: fmt vet
+	$(GO) run ./cmd/checkdoc $(DOC_PKGS)
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -86,6 +103,9 @@ bench2:
 
 bench3:
 	$(GO) run ./cmd/bench-scaling -grid -shardjson > BENCH_PR3.json
+
+bench4:
+	$(GO) run ./cmd/bench-scaling -hotspot -shardjson > BENCH_PR4.json
 
 tables:
 	$(GO) test . -run '^$$' -bench . -benchmem

@@ -6,14 +6,19 @@
 // Usage:
 //
 //	bench-scaling [-table1] [-table2] [-fig4a] [-fig4b] [-fig5a] [-fig5b] [-legato]
-//	              [-shard | -grid [-shardjson] [-shardcells N] [-shardsteps N]]
+//	              [-shard | -grid | -hotspot [-shardjson] [-shardcells N] [-shardsteps N]]
+//	              [-balance]
 //
 // With no flags, everything except -legato (which trains models and runs MD,
-// taking ~a minute) and -shard/-grid (which measure the real sharded engine,
-// internal/shard, rather than the analytic machine model) is printed.
-// -shard -shardjson writes the committable BENCH_PR2.json document to
-// stdout and the human table to stderr (see `make bench2`); -grid -shardjson
-// likewise writes the 3-D grid-vs-slab BENCH_PR3.json (see `make bench3`).
+// taking ~a minute) and -shard/-grid/-hotspot (which measure the real
+// sharded engine, internal/shard, rather than the analytic machine model) is
+// printed. -shard -shardjson writes the committable BENCH_PR2.json document
+// to stdout and the human table to stderr (see `make bench2`); -grid
+// -shardjson likewise writes the 3-D grid-vs-slab BENCH_PR3.json (see
+// `make bench3`); -hotspot -shardjson writes the static-vs-balanced
+// load-balancing BENCH_PR4.json (see `make bench4`). -balance turns dynamic
+// boundary balancing on in the -shard/-grid sweeps (the -hotspot sweep
+// always measures both modes).
 package main
 
 import (
@@ -35,15 +40,23 @@ func main() {
 	legato := flag.Bool("legato", false, "Allegro-Legato fidelity-scaling ablation (slow)")
 	shardFlag := flag.Bool("shard", false, "real sharded-engine LJ strong scaling (1/2/4/8 slab ranks, best of 7)")
 	gridFlag := flag.Bool("grid", false, "real sharded-engine grid-vs-slab strong scaling (1x1x1 … 2x2x2, best of 7)")
-	shardJSON := flag.Bool("shardjson", false, "with -shard/-grid: emit the JSON document (BENCH_PR2.json / BENCH_PR3.json) instead of the table")
-	shardCells := flag.Int("shardcells", 11, "fcc cells per axis of the -shard/-grid system (atoms = 4·cells³; needs cells >= 11 so the 8-rank slab still fits the halo)")
-	shardSteps := flag.Int("shardsteps", 100, "MD steps per -shard/-grid trial")
+	hotspotFlag := flag.Bool("hotspot", false, "Gaussian hot-spot static-vs-balanced load-balancing sweep (best of 5)")
+	balanceFlag := flag.Bool("balance", false, "enable dynamic boundary balancing in the -shard/-grid sweeps")
+	shardJSON := flag.Bool("shardjson", false, "with -shard/-grid/-hotspot: emit the JSON document (BENCH_PR2/3/4.json) instead of the table")
+	shardCells := flag.Int("shardcells", 11, "fcc cells per axis of the -shard/-grid/-hotspot system (atoms = 4·cells³ before hot-spot thinning; needs cells >= 11 so the 8-rank slab still fits the halo)")
+	shardSteps := flag.Int("shardsteps", 100, "MD steps per -shard/-grid/-hotspot trial")
 	flag.Parse()
-	if *shardFlag && *gridFlag {
-		fmt.Fprintln(os.Stderr, "bench-scaling: -shard and -grid are mutually exclusive (each emits its own JSON document)")
+	exclusive := 0
+	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag} {
+		if f {
+			exclusive++
+		}
+	}
+	if exclusive > 1 {
+		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid and -hotspot are mutually exclusive (each emits its own JSON document)")
 		os.Exit(2)
 	}
-	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato && !*shardFlag && !*gridFlag
+	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato && exclusive == 0
 
 	if *t1 || all {
 		fmt.Println(bench.Table1())
@@ -73,7 +86,7 @@ func main() {
 		fmt.Println(bench.LegatoTable(res))
 	}
 	if *shardFlag {
-		points, err := bench.ShardStrongScaling([]int{1, 2, 4, 8}, *shardCells, *shardSteps)
+		points, err := bench.ShardStrongScaling([]int{1, 2, 4, 8}, *shardCells, *shardSteps, *balanceFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
 			os.Exit(1)
@@ -81,27 +94,39 @@ func main() {
 		emitShard(points, bench.ShardScalingDocument, *shardJSON)
 	}
 	if *gridFlag {
-		points, err := bench.ShardGridScaling(bench.GridShapes, *shardCells, *shardSteps)
+		points, err := bench.ShardGridScaling(bench.GridShapes, *shardCells, *shardSteps, *balanceFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
 			os.Exit(1)
 		}
 		emitShard(points, bench.ShardGridDocument, *shardJSON)
 	}
+	if *hotspotFlag {
+		points, err := bench.ShardHotSpot(bench.HotSpotShapes, *shardCells, *shardSteps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+			os.Exit(1)
+		}
+		emit(bench.HotSpotTable(points), bench.HotSpotDocument(points), *shardJSON)
+	}
 }
 
-// emitShard prints the table, or with -shardjson the JSON document on
-// stdout (redirect into BENCH_PR2.json / BENCH_PR3.json) and the human
-// table on stderr.
+// emitShard adapts the slab/grid sweeps to emit.
 func emitShard(points []bench.ShardPoint, doc func([]bench.ShardPoint) bench.ShardScalingDoc, asJSON bool) {
+	emit(bench.ShardScalingTable(points), doc(points), asJSON)
+}
+
+// emit prints the human table, or with -shardjson the JSON document on
+// stdout (redirect into BENCH_PR*.json) and the table on stderr.
+func emit(table string, doc any, asJSON bool) {
 	if !asJSON {
-		fmt.Println(bench.ShardScalingTable(points))
+		fmt.Println(table)
 		return
 	}
-	fmt.Fprintln(os.Stderr, bench.ShardScalingTable(points))
+	fmt.Fprintln(os.Stderr, table)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc(points)); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintln(os.Stderr, "bench-scaling:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,132 @@
+// Command checkdoc enforces the documentation contract of `make docs`: every
+// package given on the command line must carry a package-level doc comment,
+// and every exported identifier it declares — functions, methods on exported
+// types, types, constants, and variables — must have a doc comment. It is
+// the dependency-free stand-in for revive's `exported` rule (the CI
+// container installs nothing), built on go/parser.
+//
+// Usage:
+//
+//	checkdoc ./internal/shard ./internal/cluster ./internal/par
+//
+// Exit status 1 lists every offender as file:line: identifier.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkdoc <package-dir> [...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		bad += checkDir(dir)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "checkdoc: %d exported identifier(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one package directory (tests excluded) and reports every
+// undocumented exported declaration, returning the offender count.
+func checkDir(dir string) int {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "checkdoc: %s: %v\n", dir, err)
+		return 1
+	}
+	bad := 0
+	for name, pkg := range pkgs {
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			bad += checkFile(fset, f)
+		}
+		if !hasPkgDoc {
+			fmt.Printf("%s: package %s has no package-level doc comment\n", dir, name)
+			bad++
+		}
+	}
+	return bad
+}
+
+// checkFile walks one file's top-level declarations.
+func checkFile(fset *token.FileSet, f *ast.File) int {
+	bad := 0
+	report := func(pos token.Pos, what string) {
+		fmt.Printf("%s: %s undocumented\n", fset.Position(pos), what)
+		bad++
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if recv := receiverType(d); recv != "" {
+				if !ast.IsExported(recv) {
+					continue // method on an unexported type: internal API
+				}
+				report(d.Pos(), fmt.Sprintf("method %s.%s", recv, d.Name.Name))
+			} else {
+				report(d.Pos(), fmt.Sprintf("func %s", d.Name.Name))
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+						report(s.Pos(), fmt.Sprintf("type %s", s.Name.Name))
+					}
+				case *ast.ValueSpec:
+					for _, n := range s.Names {
+						// A doc comment on the const/var block covers the
+						// whole block only for single-spec declarations;
+						// grouped specs document each entry.
+						covered := s.Doc != nil || s.Comment != nil ||
+							(d.Doc != nil && len(d.Specs) == 1)
+						if n.IsExported() && !covered {
+							report(n.Pos(), fmt.Sprintf("%s %s", d.Tok, n.Name))
+						}
+					}
+				}
+			}
+		}
+	}
+	return bad
+}
+
+// receiverType returns the bare type name of a method receiver ("" for
+// plain functions).
+func receiverType(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return ""
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch v := t.(type) {
+		case *ast.StarExpr:
+			t = v.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = v.X
+		case *ast.Ident:
+			return v.Name
+		default:
+			return ""
+		}
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	mlmd [-mesh N] [-domains N] [-norb N] [-nqd N] [-mdsteps N] [-amp E0] [-photon eV]
+//	     [-cells N] [-ranks N | -grid PxxPyxPz] [-balance]
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	latCells := flag.Int("cells", 12, "XS-NNQMD lattice cells per axis (xy)")
 	ranks := flag.Int("ranks", 0, "shard the XS-NNQMD stage across N in-process slab ranks (0 = unsharded)")
 	gridStr := flag.String("grid", "", "shard the XS-NNQMD stage across a PxxPyxPz domain grid, e.g. 2x2x1 (overrides -ranks; the demo lattice is 2 cells thick, so Pz must divide its thin axis with room for the halo)")
+	balance := flag.Bool("balance", false, "with -ranks/-grid: dynamically rebalance the subdomain boundaries from per-rank step times (trajectory stays bitwise identical; a summary line reports the imbalance)")
 	flag.Parse()
 
 	cfg := core.DefaultDCMESHConfig()
@@ -74,6 +76,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	var eng *shard.Engine
 	if *ranks > 0 || *gridStr != "" {
 		var grid [3]int
 		if *gridStr != "" {
@@ -88,12 +91,13 @@ func main() {
 		}
 		// Halo: the soft-mode stencil reaches the neighbor cell's Ti, so
 		// cutoff must cover a lattice constant plus off-centering drift.
-		eng, err := shard.NewEngine(shard.Config{
-			Ranks:  *ranks,
-			Grid:   grid,
-			Cutoff: 1.3 * ferro.LatticeConstant,
-			Skin:   0.4 * ferro.LatticeConstant,
-			NewFF:  newFF,
+		eng, err = shard.NewEngine(shard.Config{
+			Ranks:   *ranks,
+			Grid:    grid,
+			Cutoff:  1.3 * ferro.LatticeConstant,
+			Skin:    0.4 * ferro.LatticeConstant,
+			NewFF:   newFF,
+			Balance: *balance,
 		}, sys)
 		if err != nil {
 			fail(err)
@@ -111,6 +115,13 @@ func main() {
 		nn.Step(40)
 		fmt.Printf("t = %6.1f fs: mean Pz = %+.4f, topological charge = %+.2f\n",
 			units.Femtoseconds(nn.Time()), nn.PolarizationField().MeanPz(), nn.TopologicalCharge())
+	}
+	if eng != nil && *balance {
+		// Timing-dependent, so outside the golden summary (the trajectory
+		// above is bitwise identical to the unbalanced run regardless).
+		rebalances, maxShift := eng.BalanceStats()
+		fmt.Printf("(balance: %d rebalances, max cut shift %.3f, step-time imbalance %.2f, owned-atom imbalance %.2f)\n",
+			rebalances, maxShift, eng.LoadImbalance(), eng.OwnedImbalance())
 	}
 	fmt.Println("\ndone.")
 }

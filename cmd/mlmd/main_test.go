@@ -31,13 +31,14 @@ func runMLMD(t *testing.T, exe string, args ...string) string {
 	return string(out)
 }
 
-// stripShardNote drops the sharding announcement so sharded and unsharded
-// outputs are comparable line-for-line.
+// stripShardNote drops the sharding announcement and the timing-dependent
+// balance summary so sharded and unsharded outputs are comparable
+// line-for-line.
 func stripShardNote(s string) string {
 	lines := strings.Split(s, "\n")
 	kept := lines[:0]
 	for _, l := range lines {
-		if strings.HasPrefix(l, "(lattice stage sharded") {
+		if strings.HasPrefix(l, "(lattice stage sharded") || strings.HasPrefix(l, "(balance:") {
 			continue
 		}
 		kept = append(kept, l)
@@ -63,9 +64,11 @@ func TestSummaryGolden(t *testing.T) {
 }
 
 // TestShardedSummaryMatches: running the lattice stage sharded — slab
-// (-ranks 2/4) or 3-D domain grid (-grid 2x2x1/4x2x1) — produces the
-// identical summary: the decomposed blended effective Hamiltonian is
-// bitwise-equivalent through the whole module for every decomposition.
+// (-ranks 2/4), 3-D domain grid (-grid 2x2x1/4x2x1), or grid with dynamic
+// boundary balancing (-balance: cut planes move from measured step times) —
+// produces the identical summary: the decomposed blended effective
+// Hamiltonian is bitwise-equivalent through the whole module for every
+// decomposition, static or moving.
 func TestShardedSummaryMatches(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs the binary")
@@ -77,6 +80,8 @@ func TestShardedSummaryMatches(t *testing.T) {
 		{"-ranks", "4"},
 		{"-grid", "2x2x1"},
 		{"-grid", "4x2x1"},
+		{"-grid", "2x2x1", "-balance"},
+		{"-ranks", "4", "-balance"},
 	} {
 		got := runMLMD(t, exe, append(append([]string{}, smallArgs...), shard...)...)
 		if stripShardNote(got) != ref {

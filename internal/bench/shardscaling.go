@@ -112,8 +112,10 @@ func anchorSpeedup(points []ShardPoint) error {
 
 // ShardStrongScaling runs the sharded LJ engine at each slab rank count
 // over the same initial configuration (fixed total problem size — strong
-// scaling), best-of-ShardTrials wall times.
-func ShardStrongScaling(rankCounts []int, cells, steps int) ([]ShardPoint, error) {
+// scaling), best-of-ShardTrials wall times. balance enables dynamic
+// boundary balancing (the uniform fcc workload barely moves the cuts; see
+// ShardHotSpot for the sweep where balancing matters).
+func ShardStrongScaling(rankCounts []int, cells, steps int, balance bool) ([]ShardPoint, error) {
 	if len(rankCounts) == 0 {
 		return nil, fmt.Errorf("bench: no rank counts given")
 	}
@@ -125,8 +127,9 @@ func ShardStrongScaling(rankCounts []int, cells, steps int) ([]ShardPoint, error
 	for _, p := range rankCounts {
 		pt, err := measureShardConfig(base, shard.Config{
 			Ranks: p, Cutoff: 2.0, Skin: 0.3,
-			Net:   cluster.Slingshot11(),
-			NewFF: shard.LJFactory(0.01, 1.0),
+			Net:     cluster.Slingshot11(),
+			NewFF:   shard.LJFactory(0.01, 1.0),
+			Balance: balance,
 		}, steps)
 		if err != nil {
 			return nil, err
@@ -156,8 +159,8 @@ var GridShapes = [][3]int{
 // each domain-grid shape (BENCH_PR3.json / `make bench3`): the grid-vs-slab
 // comparison quantifies what the 3-D decomposition buys — smaller halo
 // surface and shorter per-axis rings — net of the extra per-axis exchange
-// latency.
-func ShardGridScaling(shapes [][3]int, cells, steps int) ([]ShardPoint, error) {
+// latency. balance enables dynamic boundary balancing.
+func ShardGridScaling(shapes [][3]int, cells, steps int, balance bool) ([]ShardPoint, error) {
 	if len(shapes) == 0 {
 		return nil, fmt.Errorf("bench: no grid shapes given")
 	}
@@ -169,8 +172,9 @@ func ShardGridScaling(shapes [][3]int, cells, steps int) ([]ShardPoint, error) {
 	for _, g := range shapes {
 		pt, err := measureShardConfig(base, shard.Config{
 			Grid: g, Cutoff: 2.0, Skin: 0.3,
-			Net:   cluster.Slingshot11(),
-			NewFF: shard.LJFactory(0.01, 1.0),
+			Net:     cluster.Slingshot11(),
+			NewFF:   shard.LJFactory(0.01, 1.0),
+			Balance: balance,
 		}, steps)
 		if err != nil {
 			return nil, err

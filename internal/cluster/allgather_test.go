@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestAllGather: every rank receives the rank-ordered concatenation, the
+// clocks align collectively, and a retained out buffer is reused across
+// calls (the steady-state allocation contract of the rebalance collective).
+func TestAllGather(t *testing.T) {
+	const p = 4
+	comm, err := NewComm(p, Slingshot11())
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([][]float64, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			vec := []float64{float64(rank), float64(rank * 10)}
+			var out []float64
+			for round := 0; round < 3; round++ {
+				prev := out
+				out = comm.AllGather(rank, vec, out)
+				if round > 0 && len(prev) > 0 && &prev[0] != &out[0] {
+					t.Errorf("rank %d round %d: AllGather reallocated a sufficient buffer", rank, round)
+				}
+			}
+			results[rank] = out
+		}(r)
+	}
+	wg.Wait()
+	want := []float64{0, 0, 1, 10, 2, 20, 3, 30}
+	for r := 0; r < p; r++ {
+		if len(results[r]) != len(want) {
+			t.Fatalf("rank %d got %d values, want %d", r, len(results[r]), len(want))
+		}
+		for i, v := range want {
+			if results[r][i] != v {
+				t.Errorf("rank %d: out[%d] = %g, want %g", r, i, results[r][i], v)
+			}
+		}
+	}
+	// Three collective rounds on a nonzero network model advance all clocks
+	// to the same positive value.
+	c0 := comm.Clock(0)
+	if c0 <= 0 {
+		t.Error("AllGather advanced no virtual time under Slingshot11")
+	}
+	for r := 1; r < p; r++ {
+		if comm.Clock(r) != c0 {
+			t.Errorf("rank %d clock %g != rank 0 clock %g after collectives", r, comm.Clock(r), c0)
+		}
+	}
+}
+
+// TestInterconnectAllGather covers the analytic model's shape.
+func TestInterconnectAllGather(t *testing.T) {
+	ic := Interconnect{Alpha: 1e-6, Beta: 1e-9}
+	if ic.AllGather(1, 100) != 0 {
+		t.Error("single-rank allgather should be free")
+	}
+	want := 3 * (1e-6 + 8*1e-9)
+	if got := ic.AllGather(4, 8); math.Abs(got-want) > 1e-18 {
+		t.Errorf("AllGather(4, 8) = %g, want %g", got, want)
+	}
+}

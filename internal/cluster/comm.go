@@ -222,6 +222,33 @@ func (c *Comm) AllReduceSumInPlace(rank int, vec []float64) {
 	})
 }
 
+// AllGather concatenates every rank's vec in rank order and delivers the
+// full profile to all ranks, copied into each caller's into buffer (grown
+// if needed; the filled buffer is returned). Unlike Gather it is
+// allocation-free in steady state when into has capacity: the concatenation
+// lives in a buffer retained by the barrier and each rank copies it out
+// before leaving the rendezvous. Vectors may differ in length; offsets
+// follow rank order. Clocks align to the slowest rank plus the modeled
+// ring-allgather time of the mean per-rank contribution (a function of the
+// total gathered bytes, so the virtual clock is deterministic even with
+// unequal vector lengths).
+func (c *Comm) AllGather(rank int, vec, into []float64) []float64 {
+	return c.barrierWG.allGather(rank, vec, into, func(total int) {
+		c.mu.Lock()
+		var worst float64
+		for _, t := range c.clocks {
+			if t > worst {
+				worst = t
+			}
+		}
+		worst += c.net.AllGather(c.size, 8*float64(total)/float64(c.size))
+		for i := range c.clocks {
+			c.clocks[i] = worst
+		}
+		c.mu.Unlock()
+	})
+}
+
 // Gather collects each rank's vec at root (others receive nil), aligning
 // clocks.
 func (c *Comm) Gather(rank, root int, vec []float64) [][]float64 {
@@ -272,6 +299,8 @@ type cyclicBarrier struct {
 	partsSn [][]float64
 	// red is the retained combine buffer of reduceInPlace.
 	red []float64
+	// ag is the retained concatenation buffer of allGather.
+	ag []float64
 }
 
 func newCyclicBarrier(size int) *cyclicBarrier {
@@ -357,6 +386,49 @@ func (b *cyclicBarrier) reduceInPlace(rank int, vec []float64, after func()) {
 	}
 	copy(vec, b.red)
 	b.mu.Unlock()
+}
+
+// allGather concatenates the ranks' vectors in rank order into the retained
+// ag buffer and copies the result into every participant's out buffer;
+// after receives the total gathered element count. The same retention
+// argument as reduceInPlace applies: each rank copies under the barrier
+// lock before leaving, so a later generation cannot overwrite ag while it
+// is still being read.
+func (b *cyclicBarrier) allGather(rank int, vec []float64, out []float64, after func(total int)) []float64 {
+	b.mu.Lock()
+	b.parts[rank] = vec
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		total := 0
+		for _, p := range b.parts {
+			total += len(p)
+		}
+		if cap(b.ag) < total {
+			b.ag = make([]float64, 0, total)
+		}
+		b.ag = b.ag[:0]
+		for _, p := range b.parts {
+			b.ag = append(b.ag, p...)
+		}
+		b.mu.Unlock()
+		after(total)
+		b.mu.Lock()
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	if cap(out) < len(b.ag) {
+		out = make([]float64, len(b.ag))
+	}
+	out = out[:len(b.ag)]
+	copy(out, b.ag)
+	b.mu.Unlock()
+	return out
 }
 
 func (b *cyclicBarrier) gather(rank int, vec []float64, after func()) [][]float64 {

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cuts3D is the movable-boundary refinement of Grid3D: for each axis it
+// stores the P[a]+1 cut-plane positions bounding the per-axis subdomain
+// intervals, so a domain decomposition can shift its internal boundaries
+// (dynamic load balancing) without changing the rank topology. Plane 0 and
+// plane P[a] are pinned to the box faces; subdomain i along axis a spans
+// [C[a][i], C[a][i+1]). A uniform partition (every plane at i·L/P) is the
+// special case built by UniformCuts3D and is what a fresh decomposition
+// starts from.
+type Cuts3D struct {
+	// P is the per-axis subdomain count (mirrors Grid3D.P).
+	P [3]int
+	// L is the per-axis box length spanned by the planes.
+	L [3]float64
+	// C[a] holds axis a's ascending plane positions: C[a][0] = 0 and
+	// C[a][P[a]] = L[a] are pinned; only the P[a]−1 interior planes move.
+	C [3][]float64
+}
+
+// UniformCuts3D builds the equal-width cut planes of grid g over a box of
+// lengths (lx, ly, lz).
+func UniformCuts3D(g Grid3D, lx, ly, lz float64) Cuts3D {
+	c := Cuts3D{P: g.P, L: [3]float64{lx, ly, lz}}
+	for a := 0; a < 3; a++ {
+		w := c.L[a] / float64(g.P[a])
+		cs := make([]float64, g.P[a]+1)
+		for i := 1; i < g.P[a]; i++ {
+			cs[i] = w * float64(i)
+		}
+		cs[g.P[a]] = c.L[a]
+		c.C[a] = cs
+	}
+	return c
+}
+
+// Index returns the subdomain index along axis a owning position pos, which
+// must already be folded into [0, L[a]] (a floating-point pos == L[a] clamps
+// into the last interval). A position exactly on an interior plane belongs
+// to the upper interval. Allocation-free (binary search over the planes).
+func (c *Cuts3D) Index(a int, pos float64) int {
+	// First plane index with C[a][k] >= pos.
+	k := sort.SearchFloat64s(c.C[a], pos)
+	if k >= len(c.C[a]) || c.C[a][k] != pos {
+		k--
+	}
+	if k < 0 {
+		return 0
+	}
+	if k >= c.P[a] {
+		return c.P[a] - 1
+	}
+	return k
+}
+
+// Lo returns the low edge of subdomain i along axis a.
+func (c *Cuts3D) Lo(a, i int) float64 { return c.C[a][i] }
+
+// Width returns the width of subdomain i along axis a.
+func (c *Cuts3D) Width(a, i int) float64 { return c.C[a][i+1] - c.C[a][i] }
+
+// MinWidth returns the narrowest subdomain width along axis a.
+func (c *Cuts3D) MinWidth(a int) float64 {
+	min := c.Width(a, 0)
+	for i := 1; i < c.P[a]; i++ {
+		if w := c.Width(a, i); w < min {
+			min = w
+		}
+	}
+	return min
+}
+
+// Planes returns a copy of axis a's plane positions (for inspection by
+// tests and diagnostics; the internal slice stays private to the owner).
+func (c *Cuts3D) Planes(a int) []float64 {
+	return append([]float64(nil), c.C[a]...)
+}
+
+// Clone returns a deep copy.
+func (c *Cuts3D) Clone() Cuts3D {
+	out := Cuts3D{P: c.P, L: c.L}
+	for a := 0; a < 3; a++ {
+		out.C[a] = append([]float64(nil), c.C[a]...)
+	}
+	return out
+}
+
+// Validate checks the structural invariants: pinned end planes, strictly
+// ascending interior planes, and every subdomain at least minWidth wide.
+func (c *Cuts3D) Validate(minWidth float64) error {
+	for a := 0; a < 3; a++ {
+		cs := c.C[a]
+		if len(cs) != c.P[a]+1 {
+			return fmt.Errorf("cluster: axis %d has %d planes for %d subdomains", a, len(cs), c.P[a])
+		}
+		if cs[0] != 0 || cs[c.P[a]] != c.L[a] {
+			return fmt.Errorf("cluster: axis %d end planes (%g, %g) not pinned to (0, %g)", a, cs[0], cs[c.P[a]], c.L[a])
+		}
+		for i := 0; i < c.P[a]; i++ {
+			if w := cs[i+1] - cs[i]; w < minWidth {
+				return fmt.Errorf("cluster: axis %d subdomain %d width %g below minimum %g", a, i, w, minWidth)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+// TestUniformCutsMatchGridArithmetic: the uniform planes reproduce the
+// i·L/P partition and Index inverts it, including the fold-edge clamps.
+func TestUniformCutsMatchGridArithmetic(t *testing.T) {
+	g, err := NewGrid3D(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := UniformCuts3D(g, 8, 6, 5)
+	if err := c.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	for a, l := range [3]float64{8, 6, 5} {
+		for i := 0; i < g.P[a]; i++ {
+			w := l / float64(g.P[a])
+			if math.Abs(c.Lo(a, i)-w*float64(i)) > 1e-15 || math.Abs(c.Width(a, i)-w) > 1e-15 {
+				t.Errorf("axis %d subdomain %d: lo %g width %g, want %g %g", a, i, c.Lo(a, i), c.Width(a, i), w*float64(i), w)
+			}
+		}
+		if math.Abs(c.MinWidth(a)-l/float64(g.P[a])) > 1e-15 {
+			t.Errorf("axis %d min width %g", a, c.MinWidth(a))
+		}
+	}
+	// Index: interior points, plane points (upper interval), and the edges.
+	if c.Index(0, 0) != 0 || c.Index(0, 1.99) != 0 || c.Index(0, 2) != 1 || c.Index(0, 7.99) != 3 {
+		t.Errorf("uniform Index broken: %d %d %d %d", c.Index(0, 0), c.Index(0, 1.99), c.Index(0, 2), c.Index(0, 7.99))
+	}
+	if c.Index(0, 8) != 3 {
+		t.Errorf("pos == L must clamp into the last interval, got %d", c.Index(0, 8))
+	}
+}
+
+// TestMovedCutsIndex: after shifting an interior plane the ownership lookup
+// follows the new boundary, and Validate enforces the width floor.
+func TestMovedCutsIndex(t *testing.T) {
+	g, _ := NewGrid3D(2, 1, 1)
+	c := UniformCuts3D(g, 10, 10, 10)
+	c.C[0][1] = 3.5 // subdomains [0, 3.5) and [3.5, 10)
+	if err := c.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(4); err == nil {
+		t.Error("Validate accepted a 3.5-wide subdomain under a 4.0 floor")
+	}
+	for _, tc := range []struct {
+		pos  float64
+		want int
+	}{{0, 0}, {3.49, 0}, {3.5, 1}, {9.99, 1}} {
+		if got := c.Index(0, tc.pos); got != tc.want {
+			t.Errorf("Index(0, %g) = %d, want %d", tc.pos, got, tc.want)
+		}
+	}
+	cl := c.Clone()
+	cl.C[0][1] = 5
+	if c.C[0][1] != 3.5 {
+		t.Error("Clone aliases the plane storage")
+	}
+	p := c.Planes(0)
+	p[1] = 7
+	if c.C[0][1] != 3.5 {
+		t.Error("Planes aliases the plane storage")
+	}
+}

@@ -1,13 +1,19 @@
 // Package cluster simulates the heterogeneous exascale machine the paper
 // runs on (Aurora: 10,624 nodes × 12 PVC GPU tiles) so that the scaling
 // experiments (Figs. 4–5) and machine-scale projections (Tables I–II) can be
-// reproduced without the hardware. Three layers:
+// reproduced without the hardware, and provides the communication substrate
+// of the real sharded MD engine (internal/shard). Four layers:
 //
 //   - a device model mapping (kernel class, precision) → sustained FLOP/s,
 //     calibrated to the fractions the paper measures on a PVC tile
 //     (GEMM ≈ 80–94% of peak, stencil ≈ 15%, FP64 power-throttled);
-//   - an MPI-like communicator running ranks as goroutines with a virtual
-//     clock, used by the DC-MESH orchestration at small rank counts;
+//   - an MPI-like communicator (Comm) running ranks as goroutines with a
+//     virtual alpha-beta clock: point-to-point sends with pooled payloads,
+//     Barrier, AllReduce, Gather and AllGather collectives — message
+//     payloads are real, only the clock is modeled;
+//   - the spatial-decomposition topology: Grid3D (the periodic Px×Py×Pz
+//     rank torus) and Cuts3D (its movable per-axis subdomain boundaries,
+//     the state the shard engine's dynamic load balancer adjusts);
 //   - a bulk-synchronous analytic simulator for machine-scale rank counts
 //     (P up to 120,000), where per-step time = max over ranks of modeled
 //     compute + alpha-beta collective costs.
@@ -139,6 +145,16 @@ func (ic Interconnect) AllReduce(p int, bytes float64) float64 {
 	}
 	rounds := log2ceil(p)
 	return float64(2*rounds)*ic.Alpha + 2*bytes*ic.Beta*float64(rounds)
+}
+
+// AllGather returns the modeled time of a P-rank ring allgather of
+// bytesPerRank from each rank: P−1 rounds, each forwarding one rank's
+// contribution to the ring neighbor.
+func (ic Interconnect) AllGather(p int, bytesPerRank float64) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return float64(p-1) * (ic.Alpha + bytesPerRank*ic.Beta)
 }
 
 // Gather returns the modeled time for a P-rank gather of bytes per rank to

@@ -1,0 +1,69 @@
+package md
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// NewGaussianHotSpotSystem builds a deliberately density-imbalanced
+// configuration: the sites of a cells³ fcc lattice (lattice constant a,
+// box side cells·a) are kept with probability
+//
+//	p(r) = floor + (1−floor)·exp(−|r−c|²/2σ²),
+//
+// where c is the blob center in fractional box coordinates and σ =
+// sigmaFrac·L. The result is a Gaussian density hot spot on a sparse
+// background — minimum pair distance still a/√2, so Lennard-Jones dynamics
+// stay as stable as on the full lattice. It is the load-balancing workload:
+// a static uniform domain grid gives the blob's ranks several times the
+// work of the background's, which the boundary balancer then equalizes.
+// The thinning is seeded and fully deterministic.
+func NewGaussianHotSpotSystem(cells int, a, mass, floor, sigmaFrac float64, center [3]float64, seed int64) (*System, error) {
+	if cells < 1 {
+		return nil, fmt.Errorf("md: need at least 1 fcc cell, got %d", cells)
+	}
+	if floor <= 0 || floor > 1 {
+		return nil, fmt.Errorf("md: hot-spot floor %g outside (0, 1]", floor)
+	}
+	if sigmaFrac <= 0 {
+		return nil, fmt.Errorf("md: hot-spot sigma fraction %g must be positive", sigmaFrac)
+	}
+	l := float64(cells) * a
+	sigma := sigmaFrac * l
+	cx, cy, cz := center[0]*l, center[1]*l, center[2]*l
+	basis := [4][3]float64{{0, 0, 0}, {0.5, 0.5, 0}, {0.5, 0, 0.5}, {0, 0.5, 0.5}}
+	rng := rand.New(rand.NewSource(seed))
+	var pos []float64
+	for ix := 0; ix < cells; ix++ {
+		for iy := 0; iy < cells; iy++ {
+			for iz := 0; iz < cells; iz++ {
+				for _, b := range basis {
+					x := (float64(ix) + b[0]) * a
+					y := (float64(iy) + b[1]) * a
+					z := (float64(iz) + b[2]) * a
+					dx := MinImage1(x-cx, l)
+					dy := MinImage1(y-cy, l)
+					dz := MinImage1(z-cz, l)
+					p := floor + (1-floor)*math.Exp(-(dx*dx+dy*dy+dz*dz)/(2*sigma*sigma))
+					if rng.Float64() < p {
+						pos = append(pos, x, y, z)
+					}
+				}
+			}
+		}
+	}
+	n := len(pos) / 3
+	if n < 2 {
+		return nil, fmt.Errorf("md: hot-spot thinning kept %d atoms — raise floor or cells", n)
+	}
+	sys, err := NewSystem(n, l, l, l)
+	if err != nil {
+		return nil, err
+	}
+	copy(sys.X, pos)
+	for i := range sys.Mass {
+		sys.Mass[i] = mass
+	}
+	return sys, nil
+}

@@ -1,0 +1,69 @@
+package md
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGaussianHotSpotDensityContrast: the kept-atom density near the blob
+// center is several times the background, the thinning is deterministic for
+// a fixed seed, and bad parameters are rejected.
+func TestGaussianHotSpotDensityContrast(t *testing.T) {
+	center := [3]float64{0.25, 0.25, 0.25}
+	sys, err := NewGaussianHotSpotSystem(10, 1.7, 50, 0.12, 0.15, center, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := 4 * 10 * 10 * 10
+	if sys.N < full/20 || sys.N > full/2 {
+		t.Fatalf("thinning kept %d of %d atoms — profile badly off", sys.N, full)
+	}
+	// Count atoms inside a σ-radius ball at the blob center and inside the
+	// same ball at the opposite corner of the box.
+	sigma := 0.15 * sys.Lx
+	hot, cold := 0, 0
+	for i := 0; i < sys.N; i++ {
+		for c, cnt := range []([3]float64){center, {0.75, 0.75, 0.75}} {
+			dx := MinImage1(sys.X[3*i]-cnt[0]*sys.Lx, sys.Lx)
+			dy := MinImage1(sys.X[3*i+1]-cnt[1]*sys.Ly, sys.Ly)
+			dz := MinImage1(sys.X[3*i+2]-cnt[2]*sys.Lz, sys.Lz)
+			if math.Sqrt(dx*dx+dy*dy+dz*dz) < sigma {
+				if c == 0 {
+					hot++
+				} else {
+					cold++
+				}
+			}
+		}
+	}
+	if hot < 3*cold {
+		t.Errorf("hot ball holds %d atoms vs cold ball %d — want >= 3x contrast", hot, cold)
+	}
+
+	again, err := NewGaussianHotSpotSystem(10, 1.7, 50, 0.12, 0.15, center, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.N != sys.N {
+		t.Fatalf("same seed kept %d atoms, then %d", sys.N, again.N)
+	}
+	for i := range sys.X {
+		if sys.X[i] != again.X[i] {
+			t.Fatalf("same seed produced different X[%d]", i)
+		}
+	}
+
+	for _, bad := range []struct {
+		cells            int
+		floor, sigmaFrac float64
+	}{
+		{0, 0.1, 0.15},
+		{5, 0, 0.15},
+		{5, 1.5, 0.15},
+		{5, 0.1, 0},
+	} {
+		if _, err := NewGaussianHotSpotSystem(bad.cells, 1.7, 50, bad.floor, bad.sigmaFrac, center, 1); err == nil {
+			t.Errorf("accepted cells=%d floor=%g sigmaFrac=%g", bad.cells, bad.floor, bad.sigmaFrac)
+		}
+	}
+}

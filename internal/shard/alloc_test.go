@@ -8,15 +8,32 @@ import (
 // TestShardSteadyStateAllocs: with no rebuild/migration events (a frozen
 // lattice), neither the bridge force call nor a decomposed step allocates —
 // the overlapped three-axis halo refresh, the collectives, the
-// pool-parallel interior/boundary force passes and the dispatch machinery
-// all run on retained buffers. Pinned for the slab and for full 3-D grids.
+// pool-parallel interior/boundary force passes, the dispatch machinery and
+// the per-rank step-time load tracking all run on retained buffers. Pinned
+// for the slab and for full 3-D grids, with boundary balancing both off and
+// on (the balancer only acts inside rebuild events, so the steady-state
+// step must stay clean either way).
 func TestShardSteadyStateAllocs(t *testing.T) {
-	for _, grid := range [][3]int{{4, 1, 1}, {2, 2, 1}, {2, 2, 2}} {
-		t.Run(fmt.Sprintf("%dx%dx%d", grid[0], grid[1], grid[2]), func(t *testing.T) {
+	for _, tc := range []struct {
+		grid    [3]int
+		balance bool
+	}{
+		{[3]int{4, 1, 1}, false},
+		{[3]int{2, 2, 1}, false},
+		{[3]int{2, 2, 2}, false},
+		{[3]int{2, 2, 1}, true},
+	} {
+		grid := tc.grid
+		name := fmt.Sprintf("%dx%dx%d", grid[0], grid[1], grid[2])
+		if tc.balance {
+			name += "-balanced"
+		}
+		t.Run(name, func(t *testing.T) {
 			base := fccLJSystem(t, 5, 0, 0)
 			eng, err := NewEngine(Config{
 				Grid: grid, Cutoff: testCutoff, Skin: testSkin,
-				NewFF: LJFactory(testEps, testSigma),
+				NewFF:   LJFactory(testEps, testSigma),
+				Balance: tc.balance, BalanceEvery: 1,
 			}, base)
 			if err != nil {
 				t.Fatal(err)

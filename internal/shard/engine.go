@@ -18,16 +18,29 @@
 // bitwise neutral (forces are per-atom sums either way) and the steady-state
 // step stays allocation-free.
 //
+// The subdomain boundaries can move: every rank measures its per-step local
+// compute wall time (an EWMA over a configurable window), and with
+// Config.Balance enabled the engine periodically AllGathers the per-rank
+// load profile and shifts the per-axis cut planes of the cluster.Cuts3D
+// partition toward the load centroid — recursive-bisection boundary
+// balancing. Each plane moves at most the halo width per rebalance and
+// never narrows a subdomain below the halo, so migration after a shift
+// stays single-ring and the halo protocol is untouched. Because the
+// determinism contract (below) makes forces decomposition-invariant,
+// balanced runs remain bitwise identical to static-grid runs. See
+// balance.go for the controller.
+//
 // Determinism contract: force fields that follow the canonical-order rule —
 // each owned atom's force is assembled as a sum over its neighbors in
 // ascending global-id order, computed from raw (wrapped, global-box)
-// coordinates — produce bitwise-identical trajectories for every grid shape,
-// because every term of every per-atom sum is decomposition-invariant. The
-// LJ and blended effective-Hamiltonian rank force fields obey the rule
-// directly; the Allegro adapter obeys it through the two-phase path (a halo
-// exchange of per-atom gradient payloads followed by owner-side assembly in
-// neighbor-row order), replacing the summed reverse force halo whose
-// rank-grouped partials could never be decomposition-invariant.
+// coordinates — produce bitwise-identical trajectories for every grid shape
+// and every cut-plane placement, because every term of every per-atom sum
+// is decomposition-invariant. The LJ and blended effective-Hamiltonian rank
+// force fields obey the rule directly; the Allegro adapter obeys it through
+// the two-phase path (a halo exchange of per-atom gradient payloads
+// followed by owner-side assembly in neighbor-row order), replacing the
+// summed reverse force halo whose rank-grouped partials could never be
+// decomposition-invariant.
 //
 // The Engine is exposed two ways: as a drop-in md.ForceField (the "bridge",
 // so core.XSNNQMD and cmd/mlmd step loops run sharded unchanged), and as a
@@ -40,6 +53,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mlmd/internal/cluster"
 	"mlmd/internal/md"
@@ -147,9 +161,31 @@ type Config struct {
 	// forces only after the full halo refresh (for overlap-correctness
 	// tests and A/B benchmarks). Forces are bitwise identical either way.
 	DisableOverlap bool
+	// Balance enables dynamic subdomain-boundary balancing: every
+	// BalanceEvery-th rebuild the engine AllGathers the per-rank load
+	// profile and shifts the per-axis cut planes toward the load centroid
+	// (each plane moves at most the halo width per rebalance and no
+	// subdomain narrows below the halo). Trajectories stay bitwise
+	// identical to the static grid; see balance.go.
+	Balance bool
+	// BalanceEvery is the rebalance period in rebuild events (<= 0 means
+	// the default, 2: the first rebuild of a run never rebalances, so the
+	// load EWMA is warm by the first shift).
+	BalanceEvery int
+	// BalanceWindow is the EWMA window, in force evaluations, of the
+	// per-rank step-time load signal (<= 0 means the default, 32).
+	BalanceWindow int
+	// BalanceCost selects the per-rank load scalar the controller
+	// equalizes: CostStepTime (default, measured wall time) or
+	// CostOwnedAtoms (deterministic atom-count proxy).
+	BalanceCost CostModel
 }
 
-// ParseGrid parses a "PxxPyxPz" grid shape such as "2x2x1".
+// ParseGrid parses a "PxxPyxPz" domain-grid shape into per-axis rank
+// counts. Accepted syntax: exactly three decimal integers >= 1 separated by
+// the letter 'x' (case-insensitive), with surrounding whitespace ignored —
+// e.g. "2x2x1", " 4X2x1 ". Anything else (missing axes, extra axes, zero,
+// negative, or non-numeric counts) is an error.
 func ParseGrid(s string) ([3]int, error) {
 	parts := strings.Split(strings.ToLower(strings.TrimSpace(s)), "x")
 	if len(parts) != 3 {
@@ -185,8 +221,16 @@ type Engine struct {
 	p, n int
 
 	box  [3]float64 // global box lengths
-	w    [3]float64 // subdomain widths per axis
 	halo float64
+	// cuts holds the per-axis subdomain boundaries (uniform at
+	// construction; interior planes move when balancing is enabled).
+	// Written only by rank 0 inside the rebalance collective, under
+	// barrier discipline — everywhere else it is read-only shared state.
+	cuts cluster.Cuts3D
+	// bal is the boundary-balancing controller (nil when disabled).
+	bal *balancer
+	// ewmaAlpha is the smoothing factor of the per-rank step-time EWMA.
+	ewmaAlpha float64
 	// axes lists the partitioned axes (grid count > 1), ascending — the
 	// exchange order x, y, z.
 	axes []int
@@ -230,7 +274,8 @@ type axisExch struct {
 type rankState struct {
 	rank   int
 	coords [3]int
-	lo     [3]float64 // subdomain low corner
+	lo     [3]float64 // subdomain low corner (tracks the cut planes)
+	w      [3]float64 // subdomain widths per axis (tracks the cut planes)
 	ff     RankFF
 	block  BlockFF    // non-nil when ff implements BlockFF
 	two    TwoPhaseFF // non-nil when ff implements TwoPhaseFF
@@ -264,6 +309,17 @@ type rankState struct {
 
 	flag    []float64 // 1-element collective scratch
 	partial []float64
+
+	// Per-step load signal: stepSecs accumulates the local compute wall
+	// time (force evaluation + neighbor-list builds, never communication
+	// waits) of the current force step; loadEWMA smooths it across steps
+	// (see balance.go).
+	stepSecs float64
+	loadEWMA float64
+	// loadVec/loadsAll are the AllGather scratch of the rebalance
+	// collective.
+	loadVec  [1]float64
+	loadsAll []float64
 
 	nl   *NeighborList
 	lsys md.System
@@ -323,8 +379,13 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg: cfg, comm: comm, grid: grid, p: p, n: sys.N,
-		box: box, w: w, halo: halo, axes: axes,
+		box: box, halo: halo, axes: axes,
+		cuts:   cluster.UniformCuts3D(grid, box[0], box[1], box[2]),
 		peRank: make([]float64, p), keRank: make([]float64, p),
+	}
+	e.ewmaAlpha = ewmaAlpha(cfg.BalanceWindow)
+	if cfg.Balance {
+		e.bal = newBalancer(cfg, grid, halo)
 	}
 	e.rs = make([]*rankState, p)
 	e.cmd = make([]chan int, p)
@@ -336,7 +397,8 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 		}
 		rs.coords[0], rs.coords[1], rs.coords[2] = grid.Coords(r)
 		for a := 0; a < 3; a++ {
-			rs.lo[a] = w[a] * float64(rs.coords[a])
+			rs.lo[a] = e.cuts.Lo(a, rs.coords[a])
+			rs.w[a] = e.cuts.Width(a, rs.coords[a])
 		}
 		rs.block, _ = rs.ff.(BlockFF)
 		if two, ok := rs.ff.(TwoPhaseFF); ok {
@@ -384,16 +446,10 @@ func (e *Engine) scatter(sys *md.System) {
 	}
 }
 
-// gridCoord returns the grid coordinate of position pos along axis a.
+// gridCoord returns the grid coordinate of position pos along axis a under
+// the current (possibly balanced) cut planes.
 func (e *Engine) gridCoord(pos float64, a int) int {
-	t := int(wrap1(pos, e.box[a]) / e.box[a] * float64(e.grid.P[a]))
-	if t < 0 {
-		return 0
-	}
-	if t >= e.grid.P[a] {
-		return e.grid.P[a] - 1
-	}
-	return t
+	return e.cuts.Index(a, wrap1(pos, e.box[a]))
 }
 
 // ownerOf returns the rank owning position (x, y, z).
@@ -611,6 +667,7 @@ func (e *Engine) forceStep(rs *rankState) {
 	for i := range rs.partial {
 		rs.partial[i] = 0
 	}
+	rs.stepSecs = 0
 	if e.checkStale(rs) {
 		e.rebuild(rs)
 		e.evalFresh(rs)
@@ -619,6 +676,13 @@ func (e *Engine) forceStep(rs *rankState) {
 	}
 	e.comm.AllReduceSumInPlace(rs.rank, rs.partial)
 	e.peRank[rs.rank] = rs.ff.Energy(&rs.v, rs.partial)
+	// Fold this step's local compute time into the rank's load EWMA (the
+	// balancing signal; also the imbalance diagnostic of static runs).
+	if rs.loadEWMA == 0 {
+		rs.loadEWMA = rs.stepSecs
+	} else {
+		rs.loadEWMA += e.ewmaAlpha * (rs.stepSecs - rs.loadEWMA)
+	}
 }
 
 // checkStale decides collectively whether a rebuild is due: any rank whose
@@ -654,13 +718,17 @@ func (e *Engine) evalSteady(rs *rankState) {
 	if rs.block != nil && rs.nInt > 0 && len(e.axes) > 0 {
 		a0 := e.axes[0]
 		e.postAxisSends(rs, a0)
+		t0 := time.Now()
 		rs.block.ComputeBlock(&rs.v, 0, rs.nInt, rs.partial)
+		rs.stepSecs += time.Since(t0).Seconds()
 		e.recvAxis(rs, a0)
 		for _, a := range e.axes[1:] {
 			e.postAxisSends(rs, a)
 			e.recvAxis(rs, a)
 		}
+		t0 = time.Now()
 		rs.block.ComputeBlock(&rs.v, rs.nInt, rs.nOwn, rs.partial)
+		rs.stepSecs += time.Since(t0).Seconds()
 		return
 	}
 	e.refreshGhosts(rs)
@@ -672,35 +740,48 @@ func (e *Engine) evalSteady(rs *rankState) {
 // payload exchange here, overlapped with interior assembly.
 func (e *Engine) evalFresh(rs *rankState) {
 	if rs.two == nil {
+		t0 := time.Now()
 		rs.ff.Compute(&rs.v, rs.partial)
+		rs.stepSecs += time.Since(t0).Seconds()
 		return
 	}
+	t0 := time.Now()
 	rs.two.PhaseOne(&rs.v, rs.aux, rs.partial)
+	rs.stepSecs += time.Since(t0).Seconds()
 	if rs.nInt > 0 && len(e.axes) > 0 {
 		a0 := e.axes[0]
 		e.postAuxSends(rs, a0)
+		t0 = time.Now()
 		rs.two.PhaseTwo(&rs.v, rs.aux, 0, rs.nInt)
+		rs.stepSecs += time.Since(t0).Seconds()
 		e.recvAuxAxis(rs, a0)
 		for _, a := range e.axes[1:] {
 			e.postAuxSends(rs, a)
 			e.recvAuxAxis(rs, a)
 		}
+		t0 = time.Now()
 		rs.two.PhaseTwo(&rs.v, rs.aux, rs.nInt, rs.nOwn)
+		rs.stepSecs += time.Since(t0).Seconds()
 		return
 	}
 	for _, a := range e.axes {
 		e.postAuxSends(rs, a)
 		e.recvAuxAxis(rs, a)
 	}
+	t0 = time.Now()
 	rs.two.PhaseTwo(&rs.v, rs.aux, 0, rs.nOwn)
+	rs.stepSecs += time.Since(t0).Seconds()
 }
 
-// rebuild is the collective event path: migrate strayed atoms to their new
-// owners per axis, reorder owned atoms interior-first, rebuild the ghost
-// halo over the three axis exchanges, record the staleness reference, and
-// rebuild the rank neighbor list if the force field wants one.
+// rebuild is the collective event path: rebalance the cut planes if due
+// (atoms whose subdomain the shift changed become migration traffic),
+// migrate strayed atoms to their new owners per axis, reorder owned atoms
+// interior-first, rebuild the ghost halo over the three axis exchanges,
+// record the staleness reference, and rebuild the rank neighbor list if the
+// force field wants one.
 func (e *Engine) rebuild(rs *rankState) {
 	rs.nRebuilds++
+	e.maybeRebalance(rs)
 	e.migrate(rs)
 	e.classifyInterior(rs)
 	e.buildHalo(rs)
@@ -708,7 +789,9 @@ func (e *Engine) rebuild(rs *rankState) {
 	copy(rs.refX, rs.x[:3*rs.nOwn])
 	e.refreshView(rs)
 	if rs.ff.NeedsNeighborList() {
+		t0 := time.Now()
 		rs.nl.Build(&rs.v)
+		rs.stepSecs += time.Since(t0).Seconds()
 		e.verifyInteriorRows(rs)
 	}
 	rs.needRebuild = false
@@ -743,8 +826,13 @@ func (e *Engine) classifyInterior(rs *rankState) {
 	for i := 0; i < rs.nOwn; i++ {
 		interior := true
 		for _, a := range e.axes {
-			d := minImage1(rs.x[3*i+a]-rs.lo[a], e.box[a])
-			if d <= e.halo || e.w[a]-d <= e.halo {
+			// wrap1, not minImage1: post-migration owned atoms sit in
+			// [lo, lo+w) along every partitioned axis, so folding into
+			// [0, box) measures the face distance exactly even when a
+			// balanced subdomain is wider than half the box (minImage1
+			// would fold the far half negative there).
+			d := wrap1(rs.x[3*i+a]-rs.lo[a], e.box[a])
+			if d <= e.halo || rs.w[a]-d <= e.halo {
 				interior = false
 				break
 			}
@@ -897,10 +985,14 @@ func (e *Engine) buildHalo(rs *rankState) {
 	}
 	for _, a := range e.axes {
 		minus, plus := e.grid.AxisNeighbors(rs.rank, a)
-		la, wa := rs.lo[a], e.w[a]
+		la, wa := rs.lo[a], rs.w[a]
 		ax := &rs.ax[a]
 		for i := 0; i < rs.nLoc; i++ {
-			d := minImage1(rs.x[3*i+a]-la, e.box[a])
+			// wrap1 for the same reason as classifyInterior: every local
+			// atom — owned, or a ghost of an earlier axis, which lives in
+			// this rank's slab along axis a — is in [la, la+wa) here, and
+			// wide balanced subdomains must not fold the far half.
+			d := wrap1(rs.x[3*i+a]-la, e.box[a])
 			if d <= e.halo {
 				ax.side[0].sendIdx = append(ax.side[0].sendIdx, int32(i))
 			}
@@ -1049,30 +1141,43 @@ func (e *Engine) Gather(sys *md.System) {
 }
 
 // Validate checks the decomposition invariants (driver-side, for tests):
+// the cut planes are well-formed (pinned ends, ascending, every subdomain
+// at least a halo wide) and each rank's cached corner/width tracks them,
 // the owned sets partition the global ids, every owned atom sat in its
 // rank's subdomain (along all three grid axes) at the last rebuild, ghost
 // bookkeeping is consistent, every ghost lies within cutoff+skin (plus the
 // skin/2 drift allowance) of the owning subdomain, and the interior split
-// point is in range.
+// point is in range. Error messages name ranks as "rank r (ix,iy,iz)" so a
+// balancing failure points at the grid cell, not just the linear id.
 func (e *Engine) Validate() error {
+	if err := e.cuts.Validate(e.halo - 1e-12); err != nil {
+		return fmt.Errorf("shard: %v", err)
+	}
 	seen := make([]int, e.n)
 	for _, rs := range e.rs {
+		at := fmt.Sprintf("rank %d (%d,%d,%d)", rs.rank, rs.coords[0], rs.coords[1], rs.coords[2])
+		for a := 0; a < 3; a++ {
+			if rs.lo[a] != e.cuts.Lo(a, rs.coords[a]) || rs.w[a] != e.cuts.Width(a, rs.coords[a]) {
+				return fmt.Errorf("shard: %s subdomain [%g,+%g) does not track the axis-%d cut planes [%g,+%g)",
+					at, rs.lo[a], rs.w[a], a, e.cuts.Lo(a, rs.coords[a]), e.cuts.Width(a, rs.coords[a]))
+			}
+		}
 		if rs.nOwn > rs.nLoc || len(rs.ids) < rs.nLoc {
-			return fmt.Errorf("shard: rank %d counts nOwn=%d nLoc=%d len(ids)=%d", rs.rank, rs.nOwn, rs.nLoc, len(rs.ids))
+			return fmt.Errorf("shard: %s counts nOwn=%d nLoc=%d len(ids)=%d", at, rs.nOwn, rs.nLoc, len(rs.ids))
 		}
 		if rs.nInt < 0 || rs.nInt > rs.nOwn {
-			return fmt.Errorf("shard: rank %d interior split %d outside [0,%d]", rs.rank, rs.nInt, rs.nOwn)
+			return fmt.Errorf("shard: %s interior split %d outside [0,%d]", at, rs.nInt, rs.nOwn)
 		}
 		for i := 0; i < rs.nOwn; i++ {
 			g := int(rs.ids[i])
 			if g < 0 || g >= e.n {
-				return fmt.Errorf("shard: rank %d owns bad id %d", rs.rank, g)
+				return fmt.Errorf("shard: %s owns bad id %d", at, g)
 			}
 			seen[g]++
 			if !rs.needRebuild {
 				for a := 0; a < 3; a++ {
 					if e.gridCoord(rs.refX[3*i+a], a) != rs.coords[a] {
-						return fmt.Errorf("shard: rank %d owns atom %d outside its subdomain along axis %d at rebuild", rs.rank, g, a)
+						return fmt.Errorf("shard: %s owns atom %d outside its subdomain along axis %d at rebuild", at, g, a)
 					}
 				}
 			}
@@ -1081,7 +1186,7 @@ func (e *Engine) Validate() error {
 		for i := rs.nOwn; i < rs.nLoc; i++ {
 			slot, ok := rs.v.lookup[rs.ids[i]]
 			if !ok || int(slot) != i {
-				return fmt.Errorf("shard: rank %d ghost %d lookup broken", rs.rank, rs.ids[i])
+				return fmt.Errorf("shard: %s ghost %d lookup broken", at, rs.ids[i])
 			}
 			for _, a := range e.axes {
 				// Circular distance from the subdomain arc [lo, lo+w):
@@ -1090,15 +1195,15 @@ func (e *Engine) Validate() error {
 				// through the wrap by box−d, whichever is nearer.
 				d := wrap1(rs.x[3*i+a]-rs.lo[a], e.box[a])
 				beyond := 0.0
-				if d > e.w[a] {
-					beyond = d - e.w[a]
+				if d > rs.w[a] {
+					beyond = d - rs.w[a]
 					if wrapDist := e.box[a] - d; wrapDist < beyond {
 						beyond = wrapDist
 					}
 				}
 				if beyond > slack {
-					return fmt.Errorf("shard: rank %d ghost %d is %g beyond the subdomain along axis %d (allowed %g)",
-						rs.rank, rs.ids[i], beyond, a, slack)
+					return fmt.Errorf("shard: %s ghost %d is %g beyond the subdomain along axis %d (allowed %g)",
+						at, rs.ids[i], beyond, a, slack)
 				}
 			}
 		}
