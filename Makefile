@@ -1,14 +1,20 @@
 # mlmd build / verification entry points.
 #
-#   make check   - format check, vet, build, full test suite, the race
+#   make check   - format check, vet, build, full test suite (including the
+#                  multi-process smoke: cmd/mlmd's TestMultiProcessSummary-
+#                  MatchesGolden runs a short `mlmd -procs 2` over the
+#                  Unix-socket rank transport against the golden summary,
+#                  skipping on platforms without Unix sockets), the race
 #                  detector over the pool-parallel and sharded packages,
 #                  the coverage floor, a short fuzz smoke, and the docs gate
 #   make docs    - documentation gate: gofmt -l on the documented packages,
 #                  go vet ./..., and cmd/checkdoc (fails on exported
-#                  identifiers missing doc comments in shard/cluster/par)
+#                  identifiers missing doc comments in shard/cluster/
+#                  cluster/wire/par)
 #   make cover   - enforce the >=85% coverage floor on the MD/IO/cluster/
 #                  shard packages (grid/overlap paths included)
-#   make fuzz    - 10s native-fuzz smoke per mlmdio deserializer
+#   make fuzz    - 10s native-fuzz smoke per mlmdio deserializer and per
+#                  wire frame decoder (the multi-process rank transport)
 #   make bench   - hot-kernel benchmarks (serial vs pool) with allocation
 #                  counts, written to BENCH_PR1.json (and echoed)
 #   make bench2  - sharded-engine strong scaling (1/2/4/8 ranks, best of 7),
@@ -18,6 +24,9 @@
 #   make bench4  - hot-spot load-balancing sweep (static vs balanced grids
 #                  on the Gaussian-clustered workload, best of 5), written
 #                  to BENCH_PR4.json
+#   make bench5  - in-process vs multi-process transport sweep (one OS
+#                  process per rank over Unix sockets, best of 5) plus the
+#                  transport ping-pong, written to BENCH_PR5.json
 #   make tables  - the full paper-table benchmark suite at the repo root
 #
 # docs/benchmarks.md documents the bench workflow and the JSON schemas;
@@ -41,18 +50,20 @@ PAR_PKGS = ./internal/par ./internal/md ./internal/linalg ./internal/allegro \
 
 # Coverage-gated packages and floor (ISSUE 2 CI contract; ISSUE 3 raised
 # the floor to cover the shard grid/overlap and cluster grid-topology
-# paths — current levels: md 97%, mlmdio 90%, cluster 95%, shard 94%).
-COVER_PKGS = ./internal/md ./internal/mlmdio ./internal/cluster ./internal/shard
+# paths; ISSUE 5 added the wire codec — current levels: md 97%, mlmdio 90%,
+# cluster 92%, wire 97%, shard 94%).
+COVER_PKGS = ./internal/md ./internal/mlmdio ./internal/cluster ./internal/cluster/wire ./internal/shard
 COVER_MIN  = 85
 
-# mlmdio deserializers under native fuzzing.
-FUZZ_TARGETS = FuzzReadXYZ FuzzLoadSystem FuzzLoadModel FuzzLoadWaveField
+# Deserializers and frame decoders under native fuzzing, per package.
+FUZZ_TARGETS      = FuzzReadXYZ FuzzLoadSystem FuzzLoadModel FuzzLoadWaveField
+WIRE_FUZZ_TARGETS = FuzzReadData FuzzReadHandshake
 FUZZ_TIME   ?= 10s
 
 # Packages whose exported API must be fully doc-commented (`make docs`).
-DOC_PKGS = ./internal/shard ./internal/cluster ./internal/par
+DOC_PKGS = ./internal/shard ./internal/cluster ./internal/cluster/wire ./internal/par
 
-.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 tables
+.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 bench5 tables
 
 check: fmt vet build test race cover fuzz docs
 
@@ -92,6 +103,10 @@ fuzz:
 		echo "fuzz $$f ($(FUZZ_TIME))"; \
 		$(GO) test ./internal/mlmdio -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZ_TIME) | tail -2; \
 	done
+	@for f in $(WIRE_FUZZ_TARGETS); do \
+		echo "fuzz $$f ($(FUZZ_TIME))"; \
+		$(GO) test ./internal/cluster/wire -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZ_TIME) | tail -2; \
+	done
 
 bench:
 	$(GO) test ./internal/md ./internal/linalg ./internal/par \
@@ -106,6 +121,9 @@ bench3:
 
 bench4:
 	$(GO) run ./cmd/bench-scaling -hotspot -shardjson > BENCH_PR4.json
+
+bench5:
+	$(GO) run ./cmd/bench-scaling -procs -shardjson > BENCH_PR5.json
 
 tables:
 	$(GO) test . -run '^$$' -bench . -benchmem

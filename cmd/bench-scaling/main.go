@@ -6,17 +6,20 @@
 // Usage:
 //
 //	bench-scaling [-table1] [-table2] [-fig4a] [-fig4b] [-fig5a] [-fig5b] [-legato]
-//	              [-shard | -grid | -hotspot [-shardjson] [-shardcells N] [-shardsteps N]]
+//	              [-shard | -grid | -hotspot | -procs [-shardjson] [-shardcells N] [-shardsteps N]]
 //	              [-balance]
 //
 // With no flags, everything except -legato (which trains models and runs MD,
-// taking ~a minute) and -shard/-grid/-hotspot (which measure the real
+// taking ~a minute) and -shard/-grid/-hotspot/-procs (which measure the real
 // sharded engine, internal/shard, rather than the analytic machine model) is
 // printed. -shard -shardjson writes the committable BENCH_PR2.json document
 // to stdout and the human table to stderr (see `make bench2`); -grid
 // -shardjson likewise writes the 3-D grid-vs-slab BENCH_PR3.json (see
 // `make bench3`); -hotspot -shardjson writes the static-vs-balanced
-// load-balancing BENCH_PR4.json (see `make bench4`). -balance turns dynamic
+// load-balancing BENCH_PR4.json (see `make bench4`); -procs -shardjson
+// writes the in-process-vs-multi-process transport comparison BENCH_PR5.json
+// (see `make bench5`; the tool re-executes itself with the internal
+// -procworker flags to fork one OS process per rank). -balance turns dynamic
 // boundary balancing on in the -shard/-grid sweeps (the -hotspot sweep
 // always measures both modes).
 package main
@@ -28,6 +31,7 @@ import (
 	"os"
 
 	"mlmd/internal/bench"
+	"mlmd/internal/shard"
 )
 
 func main() {
@@ -41,19 +45,35 @@ func main() {
 	shardFlag := flag.Bool("shard", false, "real sharded-engine LJ strong scaling (1/2/4/8 slab ranks, best of 7)")
 	gridFlag := flag.Bool("grid", false, "real sharded-engine grid-vs-slab strong scaling (1x1x1 … 2x2x2, best of 7)")
 	hotspotFlag := flag.Bool("hotspot", false, "Gaussian hot-spot static-vs-balanced load-balancing sweep (best of 5)")
+	procsFlag := flag.Bool("procs", false, "in-process vs multi-process transport sweep (forks one OS process per rank; best of 5) + transport ping-pong")
 	balanceFlag := flag.Bool("balance", false, "enable dynamic boundary balancing in the -shard/-grid sweeps")
-	shardJSON := flag.Bool("shardjson", false, "with -shard/-grid/-hotspot: emit the JSON document (BENCH_PR2/3/4.json) instead of the table")
-	shardCells := flag.Int("shardcells", 11, "fcc cells per axis of the -shard/-grid/-hotspot system (atoms = 4·cells³ before hot-spot thinning; needs cells >= 11 so the 8-rank slab still fits the halo)")
-	shardSteps := flag.Int("shardsteps", 100, "MD steps per -shard/-grid/-hotspot trial")
+	shardJSON := flag.Bool("shardjson", false, "with -shard/-grid/-hotspot/-procs: emit the JSON document (BENCH_PR2/3/4/5.json) instead of the table")
+	shardCells := flag.Int("shardcells", 11, "fcc cells per axis of the -shard/-grid/-hotspot/-procs system (atoms = 4·cells³ before hot-spot thinning; needs cells >= 11 so the 8-rank slab still fits the halo)")
+	shardSteps := flag.Int("shardsteps", 100, "MD steps per -shard/-grid/-hotspot/-procs trial")
+	procWorker := flag.Bool("procworker", false, "internal: run as one rank worker of a -procs measurement")
+	wrank := flag.Int("wrank", -1, "internal: -procworker rank")
+	wgrid := flag.String("wgrid", "", "internal: -procworker grid shape")
+	rdv := flag.String("rdv", "", "internal: -procworker rendezvous directory")
 	flag.Parse()
+	if *procWorker {
+		grid, err := shard.ParseGrid(*wgrid)
+		if err == nil {
+			err = bench.RunProcWorker(*rdv, *wrank, grid, *shardCells, *shardSteps)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-scaling worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	exclusive := 0
-	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag} {
+	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag, *procsFlag} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid and -hotspot are mutually exclusive (each emits its own JSON document)")
+		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid, -hotspot and -procs are mutually exclusive (each emits its own JSON document)")
 		os.Exit(2)
 	}
 	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato && exclusive == 0
@@ -108,6 +128,22 @@ func main() {
 			os.Exit(1)
 		}
 		emit(bench.HotSpotTable(points), bench.HotSpotDocument(points), *shardJSON)
+	}
+	if *procsFlag {
+		exe, err := os.Executable()
+		var points []bench.ProcPoint
+		var ping []bench.PingPoint
+		if err == nil {
+			points, err = bench.ProcScaling(exe, bench.ProcShapes, *shardCells, *shardSteps)
+		}
+		if err == nil {
+			ping, err = bench.TransportPingPong(bench.PingPongSizes, bench.PingPongIters)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+			os.Exit(1)
+		}
+		emit(bench.ProcScalingTable(points, ping), bench.ProcScalingDocument(points, ping), *shardJSON)
 	}
 }
 

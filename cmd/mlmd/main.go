@@ -6,14 +6,24 @@
 // Usage:
 //
 //	mlmd [-mesh N] [-domains N] [-norb N] [-nqd N] [-mdsteps N] [-amp E0] [-photon eV]
-//	     [-cells N] [-ranks N | -grid PxxPyxPz] [-balance]
+//	     [-cells N] [-ranks N | -grid PxxPyxPz] [-balance] [-procs N]
+//
+// With -procs N the sharded lattice stage runs across N OS processes: the
+// launcher forks one worker per rank (mlmd -worker -wrank i), the workers
+// connect through the Unix-domain-socket rank transport, and rank 0 prints
+// the aggregated summary — which is bitwise identical to the in-process
+// -ranks/-grid run of the same decomposition.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"strconv"
 
+	"mlmd/internal/cluster"
 	"mlmd/internal/core"
 	"mlmd/internal/ferro"
 	"mlmd/internal/grid"
@@ -21,6 +31,15 @@ import (
 	"mlmd/internal/shard"
 	"mlmd/internal/units"
 )
+
+// shardOpts is the resolved sharding configuration of the lattice stage.
+type shardOpts struct {
+	grid    [3]int // {0,0,0} = unsharded
+	balance bool
+	procs   int           // > 0: multi-process run
+	comm    *cluster.Comm // worker mode: the socket communicator
+	local   int           // worker mode: the hosted rank
+}
 
 func main() {
 	mesh := flag.Int("mesh", 16, "global mesh points per axis (power of two recommended)")
@@ -32,36 +51,147 @@ func main() {
 	photon := flag.Float64("photon", 3.0, "photon energy (eV)")
 	latCells := flag.Int("cells", 12, "XS-NNQMD lattice cells per axis (xy)")
 	ranks := flag.Int("ranks", 0, "shard the XS-NNQMD stage across N in-process slab ranks (0 = unsharded)")
-	gridStr := flag.String("grid", "", "shard the XS-NNQMD stage across a PxxPyxPz domain grid, e.g. 2x2x1 (overrides -ranks; the demo lattice is 2 cells thick, so Pz must divide its thin axis with room for the halo)")
-	balance := flag.Bool("balance", false, "with -ranks/-grid: dynamically rebalance the subdomain boundaries from per-rank step times (trajectory stays bitwise identical; a summary line reports the imbalance)")
+	gridStr := flag.String("grid", "", "shard the XS-NNQMD stage across a PxxPyxPz domain grid, e.g. 2x2x1 (the demo lattice is 2 cells thick, so Pz must divide its thin axis with room for the halo)")
+	balance := flag.Bool("balance", false, "with -ranks/-grid/-procs: dynamically rebalance the subdomain boundaries from per-rank step times (trajectory stays bitwise identical; a summary line reports the imbalance)")
+	procs := flag.Int("procs", 0, "run the sharded XS-NNQMD stage across N OS processes over the Unix-socket rank transport (alone: an Nx1x1 slab grid; with -grid: the grid's rank count must equal N)")
+	worker := flag.Bool("worker", false, "internal: run as one rank worker of a -procs launch")
+	wrank := flag.Int("wrank", -1, "internal: worker rank of a -procs launch")
+	rdv := flag.String("rdv", "", "internal: rendezvous directory of the -procs socket transport")
 	flag.Parse()
 
-	cfg := core.DefaultDCMESHConfig()
-	cfg.Global = grid.NewCubic(*mesh, 0.8)
-	cfg.Dx, cfg.Dy, cfg.Dz = *domains, *domains, 1
-	cfg.Norb = *norb
-	cfg.NQD = *nqd
-	cfg.GroundIters = 300
-	cfg.Pulse = maxwell.NewPulse(*amp, units.Hartree(*photon), 0.5, 0.5)
+	opts, err := resolveShard(*ranks, *gridStr, *balance, *procs)
+	if err != nil {
+		fail(err)
+	}
+	if opts.procs > 0 && !*worker {
+		os.Exit(launch(opts.procs))
+	}
+	out := io.Writer(os.Stdout)
+	if *worker {
+		if *wrank < 0 || *wrank >= opts.procs || *rdv == "" {
+			fail(fmt.Errorf("-worker needs -wrank in [0,%d) and -rdv", opts.procs))
+		}
+		tr, err := cluster.NewSocketTransport(*rdv, *wrank, opts.procs, opts.grid)
+		if err != nil {
+			fail(err)
+		}
+		defer tr.Close()
+		comm, err := cluster.NewCommOver(tr, cluster.Interconnect{})
+		if err != nil {
+			fail(err)
+		}
+		opts.comm = comm
+		opts.local = *wrank
+		if *wrank != 0 {
+			out = io.Discard
+		}
+	}
+	run(out, *mesh, *domains, *norb, *nqd, *mdsteps, *amp, *photon, *latCells, opts)
+}
 
-	fmt.Printf("MLMD: %s split into %dx%dx%d domains, %d orbitals each\n",
+// resolveShard validates the sharding flags and resolves them into a grid
+// shape. Misuse that older versions silently ignored fails fast here:
+// -balance without a decomposition, and -ranks combined with -grid.
+func resolveShard(ranks int, gridStr string, balance bool, procs int) (shardOpts, error) {
+	opts := shardOpts{balance: balance, procs: procs}
+	if ranks < 0 || procs < 0 {
+		return opts, fmt.Errorf("-ranks and -procs must be >= 0")
+	}
+	if ranks > 0 && gridStr != "" {
+		return opts, fmt.Errorf("-ranks %d and -grid %s both name a decomposition: use one", ranks, gridStr)
+	}
+	switch {
+	case gridStr != "":
+		g, err := shard.ParseGrid(gridStr)
+		if err != nil {
+			return opts, err
+		}
+		opts.grid = g
+	case ranks > 0:
+		opts.grid = [3]int{ranks, 1, 1}
+	case procs > 0:
+		opts.grid = [3]int{procs, 1, 1}
+	}
+	if procs > 0 {
+		if n := opts.grid[0] * opts.grid[1] * opts.grid[2]; n != procs {
+			return opts, fmt.Errorf("-procs %d does not match the %d-rank decomposition (%dx%dx%d)",
+				procs, n, opts.grid[0], opts.grid[1], opts.grid[2])
+		}
+	}
+	if balance && opts.grid == [3]int{} {
+		return opts, fmt.Errorf("-balance requires a decomposition: add -ranks, -grid or -procs")
+	}
+	return opts, nil
+}
+
+// launch is the -procs parent: it forks one worker per rank with the
+// original arguments plus the internal worker flags, streams rank 0's
+// aggregated summary, and reaps the children.
+func launch(procs int) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fail(err)
+	}
+	dir, err := os.MkdirTemp("", "mlmd-rdv")
+	if err != nil {
+		fail(err)
+	}
+	defer os.RemoveAll(dir)
+	cmds := make([]*exec.Cmd, procs)
+	for r := 0; r < procs; r++ {
+		args := append(append([]string{}, os.Args[1:]...),
+			"-worker", "-wrank", strconv.Itoa(r), "-rdv", dir)
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		if r == 0 {
+			cmd.Stdout = os.Stdout
+		}
+		if err := cmd.Start(); err != nil {
+			fail(err)
+		}
+		cmds[r] = cmd
+	}
+	status := 0
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "mlmd: worker %d: %v\n", r, err)
+			status = 1
+		}
+	}
+	return status
+}
+
+// run is the full pipeline, shared by the single-process path and every
+// -procs worker (which all execute the deterministic DC-MESH stage and
+// diverge only in which lattice subdomain they own; out is io.Discard on
+// every rank but 0).
+func run(out io.Writer, mesh, domains, norb, nqd, mdsteps int, amp, photon float64, latCells int, opts shardOpts) {
+	cfg := core.DefaultDCMESHConfig()
+	cfg.Global = grid.NewCubic(mesh, 0.8)
+	cfg.Dx, cfg.Dy, cfg.Dz = domains, domains, 1
+	cfg.Norb = norb
+	cfg.NQD = nqd
+	cfg.GroundIters = 300
+	cfg.Pulse = maxwell.NewPulse(amp, units.Hartree(photon), 0.5, 0.5)
+
+	fmt.Fprintf(out, "MLMD: %s split into %dx%dx%d domains, %d orbitals each\n",
 		cfg.Global, cfg.Dx, cfg.Dy, cfg.Dz, cfg.Norb)
 	qd, err := core.NewDCMESH(cfg)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("prepared %d domain ground states\n", len(qd.Domains))
+	fmt.Fprintf(out, "prepared %d domain ground states\n", len(qd.Domains))
 
-	fmt.Printf("\n-- DC-MESH: pulse E0=%g a.u., photon %.2f eV --\n", *amp, *photon)
+	fmt.Fprintf(out, "\n-- DC-MESH: pulse E0=%g a.u., photon %.2f eV --\n", amp, photon)
 	var nExc []float64
-	for s := 0; s < *mdsteps; s++ {
+	for s := 0; s < mdsteps; s++ {
 		nExc = qd.MDStep()
-		fmt.Printf("MD step %d: t = %6.2f as, n_exc total = %.4f, norm drift = %.2e\n",
+		fmt.Fprintf(out, "MD step %d: t = %6.2f as, n_exc total = %.4f, norm drift = %.2e\n",
 			s+1, units.Attoseconds(qd.Time()), qd.TotalExcitation(), qd.NormDrift())
 	}
 
-	fmt.Printf("\n-- XS-NNQMD: %dx%dx2 PbTiO3 lattice response --\n", *latCells, *latCells)
-	sys, lat, err := ferro.NewLattice(*latCells, *latCells, 2)
+	fmt.Fprintf(out, "\n-- XS-NNQMD: %dx%dx2 PbTiO3 lattice response --\n", latCells, latCells)
+	sys, lat, err := ferro.NewLattice(latCells, latCells, 2)
 	if err != nil {
 		fail(err)
 	}
@@ -77,14 +207,7 @@ func main() {
 		fail(err)
 	}
 	var eng *shard.Engine
-	if *ranks > 0 || *gridStr != "" {
-		var grid [3]int
-		if *gridStr != "" {
-			grid, err = shard.ParseGrid(*gridStr)
-			if err != nil {
-				fail(err)
-			}
-		}
+	if opts.grid != [3]int{} {
 		newFF, err := shard.BlendEffHamFactory(lat, gs, xs)
 		if err != nil {
 			fail(err)
@@ -92,12 +215,13 @@ func main() {
 		// Halo: the soft-mode stencil reaches the neighbor cell's Ti, so
 		// cutoff must cover a lattice constant plus off-centering drift.
 		eng, err = shard.NewEngine(shard.Config{
-			Ranks:   *ranks,
-			Grid:    grid,
-			Cutoff:  1.3 * ferro.LatticeConstant,
-			Skin:    0.4 * ferro.LatticeConstant,
-			NewFF:   newFF,
-			Balance: *balance,
+			Grid:      opts.grid,
+			Cutoff:    1.3 * ferro.LatticeConstant,
+			Skin:      0.4 * ferro.LatticeConstant,
+			NewFF:     newFF,
+			Balance:   opts.balance,
+			Comm:      opts.comm,
+			LocalRank: opts.local,
 		}, sys)
 		if err != nil {
 			fail(err)
@@ -105,7 +229,12 @@ func main() {
 		defer eng.Close()
 		nn.SetForceField(eng)
 		g := eng.Grid()
-		fmt.Printf("(lattice stage sharded across %d ranks, %dx%dx%d grid)\n", eng.Ranks(), g[0], g[1], g[2])
+		if opts.procs > 0 {
+			fmt.Fprintf(out, "(lattice stage sharded across %d ranks, %dx%dx%d grid, %d processes)\n",
+				eng.Ranks(), g[0], g[1], g[2], opts.procs)
+		} else {
+			fmt.Fprintf(out, "(lattice stage sharded across %d ranks, %dx%dx%d grid)\n", eng.Ranks(), g[0], g[1], g[2])
+		}
 	}
 	if err := nn.SetExcitationFromDomains(nExc, cfg.Dx, cfg.Dy, cfg.Dz, 0.02); err != nil {
 		fail(err)
@@ -113,17 +242,24 @@ func main() {
 	nn.CarrierLifetime = 1000
 	for block := 0; block < 5; block++ {
 		nn.Step(40)
-		fmt.Printf("t = %6.1f fs: mean Pz = %+.4f, topological charge = %+.2f\n",
+		fmt.Fprintf(out, "t = %6.1f fs: mean Pz = %+.4f, topological charge = %+.2f\n",
 			units.Femtoseconds(nn.Time()), nn.PolarizationField().MeanPz(), nn.TopologicalCharge())
 	}
-	if eng != nil && *balance {
+	if eng != nil && opts.balance {
 		// Timing-dependent, so outside the golden summary (the trajectory
 		// above is bitwise identical to the unbalanced run regardless).
 		rebalances, maxShift := eng.BalanceStats()
-		fmt.Printf("(balance: %d rebalances, max cut shift %.3f, step-time imbalance %.2f, owned-atom imbalance %.2f)\n",
-			rebalances, maxShift, eng.LoadImbalance(), eng.OwnedImbalance())
+		if opts.procs > 0 {
+			// A worker hosts one rank, so per-process imbalance is
+			// trivially 1.0 — print only the controller activity (the
+			// cross-rank profile lives inside the rebalance AllGather).
+			fmt.Fprintf(out, "(balance: %d rebalances, max cut shift %.3f)\n", rebalances, maxShift)
+		} else {
+			fmt.Fprintf(out, "(balance: %d rebalances, max cut shift %.3f, step-time imbalance %.2f, owned-atom imbalance %.2f)\n",
+				rebalances, maxShift, eng.LoadImbalance(), eng.OwnedImbalance())
+		}
 	}
-	fmt.Println("\ndone.")
+	fmt.Fprintln(out, "\ndone.")
 }
 
 func fail(err error) {

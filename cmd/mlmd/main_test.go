@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -44,6 +45,78 @@ func stripShardNote(s string) string {
 		kept = append(kept, l)
 	}
 	return strings.Join(kept, "\n")
+}
+
+// TestFlagMisuseFailsFast: flag combinations that older versions silently
+// ignored or overrode are now hard errors — -balance without a
+// decomposition, -ranks combined with -grid, and a -procs count that
+// contradicts the -grid shape.
+func TestFlagMisuseFailsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	exe := buildMLMD(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-balance"}, "-balance requires a decomposition"},
+		{[]string{"-balance", "-mdsteps", "1"}, "-balance requires a decomposition"},
+		{[]string{"-ranks", "2", "-grid", "2x1x1"}, "both name a decomposition"},
+		{[]string{"-procs", "3", "-grid", "2x1x1"}, "does not match"},
+		{[]string{"-procs", "3", "-ranks", "2"}, "does not match"},
+		{[]string{"-ranks", "-1"}, "must be >= 0"},
+		{[]string{"-grid", "2x2"}, "not of the form"},
+	}
+	for _, tc := range cases {
+		out, err := exec.Command(exe, tc.args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%v: exited 0, want a fail-fast error", tc.args)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%v: error %q does not mention %q", tc.args, out, tc.want)
+		}
+	}
+}
+
+// haveUnixSockets reports whether the platform supports the multi-process
+// rank transport.
+func haveUnixSockets(t *testing.T) bool {
+	t.Helper()
+	ln, err := net.Listen("unix", filepath.Join(t.TempDir(), "probe.sock"))
+	if err != nil {
+		return false
+	}
+	ln.Close()
+	return true
+}
+
+// TestMultiProcessSummaryMatchesGolden is the `make check` multi-process
+// smoke test: a short mlmd -procs 2 run — one OS process per rank over the
+// Unix-socket transport — reproduces the committed golden summary exactly
+// (modulo the sharding announcement), like every in-process decomposition.
+func TestMultiProcessSummaryMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	if !haveUnixSockets(t) {
+		t.Skip("no Unix-domain socket support on this platform")
+	}
+	exe := buildMLMD(t)
+	want, err := os.ReadFile(filepath.Join("testdata", "summary_small.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range [][]string{
+		{"-procs", "2"},
+		{"-procs", "2", "-balance"},
+	} {
+		got := runMLMD(t, exe, append(append([]string{}, smallArgs...), shard...)...)
+		if stripShardNote(got) != string(want) {
+			t.Errorf("%v output differs from golden summary\n--- multi-process ---\n%s\n--- golden ---\n%s", shard, got, want)
+		}
+	}
 }
 
 // TestSummaryGolden: the end-to-end summary trace is a committed golden

@@ -49,6 +49,8 @@ type inferState struct {
 	vec  []float64
 	gOut [1]float64
 	dEdx []float64
+	tape nn.Tape
+	gD   []float64
 	e    float64
 	// active marks slots touched in the current block (their partials
 	// need merging and their accumulators need zeroing next block).
@@ -153,12 +155,16 @@ func (m *Model) ComputeForcesOwned(sys *md.System, nOwned int) float64 {
 	return energy
 }
 
-// EvalScratch holds the reusable buffers of EvalAtom (one per worker in a
-// pool-parallel caller makes the per-atom evaluation allocation-light).
+// EvalScratch holds the reusable buffers of EvalAtom — the neighbor
+// environment, the descriptor, and the MLP forward tape with its backward
+// delta scratch — so per-atom inference in steady state allocates nothing
+// (one EvalScratch per worker in a pool-parallel caller, e.g. through
+// par.Scratch as the sharded AllegroFF does).
 type EvalScratch struct {
 	env  neighborEnv
 	desc []float64
 	gOut [1]float64
+	tape nn.Tape
 }
 
 // EvalAtom evaluates atom i in isolation for decomposed canonical-order
@@ -194,9 +200,9 @@ func (m *Model) EvalAtom(sys *md.System, i int, cand []int32, cs []float64, scr 
 	m.Spec.descriptorInto(sys, scr.env, scr.desc, cs, vec)
 	sp := sys.Type[i]
 	net := m.Nets[sp]
-	tape := net.ForwardTape(scr.desc)
+	tape := net.ForwardTapeInto(scr.desc, &scr.tape)
 	scr.gOut[0] = 1
-	copy(gD, net.Backward(tape, scr.gOut[:], nil))
+	net.BackwardInto(tape, scr.gOut[:], nil, gD)
 	return tape.Out() + m.PerSpeciesShift[sp]
 }
 
@@ -239,6 +245,7 @@ func (m *Model) forceBlock(sys *md.System, lo, hi int) float64 {
 				ws.desc = make([]float64, m.Spec.Dim())
 				ws.cs = m.Spec.centers()
 				ws.vec = make([]float64, m.Spec.NSpecies*m.Spec.NRadial*3)
+				ws.gD = make([]float64, m.Spec.Dim())
 			}
 			if len(ws.dEdx) != 3*sys.N {
 				ws.dEdx = make([]float64, 3*sys.N)
@@ -255,9 +262,9 @@ func (m *Model) forceBlock(sys *md.System, lo, hi int) float64 {
 				m.Spec.descriptorInto(sys, ws.env, ws.desc, ws.cs, ws.vec)
 				sp := sys.Type[i]
 				net := m.Nets[sp]
-				tape := net.ForwardTape(ws.desc)
+				tape := net.ForwardTapeInto(ws.desc, &ws.tape)
 				ws.e += tape.Out() + m.PerSpeciesShift[sp]
-				gD := net.Backward(tape, ws.gOut[:], nil)
+				gD := net.BackwardInto(tape, ws.gOut[:], nil, ws.gD)
 				m.Spec.descriptorGradInto(sys, ws.env, i, gD, ws.dEdx, ws.cs, ws.vec)
 			}
 		}

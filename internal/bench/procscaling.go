@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mlmd/internal/cluster"
+	"mlmd/internal/shard"
+)
+
+// This file measures what the PR 5 transport split costs and buys: the
+// same fcc LJ workload as the PR 3/4 sweeps decomposed once over in-process
+// rank goroutines and once over one OS process per rank (Unix-socket
+// transport), plus a transport-level ping-pong that isolates the per-message
+// overhead of the socket framing against the in-process channel mailboxes.
+
+// ProcPoint is one decomposition measured over both transports.
+type ProcPoint struct {
+	Ranks int    `json:"ranks"`
+	Grid  string `json:"grid"`
+	Atoms int    `json:"atoms"`
+	Steps int    `json:"steps"`
+	// InProcNsPerStep / MultiProcNsPerStep are best-of-trials step times
+	// of the identical workload over rank goroutines vs rank processes.
+	InProcNsPerStep    float64 `json:"inproc_ns_per_step"`
+	MultiProcNsPerStep float64 `json:"multiproc_ns_per_step"`
+	// Overhead is MultiProc/InProc — what crossing process boundaries
+	// costs on this host (trajectories are bitwise identical either way).
+	Overhead float64 `json:"multiproc_overhead"`
+}
+
+// PingPoint is one payload size's per-message transport cost.
+type PingPoint struct {
+	Elems int `json:"elems"`
+	// ChanNsPerMsg / SocketNsPerMsg are one-way per-message times of a
+	// 2-rank ping-pong over the channel and Unix-socket transports.
+	ChanNsPerMsg   float64 `json:"chan_ns_per_msg"`
+	SocketNsPerMsg float64 `json:"socket_ns_per_msg"`
+}
+
+// ProcScalingDoc is the committable BENCH_PR5.json document.
+type ProcScalingDoc struct {
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Workers    string      `json:"mlmd_workers,omitempty"`
+	Benchmark  string      `json:"benchmark"`
+	Points     []ProcPoint `json:"points"`
+	PingPong   []PingPoint `json:"pingpong"`
+}
+
+// ProcTrials is the best-of count of the -procs sweep (each multi-process
+// trial forks a full worker set, so it stays below ShardTrials).
+const ProcTrials = 5
+
+// ProcShapes is the default in-process-vs-multi-process sweep of
+// `bench-scaling -procs`: the 2-process slab and the 4-process 2-D grid —
+// the same shapes the multi-process identity matrix pins.
+var ProcShapes = [][3]int{{2, 1, 1}, {2, 2, 1}}
+
+// procBenchConfig is the shared engine configuration of the -procs sweep
+// (identical to the PR 3/4 LJ sweeps).
+func procBenchConfig(grid [3]int) shard.Config {
+	return shard.Config{
+		Grid: grid, Cutoff: 2.0, Skin: 0.3,
+		Net:   cluster.Slingshot11(),
+		NewFF: shard.LJFactory(0.01, 1.0),
+	}
+}
+
+// RunProcWorker is the hidden worker mode of `bench-scaling -procworker`:
+// one rank of a multi-process LJ measurement. Rank 0 prints its measured
+// step wall seconds (best precision, one line) for the parent to collect.
+func RunProcWorker(rdv string, rank int, grid [3]int, cells, steps int) error {
+	size := grid[0] * grid[1] * grid[2]
+	sys, err := newShardLJSystem(cells, 3e-4)
+	if err != nil {
+		return err
+	}
+	tr, err := cluster.NewSocketTransport(rdv, rank, size, grid)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	comm, err := cluster.NewCommOver(tr, cluster.Slingshot11())
+	if err != nil {
+		return err
+	}
+	cfg := procBenchConfig(grid)
+	cfg.Comm = comm
+	cfg.LocalRank = rank
+	eng, err := shard.NewEngine(cfg, sys)
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	eng.Run(0, 2, 0, 0) // prime: scatter is done, force the first rebuild
+	t0 := time.Now()
+	eng.Run(steps, 2, 0, 0)
+	dt := time.Since(t0)
+	if rank == 0 {
+		fmt.Printf("%.9f\n", dt.Seconds())
+	}
+	return nil
+}
+
+// SpawnProcWorker builds one worker invocation of the calling binary
+// (which must dispatch -procworker to RunProcWorker).
+func SpawnProcWorker(exe, rdv string, rank int, grid [3]int, cells, steps int) *exec.Cmd {
+	return exec.Command(exe,
+		"-procworker",
+		"-wrank", strconv.Itoa(rank),
+		"-wgrid", fmt.Sprintf("%dx%dx%d", grid[0], grid[1], grid[2]),
+		"-rdv", rdv,
+		"-shardcells", strconv.Itoa(cells),
+		"-shardsteps", strconv.Itoa(steps),
+	)
+}
+
+// measureMultiProc runs one multi-process trial: fork one worker per rank,
+// read rank 0's measured seconds.
+func measureMultiProc(exe string, grid [3]int, cells, steps int) (float64, error) {
+	rdv, err := os.MkdirTemp("", "mlmd-bench-rdv")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(rdv)
+	size := grid[0] * grid[1] * grid[2]
+	cmds := make([]*exec.Cmd, size)
+	var out *bufio.Scanner
+	var outPipe sync.WaitGroup
+	var secs float64
+	var parseErr error
+	for r := 0; r < size; r++ {
+		cmd := SpawnProcWorker(exe, rdv, r, grid, cells, steps)
+		cmd.Stderr = os.Stderr
+		if r == 0 {
+			pipe, err := cmd.StdoutPipe()
+			if err != nil {
+				return 0, err
+			}
+			out = bufio.NewScanner(pipe)
+			outPipe.Add(1)
+			go func() {
+				defer outPipe.Done()
+				if out.Scan() {
+					secs, parseErr = strconv.ParseFloat(strings.TrimSpace(out.Text()), 64)
+				} else {
+					parseErr = fmt.Errorf("rank 0 printed no measurement")
+				}
+			}()
+		}
+		if err := cmd.Start(); err != nil {
+			return 0, err
+		}
+		cmds[r] = cmd
+	}
+	// Drain rank 0's stdout before Wait (the os/exec contract: Wait may
+	// close the pipe under a still-running reader and drop the line).
+	outPipe.Wait()
+	var waitErr error
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil && waitErr == nil {
+			waitErr = fmt.Errorf("worker %d: %w", r, err)
+		}
+	}
+	if waitErr != nil {
+		return 0, waitErr
+	}
+	if parseErr != nil {
+		return 0, parseErr
+	}
+	return secs, nil
+}
+
+// ProcScaling measures every shape over both transports (best of
+// ProcTrials each); exe is the calling binary, re-executed with
+// -procworker for the multi-process side.
+func ProcScaling(exe string, shapes [][3]int, cells, steps int) ([]ProcPoint, error) {
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("bench: no grid shapes given")
+	}
+	base, err := newShardLJSystem(cells, 3e-4)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ProcPoint, 0, len(shapes))
+	for _, g := range shapes {
+		inproc, err := measureShardConfig(base, procBenchConfig(g), steps)
+		if err != nil {
+			return nil, err
+		}
+		bestMP := 0.0
+		for trial := 0; trial < ProcTrials; trial++ {
+			secs, err := measureMultiProc(exe, g, cells, steps)
+			if err != nil {
+				return nil, err
+			}
+			if bestMP == 0 || secs < bestMP {
+				bestMP = secs
+			}
+		}
+		mpNs := bestMP * 1e9 / float64(steps)
+		points = append(points, ProcPoint{
+			Ranks: g[0] * g[1] * g[2],
+			Grid:  fmt.Sprintf("%dx%dx%d", g[0], g[1], g[2]),
+			Atoms: base.N, Steps: steps,
+			InProcNsPerStep:    inproc.NsPerStep,
+			MultiProcNsPerStep: mpNs,
+			Overhead:           mpNs / inproc.NsPerStep,
+		})
+	}
+	return points, nil
+}
+
+// TransportPingPong measures the one-way per-message time of a 2-rank
+// ping-pong at each payload size over both transports (the socket pair
+// runs in-process over real Unix sockets, isolating wire framing and
+// kernel crossings from process-scheduling noise).
+func TransportPingPong(sizes []int, iters int) ([]PingPoint, error) {
+	points := make([]PingPoint, 0, len(sizes))
+	pingpong := func(comms []*cluster.Comm, elems int) float64 {
+		payload := make([]float64, elems)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for rank := 0; rank < 2; rank++ {
+			wg.Add(1)
+			go func(rank int, c *cluster.Comm) {
+				defer wg.Done()
+				peer := 1 - rank
+				var recv []float64
+				for i := 0; i < iters; i++ {
+					if rank == 0 {
+						c.SendBuf(rank, peer, payload)
+						recv = c.RecvInto(rank, peer, recv)
+					} else {
+						recv = c.RecvInto(rank, peer, recv)
+						c.SendBuf(rank, peer, payload)
+					}
+				}
+			}(rank, comms[rank])
+		}
+		wg.Wait()
+		return time.Since(t0).Seconds() * 1e9 / float64(2*iters)
+	}
+	for _, elems := range sizes {
+		chanComm, err := cluster.NewComm(2, cluster.Interconnect{})
+		if err != nil {
+			return nil, err
+		}
+		chanNs := pingpong([]*cluster.Comm{chanComm, chanComm}, elems)
+
+		rdv, err := os.MkdirTemp("", "mlmd-ping-rdv")
+		if err != nil {
+			return nil, err
+		}
+		trs := make([]*cluster.SocketTransport, 2)
+		errs := make([]error, 2)
+		var wg sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				trs[rank], errs[rank] = cluster.NewSocketTransport(rdv, rank, 2, [3]int{2, 1, 1})
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				os.RemoveAll(rdv)
+				return nil, err
+			}
+		}
+		comms := make([]*cluster.Comm, 2)
+		for r := 0; r < 2; r++ {
+			if comms[r], err = cluster.NewCommOver(trs[r], cluster.Interconnect{}); err != nil {
+				return nil, err
+			}
+		}
+		sockNs := pingpong(comms, elems)
+		for _, tr := range trs {
+			tr.Close()
+		}
+		os.RemoveAll(rdv)
+		points = append(points, PingPoint{Elems: elems, ChanNsPerMsg: chanNs, SocketNsPerMsg: sockNs})
+	}
+	return points, nil
+}
+
+// PingPongSizes is the default payload sweep: a collective-sized trickle,
+// a typical halo face, and a bulk migration burst.
+var PingPongSizes = []int{4, 512, 16384}
+
+// PingPongIters is the round-trip count per payload size.
+const PingPongIters = 2000
+
+// ProcScalingDocument wraps the sweep in the committable BENCH_PR5.json
+// document.
+func ProcScalingDocument(points []ProcPoint, ping []PingPoint) ProcScalingDoc {
+	return ProcScalingDoc{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    os.Getenv("MLMD_WORKERS"),
+		Benchmark:  "shard in-process vs multi-process (unix-socket transport), fcc LJ, best-of-5 wall clock + transport ping-pong",
+		Points:     points,
+		PingPong:   ping,
+	}
+}
+
+// ProcScalingTable formats the sweep for humans.
+func ProcScalingTable(points []ProcPoint, ping []PingPoint) string {
+	var b strings.Builder
+	if len(points) > 0 {
+		fmt.Fprintf(&b, "Sharded LJ: in-process vs multi-process transport (%d atoms, %d steps, best of %d, GOMAXPROCS=%d)\n",
+			points[0].Atoms, points[0].Steps, ProcTrials, runtime.GOMAXPROCS(0))
+		fmt.Fprintf(&b, "%6s %10s %16s %18s %10s\n", "ranks", "grid", "inproc ns/step", "multiproc ns/step", "overhead")
+		for _, pt := range points {
+			fmt.Fprintf(&b, "%6d %10s %16.0f %18.0f %9.3fx\n",
+				pt.Ranks, pt.Grid, pt.InProcNsPerStep, pt.MultiProcNsPerStep, pt.Overhead)
+		}
+	}
+	fmt.Fprintf(&b, "Transport ping-pong (%d round trips per size)\n", PingPongIters)
+	fmt.Fprintf(&b, "%8s %16s %18s %10s\n", "elems", "chan ns/msg", "socket ns/msg", "ratio")
+	for _, pp := range ping {
+		fmt.Fprintf(&b, "%8d %16.0f %18.0f %9.2fx\n", pp.Elems, pp.ChanNsPerMsg, pp.SocketNsPerMsg, pp.SocketNsPerMsg/pp.ChanNsPerMsg)
+	}
+	return b.String()
+}

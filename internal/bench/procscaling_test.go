@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTransportPingPong: both transports round-trip and the measurements
+// are positive (the committed numbers come from `make bench5`; this is the
+// wiring smoke).
+func TestTransportPingPong(t *testing.T) {
+	points, err := TransportPingPong([]int{4, 64}, 50)
+	if err != nil {
+		t.Skipf("transport ping-pong unavailable: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, pp := range points {
+		if pp.ChanNsPerMsg <= 0 || pp.SocketNsPerMsg <= 0 {
+			t.Errorf("non-positive measurement: %+v", pp)
+		}
+	}
+	table := ProcScalingTable(nil, points)
+	if !strings.Contains(table, "ping-pong") {
+		t.Errorf("table missing ping-pong section:\n%s", table)
+	}
+	doc := ProcScalingDocument(nil, points)
+	if doc.Benchmark == "" || len(doc.PingPong) != 2 {
+		t.Errorf("document malformed: %+v", doc)
+	}
+}
+
+// TestRunProcWorkerSingleRank: the worker entry point runs end to end on
+// the degenerate 1-rank grid (no sockets needed), covering the engine
+// construction over an external communicator.
+func TestRunProcWorkerSingleRank(t *testing.T) {
+	if err := RunProcWorker(t.TempDir(), 0, [3]int{1, 1, 1}, 6, 3); err != nil {
+		t.Fatal(err)
+	}
+}

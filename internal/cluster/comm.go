@@ -5,56 +5,71 @@ import (
 	"sync"
 )
 
-// Comm is an MPI-like communicator whose ranks run as goroutines and whose
-// clocks advance in virtual time: every operation records modeled seconds on
-// the calling rank, and synchronizing operations (barrier, allreduce) align
-// clocks to the slowest participant — exactly how a bulk-synchronous code
-// experiences load imbalance. Message payloads are real (correctness is
-// testable); only the clock is simulated.
+// Comm is an MPI-like communicator whose clocks advance in virtual time:
+// every operation records modeled seconds on the calling rank, and
+// synchronizing operations (barrier, allreduce) align clocks to the slowest
+// participant — exactly how a bulk-synchronous code experiences load
+// imbalance. Message payloads are real (correctness is testable); only the
+// clock is simulated.
+//
+// The message plumbing lives behind the Transport interface: NewComm runs
+// every rank as a goroutine of the calling process over the in-process
+// channel transport, while NewCommOver accepts an external transport — for
+// a multi-process run each OS process builds its Comm over a
+// SocketTransport and hosts a single rank, and the clocks of remote ranks
+// simply stay untouched in that process (each collective still aligns the
+// local rank's clock to the global slowest through the transport).
 type Comm struct {
 	size int
 	net  Interconnect
-	// chans[dst][src] is the mailbox from src to dst.
-	chans [][]chan message
-	// clocks[rank] is protected by mu only during collective alignment;
-	// each rank otherwise owns its entry.
+	tr   Transport
+	// clocks[rank] is the per-rank virtual time; only ranks hosted by this
+	// process ever advance theirs.
 	clocks []float64
 	mu     sync.Mutex
-	// barrier state
-	barrierWG *cyclicBarrier
-	// pool recycles message payload buffers between SendBuf and RecvInto so
-	// steady-state exchanges (e.g. the per-step halo refresh of a sharded MD
-	// run) allocate nothing.
-	pool struct {
-		mu   sync.Mutex
-		bufs [][]float64
-	}
+	// Per-collective cost hooks, built once so hot collectives allocate no
+	// closures per call.
+	costBarrier   CollectiveCost
+	costReduce    CollectiveCost
+	costGather    CollectiveCost
+	costAllGather CollectiveCost
 }
 
-type message struct {
-	data []float64
-	time float64 // sender's clock when the message was sent
-}
-
-// NewComm builds a communicator of the given size over the network model.
+// NewComm builds a communicator of the given size over the network model,
+// using the in-process channel transport (ranks are goroutines of this
+// process).
 func NewComm(size int, net Interconnect) (*Comm, error) {
 	if size < 1 {
 		return nil, fmt.Errorf("cluster: communicator size %d", size)
 	}
-	c := &Comm{size: size, net: net, clocks: make([]float64, size)}
-	c.chans = make([][]chan message, size)
-	for dst := 0; dst < size; dst++ {
-		c.chans[dst] = make([]chan message, size)
-		for src := 0; src < size; src++ {
-			c.chans[dst][src] = make(chan message, 8)
-		}
+	return NewCommOver(newChanTransport(size), net)
+}
+
+// NewCommOver builds a communicator over an existing transport (e.g. a
+// SocketTransport spanning several OS processes) with the given network
+// model for the virtual clock.
+func NewCommOver(tr Transport, net Interconnect) (*Comm, error) {
+	size := tr.Size()
+	if size < 1 {
+		return nil, fmt.Errorf("cluster: transport size %d", size)
 	}
-	c.barrierWG = newCyclicBarrier(size)
+	c := &Comm{size: size, net: net, tr: tr, clocks: make([]float64, size)}
+	n, p := net, size
+	c.costBarrier = func(worst float64, _ int) float64 { return worst + n.AllReduce(p, 8) }
+	c.costReduce = func(worst float64, total int) float64 { return worst + n.AllReduce(p, 8*float64(total)) }
+	c.costGather = func(worst float64, total int) float64 { return worst + n.Gather(p, 8*float64(total)) }
+	c.costAllGather = func(worst float64, total int) float64 {
+		return worst + n.AllGather(p, 8*float64(total)/float64(p))
+	}
 	return c, nil
 }
 
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return c.size }
+
+// Transport returns the transport the communicator runs over (e.g. for the
+// owner to Close a socket transport after the run).
+func (c *Comm) Transport() Transport { return c.tr }
 
 // Clock returns rank's current virtual time (seconds).
 func (c *Comm) Clock(rank int) float64 {
@@ -70,210 +85,115 @@ func (c *Comm) AdvanceClock(rank int, seconds float64) {
 	c.mu.Unlock()
 }
 
-// Send transmits data from rank src to dst (non-blocking up to the mailbox
-// capacity). The sender's clock pays the injection overhead alpha.
-func (c *Comm) Send(src, dst int, data []float64) {
+// alignClock raises rank's clock to at least t (receives and collectives
+// never move a clock backwards).
+func (c *Comm) alignClock(rank int, t float64) {
+	c.mu.Lock()
+	if t > c.clocks[rank] {
+		c.clocks[rank] = t
+	}
+	c.mu.Unlock()
+}
+
+// depart pays the injection overhead alpha on src's clock and returns the
+// modeled arrival time of a message of n float64s.
+func (c *Comm) depart(src, n int) float64 {
 	c.mu.Lock()
 	t := c.clocks[src] + c.net.Alpha
 	c.clocks[src] = t
 	c.mu.Unlock()
-	payload := append([]float64(nil), data...)
-	c.chans[dst][src] <- message{data: payload, time: t + 8*float64(len(data))*c.net.Beta}
+	return t + 8*float64(n)*c.net.Beta
+}
+
+// Send transmits data from rank src to dst (non-blocking up to the
+// transport's buffering). The sender's clock pays the injection overhead
+// alpha; the payload is copied, so the caller keeps ownership of data.
+func (c *Comm) Send(src, dst int, data []float64) {
+	c.tr.Send(src, dst, data, c.depart(src, len(data)))
 }
 
 // Recv blocks until a message from src arrives at dst, advancing dst's
-// clock to max(own, message arrival time).
+// clock to max(own, message arrival time). The returned slice is freshly
+// sized for the caller; use RecvInto to recycle a retained buffer.
 func (c *Comm) Recv(dst, src int) []float64 {
-	m := <-c.chans[dst][src]
-	c.mu.Lock()
-	if m.time > c.clocks[dst] {
-		c.clocks[dst] = m.time
-	}
-	c.mu.Unlock()
-	return m.data
+	data, at := c.tr.Recv(dst, src, nil)
+	c.alignClock(dst, at)
+	return data
 }
 
-// getBuf returns a pooled payload buffer of length n (contents undefined).
-func (c *Comm) getBuf(n int) []float64 {
-	c.pool.mu.Lock()
-	for i := len(c.pool.bufs) - 1; i >= 0; i-- {
-		if cap(c.pool.bufs[i]) >= n {
-			b := c.pool.bufs[i]
-			last := len(c.pool.bufs) - 1
-			c.pool.bufs[i] = c.pool.bufs[last]
-			c.pool.bufs = c.pool.bufs[:last]
-			c.pool.mu.Unlock()
-			return b[:n]
-		}
-	}
-	c.pool.mu.Unlock()
-	return make([]float64, n)
-}
-
-// putBuf returns a payload buffer to the pool.
-func (c *Comm) putBuf(b []float64) {
-	if cap(b) == 0 {
-		return
-	}
-	c.pool.mu.Lock()
-	c.pool.bufs = append(c.pool.bufs, b)
-	c.pool.mu.Unlock()
-}
-
-// SendBuf is Send with a pooled payload: the data is copied into a recycled
-// buffer, so steady-state messaging is allocation-free when the receiver
-// uses RecvInto (which releases the buffer back to the pool). Clock
-// accounting matches Send.
+// SendBuf is Send under the allocation-free steady-state contract: the
+// transport copies data into a recycled buffer, so messaging allocates
+// nothing once the receiver uses RecvInto. (Since the transport split both
+// methods share the pooled path; SendBuf remains the documented pair of
+// RecvInto.) Clock accounting matches Send.
 func (c *Comm) SendBuf(src, dst int, data []float64) {
-	c.mu.Lock()
-	t := c.clocks[src] + c.net.Alpha
-	c.clocks[src] = t
-	c.mu.Unlock()
-	payload := c.getBuf(len(data))
-	copy(payload, data)
-	c.chans[dst][src] <- message{data: payload, time: t + 8*float64(len(data))*c.net.Beta}
+	c.tr.Send(src, dst, data, c.depart(src, len(data)))
 }
 
 // RecvInto receives a message from src at dst into the provided buffer
-// (grown if needed) and releases the transport buffer back to the pool.
+// (grown if needed) and releases the transport buffer back to its pool.
 // It returns the filled buffer; clock accounting matches Recv.
 func (c *Comm) RecvInto(dst, src int, into []float64) []float64 {
-	m := <-c.chans[dst][src]
-	c.mu.Lock()
-	if m.time > c.clocks[dst] {
-		c.clocks[dst] = m.time
-	}
-	c.mu.Unlock()
-	if cap(into) < len(m.data) {
-		into = make([]float64, len(m.data))
-	}
-	into = into[:len(m.data)]
-	copy(into, m.data)
-	c.putBuf(m.data)
+	into, at := c.tr.Recv(dst, src, into)
+	c.alignClock(dst, at)
 	return into
 }
 
 // Barrier synchronizes all ranks and aligns every clock to the slowest rank
 // plus the modeled barrier cost.
 func (c *Comm) Barrier(rank int) {
-	c.barrierWG.await(func() {
-		// Executed once per generation while all ranks are parked.
-		var worst float64
-		for _, t := range c.clocks {
-			if t > worst {
-				worst = t
-			}
-		}
-		worst += c.net.AllReduce(c.size, 8)
-		for i := range c.clocks {
-			c.clocks[i] = worst
-		}
-	})
-	_ = rank
+	aligned := c.tr.Barrier(rank, c.Clock(rank), c.costBarrier)
+	c.alignClock(rank, aligned)
 }
 
 // AllReduceSum sums vec elementwise across all ranks (every rank receives
-// the total) and aligns clocks to slowest + modeled collective time.
+// the total in a fresh slice; vec is untouched) and aligns clocks to
+// slowest + modeled collective time.
 func (c *Comm) AllReduceSum(rank int, vec []float64) []float64 {
-	res := c.barrierWG.reduce(rank, vec, func(parts [][]float64) []float64 {
-		out := make([]float64, len(vec))
-		for _, p := range parts {
-			for i, v := range p {
-				out[i] += v
-			}
-		}
-		c.mu.Lock()
-		var worst float64
-		for _, t := range c.clocks {
-			if t > worst {
-				worst = t
-			}
-		}
-		worst += c.net.AllReduce(c.size, 8*float64(len(vec)))
-		for i := range c.clocks {
-			c.clocks[i] = worst
-		}
-		c.mu.Unlock()
-		return out
-	})
-	return res
+	out := append([]float64(nil), vec...)
+	aligned := c.tr.AllReduceSum(rank, out, c.Clock(rank), c.costReduce)
+	c.alignClock(rank, aligned)
+	return out
 }
 
 // AllReduceSumInPlace sums vec elementwise across all ranks, overwriting
-// every rank's vec with the total. Unlike AllReduceSum it is allocation-free
-// in steady state: the combine buffer is retained by the barrier and each
-// rank copies the total into its own vec before leaving the rendezvous.
-// Every rank must pass a vec of the same length. Clocks align like
-// AllReduceSum.
+// every rank's vec with the total. Unlike AllReduceSum it is
+// allocation-free in steady state: the combine buffer is retained by the
+// transport and each rank copies the total into its own vec before leaving
+// the rendezvous. Every rank must pass a vec of the same length. Clocks
+// align like AllReduceSum.
 func (c *Comm) AllReduceSumInPlace(rank int, vec []float64) {
-	c.barrierWG.reduceInPlace(rank, vec, func() {
-		c.mu.Lock()
-		var worst float64
-		for _, t := range c.clocks {
-			if t > worst {
-				worst = t
-			}
-		}
-		worst += c.net.AllReduce(c.size, 8*float64(len(vec)))
-		for i := range c.clocks {
-			c.clocks[i] = worst
-		}
-		c.mu.Unlock()
-	})
+	aligned := c.tr.AllReduceSum(rank, vec, c.Clock(rank), c.costReduce)
+	c.alignClock(rank, aligned)
 }
 
 // AllGather concatenates every rank's vec in rank order and delivers the
 // full profile to all ranks, copied into each caller's into buffer (grown
-// if needed; the filled buffer is returned). Unlike Gather it is
-// allocation-free in steady state when into has capacity: the concatenation
-// lives in a buffer retained by the barrier and each rank copies it out
-// before leaving the rendezvous. Vectors may differ in length; offsets
+// if needed; the filled buffer is returned). Allocation-free in steady
+// state when into has capacity. Vectors may differ in length; offsets
 // follow rank order. Clocks align to the slowest rank plus the modeled
 // ring-allgather time of the mean per-rank contribution (a function of the
 // total gathered bytes, so the virtual clock is deterministic even with
 // unequal vector lengths).
 func (c *Comm) AllGather(rank int, vec, into []float64) []float64 {
-	return c.barrierWG.allGather(rank, vec, into, func(total int) {
-		c.mu.Lock()
-		var worst float64
-		for _, t := range c.clocks {
-			if t > worst {
-				worst = t
-			}
-		}
-		worst += c.net.AllGather(c.size, 8*float64(total)/float64(c.size))
-		for i := range c.clocks {
-			c.clocks[i] = worst
-		}
-		c.mu.Unlock()
-	})
+	into, aligned := c.tr.AllGather(rank, vec, into, c.Clock(rank), c.costAllGather)
+	c.alignClock(rank, aligned)
+	return into
 }
 
 // Gather collects each rank's vec at root (others receive nil), aligning
-// clocks.
+// clocks. The modeled payload size is rank 0's contribution length, so the
+// virtual clock stays deterministic with unequal vector lengths.
 func (c *Comm) Gather(rank, root int, vec []float64) [][]float64 {
-	parts := c.barrierWG.gather(rank, vec, func() {
-		c.mu.Lock()
-		var worst float64
-		for _, t := range c.clocks {
-			if t > worst {
-				worst = t
-			}
-		}
-		worst += c.net.Gather(c.size, 8*float64(len(vec)))
-		for i := range c.clocks {
-			c.clocks[i] = worst
-		}
-		c.mu.Unlock()
-	})
-	if rank != root {
-		return nil
-	}
+	parts, aligned := c.tr.Gather(rank, root, vec, c.Clock(rank), c.costGather)
+	c.alignClock(rank, aligned)
 	return parts
 }
 
-// MaxClock returns the slowest rank's clock — the wall-clock of a
-// bulk-synchronous step.
+// MaxClock returns the slowest hosted rank's clock — the wall-clock of a
+// bulk-synchronous step. (In a multi-process run each process hosts one
+// rank; after any collective that rank's clock already carries the global
+// alignment.)
 func (c *Comm) MaxClock() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -284,172 +204,4 @@ func (c *Comm) MaxClock() float64 {
 		}
 	}
 	return worst
-}
-
-// cyclicBarrier lets size goroutines repeatedly rendezvous; one of them
-// runs the action while all are parked.
-type cyclicBarrier struct {
-	size    int
-	mu      sync.Mutex
-	cond    *sync.Cond
-	count   int
-	gen     int
-	parts   [][]float64
-	result  []float64
-	partsSn [][]float64
-	// red is the retained combine buffer of reduceInPlace.
-	red []float64
-	// ag is the retained concatenation buffer of allGather.
-	ag []float64
-}
-
-func newCyclicBarrier(size int) *cyclicBarrier {
-	b := &cyclicBarrier{size: size, parts: make([][]float64, size)}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *cyclicBarrier) await(action func()) {
-	b.mu.Lock()
-	gen := b.gen
-	b.count++
-	if b.count == b.size {
-		action()
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
-	}
-	b.mu.Unlock()
-}
-
-func (b *cyclicBarrier) reduce(rank int, vec []float64, combine func([][]float64) []float64) []float64 {
-	b.mu.Lock()
-	b.parts[rank] = vec
-	gen := b.gen
-	b.count++
-	if b.count == b.size {
-		b.mu.Unlock()
-		res := combine(b.parts)
-		b.mu.Lock()
-		b.result = res
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
-	}
-	res := b.result
-	b.mu.Unlock()
-	return res
-}
-
-// reduceInPlace sums the ranks' vectors into a retained buffer and copies
-// the total back into every participant's vec. The last-arriving rank runs
-// the combine (and after()) while the others are parked; each rank copies
-// the result under the barrier lock before leaving, so the buffer cannot be
-// overwritten by a subsequent generation while still being read (a rank
-// re-enters the barrier only after its copy completes).
-func (b *cyclicBarrier) reduceInPlace(rank int, vec []float64, after func()) {
-	b.mu.Lock()
-	b.parts[rank] = vec
-	gen := b.gen
-	b.count++
-	if b.count == b.size {
-		if cap(b.red) < len(vec) {
-			b.red = make([]float64, len(vec))
-		}
-		b.red = b.red[:len(vec)]
-		for i := range b.red {
-			b.red[i] = 0
-		}
-		for _, p := range b.parts {
-			for i, v := range p {
-				b.red[i] += v
-			}
-		}
-		b.mu.Unlock()
-		after()
-		b.mu.Lock()
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
-	}
-	copy(vec, b.red)
-	b.mu.Unlock()
-}
-
-// allGather concatenates the ranks' vectors in rank order into the retained
-// ag buffer and copies the result into every participant's out buffer;
-// after receives the total gathered element count. The same retention
-// argument as reduceInPlace applies: each rank copies under the barrier
-// lock before leaving, so a later generation cannot overwrite ag while it
-// is still being read.
-func (b *cyclicBarrier) allGather(rank int, vec []float64, out []float64, after func(total int)) []float64 {
-	b.mu.Lock()
-	b.parts[rank] = vec
-	gen := b.gen
-	b.count++
-	if b.count == b.size {
-		total := 0
-		for _, p := range b.parts {
-			total += len(p)
-		}
-		if cap(b.ag) < total {
-			b.ag = make([]float64, 0, total)
-		}
-		b.ag = b.ag[:0]
-		for _, p := range b.parts {
-			b.ag = append(b.ag, p...)
-		}
-		b.mu.Unlock()
-		after(total)
-		b.mu.Lock()
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
-	}
-	if cap(out) < len(b.ag) {
-		out = make([]float64, len(b.ag))
-	}
-	out = out[:len(b.ag)]
-	copy(out, b.ag)
-	b.mu.Unlock()
-	return out
-}
-
-func (b *cyclicBarrier) gather(rank int, vec []float64, after func()) [][]float64 {
-	b.mu.Lock()
-	b.parts[rank] = append([]float64(nil), vec...)
-	gen := b.gen
-	b.count++
-	if b.count == b.size {
-		b.mu.Unlock()
-		after()
-		b.mu.Lock()
-		b.partsSn = append([][]float64(nil), b.parts...)
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
-	}
-	res := b.partsSn
-	b.mu.Unlock()
-	return res
 }

@@ -89,6 +89,75 @@ func TestSendBufRecvInto(t *testing.T) {
 	}
 }
 
+// TestBufPoolBestFit: the PR 5 hoarding regression — get must pick the
+// smallest adequate buffer, so a tiny request can no longer capture a huge
+// buffer and force the next large message to allocate fresh.
+func TestBufPoolBestFit(t *testing.T) {
+	var p bufPool
+	p.put(make([]float64, 1024))
+	p.put(make([]float64, 8))
+	small := p.get(4)
+	if cap(small) != 8 {
+		t.Fatalf("get(4) captured a cap-%d buffer; best fit is the cap-8 one", cap(small))
+	}
+	big := p.get(512)
+	if cap(big) != 1024 {
+		t.Fatalf("get(512) got cap %d; the cap-1024 buffer was hoarded", cap(big))
+	}
+	// Reslicing semantics must not shrink a pooled buffer's capacity: a
+	// truncated return keeps serving large requests.
+	p.put(big[:3])
+	if again := p.get(900); cap(again) != 1024 {
+		t.Fatalf("cap hidden behind reslice: get(900) got cap %d", cap(again))
+	}
+}
+
+// TestBufPoolBounded: returning many mixed-size buffers cannot grow the
+// pool past its cap, and the eviction policy keeps the largest buffers.
+func TestBufPoolBounded(t *testing.T) {
+	var p bufPool
+	for i := 1; i <= 10*poolMaxBufs; i++ {
+		p.put(make([]float64, i))
+	}
+	if n := p.len(); n > poolMaxBufs {
+		t.Fatalf("pool grew to %d buffers (cap %d)", n, poolMaxBufs)
+	}
+	// The largest returned buffer must have survived the eviction churn.
+	if b := p.get(10 * poolMaxBufs); cap(b) < 10*poolMaxBufs {
+		t.Fatalf("largest buffer evicted: best available cap %d", cap(b))
+	}
+}
+
+// TestCommPoolMixedSizesSteadyState: through the Comm API, alternating
+// large and small messages reach a steady state with no per-op allocations
+// and a bounded pool — the end-to-end shape of the hoarding bug.
+func TestCommPoolMixedSizesSteadyState(t *testing.T) {
+	c, err := NewComm(2, Interconnect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := make([]float64, 4096)
+	small := []float64{1, 2, 3}
+	recvBig := make([]float64, 4096)
+	recvSmall := make([]float64, 3)
+	round := func() {
+		c.SendBuf(0, 1, small)
+		recvSmall = c.RecvInto(1, 0, recvSmall)
+		c.SendBuf(0, 1, big)
+		recvBig = c.RecvInto(1, 0, recvBig)
+	}
+	for i := 0; i < 4; i++ {
+		round()
+	}
+	if n := testing.AllocsPerRun(100, round); n != 0 {
+		t.Errorf("mixed-size messaging allocates %v allocs/op in steady state, want 0", n)
+	}
+	pool := &c.Transport().(*chanTransport).pool
+	if n := pool.len(); n > poolMaxBufs {
+		t.Errorf("comm pool grew to %d buffers", n)
+	}
+}
+
 // TestRecvIntoGrows: an undersized destination is grown to fit.
 func TestRecvIntoGrows(t *testing.T) {
 	c, _ := NewComm(2, Interconnect{})

@@ -7,10 +7,16 @@
 //   - a device model mapping (kernel class, precision) → sustained FLOP/s,
 //     calibrated to the fractions the paper measures on a PVC tile
 //     (GEMM ≈ 80–94% of peak, stencil ≈ 15%, FP64 power-throttled);
-//   - an MPI-like communicator (Comm) running ranks as goroutines with a
-//     virtual alpha-beta clock: point-to-point sends with pooled payloads,
-//     Barrier, AllReduce, Gather and AllGather collectives — message
-//     payloads are real, only the clock is modeled;
+//   - an MPI-like communicator (Comm) with a virtual alpha-beta clock:
+//     point-to-point sends with pooled payloads, Barrier, AllReduce,
+//     Gather and AllGather collectives — message payloads are real, only
+//     the clock is modeled. The plumbing lives behind the Transport
+//     interface with two implementations: the in-process channel transport
+//     (ranks as goroutines of one process) and the multi-process
+//     SocketTransport (one OS process per rank over Unix-domain sockets
+//     speaking the internal/cluster/wire frame format), with identical
+//     delivery ordering and collective combine order, so a bulk-synchronous
+//     caller is bitwise transport-independent;
 //   - the spatial-decomposition topology: Grid3D (the periodic Px×Py×Pz
 //     rank torus) and Cuts3D (its movable per-axis subdomain boundaries,
 //     the state the shard engine's dynamic load balancer adjusts);

@@ -1,0 +1,463 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mlmd/internal/cluster/wire"
+)
+
+// socketDialTimeout bounds how long a rank waits for its peers' sockets to
+// appear at start-up (workers of one launch start within milliseconds of
+// each other; the generous bound covers race-built test binaries on loaded
+// CI hosts).
+const socketDialTimeout = 30 * time.Second
+
+// socketInboxDepth is the per-peer mailbox depth, mirroring the channel
+// transport's mailbox capacity with headroom for the two-sides-per-axis
+// halo pattern.
+const socketInboxDepth = 64
+
+// SocketAddr returns the Unix-domain socket path rank listens on under the
+// rendezvous directory (shared between the launcher and its workers).
+func SocketAddr(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("r%d.sock", rank))
+}
+
+// sockMsg is one received frame queued for Recv.
+type sockMsg struct {
+	data []float64
+	time float64
+}
+
+// sockPeer is one established connection to a remote rank.
+type sockPeer struct {
+	conn net.Conn
+	// mu serializes frame writes (collectives and point-to-point sends of
+	// the single hosted rank share the connection).
+	mu sync.Mutex
+	w  *wire.Writer
+}
+
+// SocketTransport is the multi-process Transport: every rank lives in its
+// own OS process, listens on a Unix-domain socket under a shared rendezvous
+// directory, and holds one full-duplex connection per peer (rank i dials
+// every j < i, so the mesh forms without a routing hub). Each connection
+// opens with a versioned wire.Handshake carrying rank, size and grid shape,
+// which both sides verify — mismatched launches fail fast.
+//
+// Per-peer reader goroutines drain incoming frames into pooled buffers, so
+// simultaneous bulk sends from both ends of a connection cannot deadlock on
+// kernel socket buffers. Collectives run over the same connections as
+// point-to-point traffic (fan-in to rank 0, combine in ascending rank
+// order — the same summation order as the in-process barrier, which is what
+// keeps multi-process trajectories bitwise identical — then fan-out of the
+// combined result with the aligned clock).
+//
+// A SocketTransport hosts exactly one rank: only that rank may appear as
+// the src of Send / the dst of Recv / the rank of a collective. Closing the
+// transport tears down the sockets; a peer dying mid-run surfaces as a
+// panic in Recv naming the lost rank.
+type SocketTransport struct {
+	rank, size int
+	grid       [3]int
+	ln         net.Listener
+	peers      []*sockPeer
+	inbox      []chan sockMsg
+	pool       bufPool
+	closed     atomic.Bool
+	readErr    sync.Map // src rank -> error
+	wg         sync.WaitGroup
+}
+
+// NewSocketTransport connects rank (of size ranks arranged on grid) to its
+// peers through Unix-domain sockets under dir, blocking until the full
+// connection mesh is up. Every rank of the communicator must be started
+// with the same dir, size and grid; the handshake rejects mismatches.
+func NewSocketTransport(dir string, rank, size int, grid [3]int) (*SocketTransport, error) {
+	if size < 1 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("cluster: socket transport rank %d of size %d", rank, size)
+	}
+	t := &SocketTransport{rank: rank, size: size, grid: grid}
+	t.peers = make([]*sockPeer, size)
+	t.inbox = make([]chan sockMsg, size)
+	for i := range t.inbox {
+		t.inbox[i] = make(chan sockMsg, socketInboxDepth)
+	}
+	if size == 1 {
+		return t, nil
+	}
+	ln, err := net.Listen("unix", SocketAddr(dir, rank))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: socket transport listen: %w", err)
+	}
+	t.ln = ln
+	acceptErr := make(chan error, 1)
+	go func() { acceptErr <- t.acceptPeers() }()
+	dialErr := t.dialPeers(dir)
+	setupErr := <-acceptErr
+	if setupErr == nil {
+		setupErr = dialErr
+	} else if dialErr != nil {
+		setupErr = fmt.Errorf("%v; %v", setupErr, dialErr)
+	}
+	if setupErr != nil {
+		t.Close()
+		return nil, setupErr
+	}
+	for src, p := range t.peers {
+		if p == nil {
+			continue
+		}
+		t.wg.Add(1)
+		go t.readLoop(src, p)
+	}
+	return t, nil
+}
+
+// handshake returns this transport's identity frame.
+func (t *SocketTransport) handshake() wire.Handshake {
+	return wire.Handshake{Rank: t.rank, Size: t.size, Grid: t.grid}
+}
+
+// checkPeer validates a received handshake against this transport's view of
+// the run.
+func (t *SocketTransport) checkPeer(h wire.Handshake) error {
+	if h.Size != t.size || h.Grid != t.grid {
+		return fmt.Errorf("cluster: peer handshake size %d grid %v, want size %d grid %v",
+			h.Size, h.Grid, t.size, t.grid)
+	}
+	if h.Rank == t.rank || t.peers[h.Rank] != nil {
+		return fmt.Errorf("cluster: duplicate handshake from rank %d", h.Rank)
+	}
+	return nil
+}
+
+// acceptPeers accepts one connection from every higher rank (which dial
+// us), verifying and answering each handshake. The listener carries the
+// same deadline the dialers use, so a worker that dies before connecting
+// fails this rank's start-up instead of parking it forever.
+func (t *SocketTransport) acceptPeers() error {
+	if ul, ok := t.ln.(*net.UnixListener); ok {
+		ul.SetDeadline(time.Now().Add(socketDialTimeout))
+	}
+	for n := t.size - 1 - t.rank; n > 0; n-- {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("cluster: socket transport accept: %w", err)
+		}
+		// Raw-conn reader: wire reads exact frame sizes, so no bytes of any
+		// data frame racing in behind the handshake can be swallowed (a
+		// buffered reader would prefetch them into a throwaway buffer).
+		h, err := wire.NewReader(conn).ReadHandshake()
+		if err == nil {
+			err = t.checkPeer(h)
+		}
+		if err == nil && h.Rank < t.rank {
+			err = fmt.Errorf("cluster: rank %d dialed rank %d (lower ranks accept)", h.Rank, t.rank)
+		}
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		p := &sockPeer{conn: conn, w: wire.NewWriter(conn)}
+		if err := p.w.WriteHandshake(t.handshake()); err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: handshake reply to rank %d: %w", h.Rank, err)
+		}
+		t.peers[h.Rank] = p
+	}
+	return nil
+}
+
+// dialPeers connects to every lower rank, retrying until the peer's socket
+// appears (workers start asynchronously) or the timeout expires.
+func (t *SocketTransport) dialPeers(dir string) error {
+	deadline := time.Now().Add(socketDialTimeout)
+	for j := 0; j < t.rank; j++ {
+		var conn net.Conn
+		var err error
+		for {
+			conn, err = net.Dial("unix", SocketAddr(dir, j))
+			if err == nil || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: socket transport dial rank %d: %w", j, err)
+		}
+		p := &sockPeer{conn: conn, w: wire.NewWriter(conn)}
+		if err := p.w.WriteHandshake(t.handshake()); err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: handshake to rank %d: %w", j, err)
+		}
+		h, err := wire.NewReader(conn).ReadHandshake() // raw conn: see acceptPeers
+		if err == nil {
+			err = t.checkPeer(h)
+		}
+		if err == nil && h.Rank != j {
+			err = fmt.Errorf("cluster: rank %d answered on rank %d's socket", h.Rank, j)
+		}
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		t.peers[j] = p
+	}
+	return nil
+}
+
+// readLoop drains src's connection into the inbox, pooling payload buffers.
+// Connection setup read exactly the handshake frame from the raw
+// connection, so wrapping the remaining stream in a buffered reader here
+// loses nothing.
+func (t *SocketTransport) readLoop(src int, p *sockPeer) {
+	defer t.wg.Done()
+	r := wire.NewReader(bufio.NewReaderSize(p.conn, 1<<16))
+	get := t.pool.get
+	for {
+		data, clock, err := r.ReadData(get)
+		if err != nil {
+			if !t.closed.Load() {
+				t.readErr.Store(src, err)
+				close(t.inbox[src])
+			}
+			return
+		}
+		t.inbox[src] <- sockMsg{data: data, time: clock}
+	}
+}
+
+// Size implements Transport.
+func (t *SocketTransport) Size() int { return t.size }
+
+// Rank returns the rank this process hosts.
+func (t *SocketTransport) Rank() int { return t.rank }
+
+// send frames data to dst with the given clock stamp (self-sends queue
+// through the local inbox, mirroring the channel transport's self-mailbox).
+func (t *SocketTransport) send(dst int, data []float64, clock float64) {
+	if dst == t.rank {
+		buf := t.pool.get(len(data))
+		copy(buf, data)
+		t.inbox[dst] <- sockMsg{data: buf, time: clock}
+		return
+	}
+	p := t.peers[dst]
+	if p == nil {
+		panic(fmt.Sprintf("cluster: socket transport has no connection to rank %d", dst))
+	}
+	p.mu.Lock()
+	err := p.w.WriteData(clock, data)
+	p.mu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("cluster: socket transport send to rank %d: %v", dst, err))
+	}
+}
+
+// recv pops the next frame from src, panicking with the reader's error if
+// the connection was lost mid-run.
+func (t *SocketTransport) recv(src int) sockMsg {
+	m, ok := <-t.inbox[src]
+	if !ok {
+		err, _ := t.readErr.Load(src)
+		panic(fmt.Sprintf("cluster: socket transport lost rank %d: %v", src, err))
+	}
+	return m
+}
+
+// hosted panics unless rank is the rank this process hosts.
+func (t *SocketTransport) hosted(rank int) {
+	if rank != t.rank {
+		panic(fmt.Sprintf("cluster: socket transport hosts rank %d, not rank %d", t.rank, rank))
+	}
+}
+
+// Send implements Transport.
+func (t *SocketTransport) Send(src, dst int, data []float64, at float64) {
+	t.hosted(src)
+	t.send(dst, data, at)
+}
+
+// Recv implements Transport.
+func (t *SocketTransport) Recv(dst, src int, into []float64) ([]float64, float64) {
+	t.hosted(dst)
+	m := t.recv(src)
+	if cap(into) < len(m.data) {
+		into = make([]float64, len(m.data))
+	}
+	into = into[:len(m.data)]
+	copy(into, m.data)
+	t.pool.put(m.data)
+	return into, m.time
+}
+
+// Barrier implements Transport (an AllReduceSum of an empty vector).
+func (t *SocketTransport) Barrier(rank int, clock float64, cost CollectiveCost) float64 {
+	return t.AllReduceSum(rank, nil, clock, cost)
+}
+
+// AllReduceSum implements Transport: fan-in to rank 0, which sums the
+// contributions in ascending rank order (bitwise identical to the
+// in-process barrier's combine), computes the aligned clock from the
+// slowest contribution, and fans the total back out.
+func (t *SocketTransport) AllReduceSum(rank int, vec []float64, clock float64, cost CollectiveCost) float64 {
+	t.hosted(rank)
+	if t.size == 1 {
+		return cost(clock, len(vec))
+	}
+	if rank != 0 {
+		t.send(0, vec, clock)
+		m := t.recv(0)
+		copy(vec, m.data)
+		aligned := m.time
+		t.pool.put(m.data)
+		return aligned
+	}
+	red := t.pool.get(len(vec))
+	for i := range red {
+		red[i] = 0
+	}
+	for i, v := range vec {
+		red[i] += v
+	}
+	worst := clock
+	for src := 1; src < t.size; src++ {
+		m := t.recv(src)
+		if len(m.data) != len(vec) {
+			panic(fmt.Sprintf("cluster: allreduce length %d from rank %d, want %d", len(m.data), src, len(vec)))
+		}
+		for i, v := range m.data {
+			red[i] += v
+		}
+		if m.time > worst {
+			worst = m.time
+		}
+		t.pool.put(m.data)
+	}
+	aligned := cost(worst, len(vec))
+	copy(vec, red)
+	for dst := 1; dst < t.size; dst++ {
+		t.send(dst, vec, aligned)
+	}
+	t.pool.put(red)
+	return aligned
+}
+
+// AllGather implements Transport: fan-in to rank 0, rank-order
+// concatenation, fan-out of the full profile with the aligned clock.
+func (t *SocketTransport) AllGather(rank int, vec, into []float64, clock float64, cost CollectiveCost) ([]float64, float64) {
+	t.hosted(rank)
+	if t.size == 1 {
+		if cap(into) < len(vec) {
+			into = make([]float64, len(vec))
+		}
+		into = into[:len(vec)]
+		copy(into, vec)
+		return into, cost(clock, len(vec))
+	}
+	if rank != 0 {
+		t.send(0, vec, clock)
+		m := t.recv(0)
+		if cap(into) < len(m.data) {
+			into = make([]float64, len(m.data))
+		}
+		into = into[:len(m.data)]
+		copy(into, m.data)
+		aligned := m.time
+		t.pool.put(m.data)
+		return into, aligned
+	}
+	ag := t.pool.get(len(vec))[:0]
+	ag = append(ag, vec...)
+	worst := clock
+	for src := 1; src < t.size; src++ {
+		m := t.recv(src)
+		ag = append(ag, m.data...)
+		if m.time > worst {
+			worst = m.time
+		}
+		t.pool.put(m.data)
+	}
+	aligned := cost(worst, len(ag))
+	for dst := 1; dst < t.size; dst++ {
+		t.send(dst, ag, aligned)
+	}
+	if cap(into) < len(ag) {
+		into = make([]float64, len(ag))
+	}
+	into = into[:len(ag)]
+	copy(into, ag)
+	t.pool.put(ag)
+	return into, aligned
+}
+
+// Gather implements Transport: contributions fan in to root (which returns
+// fresh per-rank copies); root answers every rank with the aligned clock.
+// The modeled element count is rank 0's contribution length, matching the
+// in-process transport.
+func (t *SocketTransport) Gather(rank, root int, vec []float64, clock float64, cost CollectiveCost) ([][]float64, float64) {
+	t.hosted(rank)
+	if t.size == 1 {
+		return [][]float64{append([]float64(nil), vec...)}, cost(clock, len(vec))
+	}
+	if rank != root {
+		t.send(root, vec, clock)
+		m := t.recv(root)
+		aligned := m.time
+		t.pool.put(m.data)
+		return nil, aligned
+	}
+	parts := make([][]float64, t.size)
+	parts[rank] = append([]float64(nil), vec...)
+	worst := clock
+	for src := 0; src < t.size; src++ {
+		if src == rank {
+			continue
+		}
+		m := t.recv(src)
+		parts[src] = append([]float64(nil), m.data...)
+		if m.time > worst {
+			worst = m.time
+		}
+		t.pool.put(m.data)
+	}
+	aligned := cost(worst, len(parts[0]))
+	for dst := 0; dst < t.size; dst++ {
+		if dst == rank {
+			continue
+		}
+		t.send(dst, nil, aligned)
+	}
+	return parts, aligned
+}
+
+// Close implements Transport: tears down the listener, connections and
+// reader goroutines, and removes the rank's socket file.
+func (t *SocketTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	if t.ln != nil {
+		addr := t.ln.Addr().String()
+		first = t.ln.Close()
+		os.Remove(addr)
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			if err := p.conn.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	t.wg.Wait()
+	return first
+}

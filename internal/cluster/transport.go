@@ -1,0 +1,381 @@
+package cluster
+
+import "sync"
+
+// CollectiveCost maps the slowest participant's virtual clock (and the
+// collective's modeled element count) to the aligned post-collective clock.
+// Comm builds one per collective kind at construction, capturing the
+// Interconnect model, so transports stay free of cost modeling and the hot
+// collectives allocate no closures per call.
+type CollectiveCost func(worst float64, totalElems int) float64
+
+// Transport moves framed []float64 payloads between the ranks of a
+// communicator and implements its collective rendezvous. Comm owns the
+// virtual clocks and the alpha-beta cost model; the transport only carries
+// clock values: a point-to-point message travels with its modeled arrival
+// time, and a collective contributes each rank's clock and returns the
+// aligned clock computed by the cost hook (the "collective barrier
+// generation" of the in-process cyclicBarrier, made transport-shaped).
+//
+// Two implementations exist: the in-process channel transport behind
+// NewComm (rank goroutines, shared-memory rendezvous — bitwise identical to
+// the pre-split Comm and allocation-free in steady state), and the
+// multi-process Unix-domain-socket transport (NewSocketTransport) whose
+// ranks live in separate OS processes and speak the internal/cluster/wire
+// frame format.
+//
+// Contract shared by both: payload floats are carried bit-exactly, per
+// ordered (src, dst) pair delivery is FIFO, and every collective combines
+// contributions in ascending rank order — so a bulk-synchronous caller (the
+// shard engine) produces bitwise-identical trajectories over either
+// transport.
+type Transport interface {
+	// Size returns the rank count the transport spans.
+	Size() int
+	// Send delivers data from src to dst with virtual arrival time at.
+	// The slice is only borrowed for the duration of the call.
+	Send(src, dst int, data []float64, at float64)
+	// Recv blocks for the next message from src addressed to dst, copies
+	// its payload into into (grown if needed) and returns the filled slice
+	// plus the message's virtual arrival time.
+	Recv(dst, src int, into []float64) ([]float64, float64)
+	// Barrier parks the calling rank until every rank arrived, returning
+	// the aligned clock cost(max over contributed clocks, 0).
+	Barrier(rank int, clock float64, cost CollectiveCost) float64
+	// AllReduceSum overwrites vec with the elementwise sum of every rank's
+	// vec, accumulated in ascending rank order, and returns the aligned
+	// clock. Every rank must pass a vec of the same length.
+	AllReduceSum(rank int, vec []float64, clock float64, cost CollectiveCost) float64
+	// AllGather concatenates every rank's vec in rank order into into
+	// (grown if needed; vectors may differ in length), returning the filled
+	// slice and the aligned clock.
+	AllGather(rank int, vec, into []float64, clock float64, cost CollectiveCost) ([]float64, float64)
+	// Gather collects each rank's vec at root as per-rank copies (nil at
+	// every other rank), returning the aligned clock to all ranks.
+	Gather(rank, root int, vec []float64, clock float64, cost CollectiveCost) ([][]float64, float64)
+	// Close releases the transport's resources (sockets, goroutines). The
+	// in-process transport has none and treats Close as a no-op.
+	Close() error
+}
+
+// poolMaxBufs caps how many payload buffers a bufPool retains; beyond it a
+// returned buffer either evicts a smaller pooled one or is dropped, so a
+// long run with occasional burst traffic cannot grow the pool without
+// bound.
+const poolMaxBufs = 64
+
+// bufPool recycles []float64 payload buffers between sends and receives so
+// steady-state messaging allocates nothing. get is best-fit — it returns
+// the pooled buffer with the smallest adequate capacity — rather than
+// first-fit, so a tiny request can no longer capture a huge buffer (which
+// would then serve tiny messages forever while large messages allocate
+// fresh: the PR 5 hoarding bug).
+type bufPool struct {
+	mu   sync.Mutex
+	bufs [][]float64
+}
+
+// get returns a pooled buffer of length n (contents undefined), choosing
+// the smallest pooled capacity >= n, or a fresh allocation when none fits.
+func (p *bufPool) get(n int) []float64 {
+	p.mu.Lock()
+	best := -1
+	for i, b := range p.bufs {
+		if c := cap(b); c >= n && (best < 0 || c < cap(p.bufs[best])) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		b := p.bufs[best]
+		last := len(p.bufs) - 1
+		p.bufs[best] = p.bufs[last]
+		p.bufs = p.bufs[:last]
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	return make([]float64, n)
+}
+
+// put returns a buffer to the pool. When the pool is full it evicts the
+// smallest retained buffer if the incoming one has more capacity (large
+// buffers are the expensive ones to reallocate) and otherwise drops the
+// incoming buffer, keeping the pool size bounded by poolMaxBufs.
+func (p *bufPool) put(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	p.mu.Lock()
+	if len(p.bufs) < poolMaxBufs {
+		p.bufs = append(p.bufs, b)
+		p.mu.Unlock()
+		return
+	}
+	smallest := 0
+	for i := 1; i < len(p.bufs); i++ {
+		if cap(p.bufs[i]) < cap(p.bufs[smallest]) {
+			smallest = i
+		}
+	}
+	if cap(p.bufs[smallest]) < cap(b) {
+		p.bufs[smallest] = b
+	}
+	p.mu.Unlock()
+}
+
+// len reports the current pool size (tests).
+func (p *bufPool) len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.bufs)
+}
+
+// message is one in-flight point-to-point payload of the channel transport.
+type message struct {
+	data []float64
+	time float64 // modeled arrival time at the receiver
+}
+
+// chanTransport is the in-process Transport: rank goroutines exchange
+// pooled payload buffers over per-pair mailbox channels and rendezvous on a
+// shared-memory cyclic barrier — the pre-split Comm internals verbatim, so
+// existing in-process runs stay bitwise identical and allocation-free.
+type chanTransport struct {
+	size int
+	// chans[dst][src] is the mailbox from src to dst.
+	chans   [][]chan message
+	pool    bufPool
+	barrier *cyclicBarrier
+}
+
+// newChanTransport builds the in-process transport for size ranks.
+func newChanTransport(size int) *chanTransport {
+	t := &chanTransport{size: size, barrier: newCyclicBarrier(size)}
+	t.chans = make([][]chan message, size)
+	for dst := 0; dst < size; dst++ {
+		t.chans[dst] = make([]chan message, size)
+		for src := 0; src < size; src++ {
+			t.chans[dst][src] = make(chan message, 8)
+		}
+	}
+	return t
+}
+
+// Size implements Transport.
+func (t *chanTransport) Size() int { return t.size }
+
+// Send implements Transport: the payload is copied into a pooled buffer, so
+// the caller keeps ownership of data and steady-state messaging is
+// allocation-free once Recv recycles the transport buffers.
+func (t *chanTransport) Send(src, dst int, data []float64, at float64) {
+	payload := t.pool.get(len(data))
+	copy(payload, data)
+	t.chans[dst][src] <- message{data: payload, time: at}
+}
+
+// Recv implements Transport, releasing the transport buffer back to the
+// pool after copying it out.
+func (t *chanTransport) Recv(dst, src int, into []float64) ([]float64, float64) {
+	m := <-t.chans[dst][src]
+	if cap(into) < len(m.data) {
+		into = make([]float64, len(m.data))
+	}
+	into = into[:len(m.data)]
+	copy(into, m.data)
+	t.pool.put(m.data)
+	return into, m.time
+}
+
+// Barrier implements Transport.
+func (t *chanTransport) Barrier(rank int, clock float64, cost CollectiveCost) float64 {
+	return t.barrier.await(rank, clock, cost)
+}
+
+// AllReduceSum implements Transport.
+func (t *chanTransport) AllReduceSum(rank int, vec []float64, clock float64, cost CollectiveCost) float64 {
+	return t.barrier.reduceInPlace(rank, vec, clock, cost)
+}
+
+// AllGather implements Transport.
+func (t *chanTransport) AllGather(rank int, vec, into []float64, clock float64, cost CollectiveCost) ([]float64, float64) {
+	return t.barrier.allGather(rank, vec, into, clock, cost)
+}
+
+// Gather implements Transport.
+func (t *chanTransport) Gather(rank, root int, vec []float64, clock float64, cost CollectiveCost) ([][]float64, float64) {
+	parts, aligned := t.barrier.gather(rank, vec, clock, cost)
+	if rank != root {
+		return nil, aligned
+	}
+	return parts, aligned
+}
+
+// Close implements Transport (no-op: channels are garbage collected).
+func (t *chanTransport) Close() error { return nil }
+
+// cyclicBarrier lets size goroutines repeatedly rendezvous; the last
+// arrival of each generation combines the contributions (vectors and
+// clocks) while the others are parked, and every participant leaves with
+// the combined result copied out under the barrier lock — so a later
+// generation cannot overwrite a retained buffer while it is still being
+// read (a rank re-enters the barrier only after its copy completed).
+type cyclicBarrier struct {
+	size   int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	count  int
+	gen    int
+	parts  [][]float64
+	clocks []float64
+	// aligned is the generation's post-collective clock.
+	aligned float64
+	partsSn [][]float64
+	// red is the retained combine buffer of reduceInPlace.
+	red []float64
+	// ag is the retained concatenation buffer of allGather.
+	ag []float64
+}
+
+func newCyclicBarrier(size int) *cyclicBarrier {
+	b := &cyclicBarrier{
+		size:   size,
+		parts:  make([][]float64, size),
+		clocks: make([]float64, size),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// worstClock returns the slowest contributed clock of the current
+// generation (call with b.mu held by the combining rank).
+func (b *cyclicBarrier) worstClock() float64 {
+	worst := b.clocks[0]
+	for _, c := range b.clocks[1:] {
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst
+}
+
+// finish closes a generation (call with b.mu held by the combining rank).
+func (b *cyclicBarrier) finish() {
+	b.count = 0
+	b.gen++
+	b.cond.Broadcast()
+}
+
+func (b *cyclicBarrier) await(rank int, clock float64, cost CollectiveCost) float64 {
+	b.mu.Lock()
+	b.clocks[rank] = clock
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.aligned = cost(b.worstClock(), 0)
+		b.finish()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	aligned := b.aligned
+	b.mu.Unlock()
+	return aligned
+}
+
+// reduceInPlace sums the ranks' vectors into the retained red buffer in
+// ascending rank order and copies the total back into every participant's
+// vec before it leaves the rendezvous.
+func (b *cyclicBarrier) reduceInPlace(rank int, vec []float64, clock float64, cost CollectiveCost) float64 {
+	b.mu.Lock()
+	b.parts[rank] = vec
+	b.clocks[rank] = clock
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		if cap(b.red) < len(vec) {
+			b.red = make([]float64, len(vec))
+		}
+		b.red = b.red[:len(vec)]
+		for i := range b.red {
+			b.red[i] = 0
+		}
+		for _, p := range b.parts {
+			for i, v := range p {
+				b.red[i] += v
+			}
+		}
+		b.aligned = cost(b.worstClock(), len(vec))
+		b.finish()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	copy(vec, b.red)
+	aligned := b.aligned
+	b.mu.Unlock()
+	return aligned
+}
+
+// allGather concatenates the ranks' vectors in rank order into the retained
+// ag buffer and copies the result into every participant's out buffer; the
+// cost hook receives the total gathered element count.
+func (b *cyclicBarrier) allGather(rank int, vec []float64, out []float64, clock float64, cost CollectiveCost) ([]float64, float64) {
+	b.mu.Lock()
+	b.parts[rank] = vec
+	b.clocks[rank] = clock
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		total := 0
+		for _, p := range b.parts {
+			total += len(p)
+		}
+		if cap(b.ag) < total {
+			b.ag = make([]float64, 0, total)
+		}
+		b.ag = b.ag[:0]
+		for _, p := range b.parts {
+			b.ag = append(b.ag, p...)
+		}
+		b.aligned = cost(b.worstClock(), total)
+		b.finish()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	if cap(out) < len(b.ag) {
+		out = make([]float64, len(b.ag))
+	}
+	out = out[:len(b.ag)]
+	copy(out, b.ag)
+	aligned := b.aligned
+	b.mu.Unlock()
+	return out, aligned
+}
+
+// gather snapshots every rank's vector (as fresh per-rank copies) for the
+// root; the modeled element count is rank 0's contribution length, which is
+// deterministic where the pre-split code used the last-arriving rank's.
+func (b *cyclicBarrier) gather(rank int, vec []float64, clock float64, cost CollectiveCost) ([][]float64, float64) {
+	b.mu.Lock()
+	b.parts[rank] = append([]float64(nil), vec...)
+	b.clocks[rank] = clock
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.partsSn = append([][]float64(nil), b.parts...)
+		b.aligned = cost(b.worstClock(), len(b.parts[0]))
+		b.finish()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	res := b.partsSn
+	aligned := b.aligned
+	b.mu.Unlock()
+	return res, aligned
+}

@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzReadData feeds arbitrary byte streams to the data-frame decoder: it
+// must either decode frames or return an error — never panic, and never
+// allocate a payload ahead of the bytes that actually arrived (truncated
+// frames and oversized length prefixes are the interesting corpus). Valid
+// frames decoded from the stream must re-encode to a frame that decodes
+// identically (bit-level round trip).
+func FuzzReadData(f *testing.F) {
+	var seedBuf bytes.Buffer
+	w := NewWriter(&seedBuf)
+	w.WriteData(1.5, []float64{1, 2, 3})
+	f.Add(seedBuf.Bytes())
+	w.WriteData(0, nil)
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 1}) // near-MaxBody forged prefix
+	f.Add([]byte{13, 0, 0, 0, 1, 1, 2, 3})   // misaligned body, truncated
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for frames := 0; frames < 16; frames++ {
+			payload, clock, err := r.ReadData(nil)
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			if err := NewWriter(&buf).WriteData(clock, payload); err != nil {
+				t.Fatalf("re-encode of decoded frame failed: %v", err)
+			}
+			got, clock2, err := NewReader(&buf).ReadData(nil)
+			if err != nil {
+				t.Fatalf("re-decode failed: %v", err)
+			}
+			if math.Float64bits(clock2) != math.Float64bits(clock) || len(got) != len(payload) {
+				t.Fatalf("round trip changed shape: clock %x->%x len %d->%d",
+					math.Float64bits(clock), math.Float64bits(clock2), len(payload), len(got))
+			}
+			for i := range payload {
+				if math.Float64bits(got[i]) != math.Float64bits(payload[i]) {
+					t.Fatalf("round trip changed element %d: %x -> %x",
+						i, math.Float64bits(payload[i]), math.Float64bits(got[i]))
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadHandshake feeds arbitrary byte streams to the handshake decoder:
+// bad magic, versions, kinds and field ranges must error, never panic, and
+// accepted handshakes must be internally consistent and round-trip.
+func FuzzReadHandshake(f *testing.F) {
+	var seedBuf bytes.Buffer
+	NewWriter(&seedBuf).WriteHandshake(Handshake{Rank: 1, Size: 4, Grid: [3]int{2, 2, 1}})
+	f.Add(seedBuf.Bytes())
+	f.Add([]byte{14, 0, 0, 0, 0, 0x4d, 0x4c, 0x35, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := NewReader(bytes.NewReader(data)).ReadHandshake()
+		if err != nil {
+			return
+		}
+		if h.Size < 1 || h.Rank < 0 || h.Rank >= h.Size {
+			t.Fatalf("decoder accepted inconsistent handshake %+v", h)
+		}
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).WriteHandshake(h); err != nil {
+			t.Fatalf("re-encode of accepted handshake %+v failed: %v", h, err)
+		}
+		h2, err := NewReader(&buf).ReadHandshake()
+		if err != nil || h2 != h {
+			t.Fatalf("handshake round trip %+v -> %+v (%v)", h, h2, err)
+		}
+	})
+}

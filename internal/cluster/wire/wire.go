@@ -1,0 +1,247 @@
+// Package wire is the binary frame format of the multi-process rank
+// transport (cluster.SocketTransport): length-prefixed little-endian frames
+// carrying []float64 payloads bit-exactly between OS processes, plus the
+// versioned handshake each connection opens with.
+//
+// Layout (all integers little-endian):
+//
+//	frame     = u32 bodyLen | u8 kind | body
+//	handshake = u32 magic | u16 version | u16 rank | u16 size
+//	            | u16 gx | u16 gy | u16 gz            (kind 0, bodyLen 16)
+//	data      = f64 clock | f64 × n                   (kind 1, bodyLen 8+8n)
+//
+// The clock field carries the sender's virtual time (point-to-point: the
+// modeled arrival time; collectives: the contributed or aligned clock), so
+// the alpha-beta clock model of cluster.Comm crosses process boundaries
+// unchanged. Floats travel as raw IEEE-754 bits (math.Float64bits), which
+// is what makes multi-process trajectories bitwise identical to in-process
+// ones.
+//
+// Readers validate every prefix before trusting it — bad magic, unknown
+// version or kind, a body length above MaxBody or inconsistent with the
+// kind all return errors, never panics — and the payload buffer of a data
+// frame grows incrementally with the bytes actually received, so a forged
+// length prefix cannot force a large allocation (fuzzed in
+// frame_fuzz_test.go).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Magic opens every handshake ("ML5\x01" little-endian).
+const Magic = 0x01354c4d
+
+// Version is the current frame-format version; handshakes carrying any
+// other version are rejected (both sides must speak the same codec).
+const Version = 1
+
+// MaxBody caps a frame's body length (bytes); larger prefixes are corrupt
+// by definition and rejected before any allocation.
+const MaxBody = 1 << 28
+
+// Frame kinds.
+const (
+	kindHandshake = 0
+	kindData      = 1
+)
+
+// headerLen is the fixed frame prefix: u32 body length + u8 kind.
+const headerLen = 5
+
+// handshakeBody is the fixed handshake body length: u32 magic + u16 ×
+// (version, rank, size, gx, gy, gz).
+const handshakeBody = 16
+
+// readChunk bounds how many payload bytes a reader requests at once, so a
+// frame is decoded incrementally and truncated streams fail after reading
+// only what actually arrived.
+const readChunk = 1 << 16
+
+// Handshake identifies a connecting rank: its rank and communicator size
+// plus the domain-grid shape of the run, all of which the accepting side
+// verifies against its own, so mismatched launches fail fast instead of
+// exchanging misrouted frames.
+type Handshake struct {
+	// Rank and Size are the sender's rank and the communicator size.
+	Rank, Size int
+	// Grid is the Px×Py×Pz domain-grid shape of the run ({0,0,0} when the
+	// caller has no grid semantics).
+	Grid [3]int
+}
+
+// Writer frames payloads onto w with a retained scratch buffer, so
+// steady-state writes allocate nothing. Not safe for concurrent use; the
+// socket transport serializes writers per connection.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a Writer framing onto w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// grow resizes the scratch buffer to n bytes, reusing capacity.
+func (w *Writer) grow(n int) []byte {
+	if cap(w.buf) < n {
+		w.buf = make([]byte, n)
+	}
+	w.buf = w.buf[:n]
+	return w.buf
+}
+
+// WriteHandshake frames h. Field ranges are validated (the wire carries
+// them as u16).
+func (w *Writer) WriteHandshake(h Handshake) error {
+	for _, v := range []int{h.Rank, h.Size, h.Grid[0], h.Grid[1], h.Grid[2]} {
+		if v < 0 || v > math.MaxUint16 {
+			return fmt.Errorf("wire: handshake field %d outside uint16", v)
+		}
+	}
+	b := w.grow(headerLen + handshakeBody)
+	binary.LittleEndian.PutUint32(b[0:], handshakeBody)
+	b[4] = kindHandshake
+	binary.LittleEndian.PutUint32(b[5:], Magic)
+	binary.LittleEndian.PutUint16(b[9:], Version)
+	binary.LittleEndian.PutUint16(b[11:], uint16(h.Rank))
+	binary.LittleEndian.PutUint16(b[13:], uint16(h.Size))
+	binary.LittleEndian.PutUint16(b[15:], uint16(h.Grid[0]))
+	binary.LittleEndian.PutUint16(b[17:], uint16(h.Grid[1]))
+	binary.LittleEndian.PutUint16(b[19:], uint16(h.Grid[2]))
+	_, err := w.w.Write(b)
+	return err
+}
+
+// WriteData frames one data payload with its clock stamp. The whole frame
+// is staged in the retained scratch and written with a single Write, so a
+// frame is never interleaved with another writer's bytes as long as callers
+// serialize WriteData per connection.
+func (w *Writer) WriteData(clock float64, data []float64) error {
+	body := 8 + 8*len(data)
+	if body > MaxBody {
+		return fmt.Errorf("wire: %d-element payload exceeds MaxBody", len(data))
+	}
+	b := w.grow(headerLen + body)
+	binary.LittleEndian.PutUint32(b[0:], uint32(body))
+	b[4] = kindData
+	binary.LittleEndian.PutUint64(b[5:], math.Float64bits(clock))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(b[13+8*i:], math.Float64bits(v))
+	}
+	_, err := w.w.Write(b)
+	return err
+}
+
+// Reader decodes frames from r with a retained scratch buffer. Not safe
+// for concurrent use.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader returns a Reader decoding from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// grow resizes the scratch buffer, reusing capacity and never allocating
+// more than readChunk bytes at once.
+func (r *Reader) grow(n int) []byte {
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	return r.buf
+}
+
+// header reads and validates a frame prefix, returning (bodyLen, kind).
+func (r *Reader) header() (int, byte, error) {
+	b := r.grow(headerLen)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return 0, 0, fmt.Errorf("wire: frame header: %w", err)
+	}
+	body := int(binary.LittleEndian.Uint32(b[0:]))
+	kind := b[4]
+	if body > MaxBody {
+		return 0, 0, fmt.Errorf("wire: frame body %d exceeds MaxBody %d", body, MaxBody)
+	}
+	return body, kind, nil
+}
+
+// ReadHandshake reads one handshake frame, validating magic and version.
+func (r *Reader) ReadHandshake() (Handshake, error) {
+	body, kind, err := r.header()
+	if err != nil {
+		return Handshake{}, err
+	}
+	if kind != kindHandshake || body != handshakeBody {
+		return Handshake{}, fmt.Errorf("wire: expected handshake frame, got kind %d body %d", kind, body)
+	}
+	b := r.grow(handshakeBody)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return Handshake{}, fmt.Errorf("wire: handshake body: %w", err)
+	}
+	if m := binary.LittleEndian.Uint32(b[0:]); m != Magic {
+		return Handshake{}, fmt.Errorf("wire: bad handshake magic %#x", m)
+	}
+	if v := binary.LittleEndian.Uint16(b[4:]); v != Version {
+		return Handshake{}, fmt.Errorf("wire: handshake version %d, want %d", v, Version)
+	}
+	h := Handshake{
+		Rank: int(binary.LittleEndian.Uint16(b[6:])),
+		Size: int(binary.LittleEndian.Uint16(b[8:])),
+	}
+	h.Grid[0] = int(binary.LittleEndian.Uint16(b[10:]))
+	h.Grid[1] = int(binary.LittleEndian.Uint16(b[12:]))
+	h.Grid[2] = int(binary.LittleEndian.Uint16(b[14:]))
+	if h.Size < 1 || h.Rank >= h.Size {
+		return Handshake{}, fmt.Errorf("wire: handshake rank %d of size %d", h.Rank, h.Size)
+	}
+	return h, nil
+}
+
+// ReadData reads one data frame, returning the payload and its clock
+// stamp. The payload buffer comes from get(n) when get is non-nil (the
+// pooling hook of the socket transport: n is the decoded element count and
+// the returned slice must have capacity n); with a nil get the payload is
+// accumulated incrementally as bytes arrive, so a forged length prefix
+// costs at most one read chunk of allocation before the truncation error
+// surfaces.
+func (r *Reader) ReadData(get func(n int) []float64) ([]float64, float64, error) {
+	body, kind, err := r.header()
+	if err != nil {
+		return nil, 0, err
+	}
+	if kind != kindData {
+		return nil, 0, fmt.Errorf("wire: expected data frame, got kind %d", kind)
+	}
+	if body < 8 || (body-8)%8 != 0 {
+		return nil, 0, fmt.Errorf("wire: data frame body %d is not 8+8n bytes", body)
+	}
+	b := r.grow(8)
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return nil, 0, fmt.Errorf("wire: data clock: %w", err)
+	}
+	clock := math.Float64frombits(binary.LittleEndian.Uint64(b))
+	n := (body - 8) / 8
+	var data []float64
+	if get != nil {
+		data = get(n)[:0]
+	}
+	for got := 0; got < n; {
+		chunk := n - got
+		if chunk > readChunk/8 {
+			chunk = readChunk / 8
+		}
+		b := r.grow(8 * chunk)
+		if _, err := io.ReadFull(r.r, b); err != nil {
+			return nil, 0, fmt.Errorf("wire: data payload (%d of %d elements): %w", got, n, err)
+		}
+		for i := 0; i < chunk; i++ {
+			data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+		}
+		got += chunk
+	}
+	return data, clock, nil
+}

@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestHandshakeRoundTrip: a handshake frame survives encode/decode exactly,
+// and out-of-range fields are rejected at the writer.
+func TestHandshakeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	h := Handshake{Rank: 3, Size: 8, Grid: [3]int{4, 2, 1}}
+	if err := w.WriteHandshake(h); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadHandshake()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("handshake %+v, want %+v", got, h)
+	}
+	if err := w.WriteHandshake(Handshake{Rank: -1, Size: 2}); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if err := w.WriteHandshake(Handshake{Rank: 0, Size: 1 << 17}); err == nil {
+		t.Error("oversized size accepted")
+	}
+}
+
+// TestDataRoundTripBitwise: payload floats — including NaN, ±0, denormals
+// and exact negative values — survive the frame bit-for-bit, with and
+// without a pooling hook.
+func TestDataRoundTripBitwise(t *testing.T) {
+	payload := []float64{
+		0, math.Copysign(0, -1), 1.5, -2.75e-300, math.Inf(1), math.NaN(),
+		math.Float64frombits(1), // smallest denormal
+	}
+	for _, pooled := range []bool{false, true} {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteData(42.5, payload); err != nil {
+			t.Fatal(err)
+		}
+		var get func(n int) []float64
+		if pooled {
+			get = func(n int) []float64 { return make([]float64, n) }
+		}
+		got, clock, err := NewReader(&buf).ReadData(get)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clock != 42.5 {
+			t.Errorf("clock %v, want 42.5", clock)
+		}
+		if len(got) != len(payload) {
+			t.Fatalf("pooled=%v: %d elements, want %d", pooled, len(got), len(payload))
+		}
+		for i := range payload {
+			if math.Float64bits(got[i]) != math.Float64bits(payload[i]) {
+				t.Errorf("pooled=%v: element %d = %x, want %x", pooled, i,
+					math.Float64bits(got[i]), math.Float64bits(payload[i]))
+			}
+		}
+	}
+}
+
+// TestDataEmptyAndLarge: zero-length payloads and multi-chunk payloads
+// (larger than the reader's chunk size) round-trip.
+func TestDataEmptyAndLarge(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteData(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	large := make([]float64, 3*readChunk/8+17)
+	for i := range large {
+		large[i] = float64(i) * 0.5
+	}
+	if err := w.WriteData(2, large); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, clock, err := r.ReadData(nil)
+	if err != nil || clock != 1 || len(got) != 0 {
+		t.Fatalf("empty frame: %v %v %v", got, clock, err)
+	}
+	got, clock, err = r.ReadData(nil)
+	if err != nil || clock != 2 || len(got) != len(large) {
+		t.Fatalf("large frame: len %d clock %v err %v", len(got), clock, err)
+	}
+	for i := range large {
+		if got[i] != large[i] {
+			t.Fatalf("large frame element %d = %v, want %v", i, got[i], large[i])
+		}
+	}
+}
+
+// TestReaderRejects: corrupt prefixes error out without panicking — wrong
+// magic, wrong version, oversized bodies, truncated payloads, kind
+// confusion, and inconsistent data lengths.
+func TestReaderRejects(t *testing.T) {
+	mk := func(mut func(b []byte)) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteHandshake(Handshake{Rank: 1, Size: 2, Grid: [3]int{2, 1, 1}}); err != nil {
+			t.Fatal(err)
+		}
+		b := buf.Bytes()
+		mut(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"bad magic", mk(func(b []byte) { b[5] ^= 0xff })},
+		{"bad version", mk(func(b []byte) { b[9] = 99 })},
+		{"truncated", mk(func(b []byte) {})[:7]},
+		{"rank >= size", mk(func(b []byte) { binary.LittleEndian.PutUint16(b[11:], 9) })},
+		{"wrong kind", mk(func(b []byte) { b[4] = 1 })},
+	}
+	for _, tc := range cases {
+		if _, err := NewReader(bytes.NewReader(tc.data)).ReadHandshake(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteData(0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	if _, err := NewReader(bytes.NewReader(frame)).ReadHandshake(); err == nil {
+		t.Error("data frame accepted as handshake")
+	}
+	short := append([]byte(nil), frame...)[:len(frame)-3]
+	if _, _, err := NewReader(bytes.NewReader(short)).ReadData(nil); err == nil {
+		t.Error("truncated data frame accepted")
+	}
+	bad := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(bad[0:], 13) // not 8+8n
+	if _, _, err := NewReader(bytes.NewReader(bad)).ReadData(nil); err == nil {
+		t.Error("misaligned body length accepted")
+	}
+	huge := append([]byte(nil), frame...)
+	binary.LittleEndian.PutUint32(huge[0:], MaxBody+8)
+	if _, _, err := NewReader(bytes.NewReader(huge)).ReadData(nil); err == nil {
+		t.Error("over-MaxBody length accepted")
+	}
+	if err := NewWriter(io.Discard).WriteData(0, make([]float64, MaxBody/8)); err == nil {
+		t.Error("writer accepted an over-MaxBody payload")
+	}
+}
+
+// TestForgedLengthDoesNotOverAllocate: a length prefix claiming a huge
+// payload over a nearly empty stream must fail without materializing the
+// claimed payload — the reader grows with the bytes that actually arrive,
+// so heap growth stays near the truncated stream's real size, far below
+// the forged half-gigabyte claim.
+func TestForgedLengthDoesNotOverAllocate(t *testing.T) {
+	b := make([]byte, headerLen+8+64)
+	binary.LittleEndian.PutUint32(b[0:], uint32(8+(1<<26))) // claims 512 MiB of floats
+	b[4] = kindData
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, _, err := NewReader(strings.NewReader(string(b))).ReadData(nil); err == nil {
+		t.Fatal("forged length accepted")
+	}
+	runtime.ReadMemStats(&after)
+	if grown := after.TotalAlloc - before.TotalAlloc; grown > 8*readChunk {
+		t.Errorf("truncated 64-byte stream allocated %d bytes against a forged 512 MiB prefix", grown)
+	}
+}

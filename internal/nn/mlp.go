@@ -122,10 +122,15 @@ func (m *MLP) layerForward(l int, x []float64, preAct, postAct []float64) []floa
 }
 
 // Tape holds the per-layer activations of one forward pass for backprop.
+// A Tape is reusable: ForwardTapeInto records over the previous pass's
+// buffers, so steady-state inference (e.g. the per-atom evaluations of a
+// sharded Allegro run) allocates nothing.
 type Tape struct {
 	inputs [][]float64 // inputs[l] is the input to layer l
 	pre    [][]float64 // pre-activations of layer l
 	out    []float64
+	// d0/d1 are the ping-pong delta buffers of BackwardInto.
+	d0, d1 []float64
 }
 
 // Out returns the first output of the taped forward pass (scalar-output
@@ -135,18 +140,69 @@ func (t *Tape) Out() float64 { return t.out[0] }
 // Outputs returns the full output vector of the taped forward pass.
 func (t *Tape) Outputs() []float64 { return t.out }
 
-// ForwardTape evaluates the network recording a tape.
+// ForwardTape evaluates the network recording a fresh tape.
 func (m *MLP) ForwardTape(x []float64) *Tape {
-	t := &Tape{}
-	cur := append([]float64(nil), x...)
-	for l := range m.W {
-		t.inputs = append(t.inputs, cur)
-		pre := make([]float64, m.Sizes[l+1])
-		cur = m.layerForward(l, cur, pre, nil)
-		t.pre = append(t.pre, pre)
+	return m.ForwardTapeInto(x, &Tape{})
+}
+
+// ForwardTapeInto evaluates the network recording onto t, reusing its
+// buffers from a previous pass (they are sized on first use, so a zero
+// Tape works). The arithmetic is identical to ForwardTape — only the
+// buffer lifetimes differ — and t is returned for call chaining.
+func (m *MLP) ForwardTapeInto(x []float64, t *Tape) *Tape {
+	if len(x) != m.Sizes[0] {
+		panic(fmt.Sprintf("nn: layer 0 input length %d != %d", len(x), m.Sizes[0]))
 	}
-	t.out = cur
+	layers := len(m.W)
+	if len(t.inputs) != layers {
+		t.inputs = make([][]float64, layers)
+		t.pre = make([][]float64, layers)
+	}
+	for l := 0; l < layers; l++ {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		if len(t.inputs[l]) != in {
+			t.inputs[l] = make([]float64, in)
+		}
+		if len(t.pre[l]) != out {
+			t.pre[l] = make([]float64, out)
+		}
+	}
+	if n := m.Sizes[layers]; len(t.out) != n {
+		t.out = make([]float64, n)
+	}
+	copy(t.inputs[0], x)
+	for l := 0; l < layers; l++ {
+		dst := t.out
+		if l < layers-1 {
+			dst = t.inputs[l+1]
+		}
+		m.layerForwardInto(l, t.inputs[l], t.pre[l], dst)
+	}
 	return t
+}
+
+// layerForwardInto is layerForward writing into a preallocated dst (same
+// arithmetic, no allocation).
+func (m *MLP) layerForwardInto(l int, x, preAct, dst []float64) {
+	in, out := m.Sizes[l], m.Sizes[l+1]
+	if len(x) != in {
+		panic(fmt.Sprintf("nn: layer %d input length %d != %d", l, len(x), in))
+	}
+	last := l == len(m.W)-1
+	for o := 0; o < out; o++ {
+		sum := m.B[l][o]
+		row := m.W[l][o*in : (o+1)*in]
+		for i, v := range x {
+			sum += row[i] * v
+		}
+		preAct[o] = sum
+		if last {
+			dst[o] = sum
+		} else {
+			y, _ := actFn(m.Act, sum)
+			dst[o] = y
+		}
+	}
 }
 
 // Grads holds weight and bias gradients matching the MLP's shapes.
@@ -181,7 +237,28 @@ func (g *Grads) Zero() {
 // pass, accumulating weight gradients into grads (if non-nil) and returning
 // the gradient with respect to the input.
 func (m *MLP) Backward(t *Tape, gOut []float64, grads *Grads) []float64 {
-	delta := append([]float64(nil), gOut...)
+	dst := make([]float64, m.Sizes[0])
+	return m.BackwardInto(t, gOut, grads, dst)
+}
+
+// BackwardInto is Backward writing the input gradient into dst (length
+// Sizes[0]) and reusing the tape's delta scratch, so steady-state
+// backpropagation allocates nothing. The arithmetic is identical to
+// Backward; dst is returned.
+func (m *MLP) BackwardInto(t *Tape, gOut []float64, grads *Grads, dst []float64) []float64 {
+	width := 0
+	for _, s := range m.Sizes {
+		if s > width {
+			width = s
+		}
+	}
+	if cap(t.d0) < width {
+		t.d0 = make([]float64, width)
+		t.d1 = make([]float64, width)
+	}
+	delta := t.d0[:len(gOut)]
+	spare := t.d1
+	copy(delta, gOut)
 	for l := len(m.W) - 1; l >= 0; l-- {
 		in, out := m.Sizes[l], m.Sizes[l+1]
 		last := l == len(m.W)-1
@@ -204,7 +281,10 @@ func (m *MLP) Backward(t *Tape, gOut []float64, grads *Grads) []float64 {
 			}
 		}
 		// Input gradient: Wᵀ δ.
-		next := make([]float64, in)
+		next := spare[:in]
+		for i := range next {
+			next[i] = 0
+		}
 		for o := 0; o < out; o++ {
 			row := m.W[l][o*in : (o+1)*in]
 			d := delta[o]
@@ -212,9 +292,11 @@ func (m *MLP) Backward(t *Tape, gOut []float64, grads *Grads) []float64 {
 				next[i] += d * row[i]
 			}
 		}
+		spare = delta[:cap(delta)]
 		delta = next
 	}
-	return delta
+	copy(dst[:m.Sizes[0]], delta)
+	return dst[:m.Sizes[0]]
 }
 
 // InputGradient returns d(out[0])/dx for a scalar-output network — the

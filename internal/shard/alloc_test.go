@@ -57,3 +57,37 @@ func TestShardSteadyStateAllocs(t *testing.T) {
 		})
 	}
 }
+
+// TestShardAllegroSteadyStateAllocs pins the ISSUE 5 allocation fix: with
+// the MLP tape and backward delta buffers reused through per-worker
+// par.Scratch slots (nn.Tape via allegro.EvalScratch), the Allegro
+// steady-state sharded step — per-atom neural inference, the two-phase
+// payload halo and the canonical-order assembly — allocates nothing, the
+// same contract the engine machinery and the LJ field already carried.
+// (Before the fix every EvalAtom call allocated its ForwardTape/Backward
+// buffers: ~10 allocations per atom per step.)
+func TestShardAllegroSteadyStateAllocs(t *testing.T) {
+	// Cold gas (no velocities): no rebuild events, pure steady state.
+	sys, model := newAllegroFixture(t, 160, 12.0)
+	eng, err := NewEngine(Config{
+		Grid: [3]int{2, 1, 1}, Cutoff: model.Spec.Cutoff, Skin: 0.3,
+		NewFF: AllegroFactory(model),
+	}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	for i := 0; i < 5; i++ {
+		eng.ComputeForces(sys)
+	}
+	if n := testing.AllocsPerRun(50, func() { eng.ComputeForces(sys) }); n != 0 {
+		t.Errorf("Allegro bridge ComputeForces allocates %v allocs/op in steady state, want 0", n)
+	}
+	// dt = 0: the untrained model's forces would otherwise walk the gas
+	// into rebuild events, which are allowed to allocate; the zero-dt step
+	// still runs the full collective force evaluation.
+	eng.Run(2, 0, 0, 0)
+	if n := testing.AllocsPerRun(50, func() { eng.Run(1, 0, 0, 0) }); n != 0 {
+		t.Errorf("Allegro decomposed step allocates %v allocs/op in steady state, want 0", n)
+	}
+}

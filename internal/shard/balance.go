@@ -104,9 +104,14 @@ func newBalancer(cfg Config, grid cluster.Grid3D, halo float64) *balancer {
 // maybeRebalance is the rank side of the rebalance collective, called at
 // the top of every rebuild. All ranks agree on the rebuild count (rebuilds
 // are collective), so they enter or skip the collective together. The
-// sequence is AllGather(load) -> rank 0 moves the shared cut planes ->
-// Barrier -> every rank re-reads its subdomain corner and widths; the
-// barrier's lock ordering makes rank 0's writes visible to all ranks.
+// sequence is AllGather(load) -> the engine's apply rank moves the cut
+// planes -> Barrier -> every rank re-reads its subdomain corner and
+// widths. In-process the apply rank is rank 0 writing the shared Cuts3D
+// (the barrier's lock ordering makes the writes visible to all ranks); in
+// a multi-process run every engine's single hosted rank applies the same
+// deterministic controller to its private Cuts3D copy — the AllGather
+// hands every process the identical load profile, so the cut planes stay
+// identical across processes without any extra exchange.
 func (e *Engine) maybeRebalance(rs *rankState) {
 	b := e.bal
 	if b == nil || rs.nRebuilds%b.every != 0 {
@@ -118,7 +123,7 @@ func (e *Engine) maybeRebalance(rs *rankState) {
 	}
 	rs.loadVec[0] = load
 	rs.loadsAll = e.comm.AllGather(rs.rank, rs.loadVec[:], rs.loadsAll)
-	if rs.rank == 0 {
+	if rs.rank == e.applyRank {
 		e.applyBalancedCuts(rs.loadsAll)
 	}
 	e.comm.Barrier(rs.rank)
@@ -129,10 +134,13 @@ func (e *Engine) maybeRebalance(rs *rankState) {
 }
 
 // applyBalancedCuts moves the interior cut planes of every partitioned axis
-// toward the load centroid (rank 0 only; see balancer for the invariants).
-// Axes are independent: axis a's profile is the per-slab sum of the rank
-// loads over the perpendicular plane — exactly the recursive-bisection view
-// of the 3-D load field.
+// toward the load centroid (the engine's apply rank only; see balancer for
+// the invariants). Axes are independent: axis a's profile is the per-slab
+// sum of the rank loads over the perpendicular plane — exactly the
+// recursive-bisection view of the 3-D load field. Rank coordinates come
+// from the grid topology (not from rank state, which a partial engine only
+// holds for its own ranks), so every process computes the identical
+// profile.
 func (e *Engine) applyBalancedCuts(loads []float64) {
 	b := e.bal
 	moved := false
@@ -144,7 +152,9 @@ func (e *Engine) applyBalancedCuts(loads []float64) {
 		}
 		total := 0.0
 		for r := 0; r < e.p; r++ {
-			slab[e.rs[r].coords[a]] += loads[r]
+			c := [3]int{}
+			c[0], c[1], c[2] = e.grid.Coords(r)
+			slab[c[a]] += loads[r]
 			total += loads[r]
 		}
 		if total <= 0 {
@@ -224,38 +234,46 @@ func totalPositive(loads []float64) bool {
 
 // RankLoads returns each rank's current load EWMA (seconds of local compute
 // per force step). Available for static runs too — it is the imbalance
-// diagnostic the balancer would act on.
+// diagnostic the balancer would act on. A partial engine reports zeros for
+// ranks hosted by other processes.
 func (e *Engine) RankLoads() []float64 {
 	out := make([]float64, e.p)
-	for r, rs := range e.rs {
-		out[r] = rs.loadEWMA
+	for _, rs := range e.local {
+		out[rs.rank] = rs.loadEWMA
 	}
 	return out
 }
 
-// OwnedCounts returns each rank's owned-atom count.
+// OwnedCounts returns each rank's owned-atom count (zeros for ranks hosted
+// by other processes).
 func (e *Engine) OwnedCounts() []int {
 	out := make([]int, e.p)
-	for r, rs := range e.rs {
-		out[r] = rs.nOwn
+	for _, rs := range e.local {
+		out[rs.rank] = rs.nOwn
 	}
 	return out
 }
 
-// LoadImbalance returns max/mean over ranks of the per-rank step-time load
-// EWMA — 1.0 is perfect balance; a bulk-synchronous step wastes
-// (imbalance−1)/imbalance of the machine. Returns 0 before any step ran.
+// LoadImbalance returns max/mean over the hosted ranks of the per-rank
+// step-time load EWMA — 1.0 is perfect balance; a bulk-synchronous step
+// wastes (imbalance−1)/imbalance of the machine. Returns 0 before any step
+// ran. A partial engine hosts one rank, so its view is trivially 1.0 —
+// the cross-process profile exists only inside the rebalance AllGather.
 func (e *Engine) LoadImbalance() float64 {
-	return maxOverMean(e.RankLoads())
+	loads := make([]float64, 0, len(e.local))
+	for _, rs := range e.local {
+		loads = append(loads, rs.loadEWMA)
+	}
+	return maxOverMean(loads)
 }
 
-// OwnedImbalance returns max/mean over ranks of the owned-atom counts (the
-// deterministic density-imbalance view of the same quantity).
+// OwnedImbalance returns max/mean over the hosted ranks of the owned-atom
+// counts (the deterministic density-imbalance view of the same quantity;
+// see LoadImbalance for the partial-engine caveat).
 func (e *Engine) OwnedImbalance() float64 {
-	counts := e.OwnedCounts()
-	loads := make([]float64, len(counts))
-	for i, c := range counts {
-		loads[i] = float64(c)
+	loads := make([]float64, 0, len(e.local))
+	for _, rs := range e.local {
+		loads = append(loads, float64(rs.nOwn))
 	}
 	return maxOverMean(loads)
 }

@@ -1,7 +1,10 @@
 // Package shard is the domain-decomposed MD engine of the XS-NNQMD module:
 // an md.System partitioned over a full Px×Py×Pz spatial domain grid across
-// P in-process ranks that communicate through cluster.Comm exactly like an
-// MPI code. The halo pattern is the standard three sequential per-axis ring
+// P ranks that communicate through cluster.Comm exactly like an MPI code —
+// as goroutines of one process by default, or as one OS process per rank
+// when Config.Comm supplies a communicator over the Unix-socket transport
+// (Config.LocalRank selects the hosted rank; trajectories are bitwise
+// identical either way). The halo pattern is the standard three sequential per-axis ring
 // exchanges — x first, then y (forwarding the freshly received x-ghosts),
 // then z (forwarding x- and y-ghosts) — so edge and corner ghosts arrive
 // through their face neighbors and every rank talks to at most six peers
@@ -179,6 +182,18 @@ type Config struct {
 	// equalizes: CostStepTime (default, measured wall time) or
 	// CostOwnedAtoms (deterministic atom-count proxy).
 	BalanceCost CostModel
+	// Comm supplies an external communicator whose transport spans every
+	// rank of the grid — the multi-process path: each OS process builds a
+	// cluster.Comm over a SocketTransport and hosts the single rank
+	// LocalRank. nil (the default) runs all ranks as goroutines of this
+	// process over an in-process communicator built from Net.
+	Comm *cluster.Comm
+	// LocalRank is the rank this engine hosts when Comm is set (ignored
+	// otherwise). The engine then scatters and integrates only that rank's
+	// subdomain; global observables still arrive on every process through
+	// the collectives, and GatherAll reassembles full trajectories on
+	// rank 0.
+	LocalRank int
 }
 
 // ParseGrid parses a "PxxPyxPz" domain-grid shape into per-axis rank
@@ -207,18 +222,29 @@ const (
 	opQuit = iota
 	opForce
 	opRun
+	opGatherAll
 )
 
 // Engine is the P-rank sharded MD engine. Driver methods (NewEngine,
-// ComputeForces, Run, Gather, SetPerAtomWeights, Close, Validate) must be
-// called from a single goroutine; the rank goroutines only run between a
-// dispatch and its completion, so outside those windows the driver owns all
-// rank memory.
+// ComputeForces, Run, Gather, GatherAll, SetPerAtomWeights, Close,
+// Validate) must be called from a single goroutine; the rank goroutines
+// only run between a dispatch and its completion, so outside those windows
+// the driver owns all rank memory. A partial engine (Config.Comm +
+// LocalRank) hosts a subset of the ranks — its collective driver methods
+// must then be called on every process of the run.
 type Engine struct {
 	cfg  Config
 	comm *cluster.Comm
 	grid cluster.Grid3D
 	p, n int
+	// partial marks a multi-process engine hosting fewer ranks than the
+	// grid (driver methods then see only the local subdomains).
+	partial bool
+	// applyRank is the lowest hosted rank — the one that applies rebalanced
+	// cut planes (rank 0 in-process; every process's own rank in a
+	// multi-process run, where each process updates its private Cuts3D copy
+	// from the identical AllGathered load profile).
+	applyRank int
 
 	box  [3]float64 // global box lengths
 	halo float64
@@ -235,9 +261,13 @@ type Engine struct {
 	// exchange order x, y, z.
 	axes []int
 
-	rs  []*rankState
-	cmd []chan int
-	wg  sync.WaitGroup
+	// rs is indexed by rank; entries of ranks hosted by other processes
+	// are nil. local lists the hosted states (all of rs in-process, one in
+	// a multi-process worker); cmd is parallel to local.
+	rs    []*rankState
+	local []*rankState
+	cmd   []chan int
+	wg    sync.WaitGroup
 
 	weights []float64
 
@@ -250,6 +280,9 @@ type Engine struct {
 
 	// per-dispatch results (written by ranks at their own index)
 	peRank, keRank []float64
+	// gatherParts holds rank 0's GatherAll fan-in between the dispatch and
+	// the driver-side scatter into the caller's system.
+	gatherParts [][]float64
 
 	primed bool
 	closed bool
@@ -320,6 +353,10 @@ type rankState struct {
 	// collective.
 	loadVec  [1]float64
 	loadsAll []float64
+	// fpub/fall are the partial-engine bridge scratch: owned [gid|F]
+	// records published through an AllGather so every process's bridge
+	// system ends each force call with the full force array.
+	fpub, fall []float64
 
 	nl   *NeighborList
 	lsys md.System
@@ -373,23 +410,43 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 			axes = append(axes, a)
 		}
 	}
-	comm, err := cluster.NewComm(p, cfg.Net)
-	if err != nil {
-		return nil, err
+	comm := cfg.Comm
+	var localRanks []int
+	if comm != nil {
+		if comm.Size() != p {
+			return nil, fmt.Errorf("shard: communicator size %d does not span the %dx%dx%d grid", comm.Size(), g[0], g[1], g[2])
+		}
+		if cfg.LocalRank < 0 || cfg.LocalRank >= p {
+			return nil, fmt.Errorf("shard: local rank %d outside [0,%d)", cfg.LocalRank, p)
+		}
+		localRanks = []int{cfg.LocalRank}
+	} else {
+		var err error
+		comm, err = cluster.NewComm(p, cfg.Net)
+		if err != nil {
+			return nil, err
+		}
+		localRanks = make([]int, p)
+		for r := range localRanks {
+			localRanks[r] = r
+		}
 	}
 	e := &Engine{
 		cfg: cfg, comm: comm, grid: grid, p: p, n: sys.N,
 		box: box, halo: halo, axes: axes,
-		cuts:   cluster.UniformCuts3D(grid, box[0], box[1], box[2]),
-		peRank: make([]float64, p), keRank: make([]float64, p),
+		partial:   len(localRanks) < p,
+		applyRank: localRanks[0],
+		cuts:      cluster.UniformCuts3D(grid, box[0], box[1], box[2]),
+		peRank:    make([]float64, p), keRank: make([]float64, p),
 	}
 	e.ewmaAlpha = ewmaAlpha(cfg.BalanceWindow)
 	if cfg.Balance {
 		e.bal = newBalancer(cfg, grid, halo)
 	}
 	e.rs = make([]*rankState, p)
-	e.cmd = make([]chan int, p)
-	for r := 0; r < p; r++ {
+	e.local = make([]*rankState, 0, len(localRanks))
+	e.cmd = make([]chan int, 0, len(localRanks))
+	for _, r := range localRanks {
 		rs := &rankState{
 			rank: r, ff: cfg.NewFF(r),
 			flag:        make([]float64, 1),
@@ -411,25 +468,30 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 		rs.partial = make([]float64, rs.ff.PartialLen())
 		rs.nl = &NeighborList{Cutoff: cfg.Cutoff, Skin: cfg.Skin}
 		e.rs[r] = rs
+		e.local = append(e.local, rs)
 	}
 	e.scatter(sys)
-	for r := 0; r < p; r++ {
-		e.cmd[r] = make(chan int, 1)
+	for range e.local {
+		e.cmd = append(e.cmd, make(chan int, 1))
 	}
-	for r := 0; r < p; r++ {
-		go e.rankLoop(e.rs[r])
+	for i, rs := range e.local {
+		go e.rankLoop(rs, e.cmd[i])
 	}
 	return e, nil
 }
 
-// scatter assigns every atom of sys to its subdomain's rank (driver-side:
-// the rank goroutines are not running yet or are parked).
+// scatter assigns every atom of sys to its subdomain's rank, keeping only
+// the atoms owned by a hosted rank (driver-side: the rank goroutines are
+// not running yet or are parked).
 func (e *Engine) scatter(sys *md.System) {
 	for gid := 0; gid < sys.N; gid++ {
 		// Positions are stored raw (not re-wrapped): force arithmetic must
 		// see exactly the values the unsharded engine sees; only the
 		// ownership decision folds into the primary cell.
 		rs := e.rs[e.ownerOf(sys.X[3*gid], sys.X[3*gid+1], sys.X[3*gid+2])]
+		if rs == nil {
+			continue // owned by another process
+		}
 		rs.ids = append(rs.ids, int32(gid))
 		rs.x = append(rs.x, sys.X[3*gid], sys.X[3*gid+1], sys.X[3*gid+2])
 		rs.vel = append(rs.vel, sys.V[3*gid], sys.V[3*gid+1], sys.V[3*gid+2])
@@ -437,7 +499,7 @@ func (e *Engine) scatter(sys *md.System) {
 		rs.mass = append(rs.mass, sys.Mass[gid])
 		rs.typ = append(rs.typ, sys.Type[gid])
 	}
-	for _, rs := range e.rs {
+	for _, rs := range e.local {
 		rs.nOwn = len(rs.ids)
 		rs.nLoc = rs.nOwn
 		rs.nInt = 0
@@ -482,13 +544,15 @@ func (e *Engine) refreshView(rs *rankState) {
 
 // rankLoop is one rank's goroutine: park on the command channel, execute
 // the dispatched collective operation, signal completion.
-func (e *Engine) rankLoop(rs *rankState) {
-	for op := range e.cmd[rs.rank] {
+func (e *Engine) rankLoop(rs *rankState, cmd chan int) {
+	for op := range cmd {
 		switch op {
 		case opForce:
 			e.bridgeForce(rs)
 		case opRun:
 			e.runSteps(rs)
+		case opGatherAll:
+			e.gatherAllRank(rs)
 		case opQuit:
 			e.wg.Done()
 			return
@@ -497,9 +561,12 @@ func (e *Engine) rankLoop(rs *rankState) {
 	}
 }
 
-// broadcast dispatches op to every rank and waits for completion.
+// broadcast dispatches op to every hosted rank and waits for completion
+// (remote ranks of a multi-process run receive the same dispatch from
+// their own process; the collectives inside the operation synchronize
+// them).
 func (e *Engine) broadcast(op int) {
-	e.wg.Add(e.p)
+	e.wg.Add(len(e.cmd))
 	for _, ch := range e.cmd {
 		ch <- op
 	}
@@ -540,7 +607,7 @@ func (e *Engine) SetPerAtomWeights(w []float64) {
 			e.weights[i] = 1
 		}
 	}
-	for _, rs := range e.rs {
+	for _, rs := range e.local {
 		rs.v.Weights = e.weights
 	}
 	e.primed = false
@@ -560,10 +627,15 @@ func (e *Engine) ComputeForces(sys *md.System) float64 {
 	e.broadcast(opForce)
 	e.sys = nil
 	e.primed = true
-	return e.peRank[0]
+	return e.peRank[e.applyRank]
 }
 
-// bridgeForce is the rank side of ComputeForces.
+// bridgeForce is the rank side of ComputeForces. A partial engine closes
+// with a force AllGather: every rank publishes its owned [gid|F] records
+// and every process writes the full set into its bridge system, so the
+// replicated global integration of a multi-process run sees the complete
+// force array — as copies of the owners' values, never sums, which keeps
+// the bridge bitwise identical to the in-process path.
 func (e *Engine) bridgeForce(rs *rankState) {
 	sys := e.sys
 	for i := 0; i < rs.nOwn; i++ {
@@ -578,6 +650,20 @@ func (e *Engine) bridgeForce(rs *rankState) {
 		sys.F[3*g] = rs.f[3*i]
 		sys.F[3*g+1] = rs.f[3*i+1]
 		sys.F[3*g+2] = rs.f[3*i+2]
+	}
+	if !e.partial {
+		return
+	}
+	rs.fpub = rs.fpub[:0]
+	for i := 0; i < rs.nOwn; i++ {
+		rs.fpub = append(rs.fpub, float64(rs.ids[i]), rs.f[3*i], rs.f[3*i+1], rs.f[3*i+2])
+	}
+	rs.fall = e.comm.AllGather(rs.rank, rs.fpub, rs.fall)
+	for k := 0; k+4 <= len(rs.fall); k += 4 {
+		g := int(rs.fall[k])
+		sys.F[3*g] = rs.fall[k+1]
+		sys.F[3*g+1] = rs.fall[k+2]
+		sys.F[3*g+2] = rs.fall[k+3]
 	}
 }
 
@@ -599,9 +685,9 @@ func (e *Engine) Run(steps int, dt, kT, tau float64) RunResult {
 	e.broadcast(opRun)
 	e.primed = true
 	return RunResult{
-		PE:          e.peRank[0],
-		KE:          e.keRank[0],
-		Temperature: 2 * e.keRank[0] / (3 * float64(e.n)),
+		PE:          e.peRank[e.applyRank],
+		KE:          e.keRank[e.applyRank],
+		Temperature: 2 * e.keRank[e.applyRank] / (3 * float64(e.n)),
 	}
 }
 
@@ -1111,11 +1197,12 @@ func (e *Engine) recvAuxAxis(rs *rankState, a int) {
 	}
 }
 
-// Stats reports decomposition event counts summed over ranks: collective
-// rebuilds (each rank counts every rebuild event) and atoms received
-// through migration messages. Driver-side.
+// Stats reports decomposition event counts summed over the hosted ranks:
+// collective rebuilds (each rank counts every rebuild event) and atoms
+// received through migration messages. Driver-side; a partial engine
+// reports only its own ranks' migration traffic.
 func (e *Engine) Stats() (rebuilds, migratedAtoms int64) {
-	for _, rs := range e.rs {
+	for _, rs := range e.local {
 		if rs.nRebuilds > rebuilds {
 			rebuilds = rs.nRebuilds
 		}
@@ -1124,19 +1211,67 @@ func (e *Engine) Stats() (rebuilds, migratedAtoms int64) {
 	return
 }
 
-// Gather copies the distributed positions, velocities and forces back into
-// sys (by global id). Driver-side.
+// Gather copies the hosted ranks' positions, velocities and forces back
+// into sys (by global id). Driver-side; a partial engine fills only the
+// atoms its ranks own — use GatherAll (a collective) to reassemble the
+// full system on rank 0.
 func (e *Engine) Gather(sys *md.System) {
 	if sys.N != e.n {
 		panic("shard: gather system size mismatch")
 	}
-	for _, rs := range e.rs {
+	for _, rs := range e.local {
 		for i := 0; i < rs.nOwn; i++ {
 			g := int(rs.ids[i])
 			copy(sys.X[3*g:3*g+3], rs.x[3*i:3*i+3])
 			copy(sys.V[3*g:3*g+3], rs.vel[3*i:3*i+3])
 			copy(sys.F[3*g:3*g+3], rs.f[3*i:3*i+3])
 		}
+	}
+}
+
+// gatherRec is the GatherAll record layout: gid, x, y, z, vx, vy, vz, fx,
+// fy, fz.
+const gatherRec = 10
+
+// GatherAll reassembles the full distributed state into sys on rank 0's
+// process through a collective gather (every process of a multi-process
+// run must call it; processes not hosting rank 0 leave sys untouched).
+// On an in-process engine it equals Gather.
+func (e *Engine) GatherAll(sys *md.System) {
+	if sys.N != e.n {
+		panic("shard: gather system size mismatch")
+	}
+	if !e.partial {
+		e.Gather(sys)
+		return
+	}
+	e.broadcast(opGatherAll)
+	if e.gatherParts == nil {
+		return
+	}
+	for _, part := range e.gatherParts {
+		for k := 0; k+gatherRec <= len(part); k += gatherRec {
+			g := int(part[k])
+			copy(sys.X[3*g:3*g+3], part[k+1:k+4])
+			copy(sys.V[3*g:3*g+3], part[k+4:k+7])
+			copy(sys.F[3*g:3*g+3], part[k+7:k+10])
+		}
+	}
+	e.gatherParts = nil
+}
+
+// gatherAllRank is the rank side of GatherAll.
+func (e *Engine) gatherAllRank(rs *rankState) {
+	buf := make([]float64, 0, rs.nOwn*gatherRec)
+	for i := 0; i < rs.nOwn; i++ {
+		buf = append(buf, float64(rs.ids[i]))
+		buf = append(buf, rs.x[3*i:3*i+3]...)
+		buf = append(buf, rs.vel[3*i:3*i+3]...)
+		buf = append(buf, rs.f[3*i:3*i+3]...)
+	}
+	parts := e.comm.Gather(rs.rank, 0, buf)
+	if rs.rank == 0 {
+		e.gatherParts = parts
 	}
 }
 
@@ -1154,7 +1289,7 @@ func (e *Engine) Validate() error {
 		return fmt.Errorf("shard: %v", err)
 	}
 	seen := make([]int, e.n)
-	for _, rs := range e.rs {
+	for _, rs := range e.local {
 		at := fmt.Sprintf("rank %d (%d,%d,%d)", rs.rank, rs.coords[0], rs.coords[1], rs.coords[2])
 		for a := 0; a < 3; a++ {
 			if rs.lo[a] != e.cuts.Lo(a, rs.coords[a]) || rs.w[a] != e.cuts.Width(a, rs.coords[a]) {
@@ -1209,8 +1344,13 @@ func (e *Engine) Validate() error {
 		}
 	}
 	for g, c := range seen {
-		if c != 1 {
+		if c > 1 {
 			return fmt.Errorf("shard: atom %d owned by %d ranks", g, c)
+		}
+		// Completeness is only checkable where every rank is hosted; a
+		// partial engine sees just its own subdomains.
+		if c == 0 && !e.partial {
+			return fmt.Errorf("shard: atom %d owned by no rank", g)
 		}
 	}
 	return nil
