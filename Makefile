@@ -27,6 +27,9 @@
 #   make bench5  - in-process vs multi-process transport sweep (one OS
 #                  process per rank over Unix sockets, best of 5) plus the
 #                  transport ping-pong, written to BENCH_PR5.json
+#   make bench6  - checkpoint write cost (periodic gather + atomic mlmdio
+#                  files) and unix-vs-tcp multi-process transport overhead,
+#                  written to BENCH_PR6.json
 #   make tables  - the full paper-table benchmark suite at the repo root
 #
 # docs/benchmarks.md documents the bench workflow and the JSON schemas;
@@ -56,14 +59,14 @@ COVER_PKGS = ./internal/md ./internal/mlmdio ./internal/cluster ./internal/clust
 COVER_MIN  = 85
 
 # Deserializers and frame decoders under native fuzzing, per package.
-FUZZ_TARGETS      = FuzzReadXYZ FuzzLoadSystem FuzzLoadModel FuzzLoadWaveField
+FUZZ_TARGETS      = FuzzReadXYZ FuzzLoadSystem FuzzLoadModel FuzzLoadWaveField FuzzLoadCheckpoint
 WIRE_FUZZ_TARGETS = FuzzReadData FuzzReadHandshake
 FUZZ_TIME   ?= 10s
 
 # Packages whose exported API must be fully doc-commented (`make docs`).
 DOC_PKGS = ./internal/shard ./internal/cluster ./internal/cluster/wire ./internal/par
 
-.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 bench5 tables
+.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 bench5 bench6 tables
 
 check: fmt vet build test race cover fuzz docs
 
@@ -124,6 +127,9 @@ bench4:
 
 bench5:
 	$(GO) run ./cmd/bench-scaling -procs -shardjson > BENCH_PR5.json
+
+bench6:
+	$(GO) run ./cmd/bench-scaling -fault -shardjson > BENCH_PR6.json
 
 tables:
 	$(GO) test . -run '^$$' -bench . -benchmem

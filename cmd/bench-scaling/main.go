@@ -6,7 +6,7 @@
 // Usage:
 //
 //	bench-scaling [-table1] [-table2] [-fig4a] [-fig4b] [-fig5a] [-fig5b] [-legato]
-//	              [-shard | -grid | -hotspot | -procs [-shardjson] [-shardcells N] [-shardsteps N]]
+//	              [-shard | -grid | -hotspot | -procs | -fault [-shardjson] [-shardcells N] [-shardsteps N]]
 //	              [-balance]
 //
 // With no flags, everything except -legato (which trains models and runs MD,
@@ -19,7 +19,9 @@
 // load-balancing BENCH_PR4.json (see `make bench4`); -procs -shardjson
 // writes the in-process-vs-multi-process transport comparison BENCH_PR5.json
 // (see `make bench5`; the tool re-executes itself with the internal
-// -procworker flags to fork one OS process per rank). -balance turns dynamic
+// -procworker flags to fork one OS process per rank); -fault -shardjson
+// writes the checkpoint-cost + unix-vs-tcp transport BENCH_PR6.json (see
+// `make bench6`). -balance turns dynamic
 // boundary balancing on in the -shard/-grid sweeps (the -hotspot sweep
 // always measures both modes).
 package main
@@ -46,19 +48,21 @@ func main() {
 	gridFlag := flag.Bool("grid", false, "real sharded-engine grid-vs-slab strong scaling (1x1x1 … 2x2x2, best of 7)")
 	hotspotFlag := flag.Bool("hotspot", false, "Gaussian hot-spot static-vs-balanced load-balancing sweep (best of 5)")
 	procsFlag := flag.Bool("procs", false, "in-process vs multi-process transport sweep (forks one OS process per rank; best of 5) + transport ping-pong")
+	faultFlag := flag.Bool("fault", false, "checkpoint write cost + unix-vs-tcp multi-process transport sweep (forks one OS process per rank)")
 	balanceFlag := flag.Bool("balance", false, "enable dynamic boundary balancing in the -shard/-grid sweeps")
-	shardJSON := flag.Bool("shardjson", false, "with -shard/-grid/-hotspot/-procs: emit the JSON document (BENCH_PR2/3/4/5.json) instead of the table")
+	shardJSON := flag.Bool("shardjson", false, "with -shard/-grid/-hotspot/-procs/-fault: emit the JSON document (BENCH_PR2/3/4/5/6.json) instead of the table")
 	shardCells := flag.Int("shardcells", 11, "fcc cells per axis of the -shard/-grid/-hotspot/-procs system (atoms = 4·cells³ before hot-spot thinning; needs cells >= 11 so the 8-rank slab still fits the halo)")
 	shardSteps := flag.Int("shardsteps", 100, "MD steps per -shard/-grid/-hotspot/-procs trial")
 	procWorker := flag.Bool("procworker", false, "internal: run as one rank worker of a -procs measurement")
 	wrank := flag.Int("wrank", -1, "internal: -procworker rank")
 	wgrid := flag.String("wgrid", "", "internal: -procworker grid shape")
 	rdv := flag.String("rdv", "", "internal: -procworker rendezvous directory")
+	wtransport := flag.String("wtransport", "unix", "internal: -procworker transport (unix or tcp)")
 	flag.Parse()
 	if *procWorker {
 		grid, err := shard.ParseGrid(*wgrid)
 		if err == nil {
-			err = bench.RunProcWorker(*rdv, *wrank, grid, *shardCells, *shardSteps)
+			err = bench.RunProcWorker(*rdv, *wrank, grid, *shardCells, *shardSteps, *wtransport)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench-scaling worker:", err)
@@ -67,13 +71,13 @@ func main() {
 		return
 	}
 	exclusive := 0
-	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag, *procsFlag} {
+	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag, *procsFlag, *faultFlag} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid, -hotspot and -procs are mutually exclusive (each emits its own JSON document)")
+		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid, -hotspot, -procs and -fault are mutually exclusive (each emits its own JSON document)")
 		os.Exit(2)
 	}
 	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato && exclusive == 0
@@ -144,6 +148,22 @@ func main() {
 			os.Exit(1)
 		}
 		emit(bench.ProcScalingTable(points, ping), bench.ProcScalingDocument(points, ping), *shardJSON)
+	}
+	if *faultFlag {
+		exe, err := os.Executable()
+		var ckpt []bench.CkptPoint
+		var tcp []bench.TCPPoint
+		if err == nil {
+			ckpt, err = bench.CheckpointCost(bench.FaultShapes, *shardCells, *shardSteps, bench.CkptEvery)
+		}
+		if err == nil {
+			tcp, err = bench.TCPOverhead(exe, bench.FaultShapes, *shardCells, *shardSteps)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+			os.Exit(1)
+		}
+		emit(bench.FaultCkptTable(ckpt, tcp), bench.FaultCkptDocument(ckpt, tcp), *shardJSON)
 	}
 }
 

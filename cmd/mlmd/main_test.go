@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // smallArgs is the golden-file configuration: a full DC-MESH + XS-NNQMD
@@ -159,6 +160,146 @@ func TestShardedSummaryMatches(t *testing.T) {
 		got := runMLMD(t, exe, append(append([]string{}, smallArgs...), shard...)...)
 		if stripShardNote(got) != ref {
 			t.Errorf("%v output differs from unsharded run\n--- sharded ---\n%s\n--- unsharded ---\n%s", shard, got, ref)
+		}
+	}
+}
+
+// haveLoopbackTCP reports whether the platform supports loopback TCP (for
+// the -transport tcp multi-process path).
+func haveLoopbackTCP(t *testing.T) bool {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return false
+	}
+	ln.Close()
+	return true
+}
+
+// TestTCPTransportSummaryMatchesGolden (ISSUE 6): the multi-process run
+// over loopback TCP — rendezvous-directory port exchange instead of Unix
+// sockets — reproduces the committed golden summary exactly, like every
+// other transport and decomposition.
+func TestTCPTransportSummaryMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	if !haveLoopbackTCP(t) {
+		t.Skip("no loopback TCP support on this platform")
+	}
+	exe := buildMLMD(t)
+	want, err := os.ReadFile(filepath.Join("testdata", "summary_small.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shard := range [][]string{
+		{"-procs", "2", "-transport", "tcp"},
+		{"-procs", "2", "-transport", "tcp", "-peer-timeout", "5s"},
+	} {
+		got := runMLMD(t, exe, append(append([]string{}, smallArgs...), shard...)...)
+		if stripShardNote(got) != string(want) {
+			t.Errorf("%v output differs from golden summary\n--- tcp ---\n%s\n--- golden ---\n%s", shard, got, want)
+		}
+	}
+}
+
+// TestCheckpointResumeGolden (ISSUE 6): checkpointing is invisible to the
+// summary, and a run resumed from the last checkpoint — unsharded, on a
+// different in-process grid, or across OS processes — reproduces the
+// uninterrupted run's remaining summary lines bitwise.
+func TestCheckpointResumeGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	exe := buildMLMD(t)
+	ref := runMLMD(t, exe, smallArgs...)
+	// The uninterrupted tail this run must reproduce: the final lattice
+	// summary line onward (the last checkpoint lands at step 180 of 200).
+	cut := strings.LastIndex(ref, "t = ")
+	if cut < 0 {
+		t.Fatalf("reference output has no lattice summary lines:\n%s", ref)
+	}
+	tail := ref[cut:]
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	withCk := runMLMD(t, exe, append(append([]string{}, smallArgs...),
+		"-checkpoint-every", "60", "-checkpoint", ckpt)...)
+	if withCk != ref {
+		t.Errorf("checkpointing perturbed the summary\n--- with ---\n%s\n--- without ---\n%s", withCk, ref)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	resumes := [][]string{
+		{"-resume", ckpt},
+		{"-resume", ckpt, "-grid", "2x2x1"},
+		{"-resume", ckpt, "-ranks", "4", "-balance"},
+	}
+	if haveUnixSockets(t) {
+		resumes = append(resumes, []string{"-resume", ckpt, "-procs", "2"})
+	}
+	if haveLoopbackTCP(t) {
+		resumes = append(resumes, []string{"-resume", ckpt, "-procs", "2", "-transport", "tcp"})
+	}
+	for _, rargs := range resumes {
+		got := stripShardNote(runMLMD(t, exe, append(append([]string{}, smallArgs...), rargs...)...))
+		if !strings.Contains(got, "resuming") {
+			t.Errorf("%v did not announce the resume:\n%s", rargs, got)
+		}
+		if !strings.HasSuffix(got, tail) {
+			t.Errorf("%v resumed tail differs from the uninterrupted run\n--- resumed ---\n%s\n--- want tail ---\n%s", rargs, got, tail)
+		}
+	}
+
+	// Fail fast on a checkpoint that does not match the requested lattice.
+	out, err := exec.Command(exe, append(append([]string{}, smallArgs...),
+		"-resume", ckpt, "-cells", "10")...).CombinedOutput()
+	if err == nil {
+		t.Error("resume with a mismatched -cells exited 0")
+	} else if !strings.Contains(string(out), "checkpoint holds") {
+		t.Errorf("mismatched resume error %q does not describe the shape conflict", out)
+	}
+}
+
+// TestLauncherCleansUpOnWorkerFailure (ISSUE 6 satellite): when one -procs
+// worker fails at start-up, the launcher must exit nonzero promptly (not
+// after the full dial timeout), kill and reap the surviving workers, and
+// remove the rendezvous directory.
+func TestLauncherCleansUpOnWorkerFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	if !haveUnixSockets(t) {
+		t.Skip("no Unix-domain socket support on this platform")
+	}
+	exe := buildMLMD(t)
+	tmp := t.TempDir() // private TMPDIR: rendezvous-dir leaks are visible
+	cmd := exec.Command(exe, append(append([]string{}, smallArgs...), "-procs", "2")...)
+	cmd.Env = append(os.Environ(),
+		"TMPDIR="+tmp,
+		"MLMD_TEST_FAIL_RANK=1",
+		"MLMD_DIAL_TIMEOUT=2s",
+	)
+	start := time.Now()
+	out, err := cmd.CombinedOutput()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatalf("launcher exited 0 with a failing worker:\n%s", out)
+	}
+	if !strings.Contains(string(out), "deliberate start-up failure") {
+		t.Errorf("launcher output %q does not surface the worker failure", out)
+	}
+	if elapsed > 60*time.Second {
+		t.Errorf("launcher took %v to fail; survivors were not killed promptly", elapsed)
+	}
+	entries, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "mlmd-rdv") {
+			t.Errorf("rendezvous directory %s leaked after the failed launch", e.Name())
 		}
 	}
 }

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"mlmd/internal/mlmdio"
+	"mlmd/internal/shard"
+)
+
+// This file measures what the PR 6 robustness layer costs: the periodic
+// gather-and-write checkpoint cadence against an uninterrupted run of the
+// same workload (amortized step overhead plus the absolute cost and size of
+// one checkpoint), and the multi-host TCP transport against the PR 5
+// Unix-socket transport on the identical forked multi-process sweep
+// (trajectories are bitwise identical over every transport, so the ratio is
+// pure wire cost).
+
+// CkptPoint is one decomposition's checkpointing cost.
+type CkptPoint struct {
+	Ranks int    `json:"ranks"`
+	Grid  string `json:"grid"`
+	Atoms int    `json:"atoms"`
+	Steps int    `json:"steps"`
+	// Every is the checkpoint cadence (steps between writes).
+	Every int `json:"ckpt_every"`
+	// PlainNsPerStep / CkptNsPerStep are best-of-trials step times of the
+	// identical workload without and with periodic checkpoints (each
+	// checkpoint gathers the full state and writes it through mlmdio with
+	// an atomic rename).
+	PlainNsPerStep float64 `json:"plain_ns_per_step"`
+	CkptNsPerStep  float64 `json:"ckpt_ns_per_step"`
+	// Overhead is Ckpt/Plain — the amortized price of crash recovery at
+	// this cadence.
+	Overhead float64 `json:"ckpt_overhead"`
+	// WriteNsPerCkpt is the best-of-trials cost of one checkpoint boundary
+	// (gather + encode + fsync + rename), in nanoseconds.
+	WriteNsPerCkpt float64 `json:"write_ns_per_ckpt"`
+	// CkptBytes is the on-disk size of one checkpoint file.
+	CkptBytes int64 `json:"ckpt_bytes"`
+}
+
+// TCPPoint is one decomposition's forked multi-process step time over the
+// Unix-socket and TCP transports.
+type TCPPoint struct {
+	Ranks int    `json:"ranks"`
+	Grid  string `json:"grid"`
+	Atoms int    `json:"atoms"`
+	Steps int    `json:"steps"`
+	// UnixNsPerStep / TCPNsPerStep are best-of-trials step times of one OS
+	// process per rank over Unix sockets vs loopback TCP.
+	UnixNsPerStep float64 `json:"unix_ns_per_step"`
+	TCPNsPerStep  float64 `json:"tcp_ns_per_step"`
+	// Overhead is TCP/Unix — what the multi-host wire costs on this host.
+	Overhead float64 `json:"tcp_overhead"`
+}
+
+// FaultCkptDoc is the committable BENCH_PR6.json document.
+type FaultCkptDoc struct {
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Workers    string      `json:"mlmd_workers,omitempty"`
+	Benchmark  string      `json:"benchmark"`
+	Ckpt       []CkptPoint `json:"checkpoint_points"`
+	TCP        []TCPPoint  `json:"tcp_points"`
+}
+
+// CkptEvery is the default checkpoint cadence of the -fault sweep: roughly
+// the paper-scale "minutes of work per checkpoint" ratio scaled down to the
+// benchmark's step budget.
+const CkptEvery = 25
+
+// FaultShapes is the default decomposition sweep of `bench-scaling -fault`
+// (the same shapes as the PR 5 transport sweep, so the two documents
+// compare directly).
+var FaultShapes = [][3]int{{2, 1, 1}, {2, 2, 1}}
+
+// CheckpointCost measures each shape's step time with and without periodic
+// checkpoints written through mlmdio to real files (best of ShardTrials
+// each), plus the absolute per-checkpoint write cost and file size.
+func CheckpointCost(shapes [][3]int, cells, steps, every int) ([]CkptPoint, error) {
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("bench: no grid shapes given")
+	}
+	if every <= 0 || steps < every {
+		return nil, fmt.Errorf("bench: checkpoint cadence %d does not divide a %d-step run", every, steps)
+	}
+	base, err := newShardLJSystem(cells, 3e-4)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "mlmd-bench-ckpt")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "bench.ckpt")
+	points := make([]CkptPoint, 0, len(shapes))
+	for _, g := range shapes {
+		plain, err := measureShardConfig(base, procBenchConfig(g), steps)
+		if err != nil {
+			return nil, err
+		}
+		bestRun := 0.0
+		bestWrite := 0.0
+		var ckptBytes int64
+		for trial := 0; trial < ShardTrials; trial++ {
+			sys := base.Clone()
+			eng, err := shard.NewEngine(procBenchConfig(g), sys)
+			if err != nil {
+				return nil, err
+			}
+			eng.Run(0, 2, 0, 0) // prime: scatter is done, force the first rebuild
+			var writeTotal time.Duration
+			writes := 0
+			t0 := time.Now()
+			_, err = eng.RunCheckpointed(steps, 2, 0, 0, every, sys, func(done int) error {
+				w0 := time.Now()
+				cp := &mlmdio.Checkpoint{
+					Step: int64(done), Dt: 2,
+					Grid: eng.Grid(), Sys: sys,
+				}
+				for a := 0; a < 3; a++ {
+					cp.Cuts[a] = eng.CutPlanes(a)
+				}
+				if err := mlmdio.WriteCheckpointFile(path, cp); err != nil {
+					return err
+				}
+				writeTotal += time.Since(w0)
+				writes++
+				return nil
+			})
+			dt := time.Since(t0)
+			eng.Close()
+			if err != nil {
+				return nil, err
+			}
+			if bestRun == 0 || dt.Seconds() < bestRun {
+				bestRun = dt.Seconds()
+			}
+			if perWrite := writeTotal.Seconds() / float64(writes); bestWrite == 0 || perWrite < bestWrite {
+				bestWrite = perWrite
+			}
+			if ckptBytes == 0 {
+				st, err := os.Stat(path)
+				if err != nil {
+					return nil, err
+				}
+				ckptBytes = st.Size()
+			}
+		}
+		ckptNs := bestRun * 1e9 / float64(steps)
+		points = append(points, CkptPoint{
+			Ranks: g[0] * g[1] * g[2],
+			Grid:  fmt.Sprintf("%dx%dx%d", g[0], g[1], g[2]),
+			Atoms: base.N, Steps: steps, Every: every,
+			PlainNsPerStep: plain.NsPerStep,
+			CkptNsPerStep:  ckptNs,
+			Overhead:       ckptNs / plain.NsPerStep,
+			WriteNsPerCkpt: bestWrite * 1e9,
+			CkptBytes:      ckptBytes,
+		})
+	}
+	return points, nil
+}
+
+// TCPOverhead measures each shape's forked multi-process step time over
+// both socket transports (best of ProcTrials each); exe is the calling
+// binary, re-executed with -procworker for each rank.
+func TCPOverhead(exe string, shapes [][3]int, cells, steps int) ([]TCPPoint, error) {
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("bench: no grid shapes given")
+	}
+	base, err := newShardLJSystem(cells, 3e-4)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]TCPPoint, 0, len(shapes))
+	for _, g := range shapes {
+		best := map[string]float64{}
+		for _, transport := range []string{"unix", "tcp"} {
+			for trial := 0; trial < ProcTrials; trial++ {
+				secs, err := measureMultiProc(exe, g, cells, steps, transport)
+				if err != nil {
+					return nil, err
+				}
+				if best[transport] == 0 || secs < best[transport] {
+					best[transport] = secs
+				}
+			}
+		}
+		unixNs := best["unix"] * 1e9 / float64(steps)
+		tcpNs := best["tcp"] * 1e9 / float64(steps)
+		points = append(points, TCPPoint{
+			Ranks: g[0] * g[1] * g[2],
+			Grid:  fmt.Sprintf("%dx%dx%d", g[0], g[1], g[2]),
+			Atoms: base.N, Steps: steps,
+			UnixNsPerStep: unixNs,
+			TCPNsPerStep:  tcpNs,
+			Overhead:      tcpNs / unixNs,
+		})
+	}
+	return points, nil
+}
+
+// FaultCkptDocument wraps both sweeps in the committable BENCH_PR6.json
+// document.
+func FaultCkptDocument(ckpt []CkptPoint, tcp []TCPPoint) FaultCkptDoc {
+	return FaultCkptDoc{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    os.Getenv("MLMD_WORKERS"),
+		Benchmark:  "shard checkpoint write cost (RunCheckpointed + mlmdio atomic files) + unix-vs-tcp multi-process transport, fcc LJ, best-of-trials wall clock",
+		Ckpt:       ckpt,
+		TCP:        tcp,
+	}
+}
+
+// FaultCkptTable formats both sweeps for humans.
+func FaultCkptTable(ckpt []CkptPoint, tcp []TCPPoint) string {
+	var b strings.Builder
+	if len(ckpt) > 0 {
+		fmt.Fprintf(&b, "Checkpointing cost (%d atoms, %d steps, every %d, best of %d, GOMAXPROCS=%d)\n",
+			ckpt[0].Atoms, ckpt[0].Steps, ckpt[0].Every, ShardTrials, runtime.GOMAXPROCS(0))
+		fmt.Fprintf(&b, "%6s %10s %15s %14s %10s %14s %10s\n",
+			"ranks", "grid", "plain ns/step", "ckpt ns/step", "overhead", "write ns/ckpt", "bytes")
+		for _, pt := range ckpt {
+			fmt.Fprintf(&b, "%6d %10s %15.0f %14.0f %9.3fx %14.0f %10d\n",
+				pt.Ranks, pt.Grid, pt.PlainNsPerStep, pt.CkptNsPerStep, pt.Overhead, pt.WriteNsPerCkpt, pt.CkptBytes)
+		}
+	}
+	if len(tcp) > 0 {
+		fmt.Fprintf(&b, "Multi-process transport: unix vs tcp (%d atoms, %d steps, best of %d)\n",
+			tcp[0].Atoms, tcp[0].Steps, ProcTrials)
+		fmt.Fprintf(&b, "%6s %10s %14s %14s %10s\n", "ranks", "grid", "unix ns/step", "tcp ns/step", "overhead")
+		for _, pt := range tcp {
+			fmt.Fprintf(&b, "%6d %10s %14.0f %14.0f %9.3fx\n",
+				pt.Ranks, pt.Grid, pt.UnixNsPerStep, pt.TCPNsPerStep, pt.Overhead)
+		}
+	}
+	return b.String()
+}

@@ -77,15 +77,21 @@ func procBenchConfig(grid [3]int) shard.Config {
 }
 
 // RunProcWorker is the hidden worker mode of `bench-scaling -procworker`:
-// one rank of a multi-process LJ measurement. Rank 0 prints its measured
-// step wall seconds (best precision, one line) for the parent to collect.
-func RunProcWorker(rdv string, rank int, grid [3]int, cells, steps int) error {
+// one rank of a multi-process LJ measurement over the named transport
+// ("unix" or "tcp"). Rank 0 prints its measured step wall seconds (best
+// precision, one line) for the parent to collect.
+func RunProcWorker(rdv string, rank int, grid [3]int, cells, steps int, transport string) error {
 	size := grid[0] * grid[1] * grid[2]
 	sys, err := newShardLJSystem(cells, 3e-4)
 	if err != nil {
 		return err
 	}
-	tr, err := cluster.NewSocketTransport(rdv, rank, size, grid)
+	var tr *cluster.SocketTransport
+	if transport == "tcp" {
+		tr, err = cluster.NewTCPRendezvousTransport(rdv, rank, size, grid, cluster.SocketOptions{})
+	} else {
+		tr, err = cluster.NewSocketTransport(rdv, rank, size, grid)
+	}
 	if err != nil {
 		return err
 	}
@@ -114,20 +120,21 @@ func RunProcWorker(rdv string, rank int, grid [3]int, cells, steps int) error {
 
 // SpawnProcWorker builds one worker invocation of the calling binary
 // (which must dispatch -procworker to RunProcWorker).
-func SpawnProcWorker(exe, rdv string, rank int, grid [3]int, cells, steps int) *exec.Cmd {
+func SpawnProcWorker(exe, rdv string, rank int, grid [3]int, cells, steps int, transport string) *exec.Cmd {
 	return exec.Command(exe,
 		"-procworker",
 		"-wrank", strconv.Itoa(rank),
 		"-wgrid", fmt.Sprintf("%dx%dx%d", grid[0], grid[1], grid[2]),
 		"-rdv", rdv,
+		"-wtransport", transport,
 		"-shardcells", strconv.Itoa(cells),
 		"-shardsteps", strconv.Itoa(steps),
 	)
 }
 
-// measureMultiProc runs one multi-process trial: fork one worker per rank,
-// read rank 0's measured seconds.
-func measureMultiProc(exe string, grid [3]int, cells, steps int) (float64, error) {
+// measureMultiProc runs one multi-process trial: fork one worker per rank
+// over the named transport, read rank 0's measured seconds.
+func measureMultiProc(exe string, grid [3]int, cells, steps int, transport string) (float64, error) {
 	rdv, err := os.MkdirTemp("", "mlmd-bench-rdv")
 	if err != nil {
 		return 0, err
@@ -140,7 +147,7 @@ func measureMultiProc(exe string, grid [3]int, cells, steps int) (float64, error
 	var secs float64
 	var parseErr error
 	for r := 0; r < size; r++ {
-		cmd := SpawnProcWorker(exe, rdv, r, grid, cells, steps)
+		cmd := SpawnProcWorker(exe, rdv, r, grid, cells, steps, transport)
 		cmd.Stderr = os.Stderr
 		if r == 0 {
 			pipe, err := cmd.StdoutPipe()
@@ -200,7 +207,7 @@ func ProcScaling(exe string, shapes [][3]int, cells, steps int) ([]ProcPoint, er
 		}
 		bestMP := 0.0
 		for trial := 0; trial < ProcTrials; trial++ {
-			secs, err := measureMultiProc(exe, g, cells, steps)
+			secs, err := measureMultiProc(exe, g, cells, steps, "unix")
 			if err != nil {
 				return nil, err
 			}

@@ -35,7 +35,54 @@ func TestTransportPingPong(t *testing.T) {
 // the degenerate 1-rank grid (no sockets needed), covering the engine
 // construction over an external communicator.
 func TestRunProcWorkerSingleRank(t *testing.T) {
-	if err := RunProcWorker(t.TempDir(), 0, [3]int{1, 1, 1}, 6, 3); err != nil {
+	if err := RunProcWorker(t.TempDir(), 0, [3]int{1, 1, 1}, 6, 3, "unix"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunProcWorkerSingleRankTCP: the same degenerate worker over the TCP
+// rendezvous transport, covering the -wtransport dispatch.
+func TestRunProcWorkerSingleRankTCP(t *testing.T) {
+	if err := RunProcWorker(t.TempDir(), 0, [3]int{1, 1, 1}, 6, 3, "tcp"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultCkptDocumentShape: the BENCH_PR6 document and table carry both
+// sweeps' points through without mangling.
+func TestFaultCkptDocumentShape(t *testing.T) {
+	ckpt := []CkptPoint{{Ranks: 4, Grid: "2x2x1", Atoms: 500, Steps: 50, Every: 25,
+		PlainNsPerStep: 1e6, CkptNsPerStep: 1.1e6, Overhead: 1.1, WriteNsPerCkpt: 2e6, CkptBytes: 4096}}
+	tcp := []TCPPoint{{Ranks: 2, Grid: "2x1x1", Atoms: 500, Steps: 50,
+		UnixNsPerStep: 1e6, TCPNsPerStep: 1.2e6, Overhead: 1.2}}
+	doc := FaultCkptDocument(ckpt, tcp)
+	if doc.Go == "" || len(doc.Ckpt) != 1 || len(doc.TCP) != 1 || doc.Benchmark == "" {
+		t.Errorf("document malformed: %+v", doc)
+	}
+	table := FaultCkptTable(ckpt, tcp)
+	for _, want := range []string{"2x2x1", "2x1x1", "1.100x", "1.200x", "4096"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestCheckpointCostSmoke runs the checkpoint-cost sweep at toy scale: the
+// overhead ratio must be finite and positive and a checkpoint file must
+// have real bytes.
+func TestCheckpointCostSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint-cost sweep skipped under -short")
+	}
+	points, err := CheckpointCost([][3]int{{2, 1, 1}}, 6, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("got %d points, want 1", len(points))
+	}
+	pt := points[0]
+	if pt.Overhead <= 0 || pt.CkptBytes <= 0 || pt.WriteNsPerCkpt <= 0 {
+		t.Errorf("degenerate checkpoint-cost point: %+v", pt)
 	}
 }

@@ -1,0 +1,41 @@
+package cluster
+
+import "fmt"
+
+// RankFailedError reports that a peer rank of a multi-process run died or
+// stopped responding: its connection closed, a frame write failed, or no
+// frame (data or heartbeat) arrived within the transport's peer timeout.
+//
+// The socket transport is fail-stop at job granularity — once any rank is
+// lost the run cannot continue bitwise-correctly, so every blocked or
+// subsequent transport operation on every surviving rank panics with a
+// *RankFailedError naming the first rank observed dead. The shard engine
+// recovers these panics in its rank goroutines and surfaces them as an
+// error from the driver API (shard.Engine.Err, RunResult.Err), which is
+// what a checkpoint-restart driver acts on.
+type RankFailedError struct {
+	// Rank is the first peer rank observed dead.
+	Rank int
+	// Err is the underlying transport error (EOF for a closed connection,
+	// a deadline error for a heartbeat timeout, a write error, ...).
+	Err error
+}
+
+// Error implements error.
+func (e *RankFailedError) Error() string {
+	return fmt.Sprintf("cluster: rank %d failed: %v", e.Rank, e.Err)
+}
+
+// Unwrap exposes the underlying transport error to errors.Is/As.
+func (e *RankFailedError) Unwrap() error { return e.Err }
+
+// AsRankFailure inspects a recovered panic value and returns the
+// *RankFailedError it carries, if any. Transport operations panic with the
+// typed error directly; this helper keeps the recover sites one-line.
+func AsRankFailure(r any) (*RankFailedError, bool) {
+	if r == nil {
+		return nil, false
+	}
+	err, ok := r.(*RankFailedError)
+	return err, ok
+}

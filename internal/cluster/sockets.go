@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"os"
@@ -13,16 +14,58 @@ import (
 	"mlmd/internal/cluster/wire"
 )
 
-// socketDialTimeout bounds how long a rank waits for its peers' sockets to
+// defaultDialTimeout bounds how long a rank waits for its peers' sockets to
 // appear at start-up (workers of one launch start within milliseconds of
 // each other; the generous bound covers race-built test binaries on loaded
-// CI hosts).
-const socketDialTimeout = 30 * time.Second
+// CI hosts). Overridable per transport via SocketOptions.DialTimeout and
+// globally via the MLMD_DIAL_TIMEOUT environment variable.
+const defaultDialTimeout = 30 * time.Second
+
+// DialTimeoutEnv is the environment variable overriding the default peer
+// dial/handshake timeout (a Go duration string, e.g. "5s"). An explicit
+// SocketOptions.DialTimeout wins over the environment.
+const DialTimeoutEnv = "MLMD_DIAL_TIMEOUT"
 
 // socketInboxDepth is the per-peer mailbox depth, mirroring the channel
 // transport's mailbox capacity with headroom for the two-sides-per-axis
 // halo pattern.
 const socketInboxDepth = 64
+
+// heartbeatDivisor sets the ping period as PeerTimeout/heartbeatDivisor, so
+// several heartbeats fit inside one read-deadline window and a single
+// delayed ping cannot fail a healthy peer.
+const heartbeatDivisor = 3
+
+// SocketOptions tunes the failure-detection envelope of a socket transport.
+// The zero value preserves the PR 5 behavior: a 30 s dial/handshake bound
+// (or MLMD_DIAL_TIMEOUT) and no steady-state health checking beyond
+// connection-close detection.
+type SocketOptions struct {
+	// DialTimeout bounds connection establishment and the handshake
+	// exchange at start-up. 0 means MLMD_DIAL_TIMEOUT if set, else 30 s.
+	DialTimeout time.Duration
+	// PeerTimeout, when positive, arms the steady-state health model: every
+	// connection carries a read deadline of PeerTimeout per frame and a
+	// heartbeat goroutine pings all peers every PeerTimeout/3, so a peer
+	// that hangs without closing its socket (or becomes unreachable) is
+	// declared failed within about one PeerTimeout. 0 disables heartbeats
+	// and deadlines; a killed peer is still detected instantly through the
+	// connection close.
+	PeerTimeout time.Duration
+}
+
+// dial returns the effective dial/handshake timeout.
+func (o SocketOptions) dial() time.Duration {
+	if o.DialTimeout > 0 {
+		return o.DialTimeout
+	}
+	if s := os.Getenv(DialTimeoutEnv); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			return d
+		}
+	}
+	return defaultDialTimeout
+}
 
 // SocketAddr returns the Unix-domain socket path rank listens on under the
 // rendezvous directory (shared between the launcher and its workers).
@@ -39,18 +82,22 @@ type sockMsg struct {
 // sockPeer is one established connection to a remote rank.
 type sockPeer struct {
 	conn net.Conn
-	// mu serializes frame writes (collectives and point-to-point sends of
-	// the single hosted rank share the connection).
+	// mu serializes frame writes (collectives, point-to-point sends of the
+	// single hosted rank, and the heartbeat goroutine share the connection).
 	mu sync.Mutex
 	w  *wire.Writer
+	// delay is an injected per-send latency in nanoseconds (fault-injection
+	// hook; 0 in production).
+	delay atomic.Int64
 }
 
 // SocketTransport is the multi-process Transport: every rank lives in its
-// own OS process, listens on a Unix-domain socket under a shared rendezvous
-// directory, and holds one full-duplex connection per peer (rank i dials
-// every j < i, so the mesh forms without a routing hub). Each connection
-// opens with a versioned wire.Handshake carrying rank, size and grid shape,
-// which both sides verify — mismatched launches fail fast.
+// own OS process, listens on a Unix-domain or TCP socket, and holds one
+// full-duplex connection per peer (rank i dials every j < i, so the mesh
+// forms without a routing hub). Each connection opens with a versioned
+// wire.Handshake carrying rank, size and grid shape, which both sides
+// verify under a deadline — mismatched launches and half-connected peers
+// fail fast.
 //
 // Per-peer reader goroutines drain incoming frames into pooled buffers, so
 // simultaneous bulk sends from both ends of a connection cannot deadlock on
@@ -62,18 +109,34 @@ type sockPeer struct {
 //
 // A SocketTransport hosts exactly one rank: only that rank may appear as
 // the src of Send / the dst of Recv / the rank of a collective. Closing the
-// transport tears down the sockets; a peer dying mid-run surfaces as a
-// panic in Recv naming the lost rank.
+// transport tears down the sockets.
+//
+// Failure model (fail-stop, job granularity): the full mesh gives every
+// rank a direct connection to every peer, so a dying peer is observed
+// directly by all survivors — as a connection close, a failed write, or
+// (with SocketOptions.PeerTimeout) a missed read deadline. The first
+// failure latches a transport-wide signal; every blocked and every
+// subsequent Send/Recv/collective then panics with a *RankFailedError
+// naming the lost rank instead of hanging. See RankFailedError for how the
+// shard engine converts the panic into a driver-visible error.
 type SocketTransport struct {
 	rank, size int
 	grid       [3]int
+	network    string
+	opts       SocketOptions
 	ln         net.Listener
 	peers      []*sockPeer
 	inbox      []chan sockMsg
 	pool       bufPool
 	closed     atomic.Bool
 	readErr    sync.Map // src rank -> error
-	wg         sync.WaitGroup
+	// failure latch: the first peer failure stores the typed error and
+	// closes failedCh, waking every blocked recv on this process.
+	failOnce sync.Once
+	failed   atomic.Pointer[RankFailedError]
+	failedCh chan struct{}
+	hbStop   chan struct{}
+	wg       sync.WaitGroup
 }
 
 // NewSocketTransport connects rank (of size ranks arranged on grid) to its
@@ -81,10 +144,32 @@ type SocketTransport struct {
 // connection mesh is up. Every rank of the communicator must be started
 // with the same dir, size and grid; the handshake rejects mismatches.
 func NewSocketTransport(dir string, rank, size int, grid [3]int) (*SocketTransport, error) {
+	return NewSocketTransportOpts(dir, rank, size, grid, SocketOptions{})
+}
+
+// NewSocketTransportOpts is NewSocketTransport with explicit
+// failure-detection options.
+func NewSocketTransportOpts(dir string, rank, size int, grid [3]int, opts SocketOptions) (*SocketTransport, error) {
+	addr := func(j int) (string, error) { return SocketAddr(dir, j), nil }
+	return newSocketTransport("unix", SocketAddr(dir, rank), nil, addr, rank, size, grid, opts)
+}
+
+// newSocketTransport builds the mesh over the given network ("unix" or
+// "tcp"). listenAddr is this rank's listen address; publish (optional) runs
+// after the listener is bound, for rendezvous schemes that must announce a
+// kernel-assigned port; peerAddr resolves the address of lower rank j for
+// dialing (an error means "not published yet — retry until the dial
+// deadline").
+func newSocketTransport(network, listenAddr string, publish func(net.Listener) error, peerAddr func(int) (string, error), rank, size int, grid [3]int, opts SocketOptions) (*SocketTransport, error) {
 	if size < 1 || rank < 0 || rank >= size {
 		return nil, fmt.Errorf("cluster: socket transport rank %d of size %d", rank, size)
 	}
-	t := &SocketTransport{rank: rank, size: size, grid: grid}
+	t := &SocketTransport{
+		rank: rank, size: size, grid: grid,
+		network: network, opts: opts,
+		failedCh: make(chan struct{}),
+		hbStop:   make(chan struct{}),
+	}
 	t.peers = make([]*sockPeer, size)
 	t.inbox = make([]chan sockMsg, size)
 	for i := range t.inbox {
@@ -93,14 +178,20 @@ func NewSocketTransport(dir string, rank, size int, grid [3]int) (*SocketTranspo
 	if size == 1 {
 		return t, nil
 	}
-	ln, err := net.Listen("unix", SocketAddr(dir, rank))
+	ln, err := net.Listen(network, listenAddr)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: socket transport listen: %w", err)
+		return nil, fmt.Errorf("cluster: socket transport listen %s %s: %w", network, listenAddr, err)
 	}
 	t.ln = ln
+	if publish != nil {
+		if err := publish(ln); err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
 	acceptErr := make(chan error, 1)
 	go func() { acceptErr <- t.acceptPeers() }()
-	dialErr := t.dialPeers(dir)
+	dialErr := t.dialPeers(peerAddr)
 	setupErr := <-acceptErr
 	if setupErr == nil {
 		setupErr = dialErr
@@ -117,6 +208,10 @@ func NewSocketTransport(dir string, rank, size int, grid [3]int) (*SocketTranspo
 		}
 		t.wg.Add(1)
 		go t.readLoop(src, p)
+	}
+	if opts.PeerTimeout > 0 {
+		t.wg.Add(1)
+		go t.heartbeat()
 	}
 	return t, nil
 }
@@ -139,19 +234,30 @@ func (t *SocketTransport) checkPeer(h wire.Handshake) error {
 	return nil
 }
 
+// deadlineListener is the SetDeadline seam shared by net.UnixListener and
+// net.TCPListener.
+type deadlineListener interface {
+	SetDeadline(time.Time) error
+}
+
 // acceptPeers accepts one connection from every higher rank (which dial
 // us), verifying and answering each handshake. The listener carries the
 // same deadline the dialers use, so a worker that dies before connecting
-// fails this rank's start-up instead of parking it forever.
+// fails this rank's start-up instead of parking it forever; each accepted
+// connection additionally carries a read/write deadline across the
+// handshake exchange, so a peer that connects but never completes the
+// handshake fails fast instead of stalling the mesh.
 func (t *SocketTransport) acceptPeers() error {
-	if ul, ok := t.ln.(*net.UnixListener); ok {
-		ul.SetDeadline(time.Now().Add(socketDialTimeout))
+	deadline := time.Now().Add(t.opts.dial())
+	if dl, ok := t.ln.(deadlineListener); ok {
+		dl.SetDeadline(deadline)
 	}
 	for n := t.size - 1 - t.rank; n > 0; n-- {
 		conn, err := t.ln.Accept()
 		if err != nil {
 			return fmt.Errorf("cluster: socket transport accept: %w", err)
 		}
+		conn.SetDeadline(deadline)
 		// Raw-conn reader: wire reads exact frame sizes, so no bytes of any
 		// data frame racing in behind the handshake can be swallowed (a
 		// buffered reader would prefetch them into a throwaway buffer).
@@ -164,27 +270,34 @@ func (t *SocketTransport) acceptPeers() error {
 		}
 		if err != nil {
 			conn.Close()
-			return err
+			return fmt.Errorf("cluster: handshake accept: %w", err)
 		}
 		p := &sockPeer{conn: conn, w: wire.NewWriter(conn)}
 		if err := p.w.WriteHandshake(t.handshake()); err != nil {
 			conn.Close()
 			return fmt.Errorf("cluster: handshake reply to rank %d: %w", h.Rank, err)
 		}
+		conn.SetDeadline(time.Time{})
 		t.peers[h.Rank] = p
 	}
 	return nil
 }
 
-// dialPeers connects to every lower rank, retrying until the peer's socket
-// appears (workers start asynchronously) or the timeout expires.
-func (t *SocketTransport) dialPeers(dir string) error {
-	deadline := time.Now().Add(socketDialTimeout)
+// dialPeers connects to every lower rank, retrying until the peer's address
+// resolves and its listener answers (workers start asynchronously) or the
+// timeout expires. The handshake exchange on each fresh connection runs
+// under the same deadline.
+func (t *SocketTransport) dialPeers(peerAddr func(int) (string, error)) error {
+	deadline := time.Now().Add(t.opts.dial())
 	for j := 0; j < t.rank; j++ {
 		var conn net.Conn
 		var err error
 		for {
-			conn, err = net.Dial("unix", SocketAddr(dir, j))
+			var addr string
+			addr, err = peerAddr(j)
+			if err == nil {
+				conn, err = net.Dial(t.network, addr)
+			}
 			if err == nil || time.Now().After(deadline) {
 				break
 			}
@@ -193,6 +306,7 @@ func (t *SocketTransport) dialPeers(dir string) error {
 		if err != nil {
 			return fmt.Errorf("cluster: socket transport dial rank %d: %w", j, err)
 		}
+		conn.SetDeadline(deadline)
 		p := &sockPeer{conn: conn, w: wire.NewWriter(conn)}
 		if err := p.w.WriteHandshake(t.handshake()); err != nil {
 			conn.Close()
@@ -207,26 +321,154 @@ func (t *SocketTransport) dialPeers(dir string) error {
 		}
 		if err != nil {
 			conn.Close()
-			return err
+			return fmt.Errorf("cluster: handshake with rank %d: %w", j, err)
 		}
+		conn.SetDeadline(time.Time{})
 		t.peers[j] = p
 	}
 	return nil
 }
 
+// peerFailed latches the first observed peer failure and wakes every
+// blocked recv. Later failures keep the first error (fail-stop: one lost
+// rank already dooms the job, and naming the first keeps every survivor's
+// report consistent).
+func (t *SocketTransport) peerFailed(rank int, err error) {
+	t.failOnce.Do(func() {
+		t.failed.Store(&RankFailedError{Rank: rank, Err: err})
+		close(t.failedCh)
+	})
+}
+
+// lostRank builds the typed panic value for a rank whose connection died.
+func (t *SocketTransport) lostRank(src int) *RankFailedError {
+	err, _ := t.readErr.Load(src)
+	e, _ := err.(error)
+	return &RankFailedError{Rank: src, Err: e}
+}
+
+// peerLeft reports whether dst announced a graceful departure (bye frame).
+// A write to such a peer failing is not evidence that dst crashed — it shut
+// down on purpose, usually because it detected the real failure first.
+func (t *SocketTransport) peerLeft(dst int) bool {
+	v, ok := t.readErr.Load(dst)
+	if !ok {
+		return false
+	}
+	e, _ := v.(error)
+	return errors.Is(e, wire.ErrBye)
+}
+
+// grace is the window a write-side or inbox-close signal waits for a
+// read-side signal to latch the root cause before assigning blame itself.
+func (t *SocketTransport) grace() time.Duration {
+	if t.opts.PeerTimeout > 0 {
+		return t.opts.PeerTimeout
+	}
+	return time.Second
+}
+
+// sendFailed picks the panic value for a failed write to dst. A failed write
+// is ambiguous: dst may have crashed, or it may have shut down cleanly after
+// detecting a failure elsewhere — its bye frame and the root-cause EOF may
+// still be in flight through our read loops. Wait briefly for a read-side
+// signal to latch the root cause; a real crash of dst latches through our
+// own read loop's EOF within the same window, so blame stays correct either
+// way and only the rare half-open connection pays the full grace period.
+func (t *SocketTransport) sendFailed(dst int, err error) *RankFailedError {
+	select {
+	case <-t.failedCh:
+	case <-time.After(t.grace()):
+	}
+	t.peerFailed(dst, err)
+	return t.failed.Load()
+}
+
+// recvClosed picks the panic value when src's inbox closed under a blocked
+// recv. A crashed src was already latched by its read loop; a graceful bye
+// from src means the root cause is elsewhere in the mesh — wait for it to
+// latch before blaming a rank that shut down cleanly.
+func (t *SocketTransport) recvClosed(src int) *RankFailedError {
+	if t.peerLeft(src) {
+		select {
+		case <-t.failedCh:
+		case <-time.After(t.grace()):
+		}
+		if f := t.failed.Load(); f != nil {
+			return f
+		}
+	}
+	return t.lostRank(src)
+}
+
+// heartbeat pings every peer at PeerTimeout/3 until Close, so the
+// per-frame read deadlines on the receiving side never expire on a healthy
+// but idle connection. A failed ping write latches the peer as failed.
+func (t *SocketTransport) heartbeat() {
+	defer t.wg.Done()
+	period := t.opts.PeerTimeout / heartbeatDivisor
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.hbStop:
+			return
+		case <-tick.C:
+		}
+		for dst, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			p.mu.Lock()
+			p.conn.SetWriteDeadline(time.Now().Add(t.opts.PeerTimeout))
+			err := p.w.WritePing()
+			p.mu.Unlock()
+			if err != nil && !t.closed.Load() && !t.peerLeft(dst) {
+				// Same grace as send: don't let a ping's broken pipe blame a
+				// peer whose bye (or whose killer's EOF) is still in flight.
+				go t.sendFailed(dst, fmt.Errorf("heartbeat: %w", err))
+			}
+		}
+	}
+}
+
 // readLoop drains src's connection into the inbox, pooling payload buffers.
 // Connection setup read exactly the handshake frame from the raw
 // connection, so wrapping the remaining stream in a buffered reader here
-// loses nothing.
+// loses nothing. With a peer timeout armed, every frame must start within
+// PeerTimeout of the previous one (heartbeats keep healthy idle
+// connections inside the window).
 func (t *SocketTransport) readLoop(src int, p *sockPeer) {
 	defer t.wg.Done()
 	r := wire.NewReader(bufio.NewReaderSize(p.conn, 1<<16))
+	if t.opts.PeerTimeout > 0 {
+		// Re-arm the read deadline before every frame — heartbeats included,
+		// so an idle-but-alive peer is never declared dead, while a silent
+		// one trips the deadline within PeerTimeout.
+		r.SetPreFrame(func() error {
+			return p.conn.SetReadDeadline(time.Now().Add(t.opts.PeerTimeout))
+		})
+	}
 	get := t.pool.get
 	for {
 		data, clock, err := r.ReadData(get)
 		if err != nil {
 			if !t.closed.Load() {
 				t.readErr.Store(src, err)
+				if errors.Is(err, wire.ErrBye) {
+					// Graceful departure: the peer finished its work and
+					// closed in an orderly way (ranks leave a final
+					// collective at different times, so this is routine).
+					// Receiving directly from it still fails, but the
+					// mesh-wide failure latch stays clear — only a crash
+					// (bare EOF, no bye) declares a rank dead.
+					close(t.inbox[src])
+					return
+				}
+				t.peerFailed(src, err)
 				close(t.inbox[src])
 			}
 			return
@@ -241,6 +483,36 @@ func (t *SocketTransport) Size() int { return t.size }
 // Rank returns the rank this process hosts.
 func (t *SocketTransport) Rank() int { return t.rank }
 
+// Network returns the transport's socket family ("unix" or "tcp").
+func (t *SocketTransport) Network() string {
+	if t.network == "" {
+		return "unix"
+	}
+	return t.network
+}
+
+// DropPeer severs the connection to rank as if that peer had died
+// (fault-injection hook for failure-path tests; no-op for self or unknown
+// ranks). Both ends observe the close: this process's read loop latches
+// rank as failed, and the peer's read loop latches this rank.
+func (t *SocketTransport) DropPeer(rank int) {
+	if rank < 0 || rank >= t.size || rank == t.rank || t.peers[rank] == nil {
+		return
+	}
+	t.peers[rank].conn.Close()
+}
+
+// DelayPeer injects d of extra latency before every subsequent send to rank
+// (fault-injection hook; d = 0 restores normal sending). With a peer
+// timeout armed, a delay beyond the timeout makes the peer declare this
+// rank dead — the "slow is dead" half of the failure model.
+func (t *SocketTransport) DelayPeer(rank int, d time.Duration) {
+	if rank < 0 || rank >= t.size || rank == t.rank || t.peers[rank] == nil {
+		return
+	}
+	t.peers[rank].delay.Store(int64(d))
+}
+
 // send frames data to dst with the given clock stamp (self-sends queue
 // through the local inbox, mirroring the channel transport's self-mailbox).
 func (t *SocketTransport) send(dst int, data []float64, clock float64) {
@@ -254,23 +526,45 @@ func (t *SocketTransport) send(dst int, data []float64, clock float64) {
 	if p == nil {
 		panic(fmt.Sprintf("cluster: socket transport has no connection to rank %d", dst))
 	}
+	if d := p.delay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	p.mu.Lock()
+	if t.opts.PeerTimeout > 0 {
+		p.conn.SetWriteDeadline(time.Now().Add(t.opts.PeerTimeout))
+	}
 	err := p.w.WriteData(clock, data)
 	p.mu.Unlock()
 	if err != nil {
-		panic(fmt.Sprintf("cluster: socket transport send to rank %d: %v", dst, err))
+		panic(t.sendFailed(dst, fmt.Errorf("send: %w", err)))
 	}
 }
 
-// recv pops the next frame from src, panicking with the reader's error if
-// the connection was lost mid-run.
+// recv pops the next frame from src, panicking with a *RankFailedError if
+// any peer of the mesh was lost mid-run — the failure latch wakes receives
+// blocked on healthy peers too, so a survivor waiting on a rank that is
+// itself stuck behind the dead one unblocks within the detection bound
+// instead of inheriting the hang.
 func (t *SocketTransport) recv(src int) sockMsg {
-	m, ok := <-t.inbox[src]
-	if !ok {
-		err, _ := t.readErr.Load(src)
-		panic(fmt.Sprintf("cluster: socket transport lost rank %d: %v", src, err))
+	select {
+	case m, ok := <-t.inbox[src]:
+		if !ok {
+			panic(t.recvClosed(src))
+		}
+		return m
+	case <-t.failedCh:
+		// Prefer a frame that raced in ahead of the failure signal, so the
+		// failure report never precedes data already delivered.
+		select {
+		case m, ok := <-t.inbox[src]:
+			if ok {
+				return m
+			}
+			panic(t.lostRank(src))
+		default:
+		}
+		panic(t.failed.Load())
 	}
-	return m
 }
 
 // hosted panics unless rank is the rank this process hosts.
@@ -439,17 +733,47 @@ func (t *SocketTransport) Gather(rank, root int, vec []float64, clock float64, c
 	return parts, aligned
 }
 
-// Close implements Transport: tears down the listener, connections and
-// reader goroutines, and removes the rank's socket file.
+// Close implements Transport: announces a graceful departure to every peer
+// (a bye frame, so survivors mid-collective don't mistake the close for a
+// crash — ranks leave a final collective at different times), then tears
+// down the listener, connections, reader and heartbeat goroutines, and
+// removes the rank's socket file (unix) or published address file (TCP
+// rendezvous).
 func (t *SocketTransport) Close() error {
+	return t.shutdown(true)
+}
+
+// Abort tears the transport down like Close but WITHOUT the goodbye
+// announcement — connections just vanish, exactly as when the process is
+// killed (the kernel closes sockets without writing any bye frame). Every
+// peer therefore latches this rank as failed. Fault-injection hook for
+// failure-path tests; production shutdown uses Close.
+func (t *SocketTransport) Abort() error {
+	return t.shutdown(false)
+}
+
+// shutdown is the shared teardown of Close (bye = true) and Abort.
+func (t *SocketTransport) shutdown(bye bool) error {
 	if t.closed.Swap(true) {
 		return nil
+	}
+	close(t.hbStop)
+	if bye {
+		for _, p := range t.peers {
+			if p != nil {
+				p.mu.Lock()
+				p.w.WriteBye() // best-effort: the peer may already be gone
+				p.mu.Unlock()
+			}
+		}
 	}
 	var first error
 	if t.ln != nil {
 		addr := t.ln.Addr().String()
 		first = t.ln.Close()
-		os.Remove(addr)
+		if t.network == "unix" {
+			os.Remove(addr)
+		}
 	}
 	for _, p := range t.peers {
 		if p != nil {

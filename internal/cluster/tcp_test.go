@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+// skipWithoutLoopbackTCP skips where loopback TCP listeners are unavailable
+// (sandboxed CI without a network stack).
+func skipWithoutLoopbackTCP(t testing.TB) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no loopback TCP support: %v", err)
+	}
+	ln.Close()
+}
+
+// startTCPMesh brings up one rendezvous-directory TCP transport per rank
+// (all in this process — each transport only ever touches its own rank,
+// exactly like separate worker processes would).
+func startTCPMesh(t *testing.T, size int, grid [3]int, opts SocketOptions) []*SocketTransport {
+	t.Helper()
+	dir := t.TempDir()
+	trs := make([]*SocketTransport, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			trs[rank], errs[rank] = NewTCPRendezvousTransport(dir, rank, size, grid, opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	})
+	return trs
+}
+
+// TestTCPCollectivesMatchChannelTransport: the TCP mesh produces bitwise
+// the collectives of the in-process channel transport on the same per-rank
+// inputs — the same transport-independence contract the unix-socket
+// transport locks, extended to the multi-host path.
+func TestTCPCollectivesMatchChannelTransport(t *testing.T) {
+	const p = 4
+	skipWithoutLoopbackTCP(t)
+	socks := startTCPMesh(t, p, [3]int{2, 2, 1}, SocketOptions{})
+	chans := newChanTransport(p)
+	cost := func(worst float64, total int) float64 { return worst + 1e-6 + 1e-9*float64(total) }
+
+	rng := rand.New(rand.NewSource(23))
+	vecs := make([][]float64, p)
+	for r := range vecs {
+		vecs[r] = make([]float64, 6)
+		for i := range vecs[r] {
+			vecs[r][i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6))
+		}
+	}
+	clocks := []float64{1.5, 0.25, 2.125, 3}
+
+	type out struct {
+		red          []float64
+		ag           []float64
+		parts        [][]float64
+		clkR, clkA   float64
+		clkG, clkBar float64
+	}
+	run := func(tr Transport) []out {
+		outs := make([]out, p)
+		var wg sync.WaitGroup
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				o := &outs[rank]
+				o.red = append([]float64(nil), vecs[rank]...)
+				o.clkR = tr.AllReduceSum(rank, o.red, clocks[rank], cost)
+				o.ag, o.clkA = tr.AllGather(rank, vecs[rank], nil, clocks[rank], cost)
+				o.parts, o.clkG = tr.Gather(rank, 2, vecs[rank], clocks[rank], cost)
+				o.clkBar = tr.Barrier(rank, clocks[rank], cost)
+			}(r)
+		}
+		wg.Wait()
+		return outs
+	}
+	want := run(chans)
+	got := run(Transport(socksMux{socks}))
+	for r := 0; r < p; r++ {
+		for i := range want[r].red {
+			if math.Float64bits(got[r].red[i]) != math.Float64bits(want[r].red[i]) {
+				t.Errorf("rank %d allreduce bit mismatch at %d: %x want %x",
+					r, i, math.Float64bits(got[r].red[i]), math.Float64bits(want[r].red[i]))
+			}
+		}
+		if fmt.Sprint(got[r].ag) != fmt.Sprint(want[r].ag) {
+			t.Errorf("rank %d allgather %v, want %v", r, got[r].ag, want[r].ag)
+		}
+		if fmt.Sprint(got[r].parts) != fmt.Sprint(want[r].parts) {
+			t.Errorf("rank %d gather %v, want %v", r, got[r].parts, want[r].parts)
+		}
+		if got[r].clkR != want[r].clkR || got[r].clkA != want[r].clkA ||
+			got[r].clkG != want[r].clkG || got[r].clkBar != want[r].clkBar {
+			t.Errorf("rank %d clocks diverged from channel transport", r)
+		}
+	}
+}
+
+// TestTCPExplicitHostList: the production multi-host rendezvous — every
+// rank started with the same ordered host:port list — forms the mesh and
+// carries point-to-point traffic bit-exactly.
+func TestTCPExplicitHostList(t *testing.T) {
+	const p = 3
+	skipWithoutLoopbackTCP(t)
+	// Reserve distinct loopback ports, then hand the freed addresses to the
+	// transports as the host list.
+	hosts := make([]string, p)
+	lns := make([]net.Listener, p)
+	for r := 0; r < p; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		hosts[r] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	trs := make([]*SocketTransport, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			trs[rank], errs[rank] = NewTCPTransport(hosts, rank, p, [3]int{p, 1, 1}, SocketOptions{})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	if got := trs[0].Network(); got != "tcp" {
+		t.Errorf("Network() = %q, want tcp", got)
+	}
+	payload := []float64{math.Pi, -0.0, math.Inf(1), 5e-324}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		trs[2].Send(2, 0, payload, 1.5)
+	}()
+	var got []float64
+	var clock float64
+	go func() {
+		defer wg.Done()
+		got, clock = trs[0].Recv(0, 2, nil)
+	}()
+	wg.Wait()
+	if clock != 1.5 || len(got) != len(payload) {
+		t.Fatalf("recv clock %v len %d", clock, len(got))
+	}
+	for i := range payload {
+		if math.Float64bits(got[i]) != math.Float64bits(payload[i]) {
+			t.Errorf("element %d: %x want %x", i, math.Float64bits(got[i]), math.Float64bits(payload[i]))
+		}
+	}
+}
+
+// TestTCPHostListValidation: malformed host lists and mismatched sizes are
+// rejected before any socket is opened.
+func TestTCPHostListValidation(t *testing.T) {
+	if _, err := ParseHostList(""); err == nil {
+		t.Error("empty host list accepted")
+	}
+	if _, err := ParseHostList("localhost"); err == nil {
+		t.Error("port-less host accepted")
+	}
+	if hosts, err := ParseHostList(" a:1 , b:2 "); err != nil || len(hosts) != 2 || hosts[0] != "a:1" {
+		t.Errorf("ParseHostList: %v %v", hosts, err)
+	}
+	if _, err := NewTCPTransport([]string{"a:1"}, 0, 2, [3]int{2, 1, 1}, SocketOptions{}); err == nil {
+		t.Error("host list shorter than size accepted")
+	}
+	if _, err := NewTCPTransport([]string{"a:1", "b:2"}, 2, 2, [3]int{2, 1, 1}, SocketOptions{}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+// TestTCPHandshakeRejectsMismatch: mismatched grid shapes fail the TCP
+// handshake exactly like the unix transport.
+func TestTCPHandshakeRejectsMismatch(t *testing.T) {
+	skipWithoutLoopbackTCP(t)
+	dir := t.TempDir()
+	opts := SocketOptions{DialTimeout: 5 * time.Second}
+	var wg sync.WaitGroup
+	var err0, err1 error
+	var tr0, tr1 *SocketTransport
+	wg.Add(2)
+	go func() { defer wg.Done(); tr0, err0 = NewTCPRendezvousTransport(dir, 0, 2, [3]int{2, 1, 1}, opts) }()
+	go func() { defer wg.Done(); tr1, err1 = NewTCPRendezvousTransport(dir, 1, 2, [3]int{1, 2, 1}, opts) }()
+	wg.Wait()
+	if err0 == nil && err1 == nil {
+		t.Error("mismatched grids connected")
+	}
+	for _, tr := range []*SocketTransport{tr0, tr1} {
+		if tr != nil {
+			tr.Close()
+		}
+	}
+}
+
+// TestHandshakeStallFailsFast (ISSUE 6 satellite): a peer that accepts the
+// connection but never answers the handshake fails the dialer within the
+// dial timeout — the handshake exchange runs under a deadline, so a
+// half-dead peer cannot stall the mesh indefinitely.
+func TestHandshakeStallFailsFast(t *testing.T) {
+	skipWithoutLoopbackTCP(t)
+	dir := t.TempDir()
+	// A fake "rank 0" that listens and accepts but stays silent.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := writeFileAtomic(tcpAddrFile(dir, 0), []byte(ln.Addr().String())); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold it open, never handshake
+		}
+	}()
+	start := time.Now()
+	tr, err := NewTCPRendezvousTransport(dir, 1, 2, [3]int{2, 1, 1}, SocketOptions{DialTimeout: 300 * time.Millisecond})
+	if err == nil {
+		tr.Close()
+		t.Fatal("transport connected through a silent peer")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("handshake stall took %v to fail; want roughly the 300ms dial timeout", elapsed)
+	}
+}
+
+// TestDialTimeoutEnvOverride (ISSUE 6 satellite): MLMD_DIAL_TIMEOUT
+// replaces the hard-coded 30s start-up bound, and an explicit
+// SocketOptions.DialTimeout wins over the environment.
+func TestDialTimeoutEnvOverride(t *testing.T) {
+	t.Setenv(DialTimeoutEnv, "120ms")
+	if d := (SocketOptions{}).dial(); d != 120*time.Millisecond {
+		t.Errorf("env-derived dial timeout %v, want 120ms", d)
+	}
+	if d := (SocketOptions{DialTimeout: time.Second}).dial(); d != time.Second {
+		t.Errorf("explicit dial timeout %v, want 1s (env must not override)", d)
+	}
+	t.Setenv(DialTimeoutEnv, "not-a-duration")
+	if d := (SocketOptions{}).dial(); d != defaultDialTimeout {
+		t.Errorf("malformed env gave %v, want the %v default", d, defaultDialTimeout)
+	}
+	os.Unsetenv(DialTimeoutEnv) // t.Setenv restores on cleanup; keep the in-test view clean too
+	t.Setenv(DialTimeoutEnv, "150ms")
+	skipWithoutLoopbackTCP(t)
+	// Rank 1 of 2 dials a rank 0 that never appears: the env-shortened
+	// timeout must surface the error promptly instead of after 30s.
+	start := time.Now()
+	tr, err := NewTCPRendezvousTransport(t.TempDir(), 1, 2, [3]int{2, 1, 1}, SocketOptions{})
+	if err == nil {
+		tr.Close()
+		t.Fatal("transport formed without its peer")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("dial to a missing peer took %v; want roughly the 150ms env timeout", elapsed)
+	}
+}

@@ -9,6 +9,18 @@
 //	handshake = u32 magic | u16 version | u16 rank | u16 size
 //	            | u16 gx | u16 gy | u16 gz            (kind 0, bodyLen 16)
 //	data      = f64 clock | f64 × n                   (kind 1, bodyLen 8+8n)
+//	ping      = (empty)                               (kind 2, bodyLen 0)
+//	bye       = (empty)                               (kind 3, bodyLen 0)
+//
+// Ping frames are the transport's heartbeat: they carry no payload and no
+// clock, and ReadData skips them transparently, so a connection with
+// per-frame read deadlines stays alive across idle stretches without
+// perturbing the data stream (the virtual clock and the payload sequence
+// are bitwise identical with heartbeats on or off). A bye frame is the
+// last frame written on a gracefully closed connection; it lets the
+// reader distinguish an orderly departure (ReadData returns ErrBye) from
+// a crash (bare EOF) — the distinction the transport's failure detector
+// is built on.
 //
 // The clock field carries the sender's virtual time (point-to-point: the
 // modeled arrival time; collectives: the contributed or aligned clock), so
@@ -27,6 +39,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -47,7 +60,16 @@ const MaxBody = 1 << 28
 const (
 	kindHandshake = 0
 	kindData      = 1
+	kindPing      = 2
+	kindBye       = 3
 )
+
+// ErrBye is returned by ReadData when the peer announced a graceful
+// departure: it wrote a bye frame and is about to close the connection.
+// Transports use it to tell an orderly shutdown (a rank that finished its
+// work) from a crash — a killed process closes its sockets without ever
+// writing a bye.
+var ErrBye = errors.New("wire: peer said goodbye")
 
 // headerLen is the fixed frame prefix: u32 body length + u8 kind.
 const headerLen = 5
@@ -135,15 +157,47 @@ func (w *Writer) WriteData(clock float64, data []float64) error {
 	return err
 }
 
+// WriteBye frames one empty graceful-departure marker — the last frame a
+// transport writes on a connection before closing it, so the peer's reader
+// can tell an orderly shutdown from a crash.
+func (w *Writer) WriteBye() error {
+	b := w.grow(headerLen)
+	binary.LittleEndian.PutUint32(b[0:], 0)
+	b[4] = kindBye
+	_, err := w.w.Write(b)
+	return err
+}
+
+// WritePing frames one empty heartbeat. Like WriteData it is a single
+// Write from retained scratch, so pings interleave safely with data frames
+// as long as callers serialize writes per connection.
+func (w *Writer) WritePing() error {
+	b := w.grow(headerLen)
+	binary.LittleEndian.PutUint32(b[0:], 0)
+	b[4] = kindPing
+	_, err := w.w.Write(b)
+	return err
+}
+
 // Reader decodes frames from r with a retained scratch buffer. Not safe
 // for concurrent use.
 type Reader struct {
 	r   io.Reader
 	buf []byte
+	// preFrame, when set, runs before every frame header read (see
+	// SetPreFrame).
+	preFrame func() error
 }
 
 // NewReader returns a Reader decoding from r.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// SetPreFrame installs a hook that runs immediately before every frame
+// header read — including the ping frames ReadData skips transparently. The
+// socket transport uses it to re-arm the per-frame read deadline, so each
+// arriving frame (data or heartbeat) extends the peer's liveness window. A
+// hook error aborts the read.
+func (r *Reader) SetPreFrame(f func() error) { r.preFrame = f }
 
 // grow resizes the scratch buffer, reusing capacity and never allocating
 // more than readChunk bytes at once.
@@ -157,6 +211,11 @@ func (r *Reader) grow(n int) []byte {
 
 // header reads and validates a frame prefix, returning (bodyLen, kind).
 func (r *Reader) header() (int, byte, error) {
+	if r.preFrame != nil {
+		if err := r.preFrame(); err != nil {
+			return 0, 0, fmt.Errorf("wire: pre-frame hook: %w", err)
+		}
+	}
 	b := r.grow(headerLen)
 	if _, err := io.ReadFull(r.r, b); err != nil {
 		return 0, 0, fmt.Errorf("wire: frame header: %w", err)
@@ -208,10 +267,18 @@ func (r *Reader) ReadHandshake() (Handshake, error) {
 // accumulated incrementally as bytes arrive, so a forged length prefix
 // costs at most one read chunk of allocation before the truncation error
 // surfaces.
+// Ping frames (heartbeats) are consumed and skipped transparently; a bye
+// frame (graceful departure) returns ErrBye.
 func (r *Reader) ReadData(get func(n int) []float64) ([]float64, float64, error) {
 	body, kind, err := r.header()
+	for err == nil && kind == kindPing && body == 0 {
+		body, kind, err = r.header()
+	}
 	if err != nil {
 		return nil, 0, err
+	}
+	if kind == kindBye && body == 0 {
+		return nil, 0, ErrBye
 	}
 	if kind != kindData {
 		return nil, 0, fmt.Errorf("wire: expected data frame, got kind %d", kind)

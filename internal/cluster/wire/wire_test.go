@@ -179,3 +179,31 @@ func TestForgedLengthDoesNotOverAllocate(t *testing.T) {
 		t.Errorf("truncated 64-byte stream allocated %d bytes against a forged 512 MiB prefix", grown)
 	}
 }
+
+// TestPingAndByeFrames: heartbeat pings are skipped transparently by
+// ReadData, and a bye frame surfaces as ErrBye — the graceful-departure
+// signal a crashed process can never send.
+func TestPingAndByeFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WritePing(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteData(7, []float64{1.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePing(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBye(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, clock, err := r.ReadData(nil)
+	if err != nil || clock != 7 || len(got) != 1 || got[0] != 1.5 {
+		t.Fatalf("data after ping: %v %v %v", got, clock, err)
+	}
+	if _, _, err := r.ReadData(nil); err != ErrBye {
+		t.Fatalf("bye frame returned %v, want ErrBye", err)
+	}
+}

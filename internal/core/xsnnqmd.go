@@ -147,6 +147,23 @@ func (x *XSNNQMD) Step(n int) float64 {
 // Time returns elapsed MD time (a.u.).
 func (x *XSNNQMD) Time() float64 { return x.time }
 
+// SetTime restores the elapsed MD clock (the resume path of a checkpointed
+// run; Step keeps advancing it as usual).
+func (x *XSNNQMD) SetTime(t float64) { x.time = t }
+
+// SetExcitationMap replaces the per-cell excitation map with w (length
+// NumCells) and pushes it into the blended force field — the resume path
+// of a checkpointed run, restoring exactly the decayed map the interrupted
+// run carried.
+func (x *XSNNQMD) SetExcitationMap(w []float64) error {
+	if len(w) != len(x.ExcitationPerCell) {
+		return fmt.Errorf("core: excitation map has %d cells, lattice has %d", len(w), len(x.ExcitationPerCell))
+	}
+	copy(x.ExcitationPerCell, w)
+	x.applyExcitation()
+	return nil
+}
+
 // PolarizationField returns the z-averaged 2-D polarization texture for
 // topological analysis.
 func (x *XSNNQMD) PolarizationField() *topo.Field {

@@ -1,0 +1,225 @@
+// Run checkpoints (ISSUE 6): a restartable snapshot of a long MD run,
+// written as a small gob manifest (step counter, integrator/thermostat
+// parameters, domain-grid shape and cut planes, driver extras, payload
+// length + CRC) followed by the raw system payload the manifest checksums.
+// The two-part layout lets LoadCheckpoint validate everything it is about
+// to trust — the manifest's declared sizes before any size-derived
+// allocation, the payload bytes against the CRC before gob sees them — so
+// a truncated or corrupted file fails with a descriptive error instead of
+// resuming a subtly wrong trajectory (fuzzed in fuzz_test.go).
+//
+// Checkpoint files are written atomically (temp file in the target
+// directory, fsync, rename), so a crash mid-write leaves the previous
+// checkpoint intact and a reader never observes a partial file.
+package mlmdio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mlmd/internal/md"
+)
+
+// CheckpointVersion is the current checkpoint layout version; files
+// carrying any other version are rejected.
+const CheckpointVersion = 1
+
+// Checkpoint sanity caps: a hostile manifest can declare enormous shapes in
+// a few bytes, so every count-derived allocation is gated here first.
+const (
+	// maxCheckpointAxis caps the per-axis cut-plane count (grid axes are
+	// u16 on the wire; 1<<12 ranks per axis is far beyond any real run).
+	maxCheckpointAxis = 1 << 12
+	// maxCheckpointExtra caps the driver-extra vector (per-cell excitation
+	// fields and scalar state; generously sized).
+	maxCheckpointExtra = 1 << 24
+	// maxCheckpointPayload caps the system payload (bytes).
+	maxCheckpointPayload = 1 << 32
+	// checkpointReadChunk bounds how many payload bytes are requested at
+	// once, so a forged length fails after reading only what arrived.
+	checkpointReadChunk = 1 << 16
+)
+
+// crcTable is the CRC-64/ECMA table of the payload checksum.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Checkpoint is one restartable snapshot of a sharded MD run. Step, the
+// integrator parameters and the driver Extra vector let the resuming
+// driver continue exactly where the run stopped; Grid and Cuts record the
+// decomposition the checkpoint was written on (informational — a resume
+// may choose any grid shape, because the gathered system is
+// decomposition-free and forces are decomposition-invariant).
+type Checkpoint struct {
+	// Step counts completed MD steps at the snapshot.
+	Step int64
+	// Time is the driver's simulation clock at the snapshot (0 when the
+	// driver keeps none).
+	Time float64
+	// Dt, KT and Tau are the integrator step and Berendsen thermostat
+	// parameters of the interrupted run (the thermostat is stateless
+	// beyond the velocities, so the parameters are its whole state).
+	Dt, KT, Tau float64
+	// Grid is the domain-grid shape the writing run used.
+	Grid [3]int
+	// Cuts are the (possibly balanced) cut-plane positions per axis at the
+	// snapshot.
+	Cuts [3][]float64
+	// Extra carries driver-specific scalar state (e.g. the per-cell
+	// excitation field and lattice clock of the XS-NNQMD demo).
+	Extra []float64
+	// Sys is the gathered global system (positions, velocities, forces,
+	// masses, types — the complete integration state).
+	Sys *md.System
+}
+
+// checkpointManifest is the gob image of everything but the system, plus
+// the payload envelope the loader validates before decoding the system.
+type checkpointManifest struct {
+	Version     int
+	Step        int64
+	Time        float64
+	Dt, KT, Tau float64
+	Grid        [3]int
+	Cuts        [3][]float64
+	Extra       []float64
+	PayloadLen  int64
+	PayloadCRC  uint64
+}
+
+// SaveCheckpoint writes cp to w (manifest, then the checksummed system
+// payload).
+func SaveCheckpoint(w io.Writer, cp *Checkpoint) error {
+	if cp == nil || cp.Sys == nil {
+		return fmt.Errorf("mlmdio: checkpoint without a system")
+	}
+	var payload bytes.Buffer
+	if err := SaveSystem(&payload, cp.Sys); err != nil {
+		return fmt.Errorf("mlmdio: checkpoint payload: %w", err)
+	}
+	m := checkpointManifest{
+		Version: CheckpointVersion,
+		Step:    cp.Step, Time: cp.Time,
+		Dt: cp.Dt, KT: cp.KT, Tau: cp.Tau,
+		Grid: cp.Grid, Cuts: cp.Cuts, Extra: cp.Extra,
+		PayloadLen: int64(payload.Len()),
+		PayloadCRC: crc64.Checksum(payload.Bytes(), crcTable),
+	}
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("mlmdio: checkpoint manifest: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("mlmdio: checkpoint payload: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads one checkpoint from r, validating the manifest's
+// declared sizes before any size-derived allocation and the payload bytes
+// against the manifest CRC before decoding the system from them. Truncated
+// and corrupted files fail with descriptive errors.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	// One shared buffered reader for manifest and payload: gob wraps any
+	// non-ByteReader source in its own bufio and would over-read into the
+	// payload region, losing bytes between the two decode stages.
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReader(r)
+	}
+	var m checkpointManifest
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("mlmdio: checkpoint manifest: %w", err)
+	}
+	if m.Version != CheckpointVersion {
+		return nil, fmt.Errorf("mlmdio: checkpoint version %d, want %d", m.Version, CheckpointVersion)
+	}
+	if m.Step < 0 {
+		return nil, fmt.Errorf("mlmdio: checkpoint at negative step %d", m.Step)
+	}
+	for a := 0; a < 3; a++ {
+		if m.Grid[a] < 0 || m.Grid[a] > maxCheckpointAxis || len(m.Cuts[a]) > maxCheckpointAxis+1 {
+			return nil, fmt.Errorf("mlmdio: implausible checkpoint grid axis %d (P=%d, %d cut planes)",
+				a, m.Grid[a], len(m.Cuts[a]))
+		}
+		if m.Grid[a] > 0 && len(m.Cuts[a]) != 0 && len(m.Cuts[a]) != m.Grid[a]+1 {
+			return nil, fmt.Errorf("mlmdio: checkpoint axis %d has %d cut planes for %d subdomains",
+				a, len(m.Cuts[a]), m.Grid[a])
+		}
+	}
+	if len(m.Extra) > maxCheckpointExtra {
+		return nil, fmt.Errorf("mlmdio: implausible checkpoint extra length %d", len(m.Extra))
+	}
+	if m.PayloadLen < 1 || m.PayloadLen > maxCheckpointPayload {
+		return nil, fmt.Errorf("mlmdio: implausible checkpoint payload length %d", m.PayloadLen)
+	}
+	// Read the payload incrementally: a forged length prefix costs at most
+	// one chunk of allocation beyond the bytes actually present.
+	payload := make([]byte, 0, min(int(m.PayloadLen), checkpointReadChunk))
+	var chunk [checkpointReadChunk]byte
+	for int64(len(payload)) < m.PayloadLen {
+		want := m.PayloadLen - int64(len(payload))
+		if want > checkpointReadChunk {
+			want = checkpointReadChunk
+		}
+		n, err := io.ReadFull(r, chunk[:want])
+		payload = append(payload, chunk[:n]...)
+		if err != nil {
+			return nil, fmt.Errorf("mlmdio: truncated checkpoint payload (%d of %d bytes): %w",
+				len(payload), m.PayloadLen, err)
+		}
+	}
+	if crc := crc64.Checksum(payload, crcTable); crc != m.PayloadCRC {
+		return nil, fmt.Errorf("mlmdio: checkpoint payload checksum %#x, manifest says %#x (file corrupted?)",
+			crc, m.PayloadCRC)
+	}
+	sys, err := LoadSystem(bytes.NewReader(payload))
+	if err != nil {
+		return nil, fmt.Errorf("mlmdio: checkpoint system: %w", err)
+	}
+	return &Checkpoint{
+		Step: m.Step, Time: m.Time,
+		Dt: m.Dt, KT: m.KT, Tau: m.Tau,
+		Grid: m.Grid, Cuts: m.Cuts, Extra: m.Extra,
+		Sys: sys,
+	}, nil
+}
+
+// WriteCheckpointFile writes cp to path atomically: the bytes go to a temp
+// file in path's directory, are fsynced, and the temp file is renamed over
+// path — so an interrupted write leaves the previous checkpoint intact and
+// a concurrent reader never sees a partial file.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("mlmdio: checkpoint temp file: %w", err)
+	}
+	err = SaveCheckpoint(f, cp)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(f.Name(), path)
+	}
+	if err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return nil
+}
+
+// ReadCheckpointFile loads the checkpoint at path.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mlmdio: checkpoint: %w", err)
+	}
+	defer f.Close()
+	return LoadCheckpoint(f)
+}

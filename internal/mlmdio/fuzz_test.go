@@ -170,3 +170,64 @@ func TestCheckpointRoundTripsStillWork(t *testing.T) {
 		t.Error("1-point-axis wave-field checkpoint accepted")
 	}
 }
+
+func validRunCheckpoint(tb testing.TB) []byte {
+	sys, err := md.NewSystem(5, 8, 8, 8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := range sys.X {
+		sys.X[i] = 0.5 * float64(i)
+		sys.V[i] = -0.25 * float64(i)
+		sys.F[i] = float64(i) * 1e-3
+	}
+	cp := &Checkpoint{
+		Step: 360, Time: 3780, Dt: 10.5, KT: 1e-3, Tau: 400,
+		Grid:  [3]int{2, 1, 1},
+		Cuts:  [3][]float64{{0, 4, 8}, {0, 8}, {0, 8}},
+		Extra: []float64{0.25, 0.5, 0.75},
+		Sys:   sys,
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, cp); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadCheckpoint (ISSUE 6 satellite): arbitrary bytes fed to the run
+// checkpoint decoder must yield a checkpoint or a descriptive error —
+// never a panic, an unbounded allocation, or a silently inconsistent
+// resume state.
+func FuzzLoadCheckpoint(f *testing.F) {
+	valid := validRunCheckpoint(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated inside the manifest or payload
+	f.Add(valid[:len(valid)-3]) // truncated payload tail
+	f.Add(valid[1:])            // desynchronized gob stream
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint"))
+	mutated := append([]byte(nil), valid...)
+	mutated[len(mutated)-7] ^= 0xff // payload corruption (CRC must catch)
+	f.Add(mutated)
+	headerFlip := append([]byte(nil), valid...)
+	headerFlip[6] ^= 0x10 // manifest corruption
+	f.Add(headerFlip)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := LoadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever the fuzzer got accepted must be internally consistent.
+		if cp.Sys == nil || cp.Sys.N < 1 || len(cp.Sys.X) != 3*cp.Sys.N ||
+			len(cp.Sys.V) != 3*cp.Sys.N || len(cp.Sys.F) != 3*cp.Sys.N ||
+			len(cp.Sys.Mass) != cp.Sys.N || cp.Step < 0 {
+			t.Fatalf("accepted inconsistent checkpoint: %+v", cp)
+		}
+		for a := 0; a < 3; a++ {
+			if cp.Grid[a] > 0 && len(cp.Cuts[a]) != 0 && len(cp.Cuts[a]) != cp.Grid[a]+1 {
+				t.Fatalf("accepted cuts/grid mismatch on axis %d", a)
+			}
+		}
+	})
+}

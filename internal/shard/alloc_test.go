@@ -58,6 +58,39 @@ func TestShardSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestShardCheckpointedSteadyStateAllocs (ISSUE 6): enabling periodic
+// checkpointing must not dirty the steady-state step. The checkpoint
+// boundaries themselves (GatherAll + the writer) may allocate, but the
+// steps between them run on the same retained buffers as an uninterrupted
+// Run — 0 allocs/op.
+func TestShardCheckpointedSteadyStateAllocs(t *testing.T) {
+	base := fccLJSystem(t, 5, 0, 0)
+	eng, err := NewEngine(Config{
+		Grid: [3]int{2, 2, 1}, Cutoff: testCutoff, Skin: testSkin,
+		NewFF: LJFactory(testEps, testSigma),
+	}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	gathered := base.Clone()
+	// Warm up through several checkpoint cycles so the gather machinery has
+	// reached its steady buffer sizes too.
+	for i := 0; i < 3; i++ {
+		if _, err := eng.RunCheckpointed(4, 2, 0, 0, 2, gathered, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(50, func() { eng.Run(1, 2, 0, 0) }); n != 0 {
+		t.Errorf("steady-state step allocates %v allocs/op between checkpoints, want 0", n)
+	}
+	// And another checkpoint cycle afterwards still works (the measurement
+	// did not corrupt the cadence machinery).
+	if _, err := eng.RunCheckpointed(2, 2, 0, 0, 2, gathered, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestShardAllegroSteadyStateAllocs pins the ISSUE 5 allocation fix: with
 // the MLP tape and backward delta buffers reused through per-worker
 // par.Scratch slots (nn.Tape via allegro.EvalScratch), the Allegro

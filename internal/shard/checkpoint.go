@@ -1,0 +1,64 @@
+// Periodic checkpointing (ISSUE 6). The engine primes its force state only
+// on the first dispatch after construction (primeNeeded tracks primed), so
+// a run chopped into chunks is bitwise identical to one long Run — which
+// makes checkpointing a pure driver concern: advance a chunk, GatherAll the
+// global system, hand it to the writer, continue. No engine-internal state
+// beyond the gathered system needs saving: positions, velocities, forces,
+// masses and types are the complete integration state (the Berendsen
+// thermostat is stateless beyond the velocities, and forces are a
+// deterministic decomposition-invariant function of positions), so a
+// resume may rebuild the engine on any grid shape and continue bitwise.
+package shard
+
+import "mlmd/internal/md"
+
+// RunCheckpointed advances the decomposed system like Run, pausing after
+// every `every` completed steps (and after the final step, when steps is
+// not a multiple) to reassemble the full state into sys via GatherAll and
+// call write with the cumulative step count. Like its constituents it is a
+// collective: every process of a multi-process run must call it with the
+// same arguments; sys is filled and write invoked only on the process
+// hosting rank 0 (write runs there while every other process waits in the
+// next collective, so the file cost shows up in everyone's wall clock —
+// checkpointing is bulk-synchronous like everything else).
+//
+// The chunked trajectory is bitwise identical to an uninterrupted
+// Run(steps, ...): the engine primes once, and chunk boundaries add only a
+// GatherAll, which reads but never writes rank state. Steps between
+// checkpoints stay on the allocation-free steady-state path; the
+// checkpoint steps themselves may allocate.
+//
+// A non-nil error is either a peer-rank failure (then also latched in Err)
+// or an error returned by write; both leave the remaining steps unrun.
+func (e *Engine) RunCheckpointed(steps int, dt, kT, tau float64, every int, sys *md.System, write func(done int) error) (RunResult, error) {
+	if every <= 0 || write == nil {
+		res := e.Run(steps, dt, kT, tau)
+		return res, res.Err
+	}
+	hostsRoot := !e.partial || e.rs[0] != nil
+	var res RunResult
+	for done := 0; ; {
+		chunk := every
+		if rem := steps - done; rem < chunk {
+			chunk = rem
+		}
+		res = e.Run(chunk, dt, kT, tau)
+		if res.Err != nil {
+			return res, res.Err
+		}
+		done += chunk
+		e.GatherAll(sys)
+		if err := e.Err(); err != nil {
+			res.Err = err
+			return res, err
+		}
+		if hostsRoot {
+			if err := write(done); err != nil {
+				return res, err
+			}
+		}
+		if done >= steps {
+			return res, nil
+		}
+	}
+}

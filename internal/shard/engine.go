@@ -286,6 +286,12 @@ type Engine struct {
 
 	primed bool
 	closed bool
+
+	// failMu guards commErr: the first transport rank-failure recovered by
+	// any hosted rank goroutine (see execRankOp). Once set, the run is dead
+	// — driver collectives short-circuit and report it via Err / RunResult.
+	failMu  sync.Mutex
+	commErr error
 }
 
 type haloSide struct {
@@ -546,19 +552,54 @@ func (e *Engine) refreshView(rs *rankState) {
 // the dispatched collective operation, signal completion.
 func (e *Engine) rankLoop(rs *rankState, cmd chan int) {
 	for op := range cmd {
-		switch op {
-		case opForce:
-			e.bridgeForce(rs)
-		case opRun:
-			e.runSteps(rs)
-		case opGatherAll:
-			e.gatherAllRank(rs)
-		case opQuit:
+		if op == opQuit {
 			e.wg.Done()
 			return
 		}
+		e.execRankOp(rs, op)
 		e.wg.Done()
 	}
+}
+
+// execRankOp runs one dispatched operation, converting a transport
+// rank-failure panic (a dead peer of a multi-process run; see
+// cluster.RankFailedError) into the engine's latched error so the driver
+// call returns instead of crashing the process — the rank goroutine stays
+// parked and the dispatch completes. Any other panic propagates.
+func (e *Engine) execRankOp(rs *rankState, op int) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		rf, ok := cluster.AsRankFailure(r)
+		if !ok {
+			panic(r)
+		}
+		e.failMu.Lock()
+		if e.commErr == nil {
+			e.commErr = rf
+		}
+		e.failMu.Unlock()
+	}()
+	switch op {
+	case opForce:
+		e.bridgeForce(rs)
+	case opRun:
+		e.runSteps(rs)
+	case opGatherAll:
+		e.gatherAllRank(rs)
+	}
+}
+
+// Err returns the first communicator rank-failure observed by any hosted
+// rank (nil while the mesh is healthy). Once non-nil the distributed state
+// is unrecoverable in place: the driver should stop, and a long run should
+// restart from its last checkpoint (mlmd -resume).
+func (e *Engine) Err() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.commErr
 }
 
 // broadcast dispatches op to every hosted rank and waits for completion
@@ -670,6 +711,11 @@ func (e *Engine) bridgeForce(rs *rankState) {
 // RunResult carries the globally reduced observables of a Run.
 type RunResult struct {
 	PE, KE, Temperature float64
+	// Err is non-nil when a peer rank of a multi-process run died during
+	// (or before) the dispatch: the observables are then meaningless and
+	// the distributed state is unrecoverable — restart from a checkpoint.
+	// It carries the *cluster.RankFailedError naming the lost rank.
+	Err error
 }
 
 // Run advances the decomposed system steps velocity-Verlet steps of dt,
@@ -680,6 +726,9 @@ type RunResult struct {
 // Run(0, ...) evaluates forces and observables without stepping (a prime).
 // State stays distributed — use Gather to pull it back into a System.
 func (e *Engine) Run(steps int, dt, kT, tau float64) RunResult {
+	if err := e.Err(); err != nil {
+		return RunResult{Err: err}
+	}
 	e.steps, e.dt, e.thKT, e.thTau = steps, dt, kT, tau
 	e.primeNeeded = !e.primed
 	e.broadcast(opRun)
@@ -688,6 +737,7 @@ func (e *Engine) Run(steps int, dt, kT, tau float64) RunResult {
 		PE:          e.peRank[e.applyRank],
 		KE:          e.keRank[e.applyRank],
 		Temperature: 2 * e.keRank[e.applyRank] / (3 * float64(e.n)),
+		Err:         e.Err(),
 	}
 }
 
@@ -1236,13 +1286,17 @@ const gatherRec = 10
 // GatherAll reassembles the full distributed state into sys on rank 0's
 // process through a collective gather (every process of a multi-process
 // run must call it; processes not hosting rank 0 leave sys untouched).
-// On an in-process engine it equals Gather.
+// On an in-process engine it equals Gather. After a rank failure (Err
+// non-nil) it returns with sys untouched — the collective cannot complete.
 func (e *Engine) GatherAll(sys *md.System) {
 	if sys.N != e.n {
 		panic("shard: gather system size mismatch")
 	}
 	if !e.partial {
 		e.Gather(sys)
+		return
+	}
+	if e.Err() != nil {
 		return
 	}
 	e.broadcast(opGatherAll)

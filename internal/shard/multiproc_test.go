@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"mlmd/internal/allegro"
 	"mlmd/internal/cluster"
@@ -126,11 +127,23 @@ func runMPWorker() error {
 	}
 	rdv := os.Getenv("MLMD_WORKER_RDV")
 	out := os.Getenv("MLMD_WORKER_OUT")
+	steps := fix.steps
+	if s := os.Getenv("MLMD_WORKER_STEPS"); s != "" {
+		if steps, err = strconv.Atoi(s); err != nil {
+			return err
+		}
+	}
+	var opts cluster.SocketOptions
+	if s := os.Getenv("MLMD_WORKER_PTIMEOUT"); s != "" {
+		if opts.PeerTimeout, err = time.ParseDuration(s); err != nil {
+			return err
+		}
+	}
 	sys, cfg, err := fix.build()
 	if err != nil {
 		return err
 	}
-	tr, err := cluster.NewSocketTransport(rdv, rank, size, grid)
+	tr, err := cluster.NewSocketTransportOpts(rdv, rank, size, grid, opts)
 	if err != nil {
 		return err
 	}
@@ -149,7 +162,14 @@ func runMPWorker() error {
 		return err
 	}
 	defer eng.Close()
-	res := eng.Run(fix.steps, fix.dt, 0, 0)
+	res := eng.Run(steps, fix.dt, 0, 0)
+	if res.Err != nil {
+		// A peer died mid-run (the kill test): surface the typed failure on
+		// stderr so the parent can assert which rank every survivor blamed.
+		// Our own teardown is safe — Close sends a bye frame, so the other
+		// survivors see a graceful departure, not a second failure.
+		return res.Err
+	}
 	eng.GatherAll(sys)
 	if err := eng.Validate(); err != nil {
 		return err
@@ -159,14 +179,14 @@ func runMPWorker() error {
 		return nil
 	}
 	if rebuilds < 5 {
-		return fmt.Errorf("only %d rebuilds in %d steps — event path not exercised", rebuilds, fix.steps)
+		return fmt.Errorf("only %d rebuilds in %d steps — event path not exercised", rebuilds, steps)
 	}
 	if size > 1 && migrated == 0 {
-		return fmt.Errorf("no atoms migrated into rank 0 in %d steps", fix.steps)
+		return fmt.Errorf("no atoms migrated into rank 0 in %d steps", steps)
 	}
 	rebalances, maxShift := eng.BalanceStats()
 	if rebalances == 0 {
-		return fmt.Errorf("balancer never rebalanced in %d steps", fix.steps)
+		return fmt.Errorf("balancer never rebalanced in %d steps", steps)
 	}
 	if maxShift > cfg.Cutoff+cfg.Skin {
 		return fmt.Errorf("cut shift %g exceeds the halo", maxShift)

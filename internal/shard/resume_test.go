@@ -1,0 +1,159 @@
+package shard
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mlmd/internal/mlmdio"
+)
+
+// Resume-identity tests (ISSUE 6): a run checkpointed at step K through
+// Engine.RunCheckpointed + mlmdio and resumed from the file — on a
+// DIFFERENT grid shape — continues bitwise identically to the
+// uninterrupted run. Works because the gathered system is the complete
+// integration state and forces are a deterministic,
+// decomposition-invariant function of positions: the resumed engine
+// re-primes from the restored positions and recovers exactly the forces
+// the interrupted run held.
+
+// runResumeIdentity checkpoints fix on gridA at step K, resumes on gridB,
+// runs `tail` further steps, and compares bitwise against the
+// uninterrupted K+tail-step run.
+func runResumeIdentity(t *testing.T, fix mpFixture, gridA, gridB [3]int, k, every, tail int) {
+	base, cfg, err := fix.build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Balance = true
+	cfg.BalanceCost = fix.cost
+
+	// Uninterrupted reference: K+tail steps on gridA.
+	ref, _, _ := runGridTrajectory(t, base, cfg, gridA, k+tail, fix.dt, nil)
+
+	// Interrupted run: K steps on gridA with periodic checkpoints.
+	path := filepath.Join(t.TempDir(), "resume.ckpt")
+	sysA := base.Clone()
+	cfgA := cfg
+	cfgA.Grid = gridA
+	engA, err := NewEngine(cfgA, sysA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(engA.Close)
+	writes := 0
+	_, err = engA.RunCheckpointed(k, fix.dt, 0, 0, every, sysA, func(done int) error {
+		writes++
+		cp := &mlmdio.Checkpoint{
+			Step: int64(done), Dt: fix.dt,
+			Grid: engA.Grid(), Sys: sysA,
+		}
+		for a := 0; a < 3; a++ {
+			cp.Cuts[a] = engA.CutPlanes(a)
+		}
+		return mlmdio.WriteCheckpointFile(path, cp)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (k + every - 1) / every; writes != want {
+		t.Fatalf("%d checkpoint writes for %d steps every %d, want %d", writes, k, every, want)
+	}
+
+	// Resume from the file on gridB — a different decomposition.
+	cp, err := mlmdio.ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Step != int64(k) || cp.Dt != fix.dt || cp.Grid != gridA {
+		t.Fatalf("checkpoint metadata %+v does not describe the interrupted run", cp)
+	}
+	resumed := cp.Sys
+	cfgB := cfg
+	cfgB.Grid = gridB
+	engB, err := NewEngine(cfgB, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(engB.Close)
+	engB.Run(tail, fix.dt, 0, 0)
+	engB.Gather(resumed)
+	if err := engB.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	assertBitwise(t, gridB, ref, resumed)
+}
+
+// TestResumeIdentityLJ: LJ crystal, checkpointed on a 2×2 grid, resumed on
+// a 4-slab — 200 post-resume steps bitwise identical.
+func TestResumeIdentityLJ(t *testing.T) {
+	fix, err := fixtureByName("lj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runResumeIdentity(t, fix, [3]int{2, 2, 1}, [3]int{4, 1, 1}, 120, 60, 200)
+}
+
+// TestResumeIdentityAllegro: the neural force field through the same
+// protocol — checkpointed on a slab, resumed on a 2-D grid.
+func TestResumeIdentityAllegro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Allegro resume identity skipped under -short (LJ variant covers the protocol)")
+	}
+	fix, err := fixtureByName("allegro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runResumeIdentity(t, fix, [3]int{2, 1, 1}, [3]int{2, 2, 1}, 60, 30, 200)
+}
+
+// TestResumeIdentitySingleRankToMany: the degenerate but important case —
+// a serial run's checkpoint restarted on a parallel grid.
+func TestResumeIdentitySingleRankToMany(t *testing.T) {
+	fix, err := fixtureByName("lj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runResumeIdentity(t, fix, [3]int{1, 1, 1}, [3]int{2, 2, 1}, 80, 40, 200)
+}
+
+// TestRunCheckpointedMatchesRun: chunked checkpointed execution IS the
+// plain Run bitwise — including a final partial chunk — and a disabled
+// checkpoint cadence degrades to Run exactly.
+func TestRunCheckpointedMatchesRun(t *testing.T) {
+	base := fccLJSystem(t, 5, 1e-3, 6)
+	cfg := Config{
+		Cutoff: testCutoff, Skin: testSkin,
+		NewFF: LJFactory(testEps, testSigma),
+	}
+	const steps, dt = 130, 2.0
+	ref, _, _ := runGridTrajectory(t, base, cfg, [3]int{2, 1, 1}, steps, dt, nil)
+
+	sys := base.Clone()
+	cfg.Grid = [3]int{2, 1, 1}
+	eng, err := NewEngine(cfg, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	var steps2 []int
+	gathered := sys.Clone()
+	if _, err := eng.RunCheckpointed(steps, dt, 0, 0, 40, gathered, func(done int) error {
+		steps2 = append(steps2, done)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Gather(sys)
+	assertBitwise(t, [3]int{2, 1, 1}, ref, sys)
+	want := []int{40, 80, 120, 130} // 130 is the final partial chunk
+	if len(steps2) != len(want) {
+		t.Fatalf("checkpoint cadence %v, want %v", steps2, want)
+	}
+	for i := range want {
+		if steps2[i] != want[i] {
+			t.Fatalf("checkpoint cadence %v, want %v", steps2, want)
+		}
+	}
+	// The gathered snapshot at the last boundary equals the endpoint.
+	assertBitwise(t, [3]int{2, 1, 1}, sys, gathered)
+}
