@@ -30,6 +30,9 @@
 #   make bench6  - checkpoint write cost (periodic gather + atomic mlmdio
 #                  files) and unix-vs-tcp multi-process transport overhead,
 #                  written to BENCH_PR6.json
+#   make bench7  - Allegro inference sweep: per-atom tapes vs blocked-GEMM
+#                  batching (bitwise identical) vs GEMMMixed float32, over a
+#                  block-size sweep, written to BENCH_PR7.json
 #   make tables  - the full paper-table benchmark suite at the repo root
 #
 # docs/benchmarks.md documents the bench workflow and the JSON schemas;
@@ -53,20 +56,24 @@ PAR_PKGS = ./internal/par ./internal/md ./internal/linalg ./internal/allegro \
 
 # Coverage-gated packages and floor (ISSUE 2 CI contract; ISSUE 3 raised
 # the floor to cover the shard grid/overlap and cluster grid-topology
-# paths; ISSUE 5 added the wire codec — current levels: md 97%, mlmdio 90%,
-# cluster 92%, wire 97%, shard 94%).
-COVER_PKGS = ./internal/md ./internal/mlmdio ./internal/cluster ./internal/cluster/wire ./internal/shard
+# paths; ISSUE 5 added the wire codec; PR 7 added the nn batched-inference
+# tapes — current levels: md 97%, mlmdio 90%, cluster 92%, wire 97%,
+# shard 94%, nn 94%).
+COVER_PKGS = ./internal/md ./internal/mlmdio ./internal/cluster ./internal/cluster/wire ./internal/shard ./internal/nn
 COVER_MIN  = 85
 
-# Deserializers and frame decoders under native fuzzing, per package.
+# Deserializers and frame decoders under native fuzzing, per package, plus
+# the blocked-vs-per-row MLP equivalence harness (PR 7: batched inference
+# must match the per-atom tapes bitwise on arbitrary shapes and inputs).
 FUZZ_TARGETS      = FuzzReadXYZ FuzzLoadSystem FuzzLoadModel FuzzLoadWaveField FuzzLoadCheckpoint
 WIRE_FUZZ_TARGETS = FuzzReadData FuzzReadHandshake
+NN_FUZZ_TARGETS   = FuzzBatchedMLP
 FUZZ_TIME   ?= 10s
 
 # Packages whose exported API must be fully doc-commented (`make docs`).
-DOC_PKGS = ./internal/shard ./internal/cluster ./internal/cluster/wire ./internal/par
+DOC_PKGS = ./internal/shard ./internal/cluster ./internal/cluster/wire ./internal/par ./internal/allegro ./internal/nn
 
-.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 bench5 bench6 tables
+.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 bench5 bench6 bench7 tables
 
 check: fmt vet build test race cover fuzz docs
 
@@ -110,6 +117,10 @@ fuzz:
 		echo "fuzz $$f ($(FUZZ_TIME))"; \
 		$(GO) test ./internal/cluster/wire -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZ_TIME) | tail -2; \
 	done
+	@for f in $(NN_FUZZ_TARGETS); do \
+		echo "fuzz $$f ($(FUZZ_TIME))"; \
+		$(GO) test ./internal/nn -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZ_TIME) | tail -2; \
+	done
 
 bench:
 	$(GO) test ./internal/md ./internal/linalg ./internal/par \
@@ -130,6 +141,9 @@ bench5:
 
 bench6:
 	$(GO) run ./cmd/bench-scaling -fault -shardjson > BENCH_PR6.json
+
+bench7:
+	$(GO) run ./cmd/bench-scaling -batched -shardjson > BENCH_PR7.json
 
 tables:
 	$(GO) test . -run '^$$' -bench . -benchmem

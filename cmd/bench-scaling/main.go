@@ -49,6 +49,9 @@ func main() {
 	hotspotFlag := flag.Bool("hotspot", false, "Gaussian hot-spot static-vs-balanced load-balancing sweep (best of 5)")
 	procsFlag := flag.Bool("procs", false, "in-process vs multi-process transport sweep (forks one OS process per rank; best of 5) + transport ping-pong")
 	faultFlag := flag.Bool("fault", false, "checkpoint write cost + unix-vs-tcp multi-process transport sweep (forks one OS process per rank)")
+	batchedFlag := flag.Bool("batched", false, "Allegro per-atom vs blocked-GEMM vs mixed-precision inference sweep (best of 5)")
+	batchedAtoms := flag.Int("batchedatoms", 512, "atoms of the -batched inference gas")
+	batchedSteps := flag.Int("batchedsteps", 60, "MD steps per -batched trial")
 	balanceFlag := flag.Bool("balance", false, "enable dynamic boundary balancing in the -shard/-grid sweeps")
 	shardJSON := flag.Bool("shardjson", false, "with -shard/-grid/-hotspot/-procs/-fault: emit the JSON document (BENCH_PR2/3/4/5/6.json) instead of the table")
 	shardCells := flag.Int("shardcells", 11, "fcc cells per axis of the -shard/-grid/-hotspot/-procs system (atoms = 4·cells³ before hot-spot thinning; needs cells >= 11 so the 8-rank slab still fits the halo)")
@@ -71,16 +74,24 @@ func main() {
 		return
 	}
 	exclusive := 0
-	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag, *procsFlag, *faultFlag} {
+	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag, *procsFlag, *faultFlag, *batchedFlag} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid, -hotspot, -procs and -fault are mutually exclusive (each emits its own JSON document)")
+		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid, -hotspot, -procs, -fault and -batched are mutually exclusive (each emits its own JSON document)")
 		os.Exit(2)
 	}
 	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato && exclusive == 0
+	if *batchedFlag {
+		points, err := bench.BatchedInference(*batchedAtoms, *batchedSteps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+			os.Exit(1)
+		}
+		emit(bench.BatchedTable(points), bench.BatchedDocument(points), *shardJSON)
+	}
 
 	if *t1 || all {
 		fmt.Println(bench.Table1())

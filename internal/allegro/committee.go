@@ -15,6 +15,8 @@ import (
 type Committee struct {
 	Members []*Model
 	fBuf    [][]float64
+	es      []float64
+	dBuf    []float64
 }
 
 // NewCommittee builds n models sharing spec and hidden sizes but with
@@ -47,21 +49,74 @@ func (c *Committee) Train(template *md.System, samples []Sample, cfg TrainConfig
 	return nil
 }
 
-// ComputeForces implements md.ForceField with the committee mean.
+// ComputeForces implements md.ForceField with the committee mean. When
+// member 0 runs a batched eval mode, the neighbor environments and
+// descriptor rows are gathered once and every member's MLPs are driven over
+// the shared gather (descriptors depend only on the geometry, not the
+// weights) — each member's forces and energy stay bitwise identical to that
+// member's standalone batched ComputeForces, because the block loop, part
+// partition, and merge order are the same code with only the weights
+// swapped. Under EvalPerAtom the committee falls back to per-member
+// evaluation.
 func (c *Committee) ComputeForces(sys *md.System) float64 {
 	if len(c.fBuf) != len(c.Members) {
 		c.fBuf = make([][]float64, len(c.Members))
 	}
-	var eMean float64
-	for k, m := range c.Members {
-		e := m.ComputeForces(sys)
-		eMean += e
+	n := float64(len(c.Members))
+	m0 := c.Members[0]
+	if m0.Mode == EvalPerAtom {
+		var eMean float64
+		for k, m := range c.Members {
+			e := m.ComputeForces(sys)
+			eMean += e
+			if len(c.fBuf[k]) != len(sys.F) {
+				c.fBuf[k] = make([]float64, len(sys.F))
+			}
+			copy(c.fBuf[k], sys.F)
+		}
+		eMean /= n
+		for i := range sys.F {
+			var sum float64
+			for k := range c.Members {
+				sum += c.fBuf[k][i]
+			}
+			sys.F[i] = sum / n
+		}
+		return eMean
+	}
+	// Shared-gather batched path: member 0 owns the neighbor list and the
+	// per-part gather scratch; members k>0 reuse it (gathered=true).
+	m0.ensureNeighbors(sys)
+	if len(c.es) != len(c.Members) {
+		c.es = make([]float64, len(c.Members))
+	}
+	for k := range c.Members {
+		c.es[k] = 0
 		if len(c.fBuf[k]) != len(sys.F) {
 			c.fBuf[k] = make([]float64, len(sys.F))
 		}
-		copy(c.fBuf[k], sys.F)
+		buf := c.fBuf[k]
+		for i := range buf {
+			buf[i] = 0
+		}
 	}
-	n := float64(len(c.Members))
+	block := m0.BlockSize
+	if block <= 0 || block > sys.N {
+		block = sys.N
+	}
+	for lo := 0; lo < sys.N; lo += block {
+		hi := lo + block
+		if hi > sys.N {
+			hi = sys.N
+		}
+		for k, mk := range c.Members {
+			c.es[k] += m0.forceBlockBatched(sys, mk, c.fBuf[k], lo, hi, k > 0)
+		}
+	}
+	var eMean float64
+	for _, e := range c.es {
+		eMean += e
+	}
 	eMean /= n
 	for i := range sys.F {
 		var sum float64
@@ -75,9 +130,13 @@ func (c *Committee) ComputeForces(sys *md.System) float64 {
 
 // Disagreement returns the per-atom committee spread after the last
 // ComputeForces call: the RMS over members of the deviation of the member
-// force from the mean, reduced over components.
+// force from the mean, reduced over components. The returned slice is a
+// reused internal buffer, valid until the next Disagreement call.
 func (c *Committee) Disagreement(sys *md.System) []float64 {
-	out := make([]float64, sys.N)
+	if cap(c.dBuf) < sys.N {
+		c.dBuf = make([]float64, sys.N)
+	}
+	out := c.dBuf[:sys.N]
 	n := float64(len(c.Members))
 	for i := 0; i < sys.N; i++ {
 		var varSum float64

@@ -181,6 +181,16 @@ func (d DescriptorSpec) descriptorGradInto(sys *md.System, env neighborEnv, i in
 			vec[base*3+2] += g * fc * uz
 		}
 	}
+	d.descriptorGradPre(sys, env, i, gD, dEdx, cs, vec)
+}
+
+// descriptorGradPre is the scatter half of descriptorGradInto for callers
+// that already hold atom i's vector accumulators: vec must be exactly what
+// descriptorInto filled for the same environment (the recomputation above
+// runs the identical loop, so a stored vec is bitwise equal to a recomputed
+// one). The batched evaluation path stores vec at gather time and calls
+// this directly, skipping the duplicate exponentials.
+func (d DescriptorSpec) descriptorGradPre(sys *md.System, env neighborEnv, i int, gD, dEdx, cs, vec []float64) {
 	for n := range env.j {
 		j := env.j[n]
 		gx, gy, gz := d.PairGradTerm(sys.Type[j], gD, vec, cs, env.dx[n], env.dy[n], env.dz[n], env.r[n])

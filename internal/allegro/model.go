@@ -7,6 +7,7 @@ import (
 	"mlmd/internal/md"
 	"mlmd/internal/nn"
 	"mlmd/internal/par"
+	"mlmd/internal/precision"
 )
 
 // Model is the Allegro-style force field: one MLP per species mapping the
@@ -27,6 +28,14 @@ type Model struct {
 	// BlockSize caps how many atoms are evaluated per inference batch
 	// (block model inference, Sec. V.B.9). 0 means no blocking.
 	BlockSize int
+	// Mode selects the inference implementation: per-atom tapes (the
+	// seed path), blocked GEMM64 batching (bitwise identical), or the
+	// GEMMMixed float32 variant. NewModel applies the package defaults
+	// (SetEvalDefaults / MLMD_ALLEGRO_BLOCK).
+	Mode EvalMode
+	// MixedMode is the precision.GEMMMixed compute mode used when Mode
+	// is EvalBatchedMixed (the zero value is FP32).
+	MixedMode precision.Mode
 	// nl (with its full-list CSR) is rebuilt on demand.
 	nl *md.NeighborList
 	// Per-worker inference scratch for the pool-parallel force path.
@@ -37,6 +46,16 @@ type Model struct {
 		span, parts int
 	}
 	forceFn func(lo, hi, w int)
+	// Per-part scratch and closure of the batched force path (batch.go).
+	bscratch *par.Scratch[batchState]
+	bctx     struct {
+		sys         *md.System
+		net         *Model
+		base        int
+		span, parts int
+		gathered    bool
+	}
+	batchFn func(lo, hi, w int)
 }
 
 // inferState is one worker's reusable inference scratch: the neighbor
@@ -63,6 +82,7 @@ func NewModel(spec DescriptorSpec, hidden []int, seed int64) (*Model, error) {
 		return nil, err
 	}
 	m := &Model{Spec: spec, PerSpeciesShift: make([]float64, spec.NSpecies)}
+	m.Mode, m.BlockSize = evalDefaults()
 	sizes := append([]int{spec.Dim()}, hidden...)
 	sizes = append(sizes, 1)
 	for sp := 0; sp < spec.NSpecies; sp++ {
@@ -150,7 +170,11 @@ func (m *Model) ComputeForcesOwned(sys *md.System, nOwned int) float64 {
 		if hi > nOwned {
 			hi = nOwned
 		}
-		energy += m.forceBlock(sys, lo, hi)
+		if m.Mode == EvalPerAtom {
+			energy += m.forceBlock(sys, lo, hi)
+		} else {
+			energy += m.forceBlockBatched(sys, m, sys.F, lo, hi, false)
+		}
 	}
 	return energy
 }
@@ -180,24 +204,10 @@ type EvalScratch struct {
 // caller holding (gD, vec) for every atom of a pair can reconstruct both
 // sides' gradient contributions without re-running inference.
 func (m *Model) EvalAtom(sys *md.System, i int, cand []int32, cs []float64, scr *EvalScratch, gD, vec []float64) float64 {
-	scr.env.reset()
-	for _, j32 := range cand {
-		j := int(j32)
-		dx, dy, dz := sys.MinImage(j, i) // vector from i to j
-		r := math.Sqrt(dx*dx + dy*dy + dz*dz)
-		if r >= m.Spec.Cutoff || r == 0 {
-			continue
-		}
-		scr.env.j = append(scr.env.j, j)
-		scr.env.dx = append(scr.env.dx, dx)
-		scr.env.dy = append(scr.env.dy, dy)
-		scr.env.dz = append(scr.env.dz, dz)
-		scr.env.r = append(scr.env.r, r)
-	}
 	if len(scr.desc) != m.Spec.Dim() {
 		scr.desc = make([]float64, m.Spec.Dim())
 	}
-	m.Spec.descriptorInto(sys, scr.env, scr.desc, cs, vec)
+	m.GatherAtom(sys, i, cand, cs, scr, scr.desc, vec)
 	sp := sys.Type[i]
 	net := m.Nets[sp]
 	tape := net.ForwardTapeInto(scr.desc, &scr.tape)
@@ -216,6 +226,8 @@ func (m *Model) CloneShared() *Model {
 		Nets:            m.Nets,
 		PerSpeciesShift: m.PerSpeciesShift,
 		BlockSize:       m.BlockSize,
+		Mode:            m.Mode,
+		MixedMode:       m.MixedMode,
 	}
 	nl, err := md.NewNeighborList(m.Spec.Cutoff, m.nl.Skin)
 	if err != nil {

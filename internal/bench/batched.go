@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"mlmd/internal/allegro"
+	"mlmd/internal/linalg"
+	"mlmd/internal/md"
+	"mlmd/internal/precision"
+)
+
+// This file measures what blocked-GEMM Allegro inference buys over the
+// per-atom tape path (BENCH_PR7.json / `make bench7`): the same model and
+// gas stepped with per-atom inference, the bitwise-identical float64
+// batched path over a block-size sweep, and the GEMMMixed float32 variant.
+// The per-atom MLP loop is latency-bound (each output is one loop-carried
+// dot product); the blocked GEMM turns the same arithmetic — same rounding,
+// same bits — into a throughput-bound kernel, which is where the speedup
+// comes from.
+
+// BatchedPoint is one (mode, block size) measurement.
+type BatchedPoint struct {
+	// Mode is "per-atom", "batched", or "batched-mixed".
+	Mode string `json:"mode"`
+	// Block is the inference block size (0 = one block per force part).
+	Block int `json:"block"`
+	Atoms int `json:"atoms"`
+	Steps int `json:"steps"`
+	// NsPerStep is the best-of-BatchedTrials wall time per MD step.
+	NsPerStep float64 `json:"ns_per_step"`
+	// GemmGFLOPS is the linalg-counted GEMM throughput of the fastest
+	// trial (zero on the per-atom path, which never calls linalg).
+	GemmGFLOPS float64 `json:"gemm_gflops"`
+	// SpeedupVsPerAtom is the per-atom point's ns/step divided by this
+	// one's (the PR 7 acceptance figure at the best batched block size).
+	SpeedupVsPerAtom float64 `json:"speedup_vs_per_atom,omitempty"`
+}
+
+// BatchedDoc is the committable BENCH_PR7.json document.
+type BatchedDoc struct {
+	Go         string         `json:"go"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Workers    string         `json:"mlmd_workers,omitempty"`
+	Benchmark  string         `json:"benchmark"`
+	Points     []BatchedPoint `json:"points"`
+}
+
+// BatchedTrials is the best-of count of BatchedInference.
+const BatchedTrials = 5
+
+// BatchedBlocks is the block-size sweep of `bench-scaling -batched`
+// (0 = unblocked: each pool part becomes a single inference batch).
+var BatchedBlocks = []int{16, 64, 256, 0}
+
+// newBatchedSystem builds the inference workload: a two-species random gas
+// at a density giving ~15 neighbors within the model cutoff, and an
+// untrained (deterministic) Allegro model whose [96,96] MLPs dominate the
+// per-step cost.
+func newBatchedSystem(atoms int) (*md.System, *allegro.Model, error) {
+	l := math.Cbrt(float64(atoms) / 0.23)
+	sys, err := md.NewSystem(atoms, l, l, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < atoms; i++ {
+		sys.X[3*i] = rng.Float64() * l
+		sys.X[3*i+1] = rng.Float64() * l
+		sys.X[3*i+2] = rng.Float64() * l
+		sys.Mass[i] = 30
+		sys.Type[i] = i % 2
+	}
+	sys.InitVelocities(1e-4, 3)
+	model, err := allegro.NewModel(
+		allegro.DescriptorSpec{Cutoff: 2.5, NRadial: 5, NSpecies: 2},
+		[]int{96, 96}, 13)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sys, model, nil
+}
+
+// BatchedInference sweeps the inference modes over the same workload:
+// per-atom first (the reference), then float64 batched and float32 mixed
+// at every block size. Every point re-derives the model from the same seed,
+// so the weights are identical throughout.
+func BatchedInference(atoms, steps int) ([]BatchedPoint, error) {
+	base, _, err := newBatchedSystem(atoms)
+	if err != nil {
+		return nil, err
+	}
+	type cfg struct {
+		mode  allegro.EvalMode
+		name  string
+		block int
+	}
+	cfgs := []cfg{{allegro.EvalPerAtom, "per-atom", 0}}
+	for _, b := range BatchedBlocks {
+		cfgs = append(cfgs, cfg{allegro.EvalBatched, "batched", b})
+	}
+	for _, b := range BatchedBlocks {
+		cfgs = append(cfgs, cfg{allegro.EvalBatchedMixed, "batched-mixed", b})
+	}
+	var points []BatchedPoint
+	var perAtomNs float64
+	for _, c := range cfgs {
+		pt, err := measureBatchedConfig(base, c.mode, c.block, steps)
+		if err != nil {
+			return nil, err
+		}
+		pt.Mode = c.name
+		if c.mode == allegro.EvalPerAtom {
+			perAtomNs = pt.NsPerStep
+		} else if perAtomNs > 0 {
+			pt.SpeedupVsPerAtom = perAtomNs / pt.NsPerStep
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// measureBatchedConfig runs one (mode, block) configuration
+// best-of-BatchedTrials over a fresh clone and model each trial.
+func measureBatchedConfig(base *md.System, mode allegro.EvalMode, block, steps int) (BatchedPoint, error) {
+	pt := BatchedPoint{Atoms: base.N, Steps: steps, Block: block}
+	best := 0.0
+	for trial := 0; trial < BatchedTrials; trial++ {
+		_, model, err := newBatchedSystem(base.N)
+		if err != nil {
+			return BatchedPoint{}, err
+		}
+		model.Mode = mode
+		model.BlockSize = block
+		model.MixedMode = precision.ModeFP32
+		sys := base.Clone()
+		model.ComputeForces(sys) // prime: neighbor list + scratch sizing
+		linalg.ResetFlops()
+		t0 := time.Now()
+		for s := 0; s < steps; s++ {
+			md.VelocityVerlet(sys, model, 0.5)
+		}
+		t := time.Since(t0).Seconds()
+		flops := linalg.ResetFlops()
+		if best == 0 || t < best {
+			best = t
+			pt.GemmGFLOPS = float64(flops) / t / 1e9
+		}
+	}
+	pt.NsPerStep = best * 1e9 / float64(steps)
+	return pt, nil
+}
+
+// BatchedDocument wraps points with the environment header.
+func BatchedDocument(points []BatchedPoint) BatchedDoc {
+	return BatchedDoc{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    os.Getenv("MLMD_WORKERS"),
+		Benchmark:  "Allegro inference: per-atom tapes vs blocked GEMM64 (bitwise-identical) vs GEMMMixed FP32, block-size sweep, best-of-5 wall clock",
+		Points:     points,
+	}
+}
+
+// BatchedTable formats the sweep with the per-atom anchor first.
+func BatchedTable(points []BatchedPoint) string {
+	var b strings.Builder
+	if len(points) > 0 {
+		fmt.Fprintf(&b, "Batched Allegro inference (%d atoms, %d steps, best of %d, GOMAXPROCS=%d)\n",
+			points[0].Atoms, points[0].Steps, BatchedTrials, runtime.GOMAXPROCS(0))
+	}
+	fmt.Fprintf(&b, "%14s %7s %14s %10s %10s\n", "mode", "block", "ns/step", "gemm GF/s", "speedup")
+	for _, pt := range points {
+		block := "-"
+		if pt.Mode != "per-atom" {
+			if pt.Block == 0 {
+				block = "part"
+			} else {
+				block = fmt.Sprintf("%d", pt.Block)
+			}
+		}
+		speedup := ""
+		if pt.SpeedupVsPerAtom > 0 {
+			speedup = fmt.Sprintf("%.2fx", pt.SpeedupVsPerAtom)
+		}
+		fmt.Fprintf(&b, "%14s %7s %14.0f %10.2f %10s\n",
+			pt.Mode, block, pt.NsPerStep, pt.GemmGFLOPS, speedup)
+	}
+	return b.String()
+}

@@ -100,6 +100,23 @@ type TwoPhaseFF interface {
 	PhaseTwo(v *View, aux []float64, lo, hi int)
 }
 
+// TwoPhaseSplitFF is the optional refinement of TwoPhaseFF for fields whose
+// phase one can itself be split by atom range: the engine evaluates the
+// boundary owned atoms [NInt, NOwn) first, posts the first axis's payload
+// sends (the axis-0 send set contains only boundary atoms — interior atoms
+// are farther than the halo from every face), and runs the interior range
+// while that exchange is in flight. PhaseOneFinish is called once after
+// every range of a step has run and accumulates the energy partials; it
+// must produce the same bits regardless of where the split fell (the
+// Allegro adapter stores per-atom energies and replays a fixed chunk
+// reduction). PhaseOne must remain equivalent to PhaseOneRange over
+// [0, NOwn) followed by PhaseOneFinish.
+type TwoPhaseSplitFF interface {
+	TwoPhaseFF
+	PhaseOneRange(v *View, aux []float64, lo, hi int)
+	PhaseOneFinish(v *View, partial []float64)
+}
+
 // View is the rank-local window a RankFF sees: owned atoms first
 // ([0, NOwn)), ghost copies after ([NOwn, NLoc)). All coordinates are raw
 // global-box positions (ghosts are bitwise copies of their owners), so
@@ -318,8 +335,12 @@ type rankState struct {
 	ff     RankFF
 	block  BlockFF    // non-nil when ff implements BlockFF
 	two    TwoPhaseFF // non-nil when ff implements TwoPhaseFF
-	auxW   int
-	v      View
+	// twoSplit is non-nil when two also implements TwoPhaseSplitFF; the
+	// fresh-eval path then overlaps the boundary payload computation with
+	// the first payload exchange axis.
+	twoSplit TwoPhaseSplitFF
+	auxW     int
+	v        View
 
 	ids        []int32
 	x, vel, f  []float64
@@ -466,6 +487,7 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 		rs.block, _ = rs.ff.(BlockFF)
 		if two, ok := rs.ff.(TwoPhaseFF); ok {
 			rs.two = two
+			rs.twoSplit, _ = rs.ff.(TwoPhaseSplitFF)
 			rs.auxW = two.AuxLen()
 			if rs.auxW < 1 {
 				return nil, fmt.Errorf("shard: rank %d two-phase force field reports AuxLen %d", r, rs.auxW)
@@ -878,6 +900,30 @@ func (e *Engine) evalFresh(rs *rankState) {
 	if rs.two == nil {
 		t0 := time.Now()
 		rs.ff.Compute(&rs.v, rs.partial)
+		rs.stepSecs += time.Since(t0).Seconds()
+		return
+	}
+	if rs.twoSplit != nil && rs.nInt > 0 && len(e.axes) > 0 {
+		// Split phase one: boundary payloads first, so the first axis's
+		// sends (boundary atoms only) go out while the interior — usually
+		// the bulk of the rank — is still being evaluated.
+		a0 := e.axes[0]
+		t0 := time.Now()
+		rs.twoSplit.PhaseOneRange(&rs.v, rs.aux, rs.nInt, rs.nOwn)
+		rs.stepSecs += time.Since(t0).Seconds()
+		e.postAuxSends(rs, a0)
+		t0 = time.Now()
+		rs.twoSplit.PhaseOneRange(&rs.v, rs.aux, 0, rs.nInt)
+		rs.twoSplit.PhaseOneFinish(&rs.v, rs.partial)
+		rs.two.PhaseTwo(&rs.v, rs.aux, 0, rs.nInt)
+		rs.stepSecs += time.Since(t0).Seconds()
+		e.recvAuxAxis(rs, a0)
+		for _, a := range e.axes[1:] {
+			e.postAuxSends(rs, a)
+			e.recvAuxAxis(rs, a)
+		}
+		t0 = time.Now()
+		rs.two.PhaseTwo(&rs.v, rs.aux, rs.nInt, rs.nOwn)
 		rs.stepSecs += time.Since(t0).Seconds()
 		return
 	}

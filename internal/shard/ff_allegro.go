@@ -9,7 +9,9 @@ import (
 )
 
 // allegroGrain is the fixed chunk size of both pool-parallel phases (small:
-// per-atom inference is much heavier than an LJ row sum).
+// per-atom inference is much heavier than an LJ row sum). It is also the
+// chunk width of the energy reduction replay in PhaseOneFinish, so the
+// energy bits do not depend on where phase one was split.
 const allegroGrain = 16
 
 // AllegroFF shards an Allegro-style neural force field with canonical-order
@@ -19,10 +21,13 @@ const allegroGrain = 16
 // read-only weights) and runs the engine's two-phase path:
 //
 //   - PhaseOne evaluates every owned atom i against its ascending-global-id
-//     neighbor row (allegro.Model.EvalAtom): the atomic energy E_i plus a
-//     fixed-width payload [gD_i | S_i] — the backpropagated descriptor
-//     cotangent and the vector-channel accumulators, exactly the
-//     center-atom inputs allegro.DescriptorSpec.PairGradTerm needs.
+//     neighbor row: the atomic energy E_i plus a fixed-width payload
+//     [gD_i | S_i] — the backpropagated descriptor cotangent and the
+//     vector-channel accumulators, exactly the center-atom inputs
+//     allegro.DescriptorSpec.PairGradTerm needs. Under the model's batched
+//     eval modes the MLP half runs as blocked GEMMs over gathered
+//     descriptor rows (allegro.Model.EvalBlock) instead of per-atom tapes;
+//     the float64 batched path is bitwise identical to the per-atom one.
 //   - The engine halo-exchanges the payloads (same three-axis pattern and
 //     ghost slots as positions), so every rank holds the payload of every
 //     atom its owned atoms interact with.
@@ -37,23 +42,36 @@ const allegroGrain = 16
 // are bitwise identical for every grid shape, per the package determinism
 // contract. (The PR 2 adapter reverse-exchanged rank-local force sums,
 // whose grouping necessarily depended on the decomposition.)
+//
+// AllegroFF also implements TwoPhaseSplitFF: per-atom energies are stored
+// in eAtom by PhaseOneRange and reduced by PhaseOneFinish in fixed
+// allegroGrain chunks over [0, NOwn), so the engine can evaluate boundary
+// atoms first and overlap the interior evaluation with the first payload
+// exchange axis without perturbing a single energy bit.
 type AllegroFF struct {
 	m  *allegro.Model
 	cs []float64
 
 	scratch *par.Scratch[allegroWS]
-	eChunk  []float64
+	// eAtom[i] is owned atom i's energy from the current phase one.
+	eAtom []float64
 
 	p1ctx struct {
-		v   *View
-		aux []float64
+		v    *View
+		aux  []float64
+		base int
 	}
 	p2ctx struct {
 		v    *View
 		aux  []float64
 		base int
 	}
-	phase1Fn, phase2Fn func(lo, hi, w int)
+	phase1Fn, phase2Fn, gatherFn func(lo, hi, w int)
+
+	// Batched-mode scratch: the gathered descriptor block of one
+	// PhaseOneRange call and the blocked-inference state.
+	bdesc []float64
+	be    allegro.BlockEval
 }
 
 type allegroWS struct {
@@ -81,25 +99,60 @@ func (a *AllegroFF) AuxLen() int {
 	return a.m.Spec.Dim() + a.m.Spec.NSpecies*a.m.Spec.NRadial*3
 }
 
-// PhaseOne implements TwoPhaseFF: per-owned-atom inference on the worker
-// pool, filling the payloads and the chunk-ordered energy partial.
+// PhaseOne implements TwoPhaseFF: the whole owned range in one sweep —
+// exactly PhaseOneRange over [0, NOwn) plus PhaseOneFinish.
 func (a *AllegroFF) PhaseOne(v *View, aux, partial []float64) {
+	a.PhaseOneRange(v, aux, 0, v.NOwn)
+	a.PhaseOneFinish(v, partial)
+}
+
+// PhaseOneRange implements TwoPhaseSplitFF: per-atom inference of owned
+// atoms [lo, hi), filling their aux payloads and eAtom energies. Under the
+// model's batched modes the descriptors are gathered on the pool (the S
+// accumulators land directly in the payload) and the MLPs run as blocked
+// GEMMs; per-atom results are identical either way, so the engine's
+// split point never shows in the trajectory.
+func (a *AllegroFF) PhaseOneRange(v *View, aux []float64, lo, hi int) {
 	if v.Cutoff < a.m.Spec.Cutoff {
 		panic(fmt.Sprintf("shard: engine cutoff %g is smaller than the Allegro model cutoff %g — the halo would miss interacting neighbors",
 			v.Cutoff, a.m.Spec.Cutoff))
 	}
-	n := v.NOwn
-	if n == 0 {
+	n := hi - lo
+	if n <= 0 {
 		return
 	}
-	nchunks := (n + allegroGrain - 1) / allegroGrain
-	a.eChunk = resizeF64(a.eChunk, nchunks)
+	a.eAtom = resizeF64(a.eAtom, v.NOwn)
+	a.ensureClosures()
 	a.p1ctx.v = v
 	a.p1ctx.aux = aux
-	a.ensureClosures()
-	par.For(n, allegroGrain, a.phase1Fn)
+	a.p1ctx.base = lo
+	if a.m.Mode == allegro.EvalPerAtom {
+		par.For(n, allegroGrain, a.phase1Fn)
+		return
+	}
+	dim := a.m.Spec.Dim()
+	w := a.AuxLen()
+	a.bdesc = resizeF64(a.bdesc, n*dim)
+	par.For(n, allegroGrain, a.gatherFn)
+	a.m.EvalBlock(a.m, v.Type, lo, n, a.bdesc, &a.be, a.eAtom[lo:hi:hi], aux[lo*w:], w)
+}
+
+// PhaseOneFinish implements TwoPhaseSplitFF: the energy reduction over all
+// owned atoms in fixed allegroGrain chunks — ascending atoms within a
+// chunk, ascending chunks — so the sum's bits are independent of how
+// PhaseOneRange calls covered [0, NOwn).
+func (a *AllegroFF) PhaseOneFinish(v *View, partial []float64) {
+	n := v.NOwn
 	var e float64
-	for _, c := range a.eChunk[:nchunks] {
+	for lo := 0; lo < n; lo += allegroGrain {
+		hi := lo + allegroGrain
+		if hi > n {
+			hi = n
+		}
+		var c float64
+		for i := lo; i < hi; i++ {
+			c += a.eAtom[i]
+		}
 		e += c
 	}
 	partial[0] += e
@@ -147,13 +200,23 @@ func (a *AllegroFF) ensureClosures() {
 	a.phase1Fn = func(lo, hi, worker int) {
 		v := a.p1ctx.v
 		aux := a.p1ctx.aux
+		base := a.p1ctx.base
 		ws := a.scratch.Get(worker)
-		var e float64
-		for i := lo; i < hi; i++ {
+		for i := base + lo; i < base+hi; i++ {
 			row := aux[i*w : (i+1)*w]
-			e += a.m.EvalAtom(v.Sys, i, v.NL.Row(i), a.cs, &ws.scr, row[:dim], row[dim:])
+			a.eAtom[i] = a.m.EvalAtom(v.Sys, i, v.NL.Row(i), a.cs, &ws.scr, row[:dim], row[dim:])
 		}
-		a.eChunk[lo/allegroGrain] = e
+	}
+	a.gatherFn = func(lo, hi, worker int) {
+		v := a.p1ctx.v
+		aux := a.p1ctx.aux
+		base := a.p1ctx.base
+		ws := a.scratch.Get(worker)
+		for i := base + lo; i < base+hi; i++ {
+			row := aux[i*w : (i+1)*w]
+			r := i - base
+			a.m.GatherAtom(v.Sys, i, v.NL.Row(i), a.cs, &ws.scr, a.bdesc[r*dim:(r+1)*dim], row[dim:])
+		}
 	}
 	a.phase2Fn = func(lo, hi, _ int) {
 		v := a.p2ctx.v
