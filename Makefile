@@ -3,10 +3,16 @@
 #   make check   - format check, vet, build, full test suite (including the
 #                  multi-process smoke: cmd/mlmd's TestMultiProcessSummary-
 #                  MatchesGolden runs a short `mlmd -procs 2` over the
-#                  Unix-socket rank transport against the golden summary,
-#                  skipping on platforms without Unix sockets), the race
-#                  detector over the pool-parallel and sharded packages,
-#                  the coverage floor, a short fuzz smoke, and the docs gate
+#                  Unix-socket rank transport against the golden summary, and
+#                  the auto-recovery smoke: TestAutoResumeRecoversFromKilled-
+#                  Worker SIGKILLs one of three -auto-resume workers and
+#                  requires the shrunken resume to reproduce the golden tail
+#                  bitwise — both skipping on platforms without Unix
+#                  sockets), the race detector over the pool-parallel and
+#                  sharded packages (the -short shard lane races the
+#                  RunRecovered shrink-and-resume driver too), the coverage
+#                  floor, a short fuzz smoke (FuzzReadHandshake covers the
+#                  generation-tagged wire handshake), and the docs gate
 #   make docs    - documentation gate: gofmt -l on the documented packages,
 #                  go vet ./..., and cmd/checkdoc (fails on exported
 #                  identifiers missing doc comments in shard/cluster/
@@ -33,6 +39,9 @@
 #   make bench7  - Allegro inference sweep: per-atom tapes vs blocked-GEMM
 #                  batching (bitwise identical) vs GEMMMixed float32, over a
 #                  block-size sweep, written to BENCH_PR7.json
+#   make bench8  - self-healing shrink-and-resume latency (detect to first
+#                  resumed step, one injected rank failure per trial) vs
+#                  checkpoint cadence, written to BENCH_PR8.json
 #   make tables  - the full paper-table benchmark suite at the repo root
 #
 # docs/benchmarks.md documents the bench workflow and the JSON schemas;
@@ -73,7 +82,7 @@ FUZZ_TIME   ?= 10s
 # Packages whose exported API must be fully doc-commented (`make docs`).
 DOC_PKGS = ./internal/shard ./internal/cluster ./internal/cluster/wire ./internal/par ./internal/allegro ./internal/nn
 
-.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 bench5 bench6 bench7 tables
+.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 bench5 bench6 bench7 bench8 tables
 
 check: fmt vet build test race cover fuzz docs
 
@@ -144,6 +153,9 @@ bench6:
 
 bench7:
 	$(GO) run ./cmd/bench-scaling -batched -shardjson > BENCH_PR7.json
+
+bench8:
+	$(GO) run ./cmd/bench-scaling -recover -shardjson > BENCH_PR8.json
 
 tables:
 	$(GO) test . -run '^$$' -bench . -benchmem

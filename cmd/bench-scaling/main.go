@@ -6,7 +6,8 @@
 // Usage:
 //
 //	bench-scaling [-table1] [-table2] [-fig4a] [-fig4b] [-fig5a] [-fig5b] [-legato]
-//	              [-shard | -grid | -hotspot | -procs | -fault [-shardjson] [-shardcells N] [-shardsteps N]]
+//	              [-shard | -grid | -hotspot | -procs | -fault | -recover
+//	               [-shardjson] [-shardcells N] [-shardsteps N]]
 //	              [-balance]
 //
 // With no flags, everything except -legato (which trains models and runs MD,
@@ -21,7 +22,9 @@
 // (see `make bench5`; the tool re-executes itself with the internal
 // -procworker flags to fork one OS process per rank); -fault -shardjson
 // writes the checkpoint-cost + unix-vs-tcp transport BENCH_PR6.json (see
-// `make bench6`). -balance turns dynamic
+// `make bench6`); -recover -shardjson writes the self-healing
+// shrink-and-resume latency sweep BENCH_PR8.json (see `make bench8`).
+// -balance turns dynamic
 // boundary balancing on in the -shard/-grid sweeps (the -hotspot sweep
 // always measures both modes).
 package main
@@ -49,6 +52,7 @@ func main() {
 	hotspotFlag := flag.Bool("hotspot", false, "Gaussian hot-spot static-vs-balanced load-balancing sweep (best of 5)")
 	procsFlag := flag.Bool("procs", false, "in-process vs multi-process transport sweep (forks one OS process per rank; best of 5) + transport ping-pong")
 	faultFlag := flag.Bool("fault", false, "checkpoint write cost + unix-vs-tcp multi-process transport sweep (forks one OS process per rank)")
+	recoverFlag := flag.Bool("recover", false, "self-healing shrink-and-resume latency vs checkpoint cadence (injects one rank failure per trial)")
 	batchedFlag := flag.Bool("batched", false, "Allegro per-atom vs blocked-GEMM vs mixed-precision inference sweep (best of 5)")
 	batchedAtoms := flag.Int("batchedatoms", 512, "atoms of the -batched inference gas")
 	batchedSteps := flag.Int("batchedsteps", 60, "MD steps per -batched trial")
@@ -74,13 +78,13 @@ func main() {
 		return
 	}
 	exclusive := 0
-	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag, *procsFlag, *faultFlag, *batchedFlag} {
+	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag, *procsFlag, *faultFlag, *recoverFlag, *batchedFlag} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid, -hotspot, -procs, -fault and -batched are mutually exclusive (each emits its own JSON document)")
+		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid, -hotspot, -procs, -fault, -recover and -batched are mutually exclusive (each emits its own JSON document)")
 		os.Exit(2)
 	}
 	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato && exclusive == 0
@@ -175,6 +179,14 @@ func main() {
 			os.Exit(1)
 		}
 		emit(bench.FaultCkptTable(ckpt, tcp), bench.FaultCkptDocument(ckpt, tcp), *shardJSON)
+	}
+	if *recoverFlag {
+		points, err := bench.RecoverCost(bench.RecoverGrid, *shardCells, *shardSteps, bench.RecoverCadences)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+			os.Exit(1)
+		}
+		emit(bench.RecoverTable(points), bench.RecoverDocument(points), *shardJSON)
 	}
 }
 

@@ -6,9 +6,10 @@
 // Usage:
 //
 //	mlmd [-mesh N] [-domains N] [-norb N] [-nqd N] [-mdsteps N] [-amp E0] [-photon eV]
-//	     [-cells N] [-ranks N | -grid PxxPyxPz] [-balance]
+//	     [-cells N] [-ranks N | -grid PxxPyxPz|auto] [-balance]
 //	     [-procs N [-transport unix|tcp]] [-hosts h0:p0,h1:p1,... -hostrank i]
 //	     [-peer-timeout d] [-checkpoint-every N [-checkpoint path]] [-resume path]
+//	     [-auto-resume [-max-restarts N]] [-gen G]
 //	     [-allegro-block off|on|N|mixed[:N]]
 //
 // -allegro-block sets the process-wide Allegro inference default (per-atom
@@ -27,18 +28,39 @@
 // endpoints (every host must be started with the identical list).
 //
 // With -checkpoint-every N the lattice stage writes a restartable snapshot
-// every N MD steps (atomically, to -checkpoint); -resume path continues an
-// interrupted run from its last snapshot — on any decomposition, with a
-// trajectory bitwise identical to the uninterrupted run.
+// every N MD steps (atomically, to -checkpoint, rotating the previous
+// snapshot to -checkpoint.prev); -resume path continues an interrupted run
+// from its last snapshot — on any decomposition, with a trajectory bitwise
+// identical to the uninterrupted run.
+//
+// With -auto-resume (requires -procs and -checkpoint-every) the launcher
+// supervises the run: when a worker crashes mid-run, the survivors' typed
+// rank-failure exits are reaped, the newest valid checkpoint (-checkpoint
+// or its .prev rotation) is discovered, and the run is re-launched at the
+// reduced rank count under an incremented mesh generation (-gen) with an
+// auto-selected grid shape (-grid auto) — no operator action, bounded by
+// -max-restarts. Generation tags are carried in the wire handshake and the
+// rendezvous file names, so stragglers of a torn-down mesh can neither be
+// dialed nor join the new one. -grid auto picks the feasible Px×Py×Pz with
+// the least per-rank halo surface and is available on any decomposed run.
+//
+// A multi-host (-hosts) run has no single supervisor; on a rank failure
+// each survivor prints a ready-to-run shrink-and-restart command line
+// (shrunken host list, next -gen, -resume) and exits nonzero, so an
+// external launcher — or the operator — can restart the survivors against
+// the newest checkpoint.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"os/exec"
 	"strconv"
+	"strings"
+	"time"
 
 	"mlmd/internal/allegro"
 	"mlmd/internal/cluster"
@@ -63,14 +85,35 @@ const (
 // regression test (unset in production).
 const failRankEnv = "MLMD_TEST_FAIL_RANK"
 
+// killRankEnv and killStepEnv are the crash-injection hook of the
+// auto-recovery tests: the worker hosting rank killRankEnv SIGKILLs itself
+// (no bye frame — exactly a crashed host) at the first summary/checkpoint
+// boundary at or past killStepEnv steps (both unset in production).
+const (
+	killRankEnv = "MLMD_TEST_KILL_RANK"
+	killStepEnv = "MLMD_TEST_KILL_STEP"
+)
+
+// latCutoff and latSkin are the lattice-stage decomposition parameters: the
+// soft-mode stencil reaches the neighbor cell's Ti, so the cutoff must
+// cover a lattice constant plus off-centering drift. Their sum is the halo
+// width every subdomain must clear.
+var (
+	latCutoff = 1.3 * ferro.LatticeConstant
+	latSkin   = 0.4 * ferro.LatticeConstant
+)
+
 // shardOpts is the resolved sharding configuration of the lattice stage.
 type shardOpts struct {
 	grid      [3]int // {0,0,0} = unsharded
 	balance   bool
-	procs     int           // > 0: multi-process run
-	transport string        // -procs socket family: "unix" or "tcp"
-	comm      *cluster.Comm // worker/hosts mode: the socket communicator
-	local     int           // worker/hosts mode: the hosted rank
+	procs     int                      // > 0: multi-process run
+	transport string                   // -procs socket family: "unix" or "tcp"
+	comm      *cluster.Comm            // worker/hosts mode: the socket communicator
+	local     int                      // worker/hosts mode: the hosted rank
+	gen       int                      // mesh generation tag of this launch
+	hostList  []string                 // -hosts mode: the rank endpoints
+	tr        *cluster.SocketTransport // worker/hosts mode: the raw transport (failure drain)
 }
 
 // ckptOpts is the resolved checkpoint/restart configuration.
@@ -90,7 +133,7 @@ func main() {
 	photon := flag.Float64("photon", 3.0, "photon energy (eV)")
 	latCells := flag.Int("cells", 12, "XS-NNQMD lattice cells per axis (xy)")
 	ranks := flag.Int("ranks", 0, "shard the XS-NNQMD stage across N in-process slab ranks (0 = unsharded)")
-	gridStr := flag.String("grid", "", "shard the XS-NNQMD stage across a PxxPyxPz domain grid, e.g. 2x2x1 (the demo lattice is 2 cells thick, so Pz must divide its thin axis with room for the halo)")
+	gridStr := flag.String("grid", "", "shard the XS-NNQMD stage across a PxxPyxPz domain grid, e.g. 2x2x1 (the demo lattice is 2 cells thick, so Pz must divide its thin axis with room for the halo); \"auto\" picks the feasible shape with the least per-rank halo surface for the -ranks/-procs/-hosts rank count")
 	balance := flag.Bool("balance", false, "with -ranks/-grid/-procs: dynamically rebalance the subdomain boundaries from per-rank step times (trajectory stays bitwise identical; a summary line reports the imbalance)")
 	procs := flag.Int("procs", 0, "run the sharded XS-NNQMD stage across N OS processes over the rank transport (alone: an Nx1x1 slab grid; with -grid: the grid's rank count must equal N)")
 	transport := flag.String("transport", "unix", "-procs socket family: unix (domain sockets) or tcp (loopback TCP with a rendezvous-directory port exchange); trajectories are bitwise identical either way")
@@ -101,6 +144,9 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "write a restartable snapshot of the lattice stage every N MD steps (0 = never)")
 	ckptPath := flag.String("checkpoint", "mlmd.ckpt", "checkpoint file path (written atomically by rank 0)")
 	resumePath := flag.String("resume", "", "resume the lattice stage from this checkpoint (skips the DC-MESH stage; any -grid/-procs decomposition works)")
+	autoResume := flag.Bool("auto-resume", false, "with -procs and -checkpoint-every: supervise the run — when a worker crashes, shrink to the survivors, re-select the grid, and resume from the newest valid checkpoint automatically")
+	maxRestarts := flag.Int("max-restarts", 3, "with -auto-resume: give up after this many automatic restarts (a crash-looping run must not spin forever)")
+	genFlag := flag.Int("gen", 0, "mesh generation tag carried in the rank-transport handshake and rendezvous file names (0 for a fresh launch; a shrink-and-resume relaunch must increment it so stragglers of the dead mesh are fenced out)")
 	worker := flag.Bool("worker", false, "internal: run as one rank worker of a -procs launch")
 	wrank := flag.Int("wrank", -1, "internal: worker rank of a -procs launch")
 	rdv := flag.String("rdv", "", "internal: rendezvous directory of the -procs socket transport")
@@ -113,14 +159,23 @@ func main() {
 		}
 		allegro.SetEvalDefaults(mode, block)
 	}
-	opts, err := resolveShard(*ranks, *gridStr, *balance, *procs, *transport, *hosts, *hostRank)
+	opts, err := resolveShard(*ranks, *gridStr, *balance, *procs, *transport, *hosts, *hostRank, *latCells)
 	if err != nil {
 		fail(err)
 	}
-	if opts.procs > 0 && !*worker {
-		os.Exit(launch(opts.procs))
+	opts.gen = *genFlag
+	if *autoResume {
+		if opts.procs == 0 {
+			fail(fmt.Errorf("-auto-resume requires -procs (a multi-host run prints a shrink-and-restart command instead; see -hosts)"))
+		}
+		if *ckptEvery <= 0 {
+			fail(fmt.Errorf("-auto-resume requires -checkpoint-every: without snapshots there is nothing to resume from"))
+		}
 	}
-	sockOpts := cluster.SocketOptions{PeerTimeout: *peerTimeout}
+	if opts.procs > 0 && !*worker {
+		os.Exit(launch(opts.procs, *autoResume, *maxRestarts, *ckptPath))
+	}
+	sockOpts := cluster.SocketOptions{PeerTimeout: *peerTimeout, Generation: *genFlag}
 	out := io.Writer(os.Stdout)
 	if *worker {
 		if *wrank < 0 || *wrank >= opts.procs || *rdv == "" {
@@ -146,6 +201,7 @@ func main() {
 		}
 		opts.comm = comm
 		opts.local = *wrank
+		opts.tr = tr
 		if *wrank != 0 {
 			out = io.Discard
 		}
@@ -165,6 +221,8 @@ func main() {
 		}
 		opts.comm = comm
 		opts.local = *hostRank
+		opts.tr = tr
+		opts.hostList = hostList
 		if *hostRank != 0 {
 			out = io.Discard
 		}
@@ -183,8 +241,9 @@ func main() {
 // resolveShard validates the sharding flags and resolves them into a grid
 // shape. Misuse that older versions silently ignored fails fast here:
 // -balance without a decomposition, -ranks combined with -grid, and
-// contradictory or incomplete multi-host flags.
-func resolveShard(ranks int, gridStr string, balance bool, procs int, transport, hosts string, hostRank int) (shardOpts, error) {
+// contradictory or incomplete multi-host flags. "-grid auto" resolves to
+// the AutoGrid shape for the run's rank count over the -cells lattice box.
+func resolveShard(ranks int, gridStr string, balance bool, procs int, transport, hosts string, hostRank, latCells int) (shardOpts, error) {
 	opts := shardOpts{balance: balance, procs: procs, transport: transport}
 	if ranks < 0 || procs < 0 {
 		return opts, fmt.Errorf("-ranks and -procs must be >= 0")
@@ -192,7 +251,7 @@ func resolveShard(ranks int, gridStr string, balance bool, procs int, transport,
 	if transport != "unix" && transport != "tcp" {
 		return opts, fmt.Errorf("-transport %q: use unix or tcp", transport)
 	}
-	if ranks > 0 && gridStr != "" {
+	if ranks > 0 && gridStr != "" && gridStr != "auto" {
 		return opts, fmt.Errorf("-ranks %d and -grid %s both name a decomposition: use one", ranks, gridStr)
 	}
 	if hosts != "" && procs > 0 {
@@ -212,6 +271,22 @@ func resolveShard(ranks int, gridStr string, balance bool, procs int, transport,
 		return opts, fmt.Errorf("-hostrank requires -hosts")
 	}
 	switch {
+	case gridStr == "auto":
+		n := procs
+		if n == 0 {
+			n = ranks
+		}
+		if n == 0 {
+			n = nHosts
+		}
+		if n == 0 {
+			return opts, fmt.Errorf("-grid auto needs a rank count: add -ranks, -procs or -hosts")
+		}
+		g, err := autoGridForLattice(n, latCells)
+		if err != nil {
+			return opts, err
+		}
+		opts.grid = g
 	case gridStr != "":
 		g, err := shard.ParseGrid(gridStr)
 		if err != nil {
@@ -245,12 +320,20 @@ func resolveShard(ranks int, gridStr string, balance bool, procs int, transport,
 
 // launch is the -procs parent: it forks one worker per rank with the
 // original arguments plus the internal worker flags, streams rank 0's
-// aggregated summary, and reaps the children. The first worker failure
-// kills the remaining workers immediately — every child is reaped and the
-// rendezvous directory removed before launch returns, so a botched start-up
-// (one rank crashing before the mesh forms) cannot orphan processes or
-// leak socket/address files.
-func launch(procs int) int {
+// aggregated summary, and reaps the children. Without -auto-resume the
+// first worker failure kills the remaining workers immediately — every
+// child is reaped and the rendezvous directory removed before launch
+// returns, so a botched start-up cannot orphan processes or leak
+// socket/address files.
+//
+// With -auto-resume launch is the self-healing supervisor: when a worker
+// generation ends with crashed (signal-killed) workers, it discovers the
+// newest valid checkpoint, shrinks the rank count by the crashed workers,
+// and re-launches the survivors with -resume, -grid auto and an
+// incremented -gen — so stragglers of the dead mesh can neither be dialed
+// (generation-tagged rendezvous names) nor join (handshake tag). The
+// restart budget -max-restarts bounds the loop.
+func launch(procs int, autoResume bool, maxRestarts int, ckptPath string) int {
 	exe, err := os.Executable()
 	if err != nil {
 		fail(err)
@@ -260,12 +343,55 @@ func launch(procs int) int {
 		fail(err)
 	}
 	defer os.RemoveAll(dir)
-	cmds := make([]*exec.Cmd, 0, procs)
-	done := make(chan workerExit, procs)
-	for r := 0; r < procs; r++ {
-		args := append(append([]string{}, os.Args[1:]...),
+	size, gen, restarts := procs, 0, 0
+	args := append([]string{}, os.Args[1:]...)
+	for {
+		killed, status := runWorkerGeneration(exe, dir, args, size, !autoResume)
+		if status == 0 || !autoResume {
+			return status
+		}
+		if killed == 0 {
+			fmt.Fprintln(os.Stderr, "mlmd: workers failed without a crash; an identical restart would fail the same way")
+			return status
+		}
+		if killed >= size {
+			fmt.Fprintln(os.Stderr, "mlmd: no surviving ranks to resume on")
+			return status
+		}
+		if restarts >= maxRestarts {
+			fmt.Fprintf(os.Stderr, "mlmd: restart budget %d exhausted\n", maxRestarts)
+			return status
+		}
+		path, _, err := mlmdio.NewestValidCheckpoint([]string{ckptPath, ckptPath + ".prev"})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlmd: cannot auto-resume: %v\n", err)
+			return status
+		}
+		restarts++
+		gen++
+		size -= killed
+		fmt.Fprintf(os.Stderr, "mlmd: restart %d/%d: resuming %d ranks from %s at generation %d\n",
+			restarts, maxRestarts, size, path, gen)
+		args = stripFlags(os.Args[1:], "-grid", "-ranks", "-procs", "-resume", "-gen")
+		args = append(args,
+			"-procs", strconv.Itoa(size), "-grid", "auto",
+			"-gen", strconv.Itoa(gen), "-resume", path)
+	}
+}
+
+// runWorkerGeneration forks and reaps one generation of size workers,
+// returning how many died to a signal (crashed, as opposed to exiting with
+// an error) and the generation's exit status. With failStop the first
+// failure takes the survivors down immediately; the supervisor instead
+// lets them exit on their own typed rank-failure (bounded: close detection
+// is immediate), so crashed and surviving workers stay distinguishable.
+func runWorkerGeneration(exe, dir string, args []string, size int, failStop bool) (killed, status int) {
+	cmds := make([]*exec.Cmd, 0, size)
+	done := make(chan workerExit, size)
+	for r := 0; r < size; r++ {
+		wargs := append(append([]string{}, args...),
 			"-worker", "-wrank", strconv.Itoa(r), "-rdv", dir)
-		cmd := exec.Command(exe, args...)
+		cmd := exec.Command(exe, wargs...)
 		cmd.Stderr = os.Stderr
 		if r == 0 {
 			cmd.Stdout = os.Stdout
@@ -273,31 +399,72 @@ func launch(procs int) int {
 		if err := cmd.Start(); err != nil {
 			fmt.Fprintf(os.Stderr, "mlmd: worker %d: %v\n", r, err)
 			killAndReap(cmds, done)
-			return 1
+			return 0, 1
 		}
 		cmds = append(cmds, cmd)
 		go func(rank int, cmd *exec.Cmd) { done <- workerExit{rank, cmd.Wait()} }(r, cmd)
 	}
-	status := 0
 	for range cmds {
 		e := <-done
 		if e.err == nil {
 			continue
 		}
 		fmt.Fprintf(os.Stderr, "mlmd: worker %d: %v\n", e.rank, e.err)
+		var ee *exec.ExitError
+		if errors.As(e.err, &ee) && ee.ProcessState.ExitCode() == -1 {
+			killed++
+		}
 		if status == 0 {
 			status = 1
-			// Fail-stop: one lost rank already dooms the run, so take the
-			// survivors down now instead of letting them block on a mesh
-			// that can never complete.
-			for _, c := range cmds {
-				if c.Process != nil {
-					c.Process.Kill()
+			if failStop {
+				// Fail-stop: one lost rank already dooms the run, so take
+				// the survivors down now instead of letting them block on a
+				// mesh that can never complete.
+				for _, c := range cmds {
+					if c.Process != nil {
+						c.Process.Kill()
+					}
 				}
 			}
 		}
 	}
-	return status
+	return killed, status
+}
+
+// stripFlags removes the named value-taking flags and their arguments from
+// args, accepting the "-name value", "-name=value" and "--name" spellings —
+// the supervisor uses it to rewrite a generation's decomposition flags.
+func stripFlags(args []string, names ...string) []string {
+	drop := make(map[string]bool, len(names))
+	for _, n := range names {
+		drop[strings.TrimLeft(n, "-")] = true
+	}
+	out := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, hasValue := a, false
+		if j := strings.IndexByte(a, '='); j >= 0 {
+			name, hasValue = a[:j], true
+		}
+		if strings.HasPrefix(name, "-") && drop[strings.TrimLeft(name, "-")] {
+			if !hasValue && i+1 < len(args) {
+				i++ // skip the separate value
+			}
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// autoGridForLattice resolves "-grid auto": the AutoGrid shape for ranks
+// over the -cells demo lattice box with the lattice-stage halo.
+func autoGridForLattice(ranks, cells int) ([3]int, error) {
+	sys, _, err := ferro.NewLattice(cells, cells, 2)
+	if err != nil {
+		return [3]int{}, err
+	}
+	return shard.AutoGrid(ranks, [3]float64{sys.Lx, sys.Ly, sys.Lz}, latCutoff+latSkin)
 }
 
 // workerExit pairs a finished -procs worker with its exit error.
@@ -390,17 +557,27 @@ func run(out io.Writer, mesh, domains, norb, nqd, mdsteps int, amp, photon float
 		if err != nil {
 			fail(err)
 		}
-		// Halo: the soft-mode stencil reaches the neighbor cell's Ti, so
-		// cutoff must cover a lattice constant plus off-centering drift.
-		eng, err = shard.NewEngine(shard.Config{
+		cfg := shard.Config{
 			Grid:      opts.grid,
-			Cutoff:    1.3 * ferro.LatticeConstant,
-			Skin:      0.4 * ferro.LatticeConstant,
+			Cutoff:    latCutoff,
+			Skin:      latSkin,
 			NewFF:     newFF,
 			Balance:   opts.balance,
 			Comm:      opts.comm,
 			LocalRank: opts.local,
-		}, sys)
+		}
+		// A resume restores the checkpoint's cut planes when the shape
+		// matches; a shrunken shape seeds them from the persisted load
+		// profile instead, so heavy regions start narrow (empty = uniform).
+		if cp := ck.resume; cp != nil {
+			if cp.Grid == opts.grid {
+				cfg.Cuts = cp.Cuts
+			} else if cp.Grid != ([3]int{}) {
+				box := [3]float64{sys.Lx, sys.Ly, sys.Lz}
+				cfg.Cuts = shard.SeedCuts(opts.grid, box, latCutoff+latSkin, cp.Grid, cp.Cuts, cp.Loads)
+			}
+		}
+		eng, err = shard.NewEngine(cfg, sys)
 		if err != nil {
 			fail(err)
 		}
@@ -445,6 +622,7 @@ func run(out io.Writer, mesh, domains, norb, nqd, mdsteps int, amp, photon float
 		stepsDone = next
 		if eng != nil {
 			if err := eng.Err(); err != nil {
+				adviseSurvivors(opts, err)
 				fail(err)
 			}
 		}
@@ -462,11 +640,20 @@ func run(out io.Writer, mesh, domains, norb, nqd, mdsteps int, amp, photon float
 				for a := 0; a < 3; a++ {
 					cp.Cuts[a] = eng.CutPlanes(a)
 				}
+				cp.Loads = eng.LoadProfile()
+			}
+			// Rotate before writing: a crash mid-run always leaves at least
+			// one intact snapshot for auto-resume discovery to find.
+			if _, err := os.Stat(ck.path); err == nil {
+				if err := os.Rename(ck.path, ck.path+".prev"); err != nil {
+					fail(err)
+				}
 			}
 			if err := mlmdio.WriteCheckpointFile(ck.path, cp); err != nil {
 				fail(err)
 			}
 		}
+		maybeTestKill(opts, stepsDone)
 	}
 	if eng != nil && opts.balance {
 		// Timing-dependent, so outside the golden summary (the trajectory
@@ -483,6 +670,60 @@ func run(out io.Writer, mesh, domains, norb, nqd, mdsteps int, amp, photon float
 		}
 	}
 	fmt.Fprintln(out, "\ndone.")
+}
+
+// adviseSurvivors is the multi-host survivor behavior: a -hosts run has no
+// supervising launcher, so on a rank failure each survivor prints a
+// ready-to-run shrink-and-restart command — the surviving endpoint list,
+// this host's new rank, the next mesh generation, and where to resume —
+// then exits through fail. A brief drain first lets near-simultaneous
+// failures all land in the shrunken list.
+func adviseSurvivors(opts shardOpts, err error) {
+	var rf *cluster.RankFailedError
+	if !errors.As(err, &rf) || len(opts.hostList) == 0 || opts.tr == nil {
+		return
+	}
+	time.Sleep(100 * time.Millisecond)
+	lost := map[int]bool{rf.Rank: true}
+	for _, r := range opts.tr.FailedRanks() {
+		lost[r] = true
+	}
+	surv := make([]string, 0, len(opts.hostList))
+	newRank := -1
+	for i, h := range opts.hostList {
+		if lost[i] {
+			continue
+		}
+		if i == opts.local {
+			newRank = len(surv)
+		}
+		surv = append(surv, h)
+	}
+	if newRank < 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"mlmd: to resume on the %d survivors, run on this host:\n  mlmd -hosts %s -hostrank %d -gen %d -grid auto -resume <newest of -checkpoint/.prev> <original flags>\n",
+		len(surv), strings.Join(surv, ","), newRank, opts.gen+1)
+}
+
+// maybeTestKill is the crash-injection hook of the auto-recovery tests
+// (killRankEnv/killStepEnv): the named rank SIGKILLs itself at the first
+// chunk boundary at or past the named step — no bye frame, no deferred
+// teardown, exactly a crashed host. A no-op in production (envs unset).
+func maybeTestKill(opts shardOpts, stepsDone int) {
+	rankEnv, stepEnv := os.Getenv(killRankEnv), os.Getenv(killStepEnv)
+	if rankEnv == "" || stepEnv == "" || opts.comm == nil {
+		return
+	}
+	rank, err1 := strconv.Atoi(rankEnv)
+	step, err2 := strconv.Atoi(stepEnv)
+	if err1 != nil || err2 != nil || rank != opts.local || stepsDone < step {
+		return
+	}
+	if p, err := os.FindProcess(os.Getpid()); err == nil {
+		p.Kill()
+	}
 }
 
 func fail(err error) {

@@ -68,6 +68,9 @@ func TestFlagMisuseFailsFast(t *testing.T) {
 		{[]string{"-procs", "3", "-ranks", "2"}, "does not match"},
 		{[]string{"-ranks", "-1"}, "must be >= 0"},
 		{[]string{"-grid", "2x2"}, "not of the form"},
+		{[]string{"-auto-resume"}, "-auto-resume requires -procs"},
+		{[]string{"-auto-resume", "-procs", "2"}, "-auto-resume requires -checkpoint-every"},
+		{[]string{"-grid", "auto"}, "-grid auto needs a rank count"},
 	}
 	for _, tc := range cases {
 		out, err := exec.Command(exe, tc.args...).CombinedOutput()
@@ -300,6 +303,85 @@ func TestLauncherCleansUpOnWorkerFailure(t *testing.T) {
 	for _, e := range entries {
 		if strings.HasPrefix(e.Name(), "mlmd-rdv") {
 			t.Errorf("rendezvous directory %s leaked after the failed launch", e.Name())
+		}
+	}
+}
+
+// TestAutoResumeRecoversFromKilledWorker (ISSUE 8 tentpole, end to end):
+// SIGKILL one of three -auto-resume workers mid-run. The launcher must reap
+// the crash, shrink to the two survivors, auto-select their grid, and
+// resume from the newest checkpoint at the next mesh generation — exiting
+// zero with a summary tail bitwise identical to an uninterrupted run.
+func TestAutoResumeRecoversFromKilledWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	if !haveUnixSockets(t) {
+		t.Skip("no Unix-domain socket support on this platform")
+	}
+	exe := buildMLMD(t)
+	ref := runMLMD(t, exe, smallArgs...)
+	cut := strings.LastIndex(ref, "t = ")
+	if cut < 0 {
+		t.Fatalf("reference output has no lattice summary lines:\n%s", ref)
+	}
+	tail := ref[cut:]
+
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	cmd := exec.Command(exe, append(append([]string{}, smallArgs...),
+		"-procs", "3", "-auto-resume",
+		"-checkpoint-every", "60", "-checkpoint", ckpt)...)
+	cmd.Env = append(os.Environ(),
+		"MLMD_TEST_KILL_RANK=2",
+		"MLMD_TEST_KILL_STEP=120",
+	)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("auto-resume run failed: %v\n%s", err, out)
+	}
+	got := string(out)
+	if !strings.Contains(got, "restart 1/") {
+		t.Errorf("launcher did not announce the automatic restart:\n%s", got)
+	}
+	if !strings.Contains(got, "resuming 2 ranks") {
+		t.Errorf("launcher did not shrink to the 2 survivors:\n%s", got)
+	}
+	if !strings.Contains(got, "generation 1") {
+		t.Errorf("launcher did not advance the mesh generation:\n%s", got)
+	}
+	if !strings.HasSuffix(stripShardNote(got), tail) {
+		t.Errorf("recovered tail differs from the uninterrupted run\n--- recovered ---\n%s\n--- want tail ---\n%s", got, tail)
+	}
+}
+
+// TestAutoResumeHonorsRestartBudget (ISSUE 8 satellite): a worker that
+// crashes every generation must not restart forever — the launcher spends
+// exactly -max-restarts attempts, names the exhausted budget, and exits
+// nonzero.
+func TestAutoResumeHonorsRestartBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	if !haveUnixSockets(t) {
+		t.Skip("no Unix-domain socket support on this platform")
+	}
+	exe := buildMLMD(t)
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	cmd := exec.Command(exe, append(append([]string{}, smallArgs...),
+		"-procs", "4", "-auto-resume", "-max-restarts", "2",
+		"-checkpoint-every", "60", "-checkpoint", ckpt)...)
+	cmd.Env = append(os.Environ(),
+		"MLMD_TEST_KILL_RANK=0",
+		"MLMD_TEST_KILL_STEP=60",
+	)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("crash-looping run exited 0:\n%s", out)
+	}
+	got := string(out)
+	for _, want := range []string{"restart 1/2", "restart 2/2", "restart budget 2 exhausted"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output does not contain %q:\n%s", want, got)
 		}
 	}
 }

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mlmd/internal/cluster/wire"
+)
+
+// TestGenerationMismatchRejected (ISSUE 8 tentpole): a straggler process of
+// a torn-down mesh generation that dials a survivor's rebuilt listener must
+// be rejected at the handshake — its Gen tag names the dead generation.
+func TestGenerationMismatchRejected(t *testing.T) {
+	dir := skipWithoutUnixSockets(t)
+	errCh := make(chan error, 1)
+	go func() {
+		tr, err := NewSocketTransportOpts(dir, 0, 2, [3]int{2, 1, 1},
+			SocketOptions{Generation: 1, DialTimeout: 5 * time.Second})
+		if err == nil {
+			tr.Close()
+		}
+		errCh <- err
+	}()
+	var conn net.Conn
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var err error
+		conn, err = net.Dial("unix", socketAddrGen(dir, 0, 1))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial rank 0: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	defer conn.Close()
+	// The straggler presents a matching rank/size/grid but the dead
+	// generation 0 — only the Gen tag can tell it apart.
+	if err := wire.NewWriter(conn).WriteHandshake(wire.Handshake{Rank: 1, Size: 2, Grid: [3]int{2, 1, 1}}); err != nil {
+		t.Fatalf("straggler handshake send: %v", err)
+	}
+	err := <-errCh
+	if err == nil {
+		t.Fatal("generation-0 straggler joined a generation-1 mesh")
+	}
+	if !strings.Contains(err.Error(), "generation") {
+		t.Errorf("rejection %v does not name the generation mismatch", err)
+	}
+}
+
+// TestGenerationTagsRendezvousPaths (ISSUE 8 satellite): a rebuilt mesh in
+// a reused rendezvous directory must ignore stale published addresses of
+// the dead generation. Garbage files squatting on every legacy name prove
+// generation >= 1 never touches them.
+func TestGenerationTagsRendezvousPaths(t *testing.T) {
+	dir := skipWithoutUnixSockets(t)
+	for r := 0; r < 2; r++ {
+		// Stale gen-0 leftovers: plain files, so dialing one would fail.
+		if err := os.WriteFile(SocketAddr(dir, r), []byte("stale"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	trs := make([]*SocketTransport, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			trs[rank], errs[rank] = NewSocketTransportOpts(dir, rank, 2, [3]int{2, 1, 1},
+				SocketOptions{Generation: 3, DialTimeout: 5 * time.Second})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d could not rebuild around stale gen-0 files: %v", r, err)
+		}
+	}
+	defer func() {
+		for _, tr := range trs {
+			tr.Close()
+		}
+	}()
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() { defer wg2.Done(); trs[0].Send(0, 1, []float64{4.25}, 1) }()
+	got, _ := trs[1].Recv(1, 0, nil)
+	wg2.Wait()
+	if len(got) != 1 || got[0] != 4.25 {
+		t.Fatalf("rebuilt mesh exchange got %v", got)
+	}
+}
+
+// TestMultiFailureLatchIdempotent (ISSUE 8 satellite): when two ranks die in
+// the same window, each survivor keeps reporting one consistent culprit
+// (the first failure it latched) across repeated operations, and
+// FailedRanks eventually records BOTH lost ranks so a recovery driver can
+// shrink past them in one step.
+func TestMultiFailureLatchIdempotent(t *testing.T) {
+	dir := skipWithoutUnixSockets(t)
+	trs := startSocketMesh(t, dir, 4, [3]int{4, 1, 1})
+
+	var die sync.WaitGroup
+	for _, victim := range []int{1, 2} {
+		die.Add(1)
+		go func(v int) { defer die.Done(); trs[v].Abort() }(victim)
+	}
+	die.Wait()
+
+	clock := func(w float64, n int) float64 { return w }
+	for _, survivor := range []int{0, 3} {
+		first := recvFailure(t, func() { trs[survivor].Barrier(survivor, 0, clock) })
+		if first.Rank != 1 && first.Rank != 2 {
+			t.Fatalf("survivor %d blamed rank %d, want 1 or 2", survivor, first.Rank)
+		}
+		for i := 0; i < 3; i++ {
+			again := recvFailure(t, func() { trs[survivor].Barrier(survivor, 0, clock) })
+			if again.Rank != first.Rank {
+				t.Errorf("survivor %d changed its story: blamed rank %d then rank %d",
+					survivor, first.Rank, again.Rank)
+			}
+		}
+	}
+	for _, survivor := range []int{0, 3} {
+		deadline := time.Now().Add(failureDeadline)
+		for {
+			failed := trs[survivor].FailedRanks()
+			if len(failed) == 2 && failed[0] == 1 && failed[1] == 2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("survivor %d FailedRanks = %v, want [1 2]", survivor, failed)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestCloseDuringFailureLeavesNoGoroutines (ISSUE 8 satellite): closing
+// survivors immediately after a peer death — while heartbeat blame
+// goroutines and grace-period waits are still in flight — must not leak a
+// single transport goroutine. Before PR 8 the heartbeat's failed-ping path
+// spawned an untracked goroutine that outlived Close by up to the grace
+// period.
+func TestCloseDuringFailureLeavesNoGoroutines(t *testing.T) {
+	dir := skipWithoutUnixSockets(t)
+	before := runtime.NumGoroutine()
+	func() {
+		trs := make([]*SocketTransport, 3)
+		errs := make([]error, 3)
+		var wg sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				trs[rank], errs[rank] = NewSocketTransportOpts(dir, rank, 3, [3]int{3, 1, 1},
+					SocketOptions{PeerTimeout: 10 * time.Second})
+			}(r)
+		}
+		wg.Wait()
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("rank %d: %v", r, err)
+			}
+		}
+		trs[1].Abort()
+		// No drain, no grace: close the survivors while their read loops are
+		// first observing the death. The 10 s PeerTimeout makes any
+		// still-grace-waiting blame goroutine a guaranteed leak unless Close
+		// cuts the wait short and joins it.
+		trs[0].Close()
+		trs[2].Close()
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutines leaked across failure-during-close: %d before, %d after\n%s",
+			before, after, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestCloseWithFullInboxDoesNotDeadlock (ISSUE 8 satellite): a rank whose
+// peer inbox is full (sender raced far ahead, receiver never drained) must
+// still close promptly — the read loop parked on the inbox send has to
+// observe teardown instead of holding Close's WaitGroup forever.
+func TestCloseWithFullInboxDoesNotDeadlock(t *testing.T) {
+	dir := skipWithoutUnixSockets(t)
+	trs := startSocketMesh(t, dir, 2, [3]int{2, 1, 1})
+	// Small frames: all of them fit in the kernel socket buffer, so every
+	// Send completes even though rank 1 never receives — the overflow past
+	// the inbox depth parks rank 1's read loop on the inbox send.
+	payload := []float64{1, 2, 3, 4}
+	for i := 0; i < 2*socketInboxDepth; i++ {
+		trs[0].Send(0, 1, payload, 0)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(trs[1].inbox[0]) < socketInboxDepth && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { trs[1].Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(failureDeadline):
+		t.Fatal("Close deadlocked behind a full inbox")
+	}
+	trs[0].Close()
+}

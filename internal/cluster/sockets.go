@@ -7,6 +7,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +53,13 @@ type SocketOptions struct {
 	// and deadlines; a killed peer is still detected instantly through the
 	// connection close.
 	PeerTimeout time.Duration
+	// Generation is the mesh generation tag carried in the wire handshake
+	// and, for rendezvous-based transports, in the published address names.
+	// A fresh launch is generation 0; every automatic shrink-and-resume
+	// after a rank failure increments it, so a straggler process of the
+	// dead mesh can neither be dialed (its published address carries the
+	// old generation) nor join (its handshake is rejected).
+	Generation int
 }
 
 // dial returns the effective dial/handshake timeout.
@@ -71,6 +79,16 @@ func (o SocketOptions) dial() time.Duration {
 // rendezvous directory (shared between the launcher and its workers).
 func SocketAddr(dir string, rank int) string {
 	return filepath.Join(dir, fmt.Sprintf("r%d.sock", rank))
+}
+
+// socketAddrGen is SocketAddr for a specific mesh generation: generation 0
+// keeps the legacy name, later generations are tagged so a rebuilt mesh
+// never dials (or accepts a dial meant for) a socket of the dead one.
+func socketAddrGen(dir string, rank, gen int) string {
+	if gen == 0 {
+		return SocketAddr(dir, rank)
+	}
+	return filepath.Join(dir, fmt.Sprintf("g%d.r%d.sock", gen, rank))
 }
 
 // sockMsg is one received frame queued for Recv.
@@ -131,12 +149,18 @@ type SocketTransport struct {
 	closed     atomic.Bool
 	readErr    sync.Map // src rank -> error
 	// failure latch: the first peer failure stores the typed error and
-	// closes failedCh, waking every blocked recv on this process.
-	failOnce sync.Once
-	failed   atomic.Pointer[RankFailedError]
-	failedCh chan struct{}
-	hbStop   chan struct{}
-	wg       sync.WaitGroup
+	// closes failedCh, waking every blocked recv on this process. failMu
+	// guards failedRanks, the cumulative set of ranks this process has
+	// blamed — concurrent and duplicate reports are idempotent, every
+	// report after the first reuses the latched error (so one survivor
+	// never names two different culprits), and FailedRanks exposes the
+	// whole set so a recovery driver shrinks past every lost rank.
+	failMu      sync.Mutex
+	failedRanks map[int]error
+	failed      atomic.Pointer[RankFailedError]
+	failedCh    chan struct{}
+	stop        chan struct{}
+	wg          sync.WaitGroup
 }
 
 // NewSocketTransport connects rank (of size ranks arranged on grid) to its
@@ -150,8 +174,8 @@ func NewSocketTransport(dir string, rank, size int, grid [3]int) (*SocketTranspo
 // NewSocketTransportOpts is NewSocketTransport with explicit
 // failure-detection options.
 func NewSocketTransportOpts(dir string, rank, size int, grid [3]int, opts SocketOptions) (*SocketTransport, error) {
-	addr := func(j int) (string, error) { return SocketAddr(dir, j), nil }
-	return newSocketTransport("unix", SocketAddr(dir, rank), nil, addr, rank, size, grid, opts)
+	addr := func(j int) (string, error) { return socketAddrGen(dir, j, opts.Generation), nil }
+	return newSocketTransport("unix", socketAddrGen(dir, rank, opts.Generation), nil, addr, rank, size, grid, opts)
 }
 
 // newSocketTransport builds the mesh over the given network ("unix" or
@@ -168,7 +192,7 @@ func newSocketTransport(network, listenAddr string, publish func(net.Listener) e
 		rank: rank, size: size, grid: grid,
 		network: network, opts: opts,
 		failedCh: make(chan struct{}),
-		hbStop:   make(chan struct{}),
+		stop:     make(chan struct{}),
 	}
 	t.peers = make([]*sockPeer, size)
 	t.inbox = make([]chan sockMsg, size)
@@ -218,12 +242,16 @@ func newSocketTransport(network, listenAddr string, publish func(net.Listener) e
 
 // handshake returns this transport's identity frame.
 func (t *SocketTransport) handshake() wire.Handshake {
-	return wire.Handshake{Rank: t.rank, Size: t.size, Grid: t.grid}
+	return wire.Handshake{Rank: t.rank, Size: t.size, Grid: t.grid, Gen: t.opts.Generation}
 }
 
 // checkPeer validates a received handshake against this transport's view of
 // the run.
 func (t *SocketTransport) checkPeer(h wire.Handshake) error {
+	if h.Gen != t.opts.Generation {
+		return fmt.Errorf("cluster: peer handshake generation %d, want %d (straggler of a torn-down mesh)",
+			h.Gen, t.opts.Generation)
+	}
 	if h.Size != t.size || h.Grid != t.grid {
 		return fmt.Errorf("cluster: peer handshake size %d grid %v, want size %d grid %v",
 			h.Size, h.Grid, t.size, t.grid)
@@ -329,15 +357,41 @@ func (t *SocketTransport) dialPeers(peerAddr func(int) (string, error)) error {
 	return nil
 }
 
-// peerFailed latches the first observed peer failure and wakes every
-// blocked recv. Later failures keep the first error (fail-stop: one lost
-// rank already dooms the job, and naming the first keeps every survivor's
-// report consistent).
+// peerFailed latches an observed peer failure and wakes every blocked recv.
+// The first report stores the transport-wide error; later reports (for the
+// same or a different rank) keep the first error — fail-stop: one lost rank
+// already dooms the mesh generation, and naming the first latched rank keeps
+// every report from this survivor consistent even when several ranks die in
+// the same window. Every reported rank is recorded in failedRanks so the
+// recovery driver can shrink past all of them at once.
 func (t *SocketTransport) peerFailed(rank int, err error) {
-	t.failOnce.Do(func() {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	if t.failedRanks == nil {
+		t.failedRanks = make(map[int]error)
+	}
+	if _, dup := t.failedRanks[rank]; !dup {
+		t.failedRanks[rank] = err
+	}
+	if t.failed.Load() == nil {
 		t.failed.Store(&RankFailedError{Rank: rank, Err: err})
 		close(t.failedCh)
-	})
+	}
+}
+
+// FailedRanks returns the sorted set of ranks this transport has latched as
+// failed (empty while the mesh is healthy). After a *RankFailedError, a
+// recovery driver uses it to exclude every lost rank from the rebuilt mesh,
+// not only the first one the error names.
+func (t *SocketTransport) FailedRanks() []int {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	ranks := make([]int, 0, len(t.failedRanks))
+	for r := range t.failedRanks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
 }
 
 // lostRank builds the typed panic value for a rank whose connection died.
@@ -378,6 +432,9 @@ func (t *SocketTransport) grace() time.Duration {
 func (t *SocketTransport) sendFailed(dst int, err error) *RankFailedError {
 	select {
 	case <-t.failedCh:
+	case <-t.stop:
+		// Teardown in flight: don't park a blame decision (and the Close
+		// that waits for it) behind the full grace period.
 	case <-time.After(t.grace()):
 	}
 	t.peerFailed(dst, err)
@@ -392,6 +449,7 @@ func (t *SocketTransport) recvClosed(src int) *RankFailedError {
 	if t.peerLeft(src) {
 		select {
 		case <-t.failedCh:
+		case <-t.stop:
 		case <-time.After(t.grace()):
 		}
 		if f := t.failed.Load(); f != nil {
@@ -414,7 +472,7 @@ func (t *SocketTransport) heartbeat() {
 	defer tick.Stop()
 	for {
 		select {
-		case <-t.hbStop:
+		case <-t.stop:
 			return
 		case <-tick.C:
 		}
@@ -429,7 +487,14 @@ func (t *SocketTransport) heartbeat() {
 			if err != nil && !t.closed.Load() && !t.peerLeft(dst) {
 				// Same grace as send: don't let a ping's broken pipe blame a
 				// peer whose bye (or whose killer's EOF) is still in flight.
-				go t.sendFailed(dst, fmt.Errorf("heartbeat: %w", err))
+				// The blame goroutine joins the WaitGroup (Add is safe here:
+				// the heartbeat goroutine itself still holds a count), so a
+				// concurrent Close drains it instead of leaking it.
+				t.wg.Add(1)
+				go func(dst int, err error) {
+					defer t.wg.Done()
+					t.sendFailed(dst, err)
+				}(dst, fmt.Errorf("heartbeat: %w", err))
 			}
 		}
 	}
@@ -473,7 +538,14 @@ func (t *SocketTransport) readLoop(src int, p *sockPeer) {
 			}
 			return
 		}
-		t.inbox[src] <- sockMsg{data: data, time: clock}
+		select {
+		case t.inbox[src] <- sockMsg{data: data, time: clock}:
+		case <-t.stop:
+			// Nobody will drain a full inbox once teardown starts; bailing
+			// out here keeps Close's wg.Wait from deadlocking on this loop.
+			t.pool.put(data)
+			return
+		}
 	}
 }
 
@@ -757,7 +829,7 @@ func (t *SocketTransport) shutdown(bye bool) error {
 	if t.closed.Swap(true) {
 		return nil
 	}
-	close(t.hbStop)
+	close(t.stop)
 	if bye {
 		for _, p := range t.peers {
 			if p != nil {

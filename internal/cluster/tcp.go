@@ -27,9 +27,15 @@ import (
 )
 
 // tcpAddrFile is the rendezvous file rank publishes its bound TCP address
-// in (under the shared rendezvous directory).
-func tcpAddrFile(dir string, rank int) string {
-	return filepath.Join(dir, fmt.Sprintf("addr.%d", rank))
+// in (under the shared rendezvous directory). Generation 0 keeps the legacy
+// addr.<rank> name; rebuilt meshes publish g<gen>.addr.<rank>, so survivors
+// of a shrink-and-resume never dial a stale address left by the dead
+// generation (the launcher reuses one rendezvous directory across restarts).
+func tcpAddrFile(dir string, rank, gen int) string {
+	if gen == 0 {
+		return filepath.Join(dir, fmt.Sprintf("addr.%d", rank))
+	}
+	return filepath.Join(dir, fmt.Sprintf("g%d.addr.%d", gen, rank))
 }
 
 // NewTCPTransport connects rank (of size ranks arranged on grid) to its
@@ -83,10 +89,10 @@ func ParseHostList(s string) ([]string, error) {
 // poll lower ranks' files until they appear (bounded by the dial timeout).
 func NewTCPRendezvousTransport(dir string, rank, size int, grid [3]int, opts SocketOptions) (*SocketTransport, error) {
 	publish := func(ln net.Listener) error {
-		return writeFileAtomic(tcpAddrFile(dir, rank), []byte(ln.Addr().String()))
+		return writeFileAtomic(tcpAddrFile(dir, rank, opts.Generation), []byte(ln.Addr().String()))
 	}
 	addr := func(j int) (string, error) {
-		b, err := os.ReadFile(tcpAddrFile(dir, j))
+		b, err := os.ReadFile(tcpAddrFile(dir, j, opts.Generation))
 		if err != nil {
 			return "", err // not published yet: dialPeers retries until its deadline
 		}

@@ -244,7 +244,7 @@ func TestHandshakeStallFailsFast(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer ln.Close()
-	if err := writeFileAtomic(tcpAddrFile(dir, 0), []byte(ln.Addr().String())); err != nil {
+	if err := writeFileAtomic(tcpAddrFile(dir, 0, 0), []byte(ln.Addr().String())); err != nil {
 		t.Fatal(err)
 	}
 	go func() {

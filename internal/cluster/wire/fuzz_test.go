@@ -57,7 +57,11 @@ func FuzzReadHandshake(f *testing.F) {
 	var seedBuf bytes.Buffer
 	NewWriter(&seedBuf).WriteHandshake(Handshake{Rank: 1, Size: 4, Grid: [3]int{2, 2, 1}})
 	f.Add(seedBuf.Bytes())
-	f.Add([]byte{14, 0, 0, 0, 0, 0x4d, 0x4c, 0x35, 0x01})
+	var genBuf bytes.Buffer
+	NewWriter(&genBuf).WriteHandshake(Handshake{Rank: 0, Size: 3, Grid: [3]int{3, 1, 1}, Gen: 7})
+	f.Add(genBuf.Bytes())
+	f.Add([]byte{14, 0, 0, 0, 0, 0x4d, 0x4c, 0x35, 0x01}) // version-1 body length: must be rejected
+	f.Add([]byte{18, 0, 0, 0, 0, 0x4d, 0x4c, 0x35, 0x01, 2, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, err := NewReader(bytes.NewReader(data)).ReadHandshake()
 		if err != nil {

@@ -7,7 +7,7 @@
 //
 //	frame     = u32 bodyLen | u8 kind | body
 //	handshake = u32 magic | u16 version | u16 rank | u16 size
-//	            | u16 gx | u16 gy | u16 gz            (kind 0, bodyLen 16)
+//	            | u16 gx | u16 gy | u16 gz | u16 gen  (kind 0, bodyLen 18)
 //	data      = f64 clock | f64 × n                   (kind 1, bodyLen 8+8n)
 //	ping      = (empty)                               (kind 2, bodyLen 0)
 //	bye       = (empty)                               (kind 3, bodyLen 0)
@@ -50,7 +50,10 @@ const Magic = 0x01354c4d
 
 // Version is the current frame-format version; handshakes carrying any
 // other version are rejected (both sides must speak the same codec).
-const Version = 1
+// Version 2 added the mesh-generation field (shrink-and-resume: survivors
+// of a failed mesh re-rendezvous under generation g+1, and the tag lets
+// them reject stragglers still speaking for the dead generation).
+const Version = 2
 
 // MaxBody caps a frame's body length (bytes); larger prefixes are corrupt
 // by definition and rejected before any allocation.
@@ -75,8 +78,8 @@ var ErrBye = errors.New("wire: peer said goodbye")
 const headerLen = 5
 
 // handshakeBody is the fixed handshake body length: u32 magic + u16 ×
-// (version, rank, size, gx, gy, gz).
-const handshakeBody = 16
+// (version, rank, size, gx, gy, gz, gen).
+const handshakeBody = 18
 
 // readChunk bounds how many payload bytes a reader requests at once, so a
 // frame is decoded incrementally and truncated streams fail after reading
@@ -93,6 +96,12 @@ type Handshake struct {
 	// Grid is the Px×Py×Pz domain-grid shape of the run ({0,0,0} when the
 	// caller has no grid semantics).
 	Grid [3]int
+	// Gen is the mesh generation of the sender. A fresh launch is
+	// generation 0; every automatic shrink-and-resume after a rank failure
+	// increments it, so a straggler process of the dead mesh that dials a
+	// survivor's new listener is rejected instead of joining the rebuilt
+	// mesh with stale state.
+	Gen int
 }
 
 // Writer frames payloads onto w with a retained scratch buffer, so
@@ -118,7 +127,7 @@ func (w *Writer) grow(n int) []byte {
 // WriteHandshake frames h. Field ranges are validated (the wire carries
 // them as u16).
 func (w *Writer) WriteHandshake(h Handshake) error {
-	for _, v := range []int{h.Rank, h.Size, h.Grid[0], h.Grid[1], h.Grid[2]} {
+	for _, v := range []int{h.Rank, h.Size, h.Grid[0], h.Grid[1], h.Grid[2], h.Gen} {
 		if v < 0 || v > math.MaxUint16 {
 			return fmt.Errorf("wire: handshake field %d outside uint16", v)
 		}
@@ -133,6 +142,7 @@ func (w *Writer) WriteHandshake(h Handshake) error {
 	binary.LittleEndian.PutUint16(b[15:], uint16(h.Grid[0]))
 	binary.LittleEndian.PutUint16(b[17:], uint16(h.Grid[1]))
 	binary.LittleEndian.PutUint16(b[19:], uint16(h.Grid[2]))
+	binary.LittleEndian.PutUint16(b[21:], uint16(h.Gen))
 	_, err := w.w.Write(b)
 	return err
 }
@@ -254,6 +264,7 @@ func (r *Reader) ReadHandshake() (Handshake, error) {
 	h.Grid[0] = int(binary.LittleEndian.Uint16(b[10:]))
 	h.Grid[1] = int(binary.LittleEndian.Uint16(b[12:]))
 	h.Grid[2] = int(binary.LittleEndian.Uint16(b[14:]))
+	h.Gen = int(binary.LittleEndian.Uint16(b[16:]))
 	if h.Size < 1 || h.Rank >= h.Size {
 		return Handshake{}, fmt.Errorf("wire: handshake rank %d of size %d", h.Rank, h.Size)
 	}

@@ -15,7 +15,7 @@ import (
 func TestHandshakeRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
-	h := Handshake{Rank: 3, Size: 8, Grid: [3]int{4, 2, 1}}
+	h := Handshake{Rank: 3, Size: 8, Grid: [3]int{4, 2, 1}, Gen: 2}
 	if err := w.WriteHandshake(h); err != nil {
 		t.Fatal(err)
 	}
@@ -31,6 +31,12 @@ func TestHandshakeRoundTrip(t *testing.T) {
 	}
 	if err := w.WriteHandshake(Handshake{Rank: 0, Size: 1 << 17}); err == nil {
 		t.Error("oversized size accepted")
+	}
+	if err := w.WriteHandshake(Handshake{Rank: 0, Size: 2, Gen: -1}); err == nil {
+		t.Error("negative generation accepted")
+	}
+	if err := w.WriteHandshake(Handshake{Rank: 0, Size: 2, Gen: 1 << 16}); err == nil {
+		t.Error("oversized generation accepted")
 	}
 }
 

@@ -73,6 +73,11 @@ type Checkpoint struct {
 	// Extra carries driver-specific scalar state (e.g. the per-cell
 	// excitation field and lattice clock of the XS-NNQMD demo).
 	Extra []float64
+	// Loads is the last AllGathered per-rank cost profile of the writing
+	// run, in rank order on Grid (empty when the balancer never gathered
+	// one). A shrink-and-resume uses it to seed the new layout's cut planes
+	// from measured load instead of resetting to uniform cuts.
+	Loads []float64
 	// Sys is the gathered global system (positions, velocities, forces,
 	// masses, types — the complete integration state).
 	Sys *md.System
@@ -88,8 +93,11 @@ type checkpointManifest struct {
 	Grid        [3]int
 	Cuts        [3][]float64
 	Extra       []float64
-	PayloadLen  int64
-	PayloadCRC  uint64
+	// Loads was added in PR 8; gob tolerates its absence in older files
+	// (and its presence under older readers), so Version stays 1.
+	Loads      []float64
+	PayloadLen int64
+	PayloadCRC uint64
 }
 
 // SaveCheckpoint writes cp to w (manifest, then the checksummed system
@@ -106,7 +114,7 @@ func SaveCheckpoint(w io.Writer, cp *Checkpoint) error {
 		Version: CheckpointVersion,
 		Step:    cp.Step, Time: cp.Time,
 		Dt: cp.Dt, KT: cp.KT, Tau: cp.Tau,
-		Grid: cp.Grid, Cuts: cp.Cuts, Extra: cp.Extra,
+		Grid: cp.Grid, Cuts: cp.Cuts, Extra: cp.Extra, Loads: cp.Loads,
 		PayloadLen: int64(payload.Len()),
 		PayloadCRC: crc64.Checksum(payload.Bytes(), crcTable),
 	}
@@ -153,6 +161,9 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if len(m.Extra) > maxCheckpointExtra {
 		return nil, fmt.Errorf("mlmdio: implausible checkpoint extra length %d", len(m.Extra))
 	}
+	if len(m.Loads) > maxCheckpointAxis*maxCheckpointAxis {
+		return nil, fmt.Errorf("mlmdio: implausible checkpoint load profile length %d", len(m.Loads))
+	}
 	if m.PayloadLen < 1 || m.PayloadLen > maxCheckpointPayload {
 		return nil, fmt.Errorf("mlmdio: implausible checkpoint payload length %d", m.PayloadLen)
 	}
@@ -183,7 +194,7 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return &Checkpoint{
 		Step: m.Step, Time: m.Time,
 		Dt: m.Dt, KT: m.KT, Tau: m.Tau,
-		Grid: m.Grid, Cuts: m.Cuts, Extra: m.Extra,
+		Grid: m.Grid, Cuts: m.Cuts, Extra: m.Extra, Loads: m.Loads,
 		Sys: sys,
 	}, nil
 }

@@ -40,9 +40,11 @@ func randomCheckpoint(t *testing.T, seed int64) *Checkpoint {
 		Dt: 10.5, KT: 1.5e-3, Tau: 400,
 		Grid:  [3]int{2, 3, 1},
 		Extra: make([]float64, 37),
+		Loads: make([]float64, 6),
 		Sys:   sys,
 	}
 	fill(cp.Extra)
+	fill(cp.Loads)
 	cp.Cuts[0] = []float64{0, 4.0625, 12.5}
 	cp.Cuts[1] = []float64{0, 3, 6.125, 9.25}
 	cp.Cuts[2] = []float64{0, 30}
@@ -86,6 +88,9 @@ func TestCheckpointRoundTripBitwise(t *testing.T) {
 		}
 		if !bitsEqual(got.Extra, cp.Extra) {
 			t.Errorf("seed %d: extra vector mismatch", seed)
+		}
+		if !bitsEqual(got.Loads, cp.Loads) {
+			t.Errorf("seed %d: load profile mismatch", seed)
 		}
 		s, g := cp.Sys, got.Sys
 		if g.N != s.N || g.Lx != s.Lx || g.Ly != s.Ly || g.Lz != s.Lz {

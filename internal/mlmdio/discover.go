@@ -1,0 +1,42 @@
+// Checkpoint discovery for automatic restart (ISSUE 8): a recovering run
+// must pick the newest checkpoint that actually loads, not merely the
+// newest file — the failure that killed the previous generation may have
+// left the latest write truncated, and resuming from a corrupt snapshot
+// would be worse than losing one cadence interval.
+package mlmdio
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// NewestValidCheckpoint loads every candidate path and returns the one with
+// the highest Step among those that validate (manifest sanity + payload
+// CRC), skipping missing, truncated and corrupted files. Ties on Step keep
+// the earliest candidate, so a caller listing [current, previous] prefers
+// the primary file. The error (returned only when no candidate validates)
+// lists what was wrong with each.
+func NewestValidCheckpoint(paths []string) (string, *Checkpoint, error) {
+	var bestPath string
+	var best *Checkpoint
+	var faults []string
+	for _, path := range paths {
+		cp, err := ReadCheckpointFile(path)
+		if err != nil {
+			faults = append(faults, fmt.Sprintf("%s: %v", path, err))
+			continue
+		}
+		if best == nil || cp.Step > best.Step {
+			bestPath, best = path, cp
+		}
+	}
+	if best == nil {
+		if len(faults) == 0 {
+			return "", nil, errors.New("mlmdio: no checkpoint candidates")
+		}
+		return "", nil, fmt.Errorf("mlmdio: no valid checkpoint among %d candidates:\n  %s",
+			len(paths), strings.Join(faults, "\n  "))
+	}
+	return bestPath, best, nil
+}

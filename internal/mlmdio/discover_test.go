@@ -1,0 +1,104 @@
+package mlmdio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCheckpointAt saves a checkpoint with the given step to dir/name and
+// returns its path.
+func writeCheckpointAt(t *testing.T, dir, name string, step int64) string {
+	t.Helper()
+	cp := randomCheckpoint(t, step)
+	cp.Step = step
+	path := filepath.Join(dir, name)
+	if err := WriteCheckpointFile(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestNewestValidCheckpoint (ISSUE 8 tentpole): discovery picks the highest
+// completed step among the candidates that actually load — a truncated
+// newest file (exactly what a mid-write crash leaves without the atomic
+// rename, or what a partial copy produces) is skipped in favor of the older
+// intact snapshot.
+func TestNewestValidCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	older := writeCheckpointAt(t, dir, "run.ckpt.prev", 100)
+	newer := writeCheckpointAt(t, dir, "run.ckpt", 200)
+
+	path, cp, err := NewestValidCheckpoint([]string{newer, older})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != newer || cp.Step != 200 {
+		t.Fatalf("picked %s step %d, want %s step 200", path, cp.Step, newer)
+	}
+
+	// Truncate the newest: discovery must fall back to the older snapshot.
+	b, err := os.ReadFile(newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newer, b[:len(b)/2], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	path, cp, err = NewestValidCheckpoint([]string{newer, older})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != older || cp.Step != 100 {
+		t.Fatalf("picked %s step %d, want fallback %s step 100", path, cp.Step, older)
+	}
+
+	// Corrupt payload bytes (CRC failure) are skipped the same way.
+	b2, err := os.ReadFile(older)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2[len(b2)-3] ^= 0x20
+	flipped := filepath.Join(dir, "flipped.ckpt")
+	if err := os.WriteFile(flipped, b2, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	third := writeCheckpointAt(t, dir, "third.ckpt", 50)
+	path, cp, err = NewestValidCheckpoint([]string{flipped, third})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != third || cp.Step != 50 {
+		t.Fatalf("picked %s step %d, want %s step 50", path, cp.Step, third)
+	}
+
+	// Ties on Step keep the earlier candidate (primary file over backup).
+	copyPath := filepath.Join(dir, "copy.ckpt")
+	b3, err := os.ReadFile(third)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(copyPath, b3, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	path, _, err = NewestValidCheckpoint([]string{third, copyPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != third {
+		t.Fatalf("tie broke to %s, want the earlier candidate %s", path, third)
+	}
+
+	// No valid candidate: the error names every fault.
+	_, _, err = NewestValidCheckpoint([]string{newer + ".missing", flipped})
+	if err == nil {
+		t.Fatal("discovery invented a checkpoint")
+	}
+	if !strings.Contains(err.Error(), "missing") || !strings.Contains(err.Error(), "flipped") {
+		t.Errorf("error %v does not name the failed candidates", err)
+	}
+	if _, _, err := NewestValidCheckpoint(nil); err == nil {
+		t.Fatal("empty candidate list accepted")
+	}
+}

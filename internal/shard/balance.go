@@ -296,6 +296,19 @@ func maxOverMean(v []float64) float64 {
 	return max / (sum / float64(len(v)))
 }
 
+// LoadProfile returns a copy of the last AllGathered per-rank load profile
+// (rank order on the grid), or nil when no rebalance collective has gathered
+// one yet — a static run, or a balanced run before its first rebalance.
+// Checkpoint writers persist it so a shrink-and-resume can seed the new
+// layout's cut planes from measured load (SeedCuts).
+func (e *Engine) LoadProfile() []float64 {
+	rs := e.rs[e.applyRank]
+	if rs == nil || len(rs.loadsAll) == 0 {
+		return nil
+	}
+	return append([]float64(nil), rs.loadsAll...)
+}
+
 // BalanceStats reports the controller's event counters: completed
 // rebalances (cold-start no-ops excluded) and the largest single-plane
 // shift ever applied — by construction never above the halo width.

@@ -211,6 +211,15 @@ type Config struct {
 	// the collectives, and GatherAll reassembles full trajectories on
 	// rank 0.
 	LocalRank int
+	// Cuts optionally seeds the per-axis cut planes the decomposition
+	// starts from instead of uniform ones: axis a needs Grid[a]+1
+	// ascending planes with pinned ends and every subdomain at least
+	// halo wide on partitioned axes (empty axes stay uniform). A resume
+	// uses it to restore the balanced planes the checkpoint recorded, and
+	// a shrink-and-resume to seed load-derived planes (SeedCuts) so heavy
+	// subdomains start where the dead run measured them. Every process of
+	// a multi-process run must pass identical planes.
+	Cuts [3][]float64
 }
 
 // ParseGrid parses a "PxxPyxPz" domain-grid shape into per-axis rank
@@ -465,6 +474,21 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 		applyRank: localRanks[0],
 		cuts:      cluster.UniformCuts3D(grid, box[0], box[1], box[2]),
 		peRank:    make([]float64, p), keRank: make([]float64, p),
+	}
+	if len(cfg.Cuts[0])+len(cfg.Cuts[1])+len(cfg.Cuts[2]) > 0 {
+		for a := 0; a < 3; a++ {
+			if len(cfg.Cuts[a]) > 0 {
+				e.cuts.C[a] = append([]float64(nil), cfg.Cuts[a]...)
+			}
+		}
+		if err := e.cuts.Validate(0); err != nil {
+			return nil, fmt.Errorf("shard: seeded cut planes: %w", err)
+		}
+		for _, a := range axes {
+			if mw := e.cuts.MinWidth(a); mw < halo {
+				return nil, fmt.Errorf("shard: seeded cut planes leave axis-%d width %g below the halo %g", a, mw, halo)
+			}
+		}
 	}
 	e.ewmaAlpha = ewmaAlpha(cfg.BalanceWindow)
 	if cfg.Balance {

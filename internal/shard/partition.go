@@ -1,0 +1,149 @@
+// Automatic grid selection and load-seeded cut planes (ISSUE 8): when a
+// run shrinks onto its survivors, nobody is around to pick the new Px×Py×Pz
+// shape or to re-balance from scratch. AutoGrid chooses the feasible shape
+// with the least per-rank halo surface (the communication-volume proxy),
+// and SeedCuts converts the dead run's last AllGathered per-rank load
+// profile into starting cut planes for the new shape, so heavy regions of
+// the box begin narrow instead of waiting for the balancer to rediscover
+// them.
+package shard
+
+import (
+	"fmt"
+
+	"mlmd/internal/cluster"
+)
+
+// AutoGrid picks a Px·Py·Pz = ranks grid shape for a box with the given
+// halo width: among all factorizations whose partitioned axes keep the
+// per-rank width >= halo (the one-hop ghost-protocol floor NewEngine
+// enforces), it returns the one minimizing the per-rank halo surface
+// 2·(wy·wz + wx·wz + wx·wy) over the partitioned faces. Ties break
+// deterministically toward larger Px, then larger Py, so every survivor
+// process computes the identical shape without any exchange.
+func AutoGrid(ranks int, box [3]float64, halo float64) ([3]int, error) {
+	if ranks < 1 {
+		return [3]int{}, fmt.Errorf("shard: auto grid for %d ranks", ranks)
+	}
+	best := [3]int{}
+	bestCost := 0.0
+	for px := 1; px <= ranks; px++ {
+		if ranks%px != 0 {
+			continue
+		}
+		for py := 1; py*px <= ranks; py++ {
+			if (ranks/px)%py != 0 {
+				continue
+			}
+			pz := ranks / (px * py)
+			g := [3]int{px, py, pz}
+			w := [3]float64{box[0] / float64(px), box[1] / float64(py), box[2] / float64(pz)}
+			feasible := true
+			cost := 0.0
+			for a := 0; a < 3; a++ {
+				if g[a] > 1 {
+					if w[a] < halo {
+						feasible = false
+						break
+					}
+					cost += 2 * w[(a+1)%3] * w[(a+2)%3]
+				}
+			}
+			if !feasible {
+				continue
+			}
+			better := best == ([3]int{}) || cost < bestCost
+			if !better && cost == bestCost {
+				better = g[0] > best[0] || (g[0] == best[0] && g[1] > best[1])
+			}
+			if better {
+				best, bestCost = g, cost
+			}
+		}
+	}
+	if best == ([3]int{}) {
+		return [3]int{}, fmt.Errorf("shard: no %d-rank grid fits halo %g in box %v", ranks, halo, box)
+	}
+	return best, nil
+}
+
+// SeedCuts derives starting cut planes for grid over box from the per-rank
+// load profile a previous decomposition measured: loads is the AllGathered
+// rank-order profile of oldGrid (as persisted in a checkpoint), oldCuts its
+// cut planes at the snapshot (empty axes mean uniform). Per axis, the old
+// per-slab loads form a piecewise-linear cumulative curve and the new
+// interior planes land on its j/P quantiles — recursive bisection against
+// measured load — then clamp so every new subdomain stays at least halo
+// wide. Axes that cannot be seeded (no profile, mismatched lengths, or an
+// infeasible clamp) come back empty, which Config.Cuts treats as uniform.
+func SeedCuts(grid [3]int, box [3]float64, halo float64, oldGrid [3]int, oldCuts [3][]float64, loads []float64) [3][]float64 {
+	var out [3][]float64
+	oldG, err := cluster.NewGrid3D(oldGrid[0], oldGrid[1], oldGrid[2])
+	if err != nil || len(loads) != oldG.Size() {
+		return out
+	}
+	total := 0.0
+	for _, l := range loads {
+		if l < 0 {
+			return out
+		}
+		total += l
+	}
+	if total <= 0 {
+		return out
+	}
+	for a := 0; a < 3; a++ {
+		pa := grid[a]
+		if pa < 2 || box[a] < float64(pa)*halo {
+			continue // nothing to place, or uniform is all that fits
+		}
+		// Old per-slab loads and slab boundaries along this axis.
+		oldPa := oldGrid[a]
+		slab := make([]float64, oldPa)
+		for r := 0; r < oldG.Size(); r++ {
+			c := [3]int{}
+			c[0], c[1], c[2] = oldG.Coords(r)
+			slab[c[a]] += loads[r]
+		}
+		bounds := oldCuts[a]
+		if len(bounds) != oldPa+1 {
+			bounds = make([]float64, oldPa+1)
+			for i := range bounds {
+				bounds[i] = box[a] * float64(i) / float64(oldPa)
+			}
+		}
+		cum := make([]float64, oldPa+1)
+		for i := 0; i < oldPa; i++ {
+			cum[i+1] = cum[i] + slab[i]
+		}
+		cs := make([]float64, pa+1)
+		cs[pa] = box[a]
+		for j := 1; j < pa; j++ {
+			target := cum[oldPa] * float64(j) / float64(pa)
+			k := 0
+			for k < oldPa-1 && cum[k+1] <= target {
+				k++
+			}
+			pos := bounds[k]
+			if slab[k] > 0 {
+				pos += (target - cum[k]) / slab[k] * (bounds[k+1] - bounds[k])
+			}
+			cs[j] = pos
+		}
+		// Clamp to the halo floor: forward pass guarantees cs[j] leaves at
+		// least j·halo below it, backward pass at least (pa−j)·halo above —
+		// feasible because box[a] >= pa·halo.
+		for j := 1; j < pa; j++ {
+			if min := cs[j-1] + halo; cs[j] < min {
+				cs[j] = min
+			}
+		}
+		for j := pa - 1; j >= 1; j-- {
+			if max := cs[j+1] - halo; cs[j] > max {
+				cs[j] = max
+			}
+		}
+		out[a] = cs
+	}
+	return out
+}

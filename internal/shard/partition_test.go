@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAutoGridMinimizesHaloSurface: in an elongated box the slab
+// decomposition along the long axis has strictly the least per-rank halo
+// surface among the feasible 4-rank shapes, so AutoGrid must pick it.
+func TestAutoGridMinimizesHaloSurface(t *testing.T) {
+	g, err := AutoGrid(4, [3]float64{4, 1, 1}, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != ([3]int{4, 1, 1}) {
+		t.Errorf("grid %v, want the long-axis slab {4 1 1}", g)
+	}
+}
+
+// TestAutoGridTieBreak: in a cube every feasible 4-rank factorization has
+// the identical halo surface, so the documented deterministic tie-break —
+// larger Px, then larger Py — must decide.
+func TestAutoGridTieBreak(t *testing.T) {
+	g, err := AutoGrid(4, [3]float64{1, 1, 1}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != ([3]int{4, 1, 1}) {
+		t.Errorf("grid %v, want the tie-break winner {4 1 1}", g)
+	}
+}
+
+// TestAutoGridRespectsHaloFloor: a shape whose partitioned width falls
+// below the halo is rejected; when no shape fits, AutoGrid errors instead
+// of returning an unbuildable grid.
+func TestAutoGridRespectsHaloFloor(t *testing.T) {
+	// halo 0.3 kills {4 1 1} (width 0.25) but {2 2 1} (width 0.5) fits.
+	g, err := AutoGrid(4, [3]float64{1, 1, 1}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 3; a++ {
+		if g[a] > 1 && 1.0/float64(g[a]) < 0.3 {
+			t.Errorf("grid %v partitions axis %d below the halo", g, a)
+		}
+	}
+	if _, err := AutoGrid(4, [3]float64{1, 1, 1}, 0.6); err == nil {
+		t.Error("infeasible halo accepted")
+	}
+	if _, err := AutoGrid(0, [3]float64{1, 1, 1}, 0.1); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	if g, err := AutoGrid(1, [3]float64{1, 1, 1}, 5); err != nil || g != ([3]int{1, 1, 1}) {
+		t.Errorf("single rank: grid %v err %v, want {1 1 1} (halo floor void)", g, err)
+	}
+}
+
+// TestSeedCutsQuantilePlacement: with a 3:1 load skew between the two old
+// slabs, the new interior plane lands where the piecewise-linear cumulative
+// load crosses half the total — inside the heavy slab, at 4/3.
+func TestSeedCutsQuantilePlacement(t *testing.T) {
+	box := [3]float64{4, 4, 4}
+	out := SeedCuts([3]int{2, 1, 1}, box, 1.0, [3]int{2, 1, 1}, [3][]float64{}, []float64{3, 1})
+	if out[1] != nil || out[2] != nil {
+		t.Errorf("unpartitioned axes seeded: %v", out)
+	}
+	want := []float64{0, 4.0 / 3.0, 4}
+	if len(out[0]) != len(want) {
+		t.Fatalf("axis 0 planes %v, want %v", out[0], want)
+	}
+	for i := range want {
+		if math.Abs(out[0][i]-want[i]) > 1e-12 {
+			t.Errorf("plane %d at %g, want %g", i, out[0][i], want[i])
+		}
+	}
+}
+
+// TestSeedCutsAcrossShapes: shrinking a 3-slab profile onto 2 ranks walks
+// the cumulative curve across old slab boundaries — half of the total load
+// [1 1 2] accumulates exactly at the second old boundary.
+func TestSeedCutsAcrossShapes(t *testing.T) {
+	box := [3]float64{6, 6, 6}
+	out := SeedCuts([3]int{2, 1, 1}, box, 1.0, [3]int{3, 1, 1}, [3][]float64{}, []float64{1, 1, 2})
+	want := []float64{0, 4, 6}
+	if len(out[0]) != len(want) {
+		t.Fatalf("axis 0 planes %v, want %v", out[0], want)
+	}
+	for i := range want {
+		if math.Abs(out[0][i]-want[i]) > 1e-12 {
+			t.Errorf("plane %d at %g, want %g", i, out[0][i], want[i])
+		}
+	}
+}
+
+// TestSeedCutsHaloClamp: an extreme skew would place the plane inside the
+// halo floor; the clamp pushes it out to exactly one halo from the wall.
+func TestSeedCutsHaloClamp(t *testing.T) {
+	box := [3]float64{4, 4, 4}
+	out := SeedCuts([3]int{2, 1, 1}, box, 1.5, [3]int{2, 1, 1}, [3][]float64{}, []float64{1000, 1})
+	if len(out[0]) != 3 {
+		t.Fatalf("axis 0 planes %v, want 3", out[0])
+	}
+	if got := out[0][1]; got != 1.5 {
+		t.Errorf("clamped plane at %g, want the halo floor 1.5", got)
+	}
+}
+
+// TestSeedCutsFallsBackToUniform: every degenerate profile — missing,
+// mismatched, negative, zero-sum, or a box too small for the halo floor —
+// yields empty axes, which Config.Cuts treats as uniform.
+func TestSeedCutsFallsBackToUniform(t *testing.T) {
+	box := [3]float64{4, 4, 4}
+	grid := [3]int{2, 1, 1}
+	old := [3]int{2, 1, 1}
+	cases := map[string][3][]float64{
+		"nil loads":      SeedCuts(grid, box, 1, old, [3][]float64{}, nil),
+		"wrong length":   SeedCuts(grid, box, 1, old, [3][]float64{}, []float64{1, 2, 3}),
+		"negative load":  SeedCuts(grid, box, 1, old, [3][]float64{}, []float64{-1, 2}),
+		"zero total":     SeedCuts(grid, box, 1, old, [3][]float64{}, []float64{0, 0}),
+		"halo too large": SeedCuts(grid, box, 2.5, old, [3][]float64{}, []float64{3, 1}),
+	}
+	for name, out := range cases {
+		if out[0] != nil || out[1] != nil || out[2] != nil {
+			t.Errorf("%s: seeded %v, want all-empty", name, out)
+		}
+	}
+}
