@@ -42,6 +42,9 @@
 #   make bench8  - self-healing shrink-and-resume latency (detect to first
 #                  resumed step, one injected rank failure per trial) vs
 #                  checkpoint cadence, written to BENCH_PR8.json
+#   make bench9  - sharded-FDTD stencil scaling on the grid engine (slab and
+#                  3-D rank grids, best of 5) with measured halo bytes/step,
+#                  written to BENCH_PR9.json
 #   make tables  - the full paper-table benchmark suite at the repo root
 #
 # docs/benchmarks.md documents the bench workflow and the JSON schemas;
@@ -61,14 +64,17 @@ SHELL := /bin/bash
 # every exchange/migration/overlap code path without the full-length
 # trajectory cost under the detector.
 PAR_PKGS = ./internal/par ./internal/md ./internal/linalg ./internal/allegro \
-	./internal/tddft ./internal/core ./internal/cluster
+	./internal/tddft ./internal/core ./internal/cluster ./internal/maxwell \
+	./internal/shard/halo
 
 # Coverage-gated packages and floor (ISSUE 2 CI contract; ISSUE 3 raised
 # the floor to cover the shard grid/overlap and cluster grid-topology
 # paths; ISSUE 5 added the wire codec; PR 7 added the nn batched-inference
-# tapes — current levels: md 97%, mlmdio 90%, cluster 92%, wire 97%,
-# shard 94%, nn 94%).
-COVER_PKGS = ./internal/md ./internal/mlmdio ./internal/cluster ./internal/cluster/wire ./internal/shard ./internal/nn
+# tapes; PR 9 added the shape-agnostic halo layer and its grid solvers —
+# current levels: md 97%, mlmdio 90%, cluster 92%, wire 97%, shard 94%,
+# nn 94%, halo 96%, maxwell 89%, tddft 88%).
+COVER_PKGS = ./internal/md ./internal/mlmdio ./internal/cluster ./internal/cluster/wire ./internal/shard ./internal/nn \
+	./internal/shard/halo ./internal/maxwell ./internal/tddft
 COVER_MIN  = 85
 
 # Deserializers and frame decoders under native fuzzing, per package, plus
@@ -77,12 +83,14 @@ COVER_MIN  = 85
 FUZZ_TARGETS      = FuzzReadXYZ FuzzLoadSystem FuzzLoadModel FuzzLoadWaveField FuzzLoadCheckpoint
 WIRE_FUZZ_TARGETS = FuzzReadData FuzzReadHandshake
 NN_FUZZ_TARGETS   = FuzzBatchedMLP
+HALO_FUZZ_TARGETS = FuzzFieldPackUnpack
 FUZZ_TIME   ?= 10s
 
 # Packages whose exported API must be fully doc-commented (`make docs`).
-DOC_PKGS = ./internal/shard ./internal/cluster ./internal/cluster/wire ./internal/par ./internal/allegro ./internal/nn
+DOC_PKGS = ./internal/shard ./internal/cluster ./internal/cluster/wire ./internal/par ./internal/allegro ./internal/nn \
+	./internal/shard/halo ./internal/maxwell ./internal/tddft ./internal/multigrid
 
-.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 bench5 bench6 bench7 bench8 tables
+.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 bench5 bench6 bench7 bench8 bench9 tables
 
 check: fmt vet build test race cover fuzz docs
 
@@ -130,6 +138,10 @@ fuzz:
 		echo "fuzz $$f ($(FUZZ_TIME))"; \
 		$(GO) test ./internal/nn -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZ_TIME) | tail -2; \
 	done
+	@for f in $(HALO_FUZZ_TARGETS); do \
+		echo "fuzz $$f ($(FUZZ_TIME))"; \
+		$(GO) test ./internal/shard/halo -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZ_TIME) | tail -2; \
+	done
 
 bench:
 	$(GO) test ./internal/md ./internal/linalg ./internal/par \
@@ -156,6 +168,9 @@ bench7:
 
 bench8:
 	$(GO) run ./cmd/bench-scaling -recover -shardjson > BENCH_PR8.json
+
+bench9:
+	$(GO) run ./cmd/bench-scaling -stencil -shardjson > BENCH_PR9.json
 
 tables:
 	$(GO) test . -run '^$$' -bench . -benchmem

@@ -6,8 +6,9 @@
 // Usage:
 //
 //	bench-scaling [-table1] [-table2] [-fig4a] [-fig4b] [-fig5a] [-fig5b] [-legato]
-//	              [-shard | -grid | -hotspot | -procs | -fault | -recover
-//	               [-shardjson] [-shardcells N] [-shardsteps N]]
+//	              [-shard | -grid | -hotspot | -procs | -fault | -recover | -stencil
+//	               [-shardjson] [-shardcells N] [-shardsteps N]
+//	               [-stencilcells N] [-stencilsteps N]]
 //	              [-balance]
 //
 // With no flags, everything except -legato (which trains models and runs MD,
@@ -23,8 +24,11 @@
 // -procworker flags to fork one OS process per rank); -fault -shardjson
 // writes the checkpoint-cost + unix-vs-tcp transport BENCH_PR6.json (see
 // `make bench6`); -recover -shardjson writes the self-healing
-// shrink-and-resume latency sweep BENCH_PR8.json (see `make bench8`).
-// -balance turns dynamic
+// shrink-and-resume latency sweep BENCH_PR8.json (see `make bench8`);
+// -stencil -shardjson writes the sharded-FDTD stencil-scaling sweep —
+// per-step wall time and measured halo bytes/step across the rank-grid
+// shapes of the stencil identity matrix — BENCH_PR9.json (see
+// `make bench9`). -balance turns dynamic
 // boundary balancing on in the -shard/-grid sweeps (the -hotspot sweep
 // always measures both modes).
 package main
@@ -53,6 +57,9 @@ func main() {
 	procsFlag := flag.Bool("procs", false, "in-process vs multi-process transport sweep (forks one OS process per rank; best of 5) + transport ping-pong")
 	faultFlag := flag.Bool("fault", false, "checkpoint write cost + unix-vs-tcp multi-process transport sweep (forks one OS process per rank)")
 	recoverFlag := flag.Bool("recover", false, "self-healing shrink-and-resume latency vs checkpoint cadence (injects one rank failure per trial)")
+	stencilFlag := flag.Bool("stencil", false, "sharded FDTD stencil scaling on the grid engine (1x1x1 ... 2x2x2, best of 5) with measured halo bytes/step")
+	stencilCells := flag.Int("stencilcells", 24, "Yee cells per axis of the -stencil FDTD box")
+	stencilSteps := flag.Int("stencilsteps", 100, "FDTD steps per -stencil trial")
 	batchedFlag := flag.Bool("batched", false, "Allegro per-atom vs blocked-GEMM vs mixed-precision inference sweep (best of 5)")
 	batchedAtoms := flag.Int("batchedatoms", 512, "atoms of the -batched inference gas")
 	batchedSteps := flag.Int("batchedsteps", 60, "MD steps per -batched trial")
@@ -78,16 +85,24 @@ func main() {
 		return
 	}
 	exclusive := 0
-	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag, *procsFlag, *faultFlag, *recoverFlag, *batchedFlag} {
+	for _, f := range []bool{*shardFlag, *gridFlag, *hotspotFlag, *procsFlag, *faultFlag, *recoverFlag, *batchedFlag, *stencilFlag} {
 		if f {
 			exclusive++
 		}
 	}
 	if exclusive > 1 {
-		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid, -hotspot, -procs, -fault, -recover and -batched are mutually exclusive (each emits its own JSON document)")
+		fmt.Fprintln(os.Stderr, "bench-scaling: -shard, -grid, -hotspot, -procs, -fault, -recover, -batched and -stencil are mutually exclusive (each emits its own JSON document)")
 		os.Exit(2)
 	}
 	all := !*t1 && !*t2 && !*f4a && !*f4b && !*f5a && !*f5b && !*legato && exclusive == 0
+	if *stencilFlag {
+		points, err := bench.StencilScaling(bench.StencilShapes, *stencilCells, *stencilSteps)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-scaling:", err)
+			os.Exit(1)
+		}
+		emit(bench.StencilTable(points), bench.StencilDocument(points), *shardJSON)
+	}
 	if *batchedFlag {
 		points, err := bench.BatchedInference(*batchedAtoms, *batchedSteps)
 		if err != nil {

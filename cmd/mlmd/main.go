@@ -11,6 +11,17 @@
 //	     [-peer-timeout d] [-checkpoint-every N [-checkpoint path]] [-resume path]
 //	     [-auto-resume [-max-restarts N]] [-gen G]
 //	     [-allegro-block off|on|N|mixed[:N]]
+//	mlmd -fdtd  [-ranks N | -grid PxxPyxPz] [-procs N [-transport unix|tcp]]
+//	mlmd -tddft [-ranks N | -grid PxxPyxPz] [-procs N [-transport unix|tcp]]
+//
+// -fdtd and -tddft run the sharded grid field solvers instead of the
+// particle pipeline: a driven 3-D Maxwell FDTD box (-fdtd) or a
+// laser-pulse TDDFT orbital propagation (-tddft), decomposed on the same
+// halo spine as the lattice stage. Each summary line is computed serially
+// on rank 0 from the gathered global fields, so the output is bitwise
+// identical on every decomposition and transport. The particle-stage
+// flags (-balance, -checkpoint-every, -resume, -auto-resume, -hosts,
+// -grid auto) do not apply to the field demos and fail fast.
 //
 // -allegro-block sets the process-wide Allegro inference default (per-atom
 // tapes vs blocked-GEMM batching, see internal/allegro), overriding the
@@ -147,6 +158,8 @@ func main() {
 	autoResume := flag.Bool("auto-resume", false, "with -procs and -checkpoint-every: supervise the run — when a worker crashes, shrink to the survivors, re-select the grid, and resume from the newest valid checkpoint automatically")
 	maxRestarts := flag.Int("max-restarts", 3, "with -auto-resume: give up after this many automatic restarts (a crash-looping run must not spin forever)")
 	genFlag := flag.Int("gen", 0, "mesh generation tag carried in the rank-transport handshake and rendezvous file names (0 for a fresh launch; a shrink-and-resume relaunch must increment it so stragglers of the dead mesh are fenced out)")
+	fdtdDemo := flag.Bool("fdtd", false, "run the sharded Maxwell FDTD field demo instead of the particle pipeline (supports -ranks/-grid/-procs/-transport; summary is decomposition-invariant)")
+	tddftDemo := flag.Bool("tddft", false, "run the sharded laser-pulse TDDFT field demo instead of the particle pipeline (supports -ranks/-grid/-procs/-transport; summary is decomposition-invariant)")
 	worker := flag.Bool("worker", false, "internal: run as one rank worker of a -procs launch")
 	wrank := flag.Int("wrank", -1, "internal: worker rank of a -procs launch")
 	rdv := flag.String("rdv", "", "internal: rendezvous directory of the -procs socket transport")
@@ -158,6 +171,21 @@ func main() {
 			fail(fmt.Errorf("-allegro-block: %w", err))
 		}
 		allegro.SetEvalDefaults(mode, block)
+	}
+	demo := ""
+	if *fdtdDemo {
+		demo = "fdtd"
+	}
+	if *tddftDemo {
+		if demo != "" {
+			fail(fmt.Errorf("-fdtd and -tddft are exclusive: pick one field demo"))
+		}
+		demo = "tddft"
+	}
+	if demo != "" {
+		if err := checkFieldDemoFlags(demo, *gridStr, *balance, *hosts, *ckptEvery, *resumePath, *autoResume); err != nil {
+			fail(err)
+		}
 	}
 	opts, err := resolveShard(*ranks, *gridStr, *balance, *procs, *transport, *hosts, *hostRank, *latCells)
 	if err != nil {
@@ -226,6 +254,10 @@ func main() {
 		if *hostRank != 0 {
 			out = io.Discard
 		}
+	}
+	if demo != "" {
+		runFieldDemo(out, demo, opts)
+		return
 	}
 	ck := ckptOpts{every: *ckptEvery, path: *ckptPath}
 	if *resumePath != "" {

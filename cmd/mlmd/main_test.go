@@ -40,7 +40,9 @@ func stripShardNote(s string) string {
 	lines := strings.Split(s, "\n")
 	kept := lines[:0]
 	for _, l := range lines {
-		if strings.HasPrefix(l, "(lattice stage sharded") || strings.HasPrefix(l, "(balance:") {
+		if strings.HasPrefix(l, "(lattice stage sharded") ||
+			strings.HasPrefix(l, "(field stage sharded") ||
+			strings.HasPrefix(l, "(balance:") {
 			continue
 		}
 		kept = append(kept, l)
@@ -71,6 +73,92 @@ func TestFlagMisuseFailsFast(t *testing.T) {
 		{[]string{"-auto-resume"}, "-auto-resume requires -procs"},
 		{[]string{"-auto-resume", "-procs", "2"}, "-auto-resume requires -checkpoint-every"},
 		{[]string{"-grid", "auto"}, "-grid auto needs a rank count"},
+	}
+	for _, tc := range cases {
+		out, err := exec.Command(exe, tc.args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%v: exited 0, want a fail-fast error", tc.args)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%v: error %q does not mention %q", tc.args, out, tc.want)
+		}
+	}
+}
+
+// TestFieldDemoGoldens (ISSUE 9): the -fdtd and -tddft field-demo
+// summaries are committed golden files — every line is computed serially
+// on rank 0 from the gathered global fields, so any numeric drift is a
+// deliberate physics change, never a decomposition artifact.
+func TestFieldDemoGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	exe := buildMLMD(t)
+	for _, demo := range []string{"fdtd", "tddft"} {
+		got := runMLMD(t, exe, "-"+demo)
+		want, err := os.ReadFile(filepath.Join("testdata", "summary_"+demo+".golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != string(want) {
+			t.Errorf("-%s summary drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", demo, got, want)
+		}
+	}
+}
+
+// TestFieldDemoShardedMatchesGolden (ISSUE 9): the field demos reproduce
+// their golden summary on every decomposition — in-process slab and 3-D
+// grids, and OS-process ranks over the Unix-socket and TCP transports.
+func TestFieldDemoShardedMatchesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	exe := buildMLMD(t)
+	for _, demo := range []string{"fdtd", "tddft"} {
+		want, err := os.ReadFile(filepath.Join("testdata", "summary_"+demo+".golden"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := [][]string{
+			{"-ranks", "2"},
+			{"-grid", "2x2x1"},
+		}
+		if haveUnixSockets(t) {
+			shards = append(shards, []string{"-procs", "2"})
+		}
+		if haveLoopbackTCP(t) {
+			shards = append(shards, []string{"-procs", "2", "-transport", "tcp"})
+		}
+		for _, shard := range shards {
+			got := runMLMD(t, exe, append([]string{"-" + demo}, shard...)...)
+			if stripShardNote(got) != string(want) {
+				t.Errorf("-%s %v output differs from golden summary\n--- sharded ---\n%s\n--- golden ---\n%s", demo, shard, got, want)
+			}
+		}
+	}
+}
+
+// TestFieldDemoFlagMisuse (ISSUE 9): particle-stage flags on a field demo
+// fail fast with an error naming the conflict — silently ignoring them
+// would fake a checkpointed or balanced field run.
+func TestFieldDemoFlagMisuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	exe := buildMLMD(t)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-fdtd", "-tddft"}, "pick one field demo"},
+		{[]string{"-fdtd", "-balance"}, "-balance rebalances the particle lattice stage"},
+		{[]string{"-fdtd", "-grid", "auto"}, "explicit PxxPyxPz"},
+		{[]string{"-tddft", "-checkpoint-every", "10"}, "-checkpoint-every applies to the particle lattice stage"},
+		{[]string{"-fdtd", "-resume", "x.ckpt"}, "-resume applies to the particle lattice stage"},
+		{[]string{"-fdtd", "-auto-resume"}, "-auto-resume applies to the particle lattice stage"},
+		{[]string{"-tddft", "-hosts", "h:1", "-hostrank", "0"}, "run the -tddft field demo with -procs"},
+		{[]string{"-fdtd", "-procs", "3", "-grid", "2x1x1"}, "does not match"},
 	}
 	for _, tc := range cases {
 		out, err := exec.Command(exe, tc.args...).CombinedOutput()

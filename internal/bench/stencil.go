@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"mlmd/internal/cluster"
+	"mlmd/internal/maxwell"
+	"mlmd/internal/shard"
+	"mlmd/internal/shard/halo"
+	"mlmd/internal/units"
+)
+
+// This file measures the real sharded grid-stencil path (ISSUE 9): the
+// Maxwell FDTD solver on shard.GridEngine's halo spine, wall clock of P
+// in-process ranks ring-exchanging ghost slabs over cluster.Comm. The
+// interesting outputs on a small host are the decomposition overhead
+// versus 1 rank and the measured halo payload per step — the surface
+// term the 3-D grids shrink relative to slabs.
+
+// StencilPoint is one rank-grid shape's sharded-FDTD measurement.
+type StencilPoint struct {
+	Ranks int    `json:"ranks"`
+	Grid  string `json:"grid"`
+	// Cells is the global Yee cell count Nx*Ny*Nz.
+	Cells     int     `json:"cells"`
+	Steps     int     `json:"steps"`
+	NsPerStep float64 `json:"ns_per_step"` // best of StencilTrials
+	// Speedup is wall-clock T(1 rank)/T(P ranks) on this host (pure
+	// decomposition overhead on a single-core box).
+	Speedup float64 `json:"speedup_vs_1rank"`
+	// HaloBytesPerStep is the measured ghost-frame payload all ranks
+	// sent, per step (0 on the 1-rank baseline: nothing is partitioned).
+	HaloBytesPerStep float64 `json:"halo_bytes_per_step"`
+	CommS            float64 `json:"modeled_comm_seconds"`
+}
+
+// StencilDoc is the committable JSON document (BENCH_PR9.json).
+type StencilDoc struct {
+	Go         string         `json:"go"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Benchmark  string         `json:"benchmark"`
+	Points     []StencilPoint `json:"points"`
+}
+
+// StencilTrials is the best-of count of StencilScaling.
+const StencilTrials = 5
+
+// StencilShapes is the default sweep of `bench-scaling -stencil`: the
+// slab and 3-D grid shapes of the stencil identity matrix, anchored by
+// the 1x1x1 baseline.
+var StencilShapes = [][3]int{
+	{1, 1, 1},
+	{2, 1, 1},
+	{4, 1, 1},
+	{2, 2, 1},
+	{2, 2, 2},
+}
+
+// stencilFDTDWork builds the benchmark FDTD workload factory: a driven
+// cubic Yee box, deterministically seeded (geometry shared with the
+// cmd/mlmd -fdtd demo, scaled up to cells per axis).
+func stencilFDTDWork(cells int) func(rank int, d halo.Domain) (shard.GridWorkload, error) {
+	h := [3]float64{1.0, 1.0, 1.0}
+	dt := 0.9 * h[0] / math.Sqrt(3) / units.LightSpeed
+	return func(rank int, d halo.Domain) (shard.GridWorkload, error) {
+		sim, err := maxwell.NewSim3D(d, maxwell.Sim3DConfig{
+			H: h, Dt: dt,
+			Drive:     maxwell.NewPulse(1e-2, 0.057, 0.02, 0.02),
+			Source:    [3]int{cells / 2, cells / 2, cells / 2},
+			SourceAmp: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sim.InitRandom(11, 1e-3)
+		return sim, nil
+	}
+}
+
+// StencilScaling measures the fixed-size sharded FDTD problem decomposed
+// over each rank-grid shape (BENCH_PR9.json / `make bench9`):
+// best-of-StencilTrials wall time per step plus the measured halo
+// payload per step.
+func StencilScaling(shapes [][3]int, cells, steps int) ([]StencilPoint, error) {
+	if len(shapes) == 0 {
+		return nil, fmt.Errorf("bench: no grid shapes given")
+	}
+	if cells < 4 || steps < 1 {
+		return nil, fmt.Errorf("bench: need cells >= 4 and steps >= 1, got %d and %d", cells, steps)
+	}
+	n := [3]int{cells, cells, cells}
+	points := make([]StencilPoint, 0, len(shapes))
+	for _, g := range shapes {
+		var best, comm, haloPerStep float64
+		for trial := 0; trial < StencilTrials; trial++ {
+			eng, err := shard.NewGridEngine(shard.GridConfig{
+				Grid: g, N: n, Ghost: 1,
+				NewWork: stencilFDTDWork(cells),
+				Net:     cluster.Slingshot11(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if _, err := eng.Run(2); err != nil { // prime the frame pools
+				eng.Close()
+				return nil, err
+			}
+			b0 := eng.HaloBytes()
+			t0 := time.Now()
+			_, err = eng.Run(steps)
+			dt := time.Since(t0)
+			if err != nil {
+				eng.Close()
+				return nil, err
+			}
+			if best == 0 || dt.Seconds() < best {
+				best = dt.Seconds()
+				comm = eng.ModeledCommSeconds()
+				haloPerStep = float64(eng.HaloBytes()-b0) / float64(steps)
+			}
+			eng.Close()
+		}
+		points = append(points, StencilPoint{
+			Ranks: g[0] * g[1] * g[2],
+			Grid:  fmt.Sprintf("%dx%dx%d", g[0], g[1], g[2]),
+			Cells: n[0] * n[1] * n[2], Steps: steps,
+			NsPerStep:        best * 1e9 / float64(steps),
+			HaloBytesPerStep: haloPerStep,
+			CommS:            comm,
+		})
+	}
+	base1 := -1
+	for i, pt := range points {
+		if pt.Ranks == 1 {
+			base1 = i
+			break
+		}
+	}
+	if base1 < 0 {
+		return nil, fmt.Errorf("bench: stencil sweep lacks the 1-rank baseline")
+	}
+	for i := range points {
+		points[i].Speedup = points[base1].NsPerStep / points[i].NsPerStep
+	}
+	return points, nil
+}
+
+// StencilDocument is the committable BENCH_PR9.json document.
+func StencilDocument(points []StencilPoint) StencilDoc {
+	return StencilDoc{
+		Go:         runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmark:  "sharded FDTD stencil scaling, driven Yee box, best-of-5 wall clock",
+		Points:     points,
+	}
+}
+
+// StencilTable formats the measurements.
+func StencilTable(points []StencilPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharded FDTD stencil scaling (real engine, %d cells, %d steps, best of %d, GOMAXPROCS=%d)\n",
+		points[0].Cells, points[0].Steps, StencilTrials, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(&b, "%6s %10s %14s %12s %18s %16s\n", "ranks", "grid", "ns/step", "speedup", "halo bytes/step", "model comm (ms)")
+	for _, pt := range points {
+		fmt.Fprintf(&b, "%6d %10s %14.0f %12.3f %18.0f %16.3f\n",
+			pt.Ranks, pt.Grid, pt.NsPerStep, pt.Speedup, pt.HaloBytesPerStep, pt.CommS*1e3)
+	}
+	return b.String()
+}

@@ -1,0 +1,181 @@
+package maxwell
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/cluster"
+	"mlmd/internal/shard/halo"
+	"mlmd/internal/units"
+)
+
+func singleDomain(t testing.TB, n [3]int) (halo.Domain, *halo.Exchanger) {
+	t.Helper()
+	g3, err := cluster.NewGrid3D(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := halo.NewDomain(g3, 0, n, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := cluster.NewComm(1, cluster.Interconnect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, halo.NewExchanger(comm, g3, 0)
+}
+
+// TestSim3DEnergyConservation is the closed-box property test: with no
+// source, the leapfrog curl pair must keep the discrete field energy
+// bounded over hundreds of steps — the collocated E²+B² measure oscillates
+// (the scheme conserves a time-staggered quadratic), but it must neither
+// decay nor grow secularly: every step stays inside a fixed envelope and
+// the running mean is conserved to a fraction of a percent.
+func TestSim3DEnergyConservation(t *testing.T) {
+	cases := []struct {
+		name string
+		n    [3]int
+		h    [3]float64
+		seed uint64
+	}{
+		{"cubic8", [3]int{8, 8, 8}, [3]float64{1, 1, 1}, 1},
+		{"slab", [3]int{12, 6, 4}, [3]float64{0.8, 1.0, 1.2}, 2},
+		{"rod", [3]int{16, 4, 4}, [3]float64{1.5, 1.5, 1.5}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, ex := singleDomain(t, tc.n)
+			hmin := math.Min(tc.h[0], math.Min(tc.h[1], tc.h[2]))
+			dt := 0.9 * hmin / math.Sqrt(3) / units.LightSpeed
+			sim, err := NewSim3D(d, Sim3DConfig{H: tc.h, Dt: dt})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim.InitRandom(tc.seed, 1e-3)
+			e0 := sim.Energy()
+			if e0 <= 0 {
+				t.Fatal("zero initial energy")
+			}
+			steps := 600
+			if testing.Short() {
+				steps = 200
+			}
+			window := steps / 6
+			var early, late float64
+			for s := 0; s < steps; s++ {
+				sim.Step(ex)
+				e := sim.Energy()
+				if e < 0.3*e0 || e > 3*e0 {
+					t.Fatalf("step %d: energy left the leapfrog envelope: E/e0 = %.3f", s, e/e0)
+				}
+				if s < window {
+					early += e
+				}
+				if s >= steps-window {
+					late += e
+				}
+			}
+			if rel := math.Abs(late-early) / early; rel > 0.01 {
+				t.Fatalf("mean energy drifted by %.3f%% over %d steps", 100*rel, steps)
+			}
+		})
+	}
+}
+
+// TestSim3DSourceInjectsEnergy checks that the point antenna feeds the
+// box: starting from vacuum, driving Jz at one cell must light up the
+// fields.
+func TestSim3DSourceInjectsEnergy(t *testing.T) {
+	n := [3]int{8, 8, 8}
+	d, ex := singleDomain(t, n)
+	dt := 0.9 / math.Sqrt(3) / units.LightSpeed
+	sim, err := NewSim3D(d, Sim3DConfig{
+		H: [3]float64{1, 1, 1}, Dt: dt,
+		Drive:     NewPulse(1e-2, 0.057, 0.05, 0.05),
+		Source:    [3]int{4, 4, 4},
+		SourceAmp: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 100; s++ {
+		sim.Step(ex)
+	}
+	if sim.Energy() <= 0 {
+		t.Fatalf("driven box stayed dark: E = %g", sim.Energy())
+	}
+	if sim.Time() <= 0 {
+		t.Fatal("time did not advance")
+	}
+}
+
+// TestNewSim3DErrors exercises the fail-fast configuration checks.
+func TestNewSim3DErrors(t *testing.T) {
+	g3, _ := cluster.NewGrid3D(1, 1, 1)
+	good, err := halo.NewDomain(g3, 0, [3]int{8, 8, 8}, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okDt := 0.5 / math.Sqrt(3) / units.LightSpeed
+	base := Sim3DConfig{H: [3]float64{1, 1, 1}, Dt: okDt}
+	cases := []struct {
+		name string
+		d    halo.Domain
+		mut  func(*Sim3DConfig)
+	}{
+		{"wrong ghost width", func() halo.Domain {
+			d, err := halo.NewDomain(g3, 0, [3]int{8, 8, 8}, 2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}(), nil},
+		{"zero spacing", good, func(c *Sim3DConfig) { c.H[2] = 0 }},
+		{"zero dt", good, func(c *Sim3DConfig) { c.Dt = 0 }},
+		{"CFL violation", good, func(c *Sim3DConfig) { c.Dt = 1 / units.LightSpeed }},
+		{"source out of bounds", good, func(c *Sim3DConfig) { c.Source = [3]int{8, 0, 0} }},
+		{"negative source", good, func(c *Sim3DConfig) { c.Source = [3]int{0, -1, 0} }},
+	}
+	for _, tc := range cases {
+		cfg := base
+		if tc.mut != nil {
+			tc.mut(&cfg)
+		}
+		if _, err := NewSim3D(tc.d, cfg); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
+
+// TestSim3DPartials pins the GridWorkload surface: partial sums match the
+// energy integral and the packed fields have the gather frame length.
+func TestSim3DPartials(t *testing.T) {
+	n := [3]int{6, 4, 4}
+	d, ex := singleDomain(t, n)
+	dt := 0.5 / math.Sqrt(3) / units.LightSpeed
+	sim, err := NewSim3D(d, Sim3DConfig{H: [3]float64{1, 1, 1}, Dt: dt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.InitRandom(9, 1)
+	for s := 0; s < 10; s++ {
+		sim.Step(ex)
+	}
+	p := make([]float64, sim.PartialLen())
+	sim.Partials(p)
+	dv := 1.0
+	want := (p[0] + p[1]) * dv / (8 * math.Pi)
+	if got := sim.Energy(); math.Abs(got-want) > 1e-15*math.Abs(want) {
+		t.Fatalf("Energy %g does not match partials %g", got, want)
+	}
+	if sim.NumFields() != 2 {
+		t.Fatalf("NumFields = %d", sim.NumFields())
+	}
+	for idx := 0; idx < 2; idx++ {
+		buf := sim.PackField(idx, nil)
+		if len(buf) != n[0]*n[1]*n[2]*sim.FieldWidth(idx) {
+			t.Fatalf("field %d packs %d floats", idx, len(buf))
+		}
+	}
+}

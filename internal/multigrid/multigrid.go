@@ -22,6 +22,13 @@ type Solver struct {
 	levels []level
 	// PreSmooth and PostSmooth are the smoothing sweeps per V-cycle leg.
 	PreSmooth, PostSmooth int
+	// FullWeighting selects RestrictFullWeighting — the exact adjoint of
+	// the trilinear prolongation, R = (1/8)Pᵀ — as the coarse-grid
+	// transfer, which makes the coarse-grid correction variational
+	// (Galerkin-consistent up to the operator rediscretization). The
+	// default remains the 8-point cell average restrict, preserving the
+	// historical solver trajectory bit for bit.
+	FullWeighting bool
 }
 
 type level struct {
@@ -119,7 +126,11 @@ func (s *Solver) vcycle(l int) {
 	}
 	residual(lev.g, lev.v, lev.f, lev.res)
 	coarse := &s.levels[l+1]
-	restrict(lev.g, coarse.g, lev.res, coarse.f)
+	if s.FullWeighting {
+		RestrictFullWeighting(lev.g, coarse.g, lev.res, coarse.f)
+	} else {
+		restrict(lev.g, coarse.g, lev.res, coarse.f)
+	}
 	for i := range coarse.v {
 		coarse.v[i] = 0
 	}
@@ -177,6 +188,71 @@ func restrict(fine, coarse grid.Grid, src, dst []float64) {
 					}
 				}
 				dst[coarse.Index(cx, cy, cz)] = sum / 8
+			}
+		}
+	}
+}
+
+// RestrictFullWeighting transfers a fine field to the coarse grid with the
+// 27-point full-weighting stencil that is the exact adjoint of the
+// trilinear prolongation: R = (1/8)Pᵀ, i.e. ⟨R f, c⟩_coarse = ⟨f, P c⟩/8
+// for every fine field f and coarse field c (the multigrid adjointness
+// property test pins this). Each coarse point gathers every fine point
+// that prolongation would source from it, with the same weight, scaled by
+// the 1/8 fine-to-coarse volume ratio; constants are preserved because the
+// prolongation weights attached to one coarse point sum to 8.
+func RestrictFullWeighting(fine, coarse grid.Grid, src, dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	forEachProlongWeight(coarse, fine, func(fIdx, cIdx int, w float64) {
+		dst[cIdx] += w * src[fIdx] / 8
+	})
+}
+
+// forEachProlongWeight enumerates the trilinear prolongation matrix: for
+// every fine point, the eight coarse points it interpolates from and their
+// weights. prolongAdd and RestrictFullWeighting are row and (scaled)
+// column walks of this one matrix, which is what makes them adjoint by
+// construction.
+func forEachProlongWeight(coarse, fine grid.Grid, visit func(fIdx, cIdx int, w float64)) {
+	for fx := 0; fx < fine.Nx; fx++ {
+		cx := fx / 2
+		cx2 := cx
+		if fx&1 == 1 {
+			cx2 = grid.Wrap(cx+1, coarse.Nx)
+		} else {
+			cx2 = grid.Wrap(cx-1, coarse.Nx)
+		}
+		for fy := 0; fy < fine.Ny; fy++ {
+			cy := fy / 2
+			cy2 := cy
+			if fy&1 == 1 {
+				cy2 = grid.Wrap(cy+1, coarse.Ny)
+			} else {
+				cy2 = grid.Wrap(cy-1, coarse.Ny)
+			}
+			for fz := 0; fz < fine.Nz; fz++ {
+				cz := fz / 2
+				cz2 := cz
+				if fz&1 == 1 {
+					cz2 = grid.Wrap(cz+1, coarse.Nz)
+				} else {
+					cz2 = grid.Wrap(cz-1, coarse.Nz)
+				}
+				const w1, w2 = 0.75, 0.25
+				fIdx := fine.Index(fx, fy, fz)
+				for _, t := range [8]struct {
+					x, y, z int
+					w       float64
+				}{
+					{cx, cy, cz, w1 * w1 * w1}, {cx2, cy, cz, w2 * w1 * w1},
+					{cx, cy2, cz, w1 * w2 * w1}, {cx, cy, cz2, w1 * w1 * w2},
+					{cx2, cy2, cz, w2 * w2 * w1}, {cx2, cy, cz2, w2 * w1 * w2},
+					{cx, cy2, cz2, w1 * w2 * w2}, {cx2, cy2, cz2, w2 * w2 * w2},
+				} {
+					visit(fIdx, coarse.Index(t.x, t.y, t.z), t.w)
+				}
 			}
 		}
 	}

@@ -1,0 +1,150 @@
+package multigrid
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/grid"
+)
+
+// fillHash fills x with deterministic pseudo-random values in [-0.5, 0.5).
+func fillHash(x []float64, seed uint64) {
+	s := seed
+	for i := range x {
+		s = s*6364136223846793005 + 1442695040888963407
+		x[i] = float64(s>>11)/(1<<53) - 0.5
+	}
+}
+
+func coarsen(g grid.Grid) grid.Grid {
+	return grid.New(g.Nx/2, g.Ny/2, g.Nz/2, g.Hx*2, g.Hy*2, g.Hz*2)
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// TestRestrictionProlongationAdjoint is the transfer-operator property
+// test: the full-weighting restriction is the exact (1/8-scaled) adjoint
+// of the trilinear prolongation, ⟨R f, c⟩ = ⟨f, P c⟩/8 for random fields
+// on several grid shapes and seeds.
+func TestRestrictionProlongationAdjoint(t *testing.T) {
+	cases := []struct {
+		name string
+		g    grid.Grid
+		seed uint64
+	}{
+		{"cubic8", grid.NewCubic(8, 0.7), 1},
+		{"cubic16", grid.NewCubic(16, 1.0), 2},
+		{"aniso", grid.New(16, 8, 8, 0.9, 1.1, 1.3), 3},
+		{"flat", grid.New(8, 16, 8, 1.0, 0.5, 2.0), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fine, coarse := tc.g, coarsen(tc.g)
+			f := make([]float64, fine.Len())
+			c := make([]float64, coarse.Len())
+			fillHash(f, tc.seed)
+			fillHash(c, tc.seed^0xABCD)
+
+			rf := make([]float64, coarse.Len())
+			RestrictFullWeighting(fine, coarse, f, rf)
+			pc := make([]float64, fine.Len())
+			prolongAdd(coarse, fine, c, pc)
+
+			lhs := dot(rf, c)
+			rhs := dot(f, pc) / 8
+			if rel := math.Abs(lhs-rhs) / math.Max(math.Abs(rhs), 1e-300); rel > 1e-13 {
+				t.Fatalf("adjointness broken: <Rf,c> = %.17g vs <f,Pc>/8 = %.17g (rel %g)", lhs, rhs, rel)
+			}
+		})
+	}
+}
+
+// TestTransferOperatorsPreserveConstants: both restrictions and the
+// prolongation map the constant field to the same constant — the
+// solvability condition of the periodic Poisson problem must survive the
+// grid transfer.
+func TestTransferOperatorsPreserveConstants(t *testing.T) {
+	fine := grid.NewCubic(8, 1.0)
+	coarse := coarsen(fine)
+	ones := make([]float64, fine.Len())
+	for i := range ones {
+		ones[i] = 1
+	}
+	for _, tc := range []struct {
+		name string
+		op   func(src, dst []float64)
+		n    int
+	}{
+		{"cell-average restrict", func(src, dst []float64) { restrict(fine, coarse, src, dst) }, coarse.Len()},
+		{"full-weighting restrict", func(src, dst []float64) { RestrictFullWeighting(fine, coarse, src, dst) }, coarse.Len()},
+	} {
+		dst := make([]float64, tc.n)
+		tc.op(ones, dst)
+		for i, v := range dst {
+			if math.Abs(v-1) > 1e-14 {
+				t.Fatalf("%s: constant 1 became %.17g at %d", tc.name, v, i)
+			}
+		}
+	}
+	onesC := make([]float64, coarse.Len())
+	for i := range onesC {
+		onesC[i] = 1
+	}
+	pc := make([]float64, fine.Len())
+	prolongAdd(coarse, fine, onesC, pc)
+	for i, v := range pc {
+		if math.Abs(v-1) > 1e-14 {
+			t.Fatalf("prolongation: constant 1 became %.17g at %d", v, i)
+		}
+	}
+}
+
+// TestSolveFullWeighting: the variational transfer converges the Hartree
+// problem at least as well as the default path, and both agree on the
+// solution up to the solve tolerance.
+func TestSolveFullWeighting(t *testing.T) {
+	g := grid.NewCubic(16, 0.8)
+	n := g.Len()
+	rho := make([]float64, n)
+	for ix := 0; ix < g.Nx; ix++ {
+		for iy := 0; iy < g.Ny; iy++ {
+			for iz := 0; iz < g.Nz; iz++ {
+				rho[g.Index(ix, iy, iz)] = math.Sin(2*math.Pi*float64(ix)/float64(g.Nx)) *
+					math.Cos(2*math.Pi*float64(iy)/float64(g.Ny)) *
+					math.Sin(4*math.Pi*float64(iz)/float64(g.Nz))
+			}
+		}
+	}
+	solve := func(fw bool) ([]float64, float64) {
+		s, err := New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.FullWeighting = fw
+		v := make([]float64, n)
+		rel := s.SolveHartree(rho, v, 1e-10, 60)
+		return v, rel
+	}
+	vDef, relDef := solve(false)
+	vFW, relFW := solve(true)
+	if relDef > 1e-10 {
+		t.Fatalf("default path did not converge: rel %g", relDef)
+	}
+	if relFW > 1e-10 {
+		t.Fatalf("full-weighting path did not converge: rel %g", relFW)
+	}
+	var maxAbs, maxDiff float64
+	for i := range vDef {
+		maxAbs = math.Max(maxAbs, math.Abs(vDef[i]))
+		maxDiff = math.Max(maxDiff, math.Abs(vDef[i]-vFW[i]))
+	}
+	if maxDiff > 1e-7*maxAbs {
+		t.Fatalf("paths disagree: max diff %g vs field scale %g", maxDiff, maxAbs)
+	}
+}

@@ -60,6 +60,7 @@ import (
 
 	"mlmd/internal/cluster"
 	"mlmd/internal/md"
+	"mlmd/internal/shard/halo"
 )
 
 // RankFF is one rank's force evaluator. Compute fills v.F for the owned
@@ -364,8 +365,15 @@ type rankState struct {
 	refX        []float64
 	needRebuild bool
 
-	ax               [3]axisExch
-	sendBuf, recvBuf [2][]float64
+	ax [3]axisExch
+	// ex drives the per-axis ring exchanges through the shape-agnostic
+	// halo layer; posF/auxF adapt the rebuild-time send/slot lists to
+	// halo.Field. sendBuf stages the rebuild-time frames whose contents
+	// are only discovered while packing (migration, halo build).
+	ex      *halo.Exchanger
+	posF    posField
+	auxF    auxField
+	sendBuf [2][]float64
 	// aux holds the two-phase payloads (nLoc × auxW).
 	aux []float64
 
@@ -432,16 +440,16 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 		return nil, fmt.Errorf("shard: need a non-empty system")
 	}
 	p := grid.Size()
-	halo := cfg.Cutoff + cfg.Skin
+	hw := cfg.Cutoff + cfg.Skin
 	box := [3]float64{sys.Lx, sys.Ly, sys.Lz}
 	var w [3]float64
 	var axes []int
 	for a := 0; a < 3; a++ {
 		w[a] = box[a] / float64(g[a])
 		if g[a] > 1 {
-			if halo > w[a] {
+			if hw > w[a] {
 				return nil, fmt.Errorf("shard: halo %g exceeds the axis-%d subdomain width %g (L=%g, P=%d): use a coarser grid or a smaller cutoff+skin",
-					halo, a, w[a], box[a], g[a])
+					hw, a, w[a], box[a], g[a])
 			}
 			axes = append(axes, a)
 		}
@@ -469,7 +477,7 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg: cfg, comm: comm, grid: grid, p: p, n: sys.N,
-		box: box, halo: halo, axes: axes,
+		box: box, halo: hw, axes: axes,
 		partial:   len(localRanks) < p,
 		applyRank: localRanks[0],
 		cuts:      cluster.UniformCuts3D(grid, box[0], box[1], box[2]),
@@ -485,14 +493,14 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 			return nil, fmt.Errorf("shard: seeded cut planes: %w", err)
 		}
 		for _, a := range axes {
-			if mw := e.cuts.MinWidth(a); mw < halo {
-				return nil, fmt.Errorf("shard: seeded cut planes leave axis-%d width %g below the halo %g", a, mw, halo)
+			if mw := e.cuts.MinWidth(a); mw < hw {
+				return nil, fmt.Errorf("shard: seeded cut planes leave axis-%d width %g below the halo %g", a, mw, hw)
 			}
 		}
 	}
 	e.ewmaAlpha = ewmaAlpha(cfg.BalanceWindow)
 	if cfg.Balance {
-		e.bal = newBalancer(cfg, grid, halo)
+		e.bal = newBalancer(cfg, grid, hw)
 	}
 	e.rs = make([]*rankState, p)
 	e.local = make([]*rankState, 0, len(localRanks))
@@ -502,7 +510,10 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 			rank: r, ff: cfg.NewFF(r),
 			flag:        make([]float64, 1),
 			needRebuild: true,
+			ex:          halo.NewExchanger(comm, grid, r),
 		}
+		rs.posF.rs = rs
+		rs.auxF.rs = rs
 		rs.coords[0], rs.coords[1], rs.coords[2] = grid.Coords(r)
 		for a := 0; a < 3; a++ {
 			rs.lo[a] = e.cuts.Lo(a, rs.coords[a])
@@ -1096,7 +1107,6 @@ func (e *Engine) verifyInteriorRows(rs *rankState) {
 // brand-new configuration — converge in at most ⌈P_axis/2⌉ rounds per axis.
 func (e *Engine) migrate(rs *rankState) {
 	for _, a := range e.axes {
-		minus, plus := e.grid.AxisNeighbors(rs.rank, a)
 		pa := e.grid.P[a]
 		ca := rs.coords[a]
 		for {
@@ -1130,13 +1140,9 @@ func (e *Engine) migrate(rs *rankState) {
 			}
 			rs.sendBuf[0], rs.sendBuf[1] = sendM, sendP
 			rs.nOwn = keep
-			e.comm.SendBuf(rs.rank, plus, sendP)
-			e.comm.SendBuf(rs.rank, minus, sendM)
-			rs.recvBuf[0] = e.comm.RecvInto(rs.rank, minus, rs.recvBuf[0])
-			rs.recvBuf[1] = e.comm.RecvInto(rs.rank, plus, rs.recvBuf[1])
+			rm, rp := rs.ex.Ring(a, sendM, sendP)
 			arrived := 0.0
-			for s := 0; s < 2; s++ {
-				buf := rs.recvBuf[s]
+			for _, buf := range [2][]float64{rm, rp} {
 				for k := 0; k+migRec <= len(buf); k += migRec {
 					i := rs.nOwn
 					rs.ids = appendI32At(rs.ids, i, int32(buf[k]))
@@ -1190,7 +1196,6 @@ func (e *Engine) buildHalo(rs *rankState) {
 		}
 	}
 	for _, a := range e.axes {
-		minus, plus := e.grid.AxisNeighbors(rs.rank, a)
 		la, wa := rs.lo[a], rs.w[a]
 		ax := &rs.ax[a]
 		for i := 0; i < rs.nLoc; i++ {
@@ -1213,13 +1218,9 @@ func (e *Engine) buildHalo(rs *rankState) {
 			}
 			rs.sendBuf[s] = buf
 		}
-		e.comm.SendBuf(rs.rank, plus, rs.sendBuf[1])
-		e.comm.SendBuf(rs.rank, minus, rs.sendBuf[0])
-		rs.recvBuf[0] = e.comm.RecvInto(rs.rank, minus, rs.recvBuf[0])
-		rs.recvBuf[1] = e.comm.RecvInto(rs.rank, plus, rs.recvBuf[1])
-		for s := 0; s < 2; s++ {
+		rm, rp := rs.ex.Ring(a, rs.sendBuf[0], rs.sendBuf[1])
+		for s, buf := range [2][]float64{rm, rp} {
 			side := &ax.side[s]
-			buf := rs.recvBuf[s]
 			for k := 0; k+haloRec <= len(buf); k += haloRec {
 				gid := int32(buf[k])
 				if slot, ok := rs.v.lookup[gid]; ok {
@@ -1244,36 +1245,65 @@ func (e *Engine) buildHalo(rs *rankState) {
 	}
 }
 
-// postAxisSends posts axis a's steady-state position messages: owned (or
-// earlier-axis ghost) positions of the rebuild-time send lists go out to
-// both ring neighbors. Allocation-free once buffers reach steady size.
-func (e *Engine) postAxisSends(rs *rankState, a int) {
-	minus, plus := e.grid.AxisNeighbors(rs.rank, a)
-	for s := 0; s < 2; s++ {
-		buf := rs.sendBuf[s][:0]
-		for _, i := range rs.ax[a].side[s].sendIdx {
-			buf = append(buf, rs.x[3*i], rs.x[3*i+1], rs.x[3*i+2])
-		}
-		rs.sendBuf[s] = buf
+// posField adapts the rebuild-time position send/slot lists to
+// halo.Field: Pack streams the owned (or earlier-axis ghost) positions of
+// a side's send list, Unpack lands received positions in the fixed ghost
+// slots recorded at rebuild. Allocation-free once frames reach steady
+// size.
+type posField struct{ rs *rankState }
+
+// Pack implements halo.Field over the axis/side position send list.
+func (p *posField) Pack(axis, side int, buf []float64) []float64 {
+	rs := p.rs
+	for _, i := range rs.ax[axis].side[side].sendIdx {
+		buf = append(buf, rs.x[3*i], rs.x[3*i+1], rs.x[3*i+2])
 	}
-	e.comm.SendBuf(rs.rank, plus, rs.sendBuf[1])
-	e.comm.SendBuf(rs.rank, minus, rs.sendBuf[0])
+	return buf
 }
 
-// recvAxis completes axis a's position exchange: incoming positions land in
-// the fixed ghost slots recorded at rebuild.
-func (e *Engine) recvAxis(rs *rankState, a int) {
-	minus, plus := e.grid.AxisNeighbors(rs.rank, a)
-	rs.recvBuf[0] = e.comm.RecvInto(rs.rank, minus, rs.recvBuf[0])
-	rs.recvBuf[1] = e.comm.RecvInto(rs.rank, plus, rs.recvBuf[1])
-	for s := 0; s < 2; s++ {
-		buf := rs.recvBuf[s]
-		for k, slot := range rs.ax[a].side[s].recvSlot {
-			rs.x[3*slot] = buf[3*k]
-			rs.x[3*slot+1] = buf[3*k+1]
-			rs.x[3*slot+2] = buf[3*k+2]
-		}
+// Unpack implements halo.Field over the axis/side ghost slot list.
+func (p *posField) Unpack(axis, side int, buf []float64) {
+	rs := p.rs
+	for k, slot := range rs.ax[axis].side[side].recvSlot {
+		rs.x[3*slot] = buf[3*k]
+		rs.x[3*slot+1] = buf[3*k+1]
+		rs.x[3*slot+2] = buf[3*k+2]
 	}
+}
+
+// auxField adapts the two-phase payload rows (aux, nLoc × auxW) to
+// halo.Field over the same send/slot lists as positions, so ghost rows
+// forward payloads received on earlier axes exactly like positions.
+type auxField struct{ rs *rankState }
+
+// Pack implements halo.Field over the axis/side payload send list.
+func (p *auxField) Pack(axis, side int, buf []float64) []float64 {
+	rs := p.rs
+	w := rs.auxW
+	for _, i := range rs.ax[axis].side[side].sendIdx {
+		buf = append(buf, rs.aux[int(i)*w:(int(i)+1)*w]...)
+	}
+	return buf
+}
+
+// Unpack implements halo.Field over the axis/side payload slot list.
+func (p *auxField) Unpack(axis, side int, buf []float64) {
+	rs := p.rs
+	w := rs.auxW
+	for k, slot := range rs.ax[axis].side[side].recvSlot {
+		copy(rs.aux[int(slot)*w:(int(slot)+1)*w], buf[k*w:(k+1)*w])
+	}
+}
+
+// postAxisSends posts axis a's steady-state position messages through the
+// halo layer.
+func (e *Engine) postAxisSends(rs *rankState, a int) {
+	rs.ex.Post(&rs.posF, a)
+}
+
+// recvAxis completes axis a's position exchange.
+func (e *Engine) recvAxis(rs *rankState, a int) {
+	rs.ex.Finish(&rs.posF, a)
 }
 
 // refreshGhosts is the full (non-overlapped) steady-state halo refresh:
@@ -1287,34 +1317,14 @@ func (e *Engine) refreshGhosts(rs *rankState) {
 }
 
 // postAuxSends posts axis a's payload messages for the two-phase force
-// path: the aux rows of the same send lists as positions (ghost rows
-// forward payloads received on earlier axes, exactly like positions).
+// path through the halo layer.
 func (e *Engine) postAuxSends(rs *rankState, a int) {
-	minus, plus := e.grid.AxisNeighbors(rs.rank, a)
-	w := rs.auxW
-	for s := 0; s < 2; s++ {
-		buf := rs.sendBuf[s][:0]
-		for _, i := range rs.ax[a].side[s].sendIdx {
-			buf = append(buf, rs.aux[int(i)*w:(int(i)+1)*w]...)
-		}
-		rs.sendBuf[s] = buf
-	}
-	e.comm.SendBuf(rs.rank, plus, rs.sendBuf[1])
-	e.comm.SendBuf(rs.rank, minus, rs.sendBuf[0])
+	rs.ex.Post(&rs.auxF, a)
 }
 
 // recvAuxAxis completes axis a's payload exchange into the ghost aux rows.
 func (e *Engine) recvAuxAxis(rs *rankState, a int) {
-	minus, plus := e.grid.AxisNeighbors(rs.rank, a)
-	w := rs.auxW
-	rs.recvBuf[0] = e.comm.RecvInto(rs.rank, minus, rs.recvBuf[0])
-	rs.recvBuf[1] = e.comm.RecvInto(rs.rank, plus, rs.recvBuf[1])
-	for s := 0; s < 2; s++ {
-		buf := rs.recvBuf[s]
-		for k, slot := range rs.ax[a].side[s].recvSlot {
-			copy(rs.aux[int(slot)*w:(int(slot)+1)*w], buf[k*w:(k+1)*w])
-		}
-	}
+	rs.ex.Finish(&rs.auxF, a)
 }
 
 // Stats reports decomposition event counts summed over the hosted ranks:

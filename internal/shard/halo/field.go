@@ -1,0 +1,241 @@
+package halo
+
+import "errors"
+
+// ErrBadAxis reports an axis or side outside the valid range.
+var ErrBadAxis = errors.New("halo: axis or side out of range")
+
+// ErrFrameLen reports a ghost frame whose length does not match the
+// receiver's expected slab size.
+var ErrFrameLen = errors.New("halo: ghost frame length mismatch")
+
+// frameBox returns the half-open local-index box of the (axis, side)
+// slab: the G owned planes adjacent to that face when packing, the G
+// ghost planes on that face when unpacking. Transverse axes cover the
+// owned range, except that corner-forwarding fields extend axes already
+// refreshed this round (prior) over their full local extent, so edge and
+// corner ghosts ride through face neighbors.
+func frameBox(d Domain, ext [3]int, corners bool, prior [3]bool, axis, side int, unpack bool) (lo, hi [3]int) {
+	g := d.Ghost
+	for b := 0; b < 3; b++ {
+		if corners && prior[b] {
+			lo[b], hi[b] = 0, ext[b]
+		} else {
+			lo[b], hi[b] = g, g+d.Own[b]
+		}
+	}
+	switch {
+	case !unpack && side == 0:
+		lo[axis], hi[axis] = g, 2*g
+	case !unpack && side == 1:
+		lo[axis], hi[axis] = ext[axis]-2*g, ext[axis]-g
+	case unpack && side == 0:
+		lo[axis], hi[axis] = 0, g
+	default:
+		lo[axis], hi[axis] = ext[axis]-g, ext[axis]
+	}
+	return lo, hi
+}
+
+// GridField is a C-component float64 field on a Domain block, stored
+// z-fastest over the local extent (owned plus ghost layers on every
+// axis): element s of local cell (ix,iy,iz) lives at Index(ix,iy,iz)+s.
+// Ghosts exist on all three axes regardless of partitioning — ring
+// exchange fills partitioned axes, periodic self-copy fills the rest —
+// so stencil kernels read neighbors uniformly and never wrap.
+type GridField struct {
+	// D is the domain block this field lives on.
+	D Domain
+	// C is the number of components per cell.
+	C int
+	// Ext is the local storage extent per axis (D.Ext()).
+	Ext [3]int
+	// Data holds Ext[0]*Ext[1]*Ext[2]*C values, z-fastest.
+	Data []float64
+	// Corners selects corner-forwarding refreshes: each axis's frames
+	// extend over ghosts delivered by earlier axes in the same Refresh,
+	// filling edge and corner ghosts. Face-star stencils leave it false
+	// and move fewer bytes.
+	Corners bool
+
+	prior [3]bool
+}
+
+// NewGridField allocates a zeroed C-component field on d.
+func NewGridField(d Domain, c int) *GridField {
+	ext := d.Ext()
+	return &GridField{D: d, C: c, Ext: ext, Data: make([]float64, ext[0]*ext[1]*ext[2]*c)}
+}
+
+// Index returns the Data offset of local cell (ix,iy,iz), ghosts
+// included.
+func (f *GridField) Index(ix, iy, iz int) int {
+	return ((ix*f.Ext[1]+iy)*f.Ext[2] + iz) * f.C
+}
+
+// OwnIndex returns the Data offset of owned cell (ox,oy,oz), i.e. local
+// cell (ox+G, oy+G, oz+G).
+func (f *GridField) OwnIndex(ox, oy, oz int) int {
+	g := f.D.Ghost
+	return f.Index(ox+g, oy+g, oz+g)
+}
+
+// FrameLen returns the expected frame length for (axis, side) under the
+// current refresh state.
+func (f *GridField) FrameLen(axis, side int) int {
+	lo, hi := frameBox(f.D, f.Ext, f.Corners, f.prior, axis, side, false)
+	return (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]) * f.C
+}
+
+// Pack implements Field: it appends the G owned planes adjacent to the
+// (axis, side) face, x-major z-fastest.
+func (f *GridField) Pack(axis, side int, buf []float64) []float64 {
+	lo, hi := frameBox(f.D, f.Ext, f.Corners, f.prior, axis, side, false)
+	run := (hi[2] - lo[2]) * f.C
+	for x := lo[0]; x < hi[0]; x++ {
+		for y := lo[1]; y < hi[1]; y++ {
+			base := f.Index(x, y, lo[2])
+			buf = append(buf, f.Data[base:base+run]...)
+		}
+	}
+	return buf
+}
+
+// Unpack implements Field: it scatters the received frame into the
+// (axis, side) ghost planes. The frame length must match FrameLen; use
+// UnpackChecked when the frame comes from an untrusted source.
+func (f *GridField) Unpack(axis, side int, buf []float64) {
+	lo, hi := frameBox(f.D, f.Ext, f.Corners, f.prior, axis, side, true)
+	run := (hi[2] - lo[2]) * f.C
+	k := 0
+	for x := lo[0]; x < hi[0]; x++ {
+		for y := lo[1]; y < hi[1]; y++ {
+			base := f.Index(x, y, lo[2])
+			copy(f.Data[base:base+run], buf[k:k+run])
+			k += run
+		}
+	}
+}
+
+// UnpackChecked validates axis, side, and the frame length before
+// unpacking. It rejects forged frames without allocating: a bad length
+// returns ErrFrameLen and leaves the field untouched.
+func (f *GridField) UnpackChecked(axis, side int, buf []float64) error {
+	if axis < 0 || axis > 2 || side < 0 || side > 1 {
+		return ErrBadAxis
+	}
+	if len(buf) != f.FrameLen(axis, side) {
+		return ErrFrameLen
+	}
+	f.Unpack(axis, side, buf)
+	return nil
+}
+
+// SelfGhost fills both ghost layers of an unpartitioned axis from this
+// rank's own periodic images: the low ghosts copy the high owned planes
+// and vice versa — the same planes a ring exchange would deliver if the
+// axis had neighbors.
+func (f *GridField) SelfGhost(axis int) {
+	g := f.D.Ghost
+	f.copyPlanes(axis, f.Ext[axis]-2*g, 0)
+	f.copyPlanes(axis, g, f.Ext[axis]-g)
+}
+
+// copyPlanes copies G planes starting at srcLo along axis to dstLo, over
+// the current transverse frame range.
+func (f *GridField) copyPlanes(axis, srcLo, dstLo int) {
+	lo, hi := frameBox(f.D, f.Ext, f.Corners, f.prior, axis, 0, false)
+	g := f.D.Ghost
+	switch axis {
+	case 0:
+		run := (hi[2] - lo[2]) * f.C
+		for p := 0; p < g; p++ {
+			for y := lo[1]; y < hi[1]; y++ {
+				src, dst := f.Index(srcLo+p, y, lo[2]), f.Index(dstLo+p, y, lo[2])
+				copy(f.Data[dst:dst+run], f.Data[src:src+run])
+			}
+		}
+	case 1:
+		run := (hi[2] - lo[2]) * f.C
+		for x := lo[0]; x < hi[0]; x++ {
+			for p := 0; p < g; p++ {
+				src, dst := f.Index(x, srcLo+p, lo[2]), f.Index(x, dstLo+p, lo[2])
+				copy(f.Data[dst:dst+run], f.Data[src:src+run])
+			}
+		}
+	default:
+		run := g * f.C
+		for x := lo[0]; x < hi[0]; x++ {
+			for y := lo[1]; y < hi[1]; y++ {
+				src, dst := f.Index(x, y, srcLo), f.Index(x, y, dstLo)
+				copy(f.Data[dst:dst+run], f.Data[src:src+run])
+			}
+		}
+	}
+}
+
+// Refresh fills every ghost layer: one ring exchange per partitioned
+// axis (ascending), periodic self-copy otherwise. With Corners set, each
+// axis forwards the ghosts delivered by earlier axes, so afterwards
+// every ghost cell — faces, edges, corners — holds its owner's value.
+func (f *GridField) Refresh(ex *Exchanger) {
+	f.prior = [3]bool{}
+	for a := 0; a < 3; a++ {
+		f.refreshAxis(ex, a)
+		f.prior[a] = true
+	}
+	f.prior = [3]bool{}
+}
+
+// RefreshAxis fills only the face ghosts of one axis (no corner
+// forwarding) — what a single-axis sweep like the TDDFT odd-pair update
+// needs between sub-steps.
+func (f *GridField) RefreshAxis(ex *Exchanger, axis int) {
+	f.prior = [3]bool{}
+	f.refreshAxis(ex, axis)
+}
+
+func (f *GridField) refreshAxis(ex *Exchanger, axis int) {
+	if f.D.Partitioned(axis) {
+		ex.Post(f, axis)
+		ex.Finish(f, axis)
+	} else {
+		f.SelfGhost(axis)
+	}
+}
+
+// PostAxis starts a face-ghost refresh of one axis: it posts the ring
+// sends (or completes the periodic self-copy immediately when the axis
+// is unpartitioned) and returns without waiting, so callers can overlap
+// interior compute before FinishAxis. Face frames only — corner
+// forwarding requires the sequential Refresh.
+func (f *GridField) PostAxis(ex *Exchanger, axis int) {
+	f.prior = [3]bool{}
+	if f.D.Partitioned(axis) {
+		ex.Post(f, axis)
+	} else {
+		f.SelfGhost(axis)
+	}
+}
+
+// FinishAxis completes a PostAxis: it receives and scatters the two
+// ghost frames (a no-op for unpartitioned axes).
+func (f *GridField) FinishAxis(ex *Exchanger, axis int) {
+	if f.D.Partitioned(axis) {
+		ex.Finish(f, axis)
+	}
+}
+
+// PackOwned appends every owned cell, x-major z-fastest — the gather
+// frame format GridEngine uses to reassemble a global field on rank 0.
+func (f *GridField) PackOwned(buf []float64) []float64 {
+	g := f.D.Ghost
+	run := f.D.Own[2] * f.C
+	for x := 0; x < f.D.Own[0]; x++ {
+		for y := 0; y < f.D.Own[1]; y++ {
+			base := f.Index(x+g, y+g, g)
+			buf = append(buf, f.Data[base:base+run]...)
+		}
+	}
+	return buf
+}

@@ -115,6 +115,9 @@ func fixtureByName(name string) (mpFixture, error) {
 // runMPWorker is the re-executed worker: one rank of a multi-process
 // engine, configured entirely through the environment.
 func runMPWorker() error {
+	if strings.HasPrefix(os.Getenv("MLMD_SHARD_WORKER"), "grid-") {
+		return runGridMPWorker()
+	}
 	fix, err := fixtureByName(os.Getenv("MLMD_SHARD_WORKER"))
 	if err != nil {
 		return err

@@ -1,0 +1,392 @@
+package tddft
+
+import (
+	"fmt"
+	"math"
+
+	"mlmd/internal/shard/halo"
+)
+
+// ShardProp is the domain-decomposed split-operator propagator: one rank's
+// block of the Kohn–Sham orbitals as a halo.GridFieldC (C = Norb complex
+// components per cell), advanced by the same Strang product the serial
+// KinProp applies —
+//
+//	e^{−iΔt v/2} · Π_ax [even(Δt/2) odd(Δt) even(Δt/2)] · e^{−iΔt diag} · e^{−iΔt v/2}
+//
+// with every per-cell update copied expression-for-expression from
+// propagateReordered and VProp. The domain split is pair-aligned
+// (halo.NewDomain even=true): every even-parity pair (2k, 2k+1) is rank-
+// local, so only the odd-parity pairs straddle block boundaries. Those are
+// computed one-sidedly — the rank owning the low element a evaluates
+// orb[a] = c·va + isF·vb from the ghost vb, the rank owning b evaluates
+// orb[b] = c·vb + isB·va from the ghost va — which are exactly the two
+// assignments of the serial pair rotation, so the sharded propagation is
+// bitwise identical to the serial one on any rank grid
+// (TestShardPropMatchesSerial, TestGridStencilIdentityMatrixTDDFT).
+//
+// The laser pulse enters as a uniform vector potential A_x(t) through the
+// same Peierls phase angle θ = A_x·h_x/c the serial kin_prop uses.
+type ShardProp struct {
+	D halo.Domain
+	// W holds the orbitals: W.Data[Index(x,y,z)*Norb + s].
+	W    *halo.GridFieldC
+	Norb int
+	// Vloc is the local potential on the owned cells, x-major z-fastest.
+	Vloc []float64
+	// Dt is the time step (a.u.).
+	Dt float64
+	// Ax samples the uniform vector potential A_x at time t (nil = 0).
+	Ax func(t float64) float64
+	// DisableOverlap forces the blocking RefreshAxis path before each odd
+	// sweep instead of overlapping the exchange with the interior pairs.
+	DisableOverlap bool
+
+	hop  [3]float64 // −1/(2h²) per axis
+	diag float64    // Σ 1/h²
+	hx   float64
+	dV   float64
+
+	// pair lists of Data base offsets (GridFieldC.Index values, already
+	// ×Norb). evenPairs/oddPairs hold (a,b) two-sided pairs; oddLow/oddHigh
+	// hold (owned, ghost) one-sided boundary pairs.
+	evenPairs [3][]int32
+	oddPairs  [3][]int32
+	oddLow    [3][]int32
+	oddHigh   [3][]int32
+
+	t    float64
+	step int
+}
+
+// ShardPropConfig configures one rank's ShardProp block.
+type ShardPropConfig struct {
+	Norb int
+	// H is the mesh spacing per axis (a.u.).
+	H [3]float64
+	// Dt is the time step.
+	Dt float64
+	// Ax samples the driving vector potential A_x(t) (nil = no drive).
+	Ax func(t float64) float64
+	// Vloc samples the static local potential at a global cell.
+	Vloc func(gx, gy, gz int) float64
+	// DisableOverlap disables communication/compute overlap (A/B testing).
+	DisableOverlap bool
+}
+
+// NewShardProp builds the propagator on domain block d. The global mesh
+// must have even dimensions (the serial KinProp requirement) and d must be
+// pair-aligned with ghost width ≥ 1.
+func NewShardProp(d halo.Domain, cfg ShardPropConfig) (*ShardProp, error) {
+	if cfg.Norb < 1 {
+		return nil, fmt.Errorf("tddft: need at least 1 orbital, got %d", cfg.Norb)
+	}
+	if d.Ghost < 1 {
+		return nil, fmt.Errorf("tddft: shard propagation needs ghost width >= 1, got %d", d.Ghost)
+	}
+	for ax := 0; ax < 3; ax++ {
+		if cfg.H[ax] <= 0 {
+			return nil, fmt.Errorf("tddft: mesh spacing h[%d] = %g must be positive", ax, cfg.H[ax])
+		}
+		if d.N[ax]%2 != 0 {
+			return nil, fmt.Errorf("tddft: split-operator pairing needs even dims, axis %d has %d", ax, d.N[ax])
+		}
+		if d.Off[ax]%2 != 0 || d.Own[ax]%2 != 0 {
+			return nil, fmt.Errorf("tddft: axis %d block [%d,%d) is not pair-aligned (use the even domain split)", ax, d.Off[ax], d.Off[ax]+d.Own[ax])
+		}
+	}
+	if cfg.Dt <= 0 {
+		return nil, fmt.Errorf("tddft: time step %g must be positive", cfg.Dt)
+	}
+	sp := &ShardProp{
+		D:              d,
+		W:              halo.NewGridFieldC(d, cfg.Norb),
+		Norb:           cfg.Norb,
+		Vloc:           make([]float64, d.Len()),
+		Dt:             cfg.Dt,
+		Ax:             cfg.Ax,
+		DisableOverlap: cfg.DisableOverlap,
+		hx:             cfg.H[0],
+		dV:             cfg.H[0] * cfg.H[1] * cfg.H[2],
+	}
+	for ax := 0; ax < 3; ax++ {
+		sp.hop[ax] = -0.5 / (cfg.H[ax] * cfg.H[ax])
+		sp.diag += 1 / (cfg.H[ax] * cfg.H[ax])
+	}
+	if cfg.Vloc != nil {
+		k := 0
+		for ox := 0; ox < d.Own[0]; ox++ {
+			for oy := 0; oy < d.Own[1]; oy++ {
+				for oz := 0; oz < d.Own[2]; oz++ {
+					sp.Vloc[k] = cfg.Vloc(d.Off[0]+ox, d.Off[1]+oy, d.Off[2]+oz)
+					k++
+				}
+			}
+		}
+	}
+	sp.buildPairs()
+	return sp, nil
+}
+
+// buildPairs enumerates the pair-rotation plan: for each axis, the local
+// even pairs (always interior — the split is pair-aligned), the local odd
+// pairs (interior, plus the periodic wrap pair when the axis is not
+// partitioned), and the one-sided odd boundary pairs against the ghost
+// layers of a partitioned axis.
+func (sp *ShardProp) buildPairs() {
+	d, f := sp.D, sp.W
+	for ax := 0; ax < 3; ax++ {
+		part := d.Partitioned(ax)
+		var lc [3]int
+		for lc[0] = 0; lc[0] < d.Own[0]; lc[0]++ {
+			for lc[1] = 0; lc[1] < d.Own[1]; lc[1]++ {
+				for lc[2] = 0; lc[2] < d.Own[2]; lc[2]++ {
+					i := lc[ax]
+					a := int32(f.Index(d.Ghost+lc[0], d.Ghost+lc[1], d.Ghost+lc[2]))
+					nb := lc
+					if (d.Off[ax]+i)%2 == 0 {
+						// Even pair (i, i+1): i+1 is always in-block.
+						nb[ax] = i + 1
+						b := int32(f.Index(d.Ghost+nb[0], d.Ghost+nb[1], d.Ghost+nb[2]))
+						sp.evenPairs[ax] = append(sp.evenPairs[ax], a, b)
+						if i == 0 && part {
+							// Odd pair (i−1, i): the low neighbor lives in
+							// the minus ghost layer; we own only b.
+							nb[ax] = -1
+							g := int32(f.Index(d.Ghost+nb[0], d.Ghost+nb[1], d.Ghost+nb[2]))
+							sp.oddLow[ax] = append(sp.oddLow[ax], a, g)
+						}
+						continue
+					}
+					// Odd pair (i, i+1).
+					nb[ax] = i + 1
+					if i+1 < d.Own[ax] {
+						b := int32(f.Index(d.Ghost+nb[0], d.Ghost+nb[1], d.Ghost+nb[2]))
+						sp.oddPairs[ax] = append(sp.oddPairs[ax], a, b)
+					} else if part {
+						// High neighbor is the plus ghost layer; we own a.
+						g := int32(f.Index(d.Ghost+nb[0], d.Ghost+nb[1], d.Ghost+nb[2]))
+						sp.oddHigh[ax] = append(sp.oddHigh[ax], a, g)
+					} else {
+						// Periodic wrap pair — local on an unpartitioned axis.
+						nb[ax] = 0
+						b := int32(f.Index(d.Ghost+nb[0], d.Ghost+nb[1], d.Ghost+nb[2]))
+						sp.oddPairs[ax] = append(sp.oddPairs[ax], a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// InitRandom fills the orbitals from a decomposition-invariant hash of the
+// global cell and orbital indices: every rank computes the same value for
+// the same global cell, so any rank grid starts from bitwise identical
+// state. The field is not normalized — the identity tests compare raw bits.
+func (sp *ShardProp) InitRandom(seed uint64, amp float64) {
+	d, f := sp.D, sp.W
+	for ox := 0; ox < d.Own[0]; ox++ {
+		for oy := 0; oy < d.Own[1]; oy++ {
+			for oz := 0; oz < d.Own[2]; oz++ {
+				gid := uint64(((d.Off[0]+ox)*d.N[1]+d.Off[1]+oy)*d.N[2] + d.Off[2] + oz)
+				base := f.OwnIndex(ox, oy, oz)
+				for s := 0; s < sp.Norb; s++ {
+					hr := splitmix64(seed ^ (gid*uint64(2*sp.Norb) + uint64(2*s)))
+					hi := splitmix64(seed ^ (gid*uint64(2*sp.Norb) + uint64(2*s) + 1))
+					f.Data[base+s] = complex(
+						amp*(float64(hr>>11)/(1<<53)-0.5),
+						amp*(float64(hi>>11)/(1<<53)-0.5),
+					)
+				}
+			}
+		}
+	}
+}
+
+// Step advances the orbitals by one Δt: v/2 → kinetic axes → diagonal
+// phase → v/2, the exact Propagator.Step + propagateReordered sequence.
+func (sp *ShardProp) Step(ex *halo.Exchanger) {
+	dt := sp.Dt
+	var axPot float64
+	if sp.Ax != nil {
+		// t = step·Δt by multiplication, not accumulation: the drive must
+		// sample bitwise identical times on every rank and in the serial
+		// reference harness.
+		axPot = sp.Ax(float64(sp.step) * dt)
+	}
+	theta := axPot * sp.hx / lightC
+
+	sp.vprop(dt / 2)
+	for ax := 0; ax < 3; ax++ {
+		for _, sub := range [3]struct {
+			parity int
+			frac   float64
+		}{{0, 0.5}, {1, 1.0}, {0, 0.5}} {
+			angle := sp.hop[ax] * dt * sub.frac
+			c := complex(math.Cos(angle), 0)
+			is := complex(0, -math.Sin(angle))
+			var ph complex128 = 1
+			if ax == 0 && theta != 0 {
+				ph = complex(math.Cos(theta), math.Sin(theta))
+			}
+			isF, isB := is*ph, is*conj(ph)
+			if sub.parity == 0 {
+				sp.rotatePairs(sp.evenPairs[ax], c, isF, isB)
+				continue
+			}
+			// Odd sweep: boundary pairs read post-even(Δt/2) neighbor
+			// values through the axis ghosts.
+			if !sp.D.Partitioned(ax) {
+				sp.rotatePairs(sp.oddPairs[ax], c, isF, isB)
+				continue
+			}
+			if sp.DisableOverlap {
+				sp.W.RefreshAxis(ex, ax)
+				sp.rotatePairs(sp.oddPairs[ax], c, isF, isB)
+			} else {
+				sp.W.PostAxis(ex, ax)
+				sp.rotatePairs(sp.oddPairs[ax], c, isF, isB)
+				sp.W.FinishAxis(ex, ax)
+			}
+			sp.rotateLow(sp.oddLow[ax], c, isB)
+			sp.rotateHigh(sp.oddHigh[ax], c, isF)
+		}
+	}
+	// Diagonal kinetic phase over the owned cells.
+	ph := -dt * sp.diag
+	rot := complex(math.Cos(ph), math.Sin(ph))
+	sp.scaleOwned(rot)
+	sp.vprop(dt / 2)
+
+	sp.step++
+	sp.t = float64(sp.step) * dt
+}
+
+// rotatePairs applies the 2×2 pair rotation to every (a,b) pair — the
+// serial propagateReordered inner loop verbatim.
+func (sp *ShardProp) rotatePairs(pairs []int32, c, isF, isB complex128) {
+	norb := sp.Norb
+	data := sp.W.Data
+	for p := 0; p < len(pairs); p += 2 {
+		ra := int(pairs[p])
+		rb := int(pairs[p+1])
+		for s := 0; s < norb; s++ {
+			va, vb := data[ra+s], data[rb+s]
+			data[ra+s] = c*va + isF*vb
+			data[rb+s] = c*vb + isB*va
+		}
+	}
+}
+
+// rotateLow applies the b-side assignment of a boundary pair whose a lives
+// in the minus ghost layer: orb[b] = c·vb + isB·va.
+func (sp *ShardProp) rotateLow(pairs []int32, c, isB complex128) {
+	norb := sp.Norb
+	data := sp.W.Data
+	for p := 0; p < len(pairs); p += 2 {
+		rb := int(pairs[p])
+		ra := int(pairs[p+1])
+		for s := 0; s < norb; s++ {
+			va, vb := data[ra+s], data[rb+s]
+			data[rb+s] = c*vb + isB*va
+		}
+	}
+}
+
+// rotateHigh applies the a-side assignment of a boundary pair whose b lives
+// in the plus ghost layer: orb[a] = c·va + isF·vb.
+func (sp *ShardProp) rotateHigh(pairs []int32, c, isF complex128) {
+	norb := sp.Norb
+	data := sp.W.Data
+	for p := 0; p < len(pairs); p += 2 {
+		ra := int(pairs[p])
+		rb := int(pairs[p+1])
+		for s := 0; s < norb; s++ {
+			va, vb := data[ra+s], data[rb+s]
+			data[ra+s] = c*va + isF*vb
+		}
+	}
+}
+
+// vprop applies the local-potential phase e^{−i dt v_loc} cell by cell —
+// the serial VProp expression on the owned box.
+func (sp *ShardProp) vprop(dt float64) {
+	d, f := sp.D, sp.W
+	norb := sp.Norb
+	k := 0
+	for ox := 0; ox < d.Own[0]; ox++ {
+		for oy := 0; oy < d.Own[1]; oy++ {
+			base := f.OwnIndex(ox, oy, 0)
+			for oz := 0; oz < d.Own[2]; oz++ {
+				ph := -dt * sp.Vloc[k]
+				rot := complex(math.Cos(ph), math.Sin(ph))
+				row := f.Data[base+oz*norb : base+(oz+1)*norb]
+				for s := range row {
+					row[s] *= rot
+				}
+				k++
+			}
+		}
+	}
+}
+
+// scaleOwned multiplies every owned-cell orbital value by rot.
+func (sp *ShardProp) scaleOwned(rot complex128) {
+	d, f := sp.D, sp.W
+	norb := sp.Norb
+	for ox := 0; ox < d.Own[0]; ox++ {
+		for oy := 0; oy < d.Own[1]; oy++ {
+			base := f.OwnIndex(ox, oy, 0)
+			row := f.Data[base : base+d.Own[2]*norb]
+			for s := range row {
+				row[s] *= rot
+			}
+		}
+	}
+}
+
+// Time returns the propagated physical time.
+func (sp *ShardProp) Time() float64 { return sp.t }
+
+// --- shard.GridWorkload ---
+
+// PartialLen is Norb: one norm² partial per orbital.
+func (sp *ShardProp) PartialLen() int { return sp.Norb }
+
+// Partials accumulates each orbital's |ψ|²·dV over the owned cells.
+// Unitary propagation conserves these, which the conservation tests check.
+func (sp *ShardProp) Partials(p []float64) {
+	d, f := sp.D, sp.W
+	norb := sp.Norb
+	for ox := 0; ox < d.Own[0]; ox++ {
+		for oy := 0; oy < d.Own[1]; oy++ {
+			base := f.OwnIndex(ox, oy, 0)
+			for oz := 0; oz < d.Own[2]; oz++ {
+				row := f.Data[base+oz*norb : base+(oz+1)*norb]
+				for s, v := range row {
+					p[s] += (real(v)*real(v) + imag(v)*imag(v)) * sp.dV
+				}
+			}
+		}
+	}
+}
+
+// NumFields is 1: the orbital field.
+func (sp *ShardProp) NumFields() int { return 1 }
+
+// FieldWidth is 2·Norb floats per cell (the complex wire codec).
+func (sp *ShardProp) FieldWidth(idx int) int { return 2 * sp.Norb }
+
+// PackField appends the owned orbitals as (re, im) pairs.
+func (sp *ShardProp) PackField(idx int, buf []float64) []float64 {
+	return sp.W.PackOwned(buf)
+}
+
+// splitmix64 is the decomposition-invariant cell hash (same generator the
+// Maxwell workload uses for its random fields).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

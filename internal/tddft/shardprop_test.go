@@ -1,0 +1,185 @@
+package tddft
+
+import (
+	"math"
+	"testing"
+
+	"mlmd/internal/cluster"
+	"mlmd/internal/grid"
+	"mlmd/internal/shard/halo"
+)
+
+// testVloc is the shared static potential of the shard-propagation tests.
+func testVloc(n [3]int) func(gx, gy, gz int) float64 {
+	return func(gx, gy, gz int) float64 {
+		return 0.3*math.Cos(2*math.Pi*float64(gx)/float64(n[0])) +
+			0.2*math.Sin(2*math.Pi*float64(gy)/float64(n[1])) -
+			0.1*math.Cos(2*math.Pi*float64(gz)/float64(n[2]))
+	}
+}
+
+// testAx is a smooth laser-pulse-like vector potential drive.
+func testAx(t float64) float64 {
+	env := math.Exp(-(t - 2) * (t - 2) / 2)
+	return 0.8 * env * math.Sin(1.5*t)
+}
+
+// TestShardPropMatchesSerial locks the sharded split-operator propagator to
+// the serial reference: a 1×1×1-rank ShardProp must reproduce the serial
+// VProp + KinProp(ImplReordered) + VProp sequence bit for bit, step by
+// step, under a time-dependent Peierls drive. This is the anchor of the
+// grid identity matrix — multi-rank shards are then compared against the
+// 1×1×1 shard.
+func TestShardPropMatchesSerial(t *testing.T) {
+	n := [3]int{6, 4, 8}
+	h := [3]float64{0.9, 1.1, 0.7}
+	const norb = 3
+	const dt = 0.05
+	const steps = 40
+
+	// Serial reference.
+	g := grid.New(n[0], n[1], n[2], h[0], h[1], h[2])
+	ham := NewHamiltonian(g, grid.Order2)
+	for ix := 0; ix < n[0]; ix++ {
+		for iy := 0; iy < n[1]; iy++ {
+			for iz := 0; iz < n[2]; iz++ {
+				ham.Vloc[g.Index(ix, iy, iz)] = testVloc(n)(ix, iy, iz)
+			}
+		}
+	}
+	kp, err := NewKinProp(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := grid.NewWaveField(g, norb, grid.LayoutSoA)
+
+	// Sharded single block.
+	g3, err := cluster.NewGrid3D(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := halo.NewDomain(g3, 0, n, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewShardProp(d, ShardPropConfig{
+		Norb: norb, H: h, Dt: dt,
+		Ax:   testAx,
+		Vloc: testVloc(n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.InitRandom(42, 1.0)
+
+	// Seed the serial field from the shard's owned cells (same global
+	// ordering, orbital-fastest in both layouts).
+	buf := sp.PackField(0, nil)
+	for i := 0; i < len(buf); i += 2 {
+		w.Data[i/2] = complex(buf[i], buf[i+1])
+	}
+
+	comm, err := cluster.NewComm(1, cluster.Interconnect{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := halo.NewExchanger(comm, g3, 0)
+
+	for s := 0; s < steps; s++ {
+		ham.Ax = testAx(float64(s) * dt)
+		VProp(ham, w, dt/2)
+		kp.Propagate(w, dt, ham.Ax, ImplReordered)
+		VProp(ham, w, dt/2)
+
+		sp.Step(ex)
+
+		buf = sp.PackField(0, buf[:0])
+		for i := 0; i < len(buf); i += 2 {
+			sv := w.Data[i/2]
+			if math.Float64bits(buf[i]) != math.Float64bits(real(sv)) ||
+				math.Float64bits(buf[i+1]) != math.Float64bits(imag(sv)) {
+				t.Fatalf("step %d: orbital value %d diverged from serial: shard (%v,%v) vs serial %v",
+					s, i/2, buf[i], buf[i+1], sv)
+			}
+		}
+	}
+	if sp.Time() == 0 {
+		t.Fatal("shard propagator did not advance time")
+	}
+}
+
+// TestShardPropNormConservation checks unitarity: every orbital's norm² is
+// conserved by the split-operator product to near machine precision.
+func TestShardPropNormConservation(t *testing.T) {
+	n := [3]int{4, 4, 4}
+	const norb = 2
+	g3, _ := cluster.NewGrid3D(1, 1, 1)
+	d, err := halo.NewDomain(g3, 0, n, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewShardProp(d, ShardPropConfig{
+		Norb: norb, H: [3]float64{1, 1, 1}, Dt: 0.08,
+		Ax: testAx, Vloc: testVloc(n),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.InitRandom(7, 1.0)
+	comm, _ := cluster.NewComm(1, cluster.Interconnect{})
+	ex := halo.NewExchanger(comm, g3, 0)
+
+	norm0 := make([]float64, norb)
+	sp.Partials(norm0)
+	for s := 0; s < 200; s++ {
+		sp.Step(ex)
+	}
+	norm1 := make([]float64, norb)
+	sp.Partials(norm1)
+	for s := range norm0 {
+		if rel := math.Abs(norm1[s]-norm0[s]) / norm0[s]; rel > 1e-12 {
+			t.Fatalf("orbital %d norm drifted by %.3e after 200 steps", s, rel)
+		}
+	}
+}
+
+// TestNewShardPropErrors exercises the fail-fast configuration checks.
+func TestNewShardPropErrors(t *testing.T) {
+	g3, _ := cluster.NewGrid3D(1, 1, 1)
+	good, err := halo.NewDomain(g3, 0, [3]int{4, 4, 4}, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ShardPropConfig{Norb: 2, H: [3]float64{1, 1, 1}, Dt: 0.1}
+	cases := []struct {
+		name string
+		d    halo.Domain
+		mut  func(*ShardPropConfig)
+	}{
+		{"zero orbitals", good, func(c *ShardPropConfig) { c.Norb = 0 }},
+		{"zero spacing", good, func(c *ShardPropConfig) { c.H[1] = 0 }},
+		{"zero dt", good, func(c *ShardPropConfig) { c.Dt = 0 }},
+		{"no ghosts", func() halo.Domain { d := good; d.Ghost = 0; return d }(), nil},
+		{"odd dims", func() halo.Domain {
+			d, err := halo.NewDomain(g3, 0, [3]int{5, 4, 4}, 1, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}(), nil},
+		{"unaligned block", func() halo.Domain {
+			d := good
+			d.Off[0], d.Own[0] = 1, 3
+			return d
+		}(), nil},
+	}
+	for _, tc := range cases {
+		cfg := base
+		if tc.mut != nil {
+			tc.mut(&cfg)
+		}
+		if _, err := NewShardProp(tc.d, cfg); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+}
