@@ -1,6 +1,7 @@
 # mlmd build / verification entry points.
 #
-#   make check   - format check, vet, build, full test suite (including the
+#   make check   - format check, vet, static enforcement (make lint), build,
+#                  full test suite (including the
 #                  multi-process smoke: cmd/mlmd's TestMultiProcessSummary-
 #                  MatchesGolden runs a short `mlmd -procs 2` over the
 #                  Unix-socket rank transport against the golden summary, and
@@ -13,6 +14,15 @@
 #                  RunRecovered shrink-and-resume driver too), the coverage
 #                  floor, a short fuzz smoke (FuzzReadHandshake covers the
 #                  generation-tagged wire handshake), and the docs gate
+#   make lint    - run cmd/mlmdlint (the internal/lint analyzer suite:
+#                  noalloc, detrange, poolonly, ascendsum, wiresafe) over
+#                  ./... and fail on any finding; docs/lint.md documents the
+#                  //mlmd:hotpath annotation and //lint:allow suppression
+#                  grammar
+#   make race-full - CI-nightly race lane: the full (non-short) detector
+#                  pass over the transport, halo, and stencil packages plus
+#                  the shard grid-identity matrix under -race (the -short
+#                  lane `make race` runs on every check)
 #   make docs    - documentation gate: gofmt -l on the documented packages,
 #                  go vet ./..., and cmd/checkdoc (fails on exported
 #                  identifiers missing doc comments in shard/cluster/
@@ -74,7 +84,7 @@ PAR_PKGS = ./internal/par ./internal/md ./internal/linalg ./internal/allegro \
 # current levels: md 97%, mlmdio 90%, cluster 92%, wire 97%, shard 94%,
 # nn 94%, halo 96%, maxwell 89%, tddft 88%).
 COVER_PKGS = ./internal/md ./internal/mlmdio ./internal/cluster ./internal/cluster/wire ./internal/shard ./internal/nn \
-	./internal/shard/halo ./internal/maxwell ./internal/tddft
+	./internal/shard/halo ./internal/maxwell ./internal/tddft ./internal/lint
 COVER_MIN  = 85
 
 # Deserializers and frame decoders under native fuzzing, per package, plus
@@ -88,11 +98,17 @@ FUZZ_TIME   ?= 10s
 
 # Packages whose exported API must be fully doc-commented (`make docs`).
 DOC_PKGS = ./internal/shard ./internal/cluster ./internal/cluster/wire ./internal/par ./internal/allegro ./internal/nn \
-	./internal/shard/halo ./internal/maxwell ./internal/tddft ./internal/multigrid
+	./internal/shard/halo ./internal/maxwell ./internal/tddft ./internal/multigrid ./internal/lint
 
-.PHONY: check fmt vet build test race cover fuzz docs bench bench2 bench3 bench4 bench5 bench6 bench7 bench8 bench9 tables
+.PHONY: check fmt vet lint build test race race-full cover fuzz docs bench bench2 bench3 bench4 bench5 bench6 bench7 bench8 bench9 tables
 
-check: fmt vet build test race cover fuzz docs
+check: fmt vet lint build test race cover fuzz docs
+
+# Static enforcement: the internal/lint analyzer suite over the whole tree.
+# Deliberately-violating analyzer fixtures live under internal/lint/testdata,
+# which the ./... wildcard does not match.
+lint:
+	$(GO) run ./cmd/mlmdlint ./...
 
 # docs = gofmt + vet (via prerequisites, so `make check` doesn't run them
 # twice) + the exported-doc-comment gate.
@@ -115,6 +131,15 @@ test:
 race:
 	$(GO) test -race $(PAR_PKGS)
 	$(GO) test -race -short ./internal/shard
+
+# CI-nightly: the full-depth race lane. Everything `make race` runs in
+# -short mode runs here at full length — the transport soak, the halo
+# exchange sweeps, the 3-D stencil runs, and the shard grid-identity
+# matrix (every rank-grid shape must reproduce the serial trajectory
+# bitwise while the detector watches the exchanges).
+race-full:
+	$(GO) test -race ./internal/cluster ./internal/shard/halo ./internal/maxwell
+	$(GO) test -race -run 'TestGridDecompositionIdentityMatrix' ./internal/shard
 
 cover:
 	@for p in $(COVER_PKGS); do \

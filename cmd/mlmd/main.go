@@ -434,6 +434,7 @@ func runWorkerGeneration(exe, dir string, args []string, size int, failStop bool
 			return 0, 1
 		}
 		cmds = append(cmds, cmd)
+		//lint:allow poolonly one reaper goroutine per forked worker process; supervisor lifecycle, not a fan-out
 		go func(rank int, cmd *exec.Cmd) { done <- workerExit{rank, cmd.Wait()} }(r, cmd)
 	}
 	for range cmds {

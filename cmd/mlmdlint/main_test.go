@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// inDir runs the driver with the working directory switched to dir (the
+// loader resolves patterns relative to the process cwd).
+func inDir(t *testing.T, dir string, args []string) int {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	return run(args)
+}
+
+func TestListExitsClean(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d, want 0", code)
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	if code := run([]string{"-run", "nosuch", "./..."}); code != 2 {
+		t.Fatalf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	if code := run([]string{"-definitely-not-a-flag"}); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	root := repoRoot(t)
+	if code := inDir(t, root, []string{"./internal/units"}); code != 0 {
+		t.Fatalf("clean package exited %d, want 0", code)
+	}
+}
+
+func TestFixtureViolationsExitOne(t *testing.T) {
+	root := repoRoot(t)
+	fixture := "./internal/lint/testdata/src/poolonlyfix"
+	if code := inDir(t, root, []string{fixture}); code != 1 {
+		t.Fatalf("violating fixture exited %d, want 1", code)
+	}
+}
+
+func TestRunSubsetSkipsOtherAnalyzers(t *testing.T) {
+	root := repoRoot(t)
+	// The poolonly fixture violates only poolonly; running just wiresafe
+	// over it must come back clean.
+	fixture := "./internal/lint/testdata/src/poolonlyfix"
+	if code := inDir(t, root, []string{"-run", "wiresafe", fixture}); code != 0 {
+		t.Fatalf("wiresafe over poolonly fixture exited %d, want 0", code)
+	}
+}
+
+func TestBadPatternIsLoadError(t *testing.T) {
+	root := repoRoot(t)
+	if code := inDir(t, root, []string{"./does/not/exist/..."}); code != 2 {
+		t.Fatalf("bad pattern exited %d, want 2", code)
+	}
+}

@@ -135,6 +135,8 @@ type BlockEval struct {
 // identical to per-atom EvalAtom inference. net supplies the weights and
 // shifts (the committee evaluates several nets over one gather); it must
 // share m's layer sizes.
+//
+//mlmd:hotpath
 func (m *Model) EvalBlock(net *Model, types []int, base, n int, desc []float64, be *BlockEval, eAtom, gdRows []float64, gdStride int) {
 	dim := m.Spec.Dim()
 	nsp := m.Spec.NSpecies
@@ -211,6 +213,8 @@ func (m *Model) EvalBlock(net *Model, types []int, base, n int, desc []float64, 
 // order as EvalAtom) and fills desc (length Dim) and vec (length
 // NSpecies·NRadial·3), leaving the MLP to a later EvalBlock over many
 // gathered rows. cs must be Spec.Centers().
+//
+//mlmd:hotpath
 func (m *Model) GatherAtom(sys *md.System, i int, cand []int32, cs []float64, scr *EvalScratch, desc, vec []float64) {
 	scr.env.reset()
 	for _, j32 := range cand {
@@ -265,6 +269,8 @@ func growF64(s []float64, n int) []float64 {
 // to the per-atom path's. net supplies weights/shifts and dE/dx merges
 // into F (−dE/dx): the committee evaluates several nets over one gather
 // by passing gathered=true after the first member.
+//
+//mlmd:hotpath
 func (m *Model) forceBlockBatched(sys *md.System, net *Model, F []float64, lo, hi int, gathered bool) float64 {
 	if m.bscratch == nil {
 		m.bscratch = par.NewScratch(func() *batchState { return &batchState{} })

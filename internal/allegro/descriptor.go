@@ -93,6 +93,8 @@ func (env *neighborEnv) reset() {
 // buildEnv collects all neighbors of atom i within cutoff into env,
 // reusing its backing storage. The neighbor order comes from the list's
 // full-list CSR and matches the seed's per-call half-list expansion.
+//
+//mlmd:hotpath
 func buildEnv(sys *md.System, nl *md.NeighborList, i int, rc float64, env *neighborEnv) {
 	env.reset()
 	for _, j32 := range nl.FullNeighbors(i) {
@@ -122,6 +124,8 @@ func (d DescriptorSpec) Descriptor(sys *md.System, env neighborEnv, out []float6
 // descriptorInto is Descriptor with caller-provided scratch (cs from
 // centers(), vec of length NSpecies*NRadial*3), so per-worker hot loops
 // avoid per-atom allocation.
+//
+//mlmd:hotpath
 func (d DescriptorSpec) descriptorInto(sys *md.System, env neighborEnv, out, cs, vec []float64) {
 	if len(out) != d.Dim() {
 		panic("allegro: descriptor output length mismatch")
@@ -190,6 +194,8 @@ func (d DescriptorSpec) descriptorGradInto(sys *md.System, env neighborEnv, i in
 // runs the identical loop, so a stored vec is bitwise equal to a recomputed
 // one). The batched evaluation path stores vec at gather time and calls
 // this directly, skipping the duplicate exponentials.
+//
+//mlmd:hotpath
 func (d DescriptorSpec) descriptorGradPre(sys *md.System, env neighborEnv, i int, gD, dEdx, cs, vec []float64) {
 	for n := range env.j {
 		j := env.j[n]
@@ -216,6 +222,8 @@ func (d DescriptorSpec) descriptorGradPre(sys *md.System, env neighborEnv, i int
 // (internal/shard's Allegro adapter) call it, so a force summed from
 // PairGradTerm values in a fixed order is bitwise reproducible across
 // decompositions.
+//
+//mlmd:hotpath
 func (d DescriptorSpec) PairGradTerm(spJ int, gD, vec, cs []float64, dx, dy, dz, r float64) (gx, gy, gz float64) {
 	w := d.width()
 	nr := d.NRadial

@@ -162,6 +162,7 @@ func RecoverCost(grid [3]int, cells, steps int, cadences []int) ([]RecoverPoint,
 			var wg sync.WaitGroup
 			for id := 0; id < size; id++ {
 				wg.Add(1)
+				//lint:allow poolonly one rank-lifecycle goroutine per recovering rank; ranks must run concurrently
 				go func(id int) {
 					defer wg.Done()
 					sys := base.Clone()

@@ -491,6 +491,7 @@ func (t *SocketTransport) heartbeat() {
 				// the heartbeat goroutine itself still holds a count), so a
 				// concurrent Close drains it instead of leaking it.
 				t.wg.Add(1)
+				//lint:allow poolonly failure-blame goroutine joins the transport WaitGroup; exceptional path, not a fan-out
 				go func(dst int, err error) {
 					defer t.wg.Done()
 					t.sendFailed(dst, err)

@@ -118,6 +118,7 @@ func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
 // grow resizes the scratch buffer to n bytes, reusing capacity.
 func (w *Writer) grow(n int) []byte {
 	if cap(w.buf) < n {
+		//lint:allow wiresafe writer sizes come from this process, not the wire; WriteData bounds them by MaxBody
 		w.buf = make([]byte, n)
 	}
 	w.buf = w.buf[:n]
@@ -213,6 +214,7 @@ func (r *Reader) SetPreFrame(f func() error) { r.preFrame = f }
 // more than readChunk bytes at once.
 func (r *Reader) grow(n int) []byte {
 	if cap(r.buf) < n {
+		//lint:allow wiresafe every caller passes a constant or a readChunk-clamped size; header() bounds bodies by MaxBody first
 		r.buf = make([]byte, n)
 	}
 	r.buf = r.buf[:n]

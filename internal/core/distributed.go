@@ -53,6 +53,7 @@ func (m *DCMESH) MDStepDistributed(comm *cluster.Comm) (*DistributedResult, erro
 	rankNExc := make([][]float64, p)
 	for r := 0; r < p; r++ {
 		wg.Add(1)
+		//lint:allow poolonly rank goroutines synchronize through Gather/Barrier and must all run concurrently
 		go func(rank int) {
 			defer wg.Done()
 			start := time.Now()

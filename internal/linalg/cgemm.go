@@ -104,6 +104,8 @@ const blockSize = 48
 // (the paper's Sec. V.B.3 tiling applied to the GEMM path), row blocks
 // sharded over the shared worker pool. Beta scaling is fused into each row
 // chunk so C is traversed once.
+//
+//mlmd:hotpath
 func CGEMMBlocked(opA, opB Op, m, n, k int, alpha complex128, a []complex128, lda int, b []complex128, ldb int, beta complex128, c []complex128, ldc int) {
 	checkGEMMArgs(opA, opB, m, n, k, len(a), lda, len(b), ldb, len(c), ldc)
 	par.For(m, gemmRowGrain(n, k, 8), func(lo, hi, _ int) {
@@ -116,6 +118,8 @@ func CGEMMBlocked(opA, opB Op, m, n, k int, alpha complex128, a []complex128, ld
 // cgemmAccumRange accumulates alpha*op(A)*op(B) into C for rows [i0,i1).
 // Row-major B goes through the shared register-tile kernel; the
 // conjugate-transpose B fallback keeps the straightforward blocked loop.
+//
+//mlmd:hotpath
 func cgemmAccumRange(opA, opB Op, i0, i1, n, k int, alpha complex128, a []complex128, lda int, b []complex128, ldb int, c []complex128, ldc int) {
 	getA := func(i, p int) complex128 { return alpha * getOp(a, lda, opA, i, p) }
 	for ii := i0; ii < i1; ii += blockSize {
@@ -146,6 +150,8 @@ func cgemmAccumRange(opA, opB Op, i0, i1, n, k int, alpha complex128, a []comple
 
 // CGEMMParallel is the historical name of the pool-parallel blocked kernel;
 // it now simply delegates to CGEMMBlocked, which owns the sharding.
+//
+//mlmd:hotpath
 func CGEMMParallel(opA, opB Op, m, n, k int, alpha complex128, a []complex128, lda int, b []complex128, ldb int, beta complex128, c []complex128, ldc int) {
 	CGEMMBlocked(opA, opB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
 }

@@ -8,6 +8,8 @@ import "mlmd/internal/par"
 // nonlocal correction: halving the element size roughly doubles the
 // effective memory bandwidth, which is where the paper's FP32-over-FP64
 // speedup comes from on bandwidth-bound sizes.
+//
+//mlmd:hotpath
 func CGEMM32Parallel(opA, opB Op, m, n, k int, alpha complex64, a []complex64, lda int, b []complex64, ldb int, beta complex64, c []complex64, ldc int) {
 	par.For(m, gemmRowGrain(n, k, 8), func(lo, hi, _ int) {
 		scaleRows(lo, hi, n, beta, c, ldc)
@@ -24,6 +26,7 @@ func getOp32(x []complex64, ld int, op Op, i, j int) complex64 {
 	return complex(real(v), -imag(v))
 }
 
+//mlmd:hotpath
 func cgemm32AccumRange(opA, opB Op, i0, i1, n, k int, alpha complex64, a []complex64, lda int, b []complex64, ldb int, c []complex64, ldc int) {
 	const bs = 64
 	getA := func(i, p int) complex64 { return alpha * getOp32(a, lda, opA, i, p) }

@@ -30,6 +30,8 @@ func gemmRowGrain(n, k, flopsPerMAC int) int {
 // of XS-NNQMD runs on this kernel (the paper's Allegro uses FP32
 // activations). Results are bitwise independent of the worker count: rows
 // are disjoint and chunk boundaries depend only on the problem shape.
+//
+//mlmd:hotpath
 func GEMM32(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	if len(a) < (m-1)*lda+k && m > 0 {
 		panic("linalg: A too short")
@@ -50,6 +52,8 @@ func GEMM32(m, n, k int, alpha float32, a []float32, lda int, b []float32, ldb i
 // alpha*A*B into them through the shared register-tile kernel (a single
 // full-width j-pass: float32 rows are half the footprint of complex ones,
 // so no extra j-blocking is needed at these sizes).
+//
+//mlmd:hotpath
 func gemm32Range(i0, i1, n, k int, alpha float32, a []float32, lda int, b []float32, ldb int, beta float32, c []float32, ldc int) {
 	scaleRows(i0, i1, n, beta, c, ldc)
 	getA := func(i, p int) float32 { return alpha * a[i*lda+p] }
@@ -65,6 +69,8 @@ func gemm32Range(i0, i1, n, k int, alpha float32, a []float32, lda int, b []floa
 
 // GEMM64 computes C = alpha*A*B + beta*C for float64 row-major matrices,
 // cache-blocked and sharded over the shared worker pool by row blocks.
+//
+//mlmd:hotpath
 func GEMM64(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
 	par.For(m, gemmRowGrain(n, k, 2), func(lo, hi, _ int) {
 		gemm64Range(lo, hi, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
@@ -72,6 +78,7 @@ func GEMM64(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb i
 	AddFlops(GEMMFlops(m, n, k))
 }
 
+//mlmd:hotpath
 func gemm64Range(i0, i1, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
 	for i := i0; i < i1; i++ {
 		row := c[i*ldc : i*ldc+n]
@@ -123,6 +130,8 @@ type GEMM64Job struct {
 }
 
 // Run is GEMM64 through the job's reused pool closure.
+//
+//mlmd:hotpath
 func (j *GEMM64Job) Run(m, n, k int, alpha float64, a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
 	if j.fn == nil {
 		j.fn = func(lo, hi, _ int) {
@@ -144,6 +153,8 @@ func GEMM64Parallel(m, n, k int, alpha float64, a []float64, lda int, b []float6
 
 // MatVec64 computes y = A x for a dense row-major m×n matrix, sharded over
 // the worker pool by rows.
+//
+//mlmd:hotpath
 func MatVec64(m, n int, a []float64, lda int, x, y []float64) {
 	grain := 1
 	if n > 0 {
@@ -165,6 +176,8 @@ func MatVec64(m, n int, a []float64, lda int, x, y []float64) {
 }
 
 // Dot64 returns the dot product of two equal-length vectors.
+//
+//mlmd:hotpath
 func Dot64(x, y []float64) float64 {
 	var sum float64
 	for i := range x {
@@ -174,6 +187,8 @@ func Dot64(x, y []float64) float64 {
 }
 
 // Norm2 returns the Euclidean norm of x.
+//
+//mlmd:hotpath
 func Norm2(x []float64) float64 {
 	var sum float64
 	for _, v := range x {
@@ -183,6 +198,8 @@ func Norm2(x []float64) float64 {
 }
 
 // Axpy64 computes y += alpha*x.
+//
+//mlmd:hotpath
 func Axpy64(alpha float64, x, y []float64) {
 	for i := range x {
 		y[i] += alpha * x[i]

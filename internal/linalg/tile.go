@@ -15,6 +15,8 @@ type gemmElem interface {
 // C once per p — with j-blocks of bsj keeping the working set in L1.
 // getA(i, p) returns alpha·op(A)[i,p]; it is called outside the inner
 // loop (4 calls per 2×2×bsj block), so the indirection costs nothing.
+//
+//mlmd:hotpath
 func tileNoTransB[T gemmElem](bsj int, getA func(i, p int) T, ii, iMax, pp, pMax, n int, b []T, ldb int, c []T, ldc int) {
 	var zero T
 	for jj := 0; jj < n; jj += bsj {
@@ -73,6 +75,8 @@ func tileNoTransB[T gemmElem](bsj int, getA func(i, p int) T, ii, iMax, pp, pMax
 }
 
 // scaleRows applies the BLAS beta scaling to C rows [i0,i1).
+//
+//mlmd:hotpath
 func scaleRows[T gemmElem](i0, i1, n int, beta T, c []T, ldc int) {
 	var zero T
 	one := zero + 1

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DetRange guards the bitwise-trajectory contract against the classic
+// silent determinism killer: map iteration order. Anywhere under
+// internal/..., a `range` over a map (or a sync.Map.Range callback) must
+// not feed a floating-point accumulation, an append of values, or a
+// cluster.Comm operation. The one allowed idiom is collecting the keys
+// alone (`keys = append(keys, k)`) — sorting and iterating the key slice is
+// the canonical fix, and the ascendsum analyzer checks that the sort
+// actually happens.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc: "no range over a map (or sync.Map.Range) may feed a floating-point " +
+		"accumulation, a value append, or a cluster.Comm send: map iteration " +
+		"order is random, so any order-sensitive sink silently breaks bitwise " +
+		"reproducibility; collect the keys, sort, and iterate the slice instead",
+	Run: runDetRange,
+}
+
+func runDetRange(p *Pass) {
+	if !inInternal(p.Pkg) {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				t := info.TypeOf(x.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				var keyObj types.Object
+				if id, ok := x.Key.(*ast.Ident); ok && id.Name != "_" {
+					keyObj = info.ObjectOf(id)
+				}
+				if sink, ok := orderSink(info, x.Body, keyObj); ok {
+					p.Reportf(x.Pos(), "range over map %s (map iteration order is random and breaks bitwise reproducibility); collect keys, sort ascending, then iterate the slice", sink)
+				}
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Range" || !isNamedType(info.TypeOf(sel.X), "sync", "Map") {
+					return true
+				}
+				if len(x.Args) != 1 {
+					return true
+				}
+				lit, ok := ast.Unparen(x.Args[0]).(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				var keyObj types.Object
+				if ps := lit.Type.Params.List; len(ps) > 0 && len(ps[0].Names) > 0 {
+					keyObj = info.Defs[ps[0].Names[0]]
+				}
+				if sink, ok := orderSink(info, lit.Body, keyObj); ok {
+					p.Reportf(x.Pos(), "sync.Map.Range callback %s (sync.Map iteration order is unspecified and breaks bitwise reproducibility)", sink)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// orderSink scans a map-iteration body for an order-sensitive sink and
+// describes the first one found. keyObj (may be nil) identifies the range's
+// key variable; appending the bare key is exempt — that is the
+// collect-sort-iterate idiom's first half.
+func orderSink(info *types.Info, body ast.Node, keyObj types.Object) (string, bool) {
+	var desc string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if pos, ok := fpAccumIn(info, x); ok && pos == x.Pos() {
+				desc = "accumulates floating-point values in iteration order"
+				return false
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, x, "append") && !isBareKeyAppend(info, x, keyObj) {
+				desc = "appends values in iteration order"
+				return false
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if isNamedType(info.TypeOf(sel.X), "internal/cluster", "Comm") {
+					desc = fmt.Sprintf("calls cluster.Comm.%s in iteration order (rank traffic must be deterministic)", sel.Sel.Name)
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return desc, desc != ""
+}
+
+// isBareKeyAppend reports whether the append call appends exactly the range
+// key and nothing derived from the value: `keys = append(keys, k)`.
+func isBareKeyAppend(info *types.Info, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) < 2 {
+		return false
+	}
+	for _, a := range call.Args[1:] {
+		id, ok := ast.Unparen(a).(*ast.Ident)
+		if !ok || info.ObjectOf(id) != keyObj {
+			return false
+		}
+	}
+	return true
+}

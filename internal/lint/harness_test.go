@@ -1,0 +1,124 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fixturePackages loads every fixture package under testdata/src once per
+// test binary (the loader shells out to `go list -export`, so the load is
+// shared) and indexes them by package name.
+var fixturePackages = sync.OnceValues(func() (map[string]*Package, error) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		return nil, err
+	}
+	patterns := make([]string, 0, len(dirs))
+	for _, d := range dirs {
+		patterns = append(patterns, "./"+d)
+	}
+	pkgs, err := Load(".", patterns...)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]*Package{}
+	for _, p := range pkgs {
+		byName[p.Name] = p
+	}
+	return byName, nil
+})
+
+func fixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkgs, err := fixturePackages()
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	p, ok := pkgs[name]
+	if !ok {
+		t.Fatalf("no fixture package %q", name)
+	}
+	return p
+}
+
+// wantRe matches one expectation comment: // want "substring" (several may
+// share a line).
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// checkFixture runs one analyzer over the fixture package and compares its
+// surviving findings against the package's // want comments line by line.
+func checkFixture(t *testing.T, analyzer *Analyzer, pkgName string) {
+	t.Helper()
+	pkg := fixture(t, pkgName)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				posn := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					k := key{posn.Filename, posn.Line}
+					wants[k] = append(wants[k], m[1])
+				}
+			}
+		}
+	}
+
+	findings := Run([]*Package{pkg}, []*Analyzer{analyzer})
+	matched := map[key]int{}
+	for _, f := range findings {
+		if f.Analyzer != analyzer.Name {
+			continue // suppression-grammar findings are tested separately
+		}
+		k := key{f.Position.Filename, f.Position.Line}
+		ws := wants[k]
+		if len(ws) == 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		ok := false
+		for _, w := range ws {
+			if strings.Contains(f.Message, w) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("finding %s does not match any want %q", f, ws)
+			continue
+		}
+		matched[k]++
+	}
+	for k, ws := range wants {
+		if matched[k] < len(ws) {
+			t.Errorf("%s:%d: wanted %d finding(s) %q, matched %d", k.file, k.line, len(ws), ws, matched[k])
+		}
+	}
+}
+
+// position helper for tests asserting exact finding sets.
+func findingAt(fs []Finding, analyzer, fileSuffix string, line int) *Finding {
+	for i := range fs {
+		f := &fs[i]
+		if f.Analyzer == analyzer && strings.HasSuffix(f.Position.Filename, fileSuffix) && f.Position.Line == line {
+			return f
+		}
+	}
+	return nil
+}
+
+func findingsString(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

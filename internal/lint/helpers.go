@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// inInternal reports whether pkg lives under an internal/ tree — the scope
+// of the determinism analyzers (detrange, ascendsum).
+func inInternal(pkg *Package) bool {
+	return strings.Contains(pkg.Path, "internal/")
+}
+
+// isBuiltin reports whether the call invokes the named builtin (shadowing
+// respected via the type-checker's Uses map).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	obj, ok := info.Uses[id].(*types.Builtin)
+	return ok && obj.Name() == name
+}
+
+// isNamedType reports whether t (or the type t points to) is the named type
+// pkgPath.name, matching pkgPath exactly or as a path suffix — the suffix
+// match keeps the analyzers applicable to fixture packages that mirror the
+// real package layout under testdata.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == pkgPath || strings.HasSuffix(path, "/"+pkgPath)
+}
+
+// pointerShaped reports whether values of t fit in an interface word
+// without allocating: pointers, channels, maps, funcs, unsafe.Pointer.
+// Everything else (ints, floats, strings, slices, structs, arrays) is
+// copied to the heap when boxed.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.UntypedNil
+	}
+	return false
+}
+
+// boxes reports whether passing a value of type src where dst is expected
+// boxes a non-pointer-shaped value into an interface (an allocation).
+func boxes(src, dst types.Type) bool {
+	if src == nil || dst == nil || !types.IsInterface(dst) || types.IsInterface(src) {
+		return false
+	}
+	return !pointerShaped(src)
+}
+
+// isFloatish reports whether t is a floating-point or complex type — the
+// types whose addition does not commute bit-for-bit, making accumulation
+// order part of the trajectory contract.
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// fpAccumIn returns the position of the first floating-point accumulation
+// statement inside n: x += e, x -= e (and *=, /=), or x = x ± e with a
+// float/complex-typed l-value.
+func fpAccumIn(info *types.Info, n ast.Node) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		as, ok := c.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs := as.Lhs[0]
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if isFloatish(info.TypeOf(lhs)) {
+				pos, found = as.Pos(), true
+			}
+		case token.ASSIGN:
+			bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) || !isFloatish(info.TypeOf(lhs)) {
+				return true
+			}
+			l := types.ExprString(lhs)
+			if types.ExprString(bin.X) == l || types.ExprString(bin.Y) == l {
+				pos, found = as.Pos(), true
+			}
+		}
+		return !found
+	})
+	return pos, found
+}
+
+// rootObj resolves the identity of an l-value-ish expression: the object of
+// its root identifier (for x, x.f, x[i] chains it returns x's object; for a
+// plain selector field access it returns the field object when the root is
+// not an identifier).
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			return info.ObjectOf(x.Sel)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFuncs yields every function body in the file: declarations and
+// literals, with the declaration (nil for literals) for context.
+func funcBodies(f *ast.File, visit func(fd *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			visit(fd, fd.Body)
+		}
+	}
+}

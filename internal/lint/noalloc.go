@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc enforces the 0-allocs/op contract inside //mlmd:hotpath
+// functions: no bare make, no append that can grow a fresh slice, no map
+// literals, no interface boxing of non-pointer values, no
+// variable-capturing go closures, no defer inside loops. The allowed
+// idioms are the ones the hot kernels already use — the capacity-guarded
+// grow (`if cap(buf) < n { buf = make(...) }`, amortized to zero in steady
+// state) and the self-append onto a retained buffer (`buf = append(buf,
+// ...)` / `buf = append(buf[:0], ...)`).
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc: "hot-path functions annotated //mlmd:hotpath must not allocate: " +
+		"make is allowed only under a cap/len guard, append only in the " +
+		"self-append form, and non-pointer values must not be boxed into interfaces",
+	Run: runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			if IsHotpath(fd) {
+				checkHotFunc(p, fd)
+			}
+		})
+	}
+}
+
+// checkHotFunc walks one annotated function, tracking the capacity-guard
+// and loop context the allocation rules depend on.
+func checkHotFunc(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	name := FuncDisplayName(fd)
+	okAppends := selfAppends(info, fd.Body)
+	results := funcResults(info, fd)
+
+	var walk func(n ast.Node, capGuard bool, loopDepth int)
+	visitChildren := func(n ast.Node, capGuard bool, loopDepth int) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				walk(c, capGuard, loopDepth)
+			}
+			return false
+		})
+	}
+	walk = func(n ast.Node, capGuard bool, loopDepth int) {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if x.Init != nil {
+				walk(x.Init, capGuard, loopDepth)
+			}
+			walk(x.Cond, capGuard, loopDepth)
+			walk(x.Body, capGuard || isCapGuardCond(info, x.Cond), loopDepth)
+			if x.Else != nil {
+				walk(x.Else, capGuard, loopDepth)
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			visitChildren(n, capGuard, loopDepth+1)
+			return
+		case *ast.FuncLit:
+			// A closure body is its own frame; defer/loop context resets,
+			// but the allocation rules still apply (hot kernels pass cached
+			// closures to par.For).
+			walk(x.Body, false, 0)
+			return
+		case *ast.DeferStmt:
+			if loopDepth > 0 {
+				p.Reportf(x.Pos(), "%s: defer inside a loop allocates a deferred frame per iteration on the hot path", name)
+			}
+			walk(x.Call, capGuard, loopDepth)
+			return
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok && closureCaptures(info, lit) {
+				p.Reportf(x.Pos(), "%s: go with a variable-capturing closure allocates on the hot path (and bypasses the par pool)", name)
+			}
+			walk(x.Call, capGuard, loopDepth)
+			return
+		case *ast.CompositeLit:
+			if t := info.TypeOf(x); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					p.Reportf(x.Pos(), "%s: map literal allocates on the hot path", name)
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, x, "panic") {
+				// Exceptional path by definition: the panic value and
+				// whatever builds it (fmt.Sprintf and friends) are exempt.
+				return
+			}
+			checkHotCall(p, name, x, capGuard, okAppends)
+		case *ast.AssignStmt:
+			for i := range x.Lhs {
+				if i < len(x.Rhs) && len(x.Lhs) == len(x.Rhs) {
+					if boxes(info.TypeOf(x.Rhs[i]), info.TypeOf(x.Lhs[i])) {
+						p.Reportf(x.Pos(), "%s: assignment boxes non-pointer %s into interface %s (allocates on the hot path)",
+							name, info.TypeOf(x.Rhs[i]), info.TypeOf(x.Lhs[i]))
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for i, r := range x.Results {
+				if i < len(results) && boxes(info.TypeOf(r), results[i]) {
+					p.Reportf(x.Pos(), "%s: return boxes non-pointer %s into interface %s (allocates on the hot path)",
+						name, info.TypeOf(r), results[i])
+				}
+			}
+		}
+		visitChildren(n, capGuard, loopDepth)
+	}
+	walk(fd.Body, false, 0)
+}
+
+// checkHotCall applies the make/append/boxing rules to one call.
+func checkHotCall(p *Pass, name string, call *ast.CallExpr, capGuard bool, okAppends map[*ast.CallExpr]bool) {
+	info := p.Pkg.Info
+	switch {
+	case isBuiltin(info, call, "make"):
+		if !capGuard {
+			p.Reportf(call.Pos(), "%s: make allocates on the hot path; reuse a retained buffer behind a capacity guard (if cap(buf) < n { buf = make(...) })", name)
+		}
+		return
+	case isBuiltin(info, call, "append"):
+		if !okAppends[call] {
+			p.Reportf(call.Pos(), "%s: append may grow a fresh slice on the hot path; use the self-append idiom on a retained buffer (buf = append(buf[:0], ...))", name)
+		}
+		return
+	case isBuiltin(info, call, "panic"):
+		// Exceptional path by definition; boxing the panic value is fine.
+		return
+	}
+	// Conversions: flag explicit boxing T -> interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && boxes(info.TypeOf(call.Args[0]), tv.Type) {
+			p.Reportf(call.Pos(), "%s: conversion boxes non-pointer %s into interface %s (allocates on the hot path)",
+				name, info.TypeOf(call.Args[0]), tv.Type)
+		}
+		return
+	}
+	// Ordinary calls: flag arguments boxed into interface parameters.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if boxes(info.TypeOf(arg), pt) {
+			p.Reportf(arg.Pos(), "%s: argument boxes non-pointer %s into interface %s (allocates on the hot path)",
+				name, info.TypeOf(arg), pt)
+		}
+	}
+}
+
+// isCapGuardCond recognizes the grow-idiom guard: a condition mentioning a
+// cap() or len() call, e.g. `cap(buf) < n` or `len(s) < n || cap(s) < n`.
+func isCapGuardCond(info *types.Info, cond ast.Expr) bool {
+	guard := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isBuiltin(info, call, "cap") || isBuiltin(info, call, "len") {
+				guard = true
+			}
+		}
+		return !guard
+	})
+	return guard
+}
+
+// selfAppends collects append calls in the allowed retained-buffer form:
+// the single assignment `x = append(x, ...)` or `x = append(x[:...], ...)`
+// where the destination and the appended base are the same expression.
+func selfAppends(info *types.Info, body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	ok := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !isCall || !isBuiltin(info, call, "append") || len(call.Args) == 0 {
+			return true
+		}
+		base := ast.Unparen(call.Args[0])
+		if sl, isSlice := base.(*ast.SliceExpr); isSlice {
+			base = sl.X
+		}
+		if types.ExprString(as.Lhs[0]) == types.ExprString(base) {
+			ok[call] = true
+		}
+		return true
+	})
+	return ok
+}
+
+// closureCaptures reports whether lit references a variable declared
+// outside its own body (package-level state excluded: reading it doesn't
+// force a heap-allocated closure context).
+func closureCaptures(info *types.Info, lit *ast.FuncLit) bool {
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() == nil {
+			return true
+		}
+		if v.Parent() != nil && v.Parent() == v.Pkg().Scope() {
+			return true // package-level var, not a capture
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captures = true
+		}
+		return !captures
+	})
+	return captures
+}
+
+// funcResults returns the declared result types of fd.
+func funcResults(info *types.Info, fd *ast.FuncDecl) []types.Type {
+	obj := info.Defs[fd.Name]
+	if obj == nil {
+		return nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []types.Type
+	for i := 0; i < sig.Results().Len(); i++ {
+		out = append(out, sig.Results().At(i).Type())
+	}
+	return out
+}

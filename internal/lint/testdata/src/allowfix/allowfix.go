@@ -1,0 +1,23 @@
+// Package allowfix exercises the //lint:allow suppression grammar: a valid
+// reasoned suppression silences its finding; a missing reason or an unknown
+// analyzer name is itself a finding.
+package allowfix
+
+// Suppressed spawns a raw goroutine under a well-formed suppression: no
+// poolonly finding survives.
+func Suppressed(done chan struct{}) {
+	//lint:allow poolonly supervisor lifecycle goroutine, not a kernel fan-out
+	go func() { <-done }()
+}
+
+// MissingReason suppresses without the mandatory reason.
+func MissingReason(done chan struct{}) {
+	//lint:allow poolonly
+	go func() { <-done }() // want-lint "missing its mandatory reason"
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer(done chan struct{}) {
+	//lint:allow gofast because speed
+	go func() { <-done }() // want-lint "unknown analyzer"
+}

@@ -1,0 +1,57 @@
+// Package ascendsumfix is the ascendsum analyzer's fixture: partials
+// reduced in channel-receipt or unsorted-map-key order (flagged) versus the
+// canonical ascending reductions (allowed).
+package ascendsumfix
+
+import "sort"
+
+// BadReceiptOrder folds worker partials in arrival order.
+func BadReceiptOrder(results chan float64) float64 {
+	total := 0.0
+	for v := range results {
+		total += v // want "channel-receipt order"
+	}
+	return total
+}
+
+// GoodStagedReceipt drains receipts into per-source slots, then reduces in
+// ascending source order — the canonical two-phase gather.
+func GoodStagedReceipt(results chan [2]float64, n int) float64 {
+	slots := make([]float64, n)
+	for i := 0; i < n; i++ {
+		r := <-results
+		slots[int(r[0])] = r[1]
+	}
+	total := 0.0
+	for _, v := range slots {
+		total += v
+	}
+	return total
+}
+
+// BadUnsortedKeys collects map keys but reduces without sorting them.
+func BadUnsortedKeys(partials map[int]float64) float64 {
+	keys := make([]int, 0, len(partials))
+	for k := range partials {
+		keys = append(keys, k)
+	}
+	total := 0.0
+	for _, k := range keys {
+		total += partials[k] // want "that were never sorted"
+	}
+	return total
+}
+
+// GoodSortedKeys sorts between collection and reduction.
+func GoodSortedKeys(partials map[int]float64) float64 {
+	keys := make([]int, 0, len(partials))
+	for k := range partials {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += partials[k]
+	}
+	return total
+}

@@ -1,0 +1,26 @@
+// Package cluster mirrors the real transport package's name so the fixture
+// exercises poolonly's whitelist: reader/heartbeat/accept goroutines are
+// connection-lifecycle concurrency and stay off the pool by design.
+package cluster
+
+type transport struct {
+	inbox chan int
+}
+
+func (t *transport) readLoop(src int)   { t.inbox <- src }
+func (t *transport) heartbeat()         { t.inbox <- -1 }
+func (t *transport) acceptPeers() int   { return <-t.inbox }
+func (t *transport) sendFailed(dst int) {}
+
+// Dial spawns the whitelisted connection goroutines (allowed) and one
+// non-whitelisted goroutine (flagged).
+func (t *transport) Dial(peers int) {
+	errs := make(chan int, 1)
+	go func() { errs <- t.acceptPeers() }()
+	for src := 0; src < peers; src++ {
+		go t.readLoop(src)
+	}
+	go t.heartbeat()
+	go t.sendFailed(0) // want "raw goroutine outside internal/par"
+	<-errs
+}

@@ -1,0 +1,125 @@
+// Package noallocfix is the noalloc analyzer's fixture: hot-path annotated
+// functions demonstrating each flagged allocation and each allowed idiom.
+package noallocfix
+
+// Sink is an interface used to demonstrate boxing.
+type Sink interface{ Put(v any) }
+
+// State is a retained kernel state with reusable buffers.
+type State struct {
+	buf  []float64
+	ids  []int32
+	sink Sink
+}
+
+// BadMake allocates a fresh slice every call.
+//
+//mlmd:hotpath
+func (s *State) BadMake(n int) {
+	s.buf = make([]float64, n) // want "make allocates on the hot path"
+}
+
+// GoodGrow uses the capacity-guarded grow idiom: amortized zero.
+//
+//mlmd:hotpath
+func (s *State) GoodGrow(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.buf = s.buf[:n]
+}
+
+// BadAppend lets a fresh slice escape per call.
+//
+//mlmd:hotpath
+func (s *State) BadAppend(v []float64) []float64 {
+	out := append([]float64(nil), v...) // want "append may grow a fresh slice"
+	return out
+}
+
+// GoodSelfAppend reuses the retained buffer.
+//
+//mlmd:hotpath
+func (s *State) GoodSelfAppend(v []float64) {
+	s.buf = append(s.buf[:0], v...)
+}
+
+// BadMapLit allocates a map on every step.
+//
+//mlmd:hotpath
+func (s *State) BadMapLit(k int) int {
+	m := map[int]int{k: 1} // want "map literal allocates"
+	return m[k]
+}
+
+// BadBoxArg boxes a float into an interface parameter.
+//
+//mlmd:hotpath
+func (s *State) BadBoxArg(x float64) {
+	s.sink.Put(x) // want "boxes non-pointer float64"
+}
+
+// GoodPointerArg passes a pointer: pointer-shaped, no allocation.
+//
+//mlmd:hotpath
+func (s *State) GoodPointerArg() {
+	s.sink.Put(&s.buf[0])
+}
+
+// BadBoxAssign boxes through an assignment.
+//
+//mlmd:hotpath
+func (s *State) BadBoxAssign(x int) any {
+	var v any
+	v = x // want "assignment boxes non-pointer int"
+	return v
+}
+
+// BadBoxReturn boxes through a return statement.
+//
+//mlmd:hotpath
+func (s *State) BadBoxReturn(x float64) any {
+	return x // want "return boxes non-pointer float64"
+}
+
+// GoodPanic may box its argument: panics are the exceptional path.
+//
+//mlmd:hotpath
+func (s *State) GoodPanic(n int) {
+	if n < 0 {
+		panic(n)
+	}
+}
+
+// BadGoClosure spawns a capturing closure.
+//
+//mlmd:hotpath
+func (s *State) BadGoClosure(n int) {
+	// The raw goroutine is poolonly's finding; noalloc flags the capture.
+	//lint:allow poolonly fixture isolates the noalloc capture finding
+	go func() { s.buf[0] = float64(n) }() // want "variable-capturing closure"
+}
+
+// BadDeferLoop defers inside a loop.
+//
+//mlmd:hotpath
+func (s *State) BadDeferLoop(fns []func()) {
+	for _, f := range fns {
+		defer f() // want "defer inside a loop"
+	}
+}
+
+// GoodDefer defers once per call, outside any loop (open-coded, no alloc).
+//
+//mlmd:hotpath
+func (s *State) GoodDefer(f func()) {
+	defer f()
+	s.buf = s.buf[:0]
+}
+
+// NotHot is unannotated: the same code draws no findings.
+func (s *State) NotHot(n int) {
+	s.buf = make([]float64, n)
+	m := map[int]int{n: 1}
+	_ = m
+}

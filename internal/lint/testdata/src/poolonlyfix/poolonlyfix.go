@@ -1,0 +1,22 @@
+// Package poolonlyfix is the poolonly analyzer's fixture: raw goroutines
+// outside internal/par, with and without a reasoned suppression.
+package poolonlyfix
+
+// BadGo spawns a raw goroutine where a par.For/par.Do fan-out belongs.
+func BadGo(done chan struct{}) {
+	go func() { close(done) }() // want "raw goroutine outside internal/par"
+}
+
+// BadGoNamed spawns a named function; still a raw goroutine.
+func BadGoNamed(done chan struct{}) {
+	go waiter(done) // want "raw goroutine outside internal/par"
+}
+
+func waiter(done chan struct{}) { <-done }
+
+// AllowedRankLoop is an intentional rank-lifecycle goroutine with the
+// mandatory reasoned suppression.
+func AllowedRankLoop(done chan struct{}) {
+	//lint:allow poolonly one long-lived goroutine per rank, not a kernel fan-out
+	go waiter(done)
+}

@@ -1,0 +1,59 @@
+// Package wire mirrors the real codec package's name so the fixture
+// exercises wiresafe: decoders must validate length/count fields against a
+// constant bound before any make sized by them.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// MaxBody caps a frame's body length.
+const MaxBody = 1 << 20
+
+// BadDecode allocates whatever the prefix claims.
+func BadDecode(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	buf := make([]byte, n) // want "without a prior bound check"
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// GoodDecode validates before allocating: the canonical idiom.
+func GoodDecode(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > MaxBody {
+		return nil, errors.New("wire: body exceeds MaxBody")
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// GoodClamped bounds the initial capacity with the min(n, const) idiom and
+// grows incrementally from there.
+func GoodClamped(r io.Reader, n int) ([]float64, error) {
+	out := make([]float64, 0, min(n, 4096))
+	var b [8]byte
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, err
+		}
+		out = append(out, float64(binary.LittleEndian.Uint64(b[:])))
+	}
+	return out, nil
+}
+
+// GoodConstant sizes from a constant: always fine.
+func GoodConstant() []byte {
+	return make([]byte, 64)
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireSafe enforces the validate-before-allocate convention in the wire
+// codec and the file-format decoders (package wire and package mlmdio): any
+// make sized by decoded data must be bounded first, so a forged length or
+// count field can never force a large allocation. A size expression is
+// considered bounded when it is constant, clamped through the builtin
+// min(..., const) idiom, or built from variables that a preceding
+// comparison checked against a constant bound (e.g. `if body > MaxBody {
+// return err }`).
+var WireSafe = &Analyzer{
+	Name: "wiresafe",
+	Doc: "decoders (package wire, package mlmdio) must validate length/count " +
+		"fields against a constant bound before any make sized by them " +
+		"(validate-before-allocate: forged prefixes must not force allocation)",
+	Run: runWireSafe,
+}
+
+func runWireSafe(p *Pass) {
+	if p.Pkg.Name != "wire" && p.Pkg.Name != "mlmdio" {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		funcBodies(f, func(fd *ast.FuncDecl, body *ast.BlockStmt) {
+			checks := boundChecks(info, body)
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isBuiltin(info, call, "make") || len(call.Args) < 2 {
+					return true
+				}
+				for _, size := range call.Args[1:] {
+					if !boundedSize(info, size, checks, call.Pos()) {
+						p.Reportf(call.Pos(), "make sized by %q without a prior bound check against a constant: validate length/count fields before allocating (or clamp with min(n, const))",
+							types.ExprString(size))
+						break
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// boundChecks collects, per variable object, the positions of comparisons
+// against constant expressions within the function body — the
+// validate-before-allocate evidence.
+func boundChecks(info *types.Info, body *ast.BlockStmt) map[types.Object][]token.Pos {
+	out := map[types.Object][]token.Pos{}
+	record := func(varSide ast.Expr, pos token.Pos) {
+		ast.Inspect(varSide, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.ObjectOf(id); obj != nil {
+					if _, isVar := obj.(*types.Var); isVar {
+						out[obj] = append(out[obj], pos)
+					}
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch bin.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.NEQ, token.EQL:
+		default:
+			return true
+		}
+		xConst := info.Types[bin.X].Value != nil
+		yConst := info.Types[bin.Y].Value != nil
+		if xConst && !yConst {
+			record(bin.Y, bin.Pos())
+		} else if yConst && !xConst {
+			record(bin.X, bin.Pos())
+		}
+		return true
+	})
+	return out
+}
+
+// boundedSize reports whether the size expression is provably bounded at
+// makePos: constant, min() with a constant argument, arithmetic over
+// bounded operands, or a variable with a preceding constant-bound check.
+func boundedSize(info *types.Info, e ast.Expr, checks map[types.Object][]token.Pos, makePos token.Pos) bool {
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		return boundedSize(info, x.X, checks, makePos) && boundedSize(info, x.Y, checks, makePos)
+	case *ast.CallExpr:
+		// min(a, b, ...) is bounded if any argument is; len/cap of anything
+		// already in memory is bounded by construction.
+		if isBuiltin(info, x, "min") {
+			for _, a := range x.Args {
+				if boundedSize(info, a, checks, makePos) {
+					return true
+				}
+			}
+			return false
+		}
+		if isBuiltin(info, x, "len") || isBuiltin(info, x, "cap") {
+			return true
+		}
+		// Conversions unwrap: int(n) is as bounded as n.
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return boundedSize(info, x.Args[0], checks, makePos)
+		}
+		return false
+	case *ast.Ident, *ast.SelectorExpr:
+		obj := rootObj(info, x)
+		if obj == nil {
+			return false
+		}
+		for _, pos := range checks[obj] {
+			if pos < makePos {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

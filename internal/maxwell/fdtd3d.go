@@ -133,6 +133,8 @@ func splitmix64(x uint64) uint64 {
 // Step advances the fields by Δt, refreshing ghosts through ex. With
 // overlap enabled the interior cells (those whose stencil never reaches a
 // partitioned-axis ghost) update while the ghost frames are in flight.
+//
+//mlmd:hotpath
 func (s *Sim3D) Step(ex *halo.Exchanger) {
 	// E update reads B at self and minus neighbors: trim the low face.
 	s.halfStep(ex, s.B, s.updateE, 1, 0)
@@ -147,6 +149,8 @@ func (s *Sim3D) Step(ex *halo.Exchanger) {
 // overlapping the interior unless disabled. loTrim/hiTrim name the owned
 // layers (along partitioned axes) whose update reads the refreshed
 // ghosts.
+//
+//mlmd:hotpath
 func (s *Sim3D) halfStep(ex *halo.Exchanger, read *halo.GridField, update func(lo, hi [3]int), loTrim, hiTrim int) {
 	if s.DisableOverlap {
 		for a := 0; a < 3; a++ {
@@ -207,6 +211,8 @@ func (s *Sim3D) boundarySlabs(ilo, ihi [3]int, fn func(lo, hi [3]int)) {
 
 // updateE applies E += Δt·c ∇×B with backward differences over the owned
 // box [lo, hi).
+//
+//mlmd:hotpath
 func (s *Sim3D) updateE(lo, hi [3]int) {
 	e, b := s.E.Data, s.B.Data
 	sx := s.E.Ext[1] * s.E.Ext[2] * 3
@@ -233,6 +239,8 @@ func (s *Sim3D) updateE(lo, hi [3]int) {
 
 // updateB applies B −= Δt·c ∇×E with forward differences over the owned
 // box [lo, hi).
+//
+//mlmd:hotpath
 func (s *Sim3D) updateB(lo, hi [3]int) {
 	e, b := s.E.Data, s.B.Data
 	sx := s.E.Ext[1] * s.E.Ext[2] * 3
@@ -259,6 +267,8 @@ func (s *Sim3D) updateB(lo, hi [3]int) {
 
 // applySource injects the point current into Ez if this rank owns the
 // source cell: Ez −= 4π·Δt·J(t), J(t) = amp·E_pulse(t).
+//
+//mlmd:hotpath
 func (s *Sim3D) applySource() {
 	if s.SourceAmp == 0 {
 		return
@@ -282,6 +292,7 @@ func (s *Sim3D) Energy() float64 {
 	return (e2 + b2) * dv / (8 * math.Pi)
 }
 
+//mlmd:hotpath
 func (s *Sim3D) fieldSums() (e2, b2 float64) {
 	d := s.D
 	for ox := 0; ox < d.Own[0]; ox++ {
@@ -305,6 +316,8 @@ func (s *Sim3D) fieldSums() (e2, b2 float64) {
 func (s *Sim3D) PartialLen() int { return 2 }
 
 // Partials implements shard.GridWorkload.
+//
+//mlmd:hotpath
 func (s *Sim3D) Partials(p []float64) {
 	p[0], p[1] = s.fieldSums()
 }
@@ -316,6 +329,8 @@ func (s *Sim3D) NumFields() int { return 2 }
 func (s *Sim3D) FieldWidth(idx int) int { return 3 }
 
 // PackField implements shard.GridWorkload: field 0 is E, field 1 is B.
+//
+//mlmd:hotpath
 func (s *Sim3D) PackField(idx int, buf []float64) []float64 {
 	if idx == 0 {
 		return s.E.PackOwned(buf)

@@ -60,10 +60,16 @@ func (f *Field) Time() float64 { return f.t }
 
 // Step advances A by one time step with the leapfrog update
 // A(t+dt) = 2A(t) − A(t−dt) + (c dt/dx)² (A_{i+1} − 2A_i + A_{i−1}) − 4π c dt² J.
+//
+//mlmd:hotpath
 func (f *Field) Step() {
 	c := units.LightSpeed
 	r2 := (c * f.Dt / f.Dx) * (c * f.Dt / f.Dx)
-	next := make([]float64, f.N)
+	// The previous level is consumed exactly at index i before index i is
+	// overwritten (the stencil reads only A at neighbors), so the retired
+	// APrev buffer doubles as the next level: the update stays bitwise
+	// identical while Step stays allocation-free.
+	next := f.APrev
 	for i := 0; i < f.N; i++ {
 		ip := i + 1
 		if ip == f.N {
@@ -74,7 +80,7 @@ func (f *Field) Step() {
 			im = f.N - 1
 		}
 		lap := f.A[ip] - 2*f.A[i] + f.A[im]
-		next[i] = 2*f.A[i] - f.APrev[i] + r2*lap - 4*math.Pi*c*f.Dt*f.Dt*f.J[i]
+		next[i] = 2*f.A[i] - next[i] + r2*lap - 4*math.Pi*c*f.Dt*f.Dt*f.J[i]
 	}
 	f.APrev, f.A = f.A, next
 	f.t += f.Dt

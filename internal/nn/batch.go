@@ -98,6 +98,8 @@ func (m *MLP) ensureBatch(t *BatchTape, rows int) {
 // Each layer preloads its bias into the pre-activation block and issues one
 // GEMM64 against the restaged weight transpose, reproducing the per-row
 // ForwardTapeInto arithmetic bitwise (see the BatchTape contract).
+//
+//mlmd:hotpath
 func (m *MLP) ForwardBatch(t *BatchTape) {
 	rows := t.rows
 	if rows == 0 {
@@ -151,6 +153,8 @@ func (m *MLP) ForwardBatchInto(x []float64, rows int, t *BatchTape) *BatchTape {
 // is one GEMM64 against the untransposed weights, reproducing BackwardInto
 // row by row bitwise. Weight gradients are not accumulated — the blocked
 // path is inference-only (training keeps the per-row tapes).
+//
+//mlmd:hotpath
 func (m *MLP) BackwardBatch(t *BatchTape, gOut, dst []float64) []float64 {
 	rows := t.rows
 	outDim := m.Sizes[len(m.Sizes)-1]

@@ -149,6 +149,8 @@ func (m *MLP) ForwardTape(x []float64) *Tape {
 // buffers from a previous pass (they are sized on first use, so a zero
 // Tape works). The arithmetic is identical to ForwardTape — only the
 // buffer lifetimes differ — and t is returned for call chaining.
+//
+//mlmd:hotpath
 func (m *MLP) ForwardTapeInto(x []float64, t *Tape) *Tape {
 	if len(x) != m.Sizes[0] {
 		panic(fmt.Sprintf("nn: layer 0 input length %d != %d", len(x), m.Sizes[0]))
@@ -183,6 +185,8 @@ func (m *MLP) ForwardTapeInto(x []float64, t *Tape) *Tape {
 
 // layerForwardInto is layerForward writing into a preallocated dst (same
 // arithmetic, no allocation).
+//
+//mlmd:hotpath
 func (m *MLP) layerForwardInto(l int, x, preAct, dst []float64) {
 	in, out := m.Sizes[l], m.Sizes[l+1]
 	if len(x) != in {
@@ -245,6 +249,8 @@ func (m *MLP) Backward(t *Tape, gOut []float64, grads *Grads) []float64 {
 // Sizes[0]) and reusing the tape's delta scratch, so steady-state
 // backpropagation allocates nothing. The arithmetic is identical to
 // Backward; dst is returned.
+//
+//mlmd:hotpath
 func (m *MLP) BackwardInto(t *Tape, gOut []float64, grads *Grads, dst []float64) []float64 {
 	width := 0
 	for _, s := range m.Sizes {

@@ -100,6 +100,8 @@ func workerLoop() {
 // stealJob joins the oldest pending job that still has participant slots,
 // taking a reference under the queue lock so the job cannot be recycled
 // before this worker is done with it. Exhausted jobs are pruned in passing.
+//
+//mlmd:hotpath
 func stealJob() *job {
 	pendMu.Lock()
 	defer pendMu.Unlock()
@@ -187,6 +189,8 @@ func (j *job) release() {
 // participate claims a worker slot and runs chunks until the cursor is
 // exhausted. Called by pool workers; For inlines the same loop for the
 // caller.
+//
+//mlmd:hotpath
 func (j *job) participate() {
 	if id := int(j.seq.Add(1)) - 1; id < int(j.parts) {
 		j.loop(id)
@@ -194,6 +198,7 @@ func (j *job) participate() {
 	j.release()
 }
 
+//mlmd:hotpath
 func (j *job) loop(id int) {
 	for {
 		c := int(j.next.Add(1)) - 1
@@ -214,6 +219,7 @@ func (j *job) loop(id int) {
 	}
 }
 
+//mlmd:hotpath
 func (j *job) runChunk(lo, hi, id int) {
 	defer j.wg.Done()
 	defer func() {
@@ -240,6 +246,8 @@ func (j *job) runChunk(lo, hi, id int) {
 // goroutine — the serial path and the parallel path execute the same code
 // on the same chunk boundaries. If any fn invocation panics, remaining chunks are skipped
 // and the first panic value is re-raised on the caller's goroutine.
+//
+//mlmd:hotpath
 func For(n, grain int, fn func(lo, hi, worker int)) {
 	if n <= 0 {
 		return

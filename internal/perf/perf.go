@@ -42,11 +42,18 @@ func (t *Timer) Summary() string {
 		k string
 		v time.Duration
 	}
-	var rows []kv
-	for k, v := range t.totals {
-		rows = append(rows, kv{k, v})
+	keys := make([]string, 0, len(t.totals))
+	for k := range t.totals {
+		keys = append(keys, k)
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
+	sort.Strings(keys)
+	rows := make([]kv, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, kv{k, t.totals[k]})
+	}
+	// Stable on the name-sorted rows, so spans with equal totals render in
+	// a deterministic (ascending-name) order.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].v > rows[j].v })
 	var b strings.Builder
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-24s %12s\n", r.k, r.v)

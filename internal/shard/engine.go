@@ -538,6 +538,7 @@ func NewEngine(cfg Config, sys *md.System) (*Engine, error) {
 		e.cmd = append(e.cmd, make(chan int, 1))
 	}
 	for i, rs := range e.local {
+		//lint:allow poolonly one long-lived rank loop per local rank; ranks block on collectives so the pool cannot host them
 		go e.rankLoop(rs, e.cmd[i])
 	}
 	return e, nil
@@ -802,6 +803,8 @@ func (e *Engine) Run(steps int, dt, kT, tau float64) RunResult {
 // forces even when already primed, so Run(0, ...) always returns a PE
 // consistent with the current configuration (never a stale value from an
 // earlier dispatch).
+//
+//mlmd:hotpath
 func (e *Engine) runSteps(rs *rankState) {
 	if e.primeNeeded || e.steps == 0 {
 		e.forceStep(rs)
@@ -842,6 +845,8 @@ func (e *Engine) runSteps(rs *rankState) {
 
 // localKE returns the globally AllReduced kinetic energy (every rank gets
 // the total; the partial sum follows md.KineticEnergy's per-atom form).
+//
+//mlmd:hotpath
 func (e *Engine) localKE(rs *rankState) float64 {
 	var ke float64
 	for i := 0; i < rs.nOwn; i++ {
@@ -856,6 +861,8 @@ func (e *Engine) localKE(rs *rankState) float64 {
 // forceStep is one collective force evaluation: decide between the cheap
 // overlapped ghost refresh and the full rebuild, run the rank force field,
 // AllReduce the energy partials and record the global PE.
+//
+//mlmd:hotpath
 func (e *Engine) forceStep(rs *rankState) {
 	for i := range rs.partial {
 		rs.partial[i] = 0
@@ -882,6 +889,8 @@ func (e *Engine) forceStep(rs *rankState) {
 // owned atoms moved more than skin/2 since its last rebuild forces every
 // rank to rebuild — the same criterion as md.NeighborList.Stale, made
 // global by an AllReduce.
+//
+//mlmd:hotpath
 func (e *Engine) checkStale(rs *rankState) bool {
 	stale := 0.0
 	if rs.needRebuild {
@@ -907,6 +916,8 @@ func (e *Engine) checkStale(rs *rankState) bool {
 // decomposition is valid. Block force fields evaluate their interior atoms
 // while the first axis's position exchange is in flight; everything else
 // refreshes fully first.
+//
+//mlmd:hotpath
 func (e *Engine) evalSteady(rs *rankState) {
 	if rs.block != nil && rs.nInt > 0 && len(e.axes) > 0 {
 		a0 := e.axes[0]
@@ -1253,6 +1264,8 @@ func (e *Engine) buildHalo(rs *rankState) {
 type posField struct{ rs *rankState }
 
 // Pack implements halo.Field over the axis/side position send list.
+//
+//mlmd:hotpath
 func (p *posField) Pack(axis, side int, buf []float64) []float64 {
 	rs := p.rs
 	for _, i := range rs.ax[axis].side[side].sendIdx {
@@ -1262,6 +1275,8 @@ func (p *posField) Pack(axis, side int, buf []float64) []float64 {
 }
 
 // Unpack implements halo.Field over the axis/side ghost slot list.
+//
+//mlmd:hotpath
 func (p *posField) Unpack(axis, side int, buf []float64) {
 	rs := p.rs
 	for k, slot := range rs.ax[axis].side[side].recvSlot {
@@ -1277,6 +1292,8 @@ func (p *posField) Unpack(axis, side int, buf []float64) {
 type auxField struct{ rs *rankState }
 
 // Pack implements halo.Field over the axis/side payload send list.
+//
+//mlmd:hotpath
 func (p *auxField) Pack(axis, side int, buf []float64) []float64 {
 	rs := p.rs
 	w := rs.auxW
@@ -1287,6 +1304,8 @@ func (p *auxField) Pack(axis, side int, buf []float64) []float64 {
 }
 
 // Unpack implements halo.Field over the axis/side payload slot list.
+//
+//mlmd:hotpath
 func (p *auxField) Unpack(axis, side int, buf []float64) {
 	rs := p.rs
 	w := rs.auxW
@@ -1297,11 +1316,15 @@ func (p *auxField) Unpack(axis, side int, buf []float64) {
 
 // postAxisSends posts axis a's steady-state position messages through the
 // halo layer.
+//
+//mlmd:hotpath
 func (e *Engine) postAxisSends(rs *rankState, a int) {
 	rs.ex.Post(&rs.posF, a)
 }
 
 // recvAxis completes axis a's position exchange.
+//
+//mlmd:hotpath
 func (e *Engine) recvAxis(rs *rankState, a int) {
 	rs.ex.Finish(&rs.posF, a)
 }
@@ -1309,6 +1332,8 @@ func (e *Engine) recvAxis(rs *rankState, a int) {
 // refreshGhosts is the full (non-overlapped) steady-state halo refresh:
 // three sequential per-axis exchanges, each forwarding the ghost positions
 // the previous axis just delivered.
+//
+//mlmd:hotpath
 func (e *Engine) refreshGhosts(rs *rankState) {
 	for _, a := range e.axes {
 		e.postAxisSends(rs, a)
@@ -1318,11 +1343,15 @@ func (e *Engine) refreshGhosts(rs *rankState) {
 
 // postAuxSends posts axis a's payload messages for the two-phase force
 // path through the halo layer.
+//
+//mlmd:hotpath
 func (e *Engine) postAuxSends(rs *rankState, a int) {
 	rs.ex.Post(&rs.auxF, a)
 }
 
 // recvAuxAxis completes axis a's payload exchange into the ghost aux rows.
+//
+//mlmd:hotpath
 func (e *Engine) recvAuxAxis(rs *rankState, a int) {
 	rs.ex.Finish(&rs.auxF, a)
 }

@@ -173,6 +173,7 @@ func NewGridEngine(cfg GridConfig) (*GridEngine, error) {
 		e.cmd = append(e.cmd, make(chan int, 1))
 	}
 	for i, gr := range e.local {
+		//lint:allow poolonly one long-lived rank loop per local rank; ranks block on collectives so the pool cannot host them
 		go e.rankLoop(gr, e.cmd[i])
 	}
 	return e, nil

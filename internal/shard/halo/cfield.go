@@ -49,6 +49,8 @@ func (f *GridFieldC) FrameLen(axis, side int) int {
 
 // Pack implements Field: it appends the (real, imag) pairs of the G
 // owned planes adjacent to the (axis, side) face.
+//
+//mlmd:hotpath
 func (f *GridFieldC) Pack(axis, side int, buf []float64) []float64 {
 	lo, hi := frameBox(f.D, f.Ext, f.Corners, f.prior, axis, side, false)
 	run := (hi[2] - lo[2]) * f.C
@@ -66,6 +68,8 @@ func (f *GridFieldC) Pack(axis, side int, buf []float64) []float64 {
 // Unpack implements Field: it rebuilds complex values from the received
 // (real, imag) pairs and scatters them into the (axis, side) ghost
 // planes.
+//
+//mlmd:hotpath
 func (f *GridFieldC) Unpack(axis, side int, buf []float64) {
 	lo, hi := frameBox(f.D, f.Ext, f.Corners, f.prior, axis, side, true)
 	run := (hi[2] - lo[2]) * f.C
@@ -96,12 +100,15 @@ func (f *GridFieldC) UnpackChecked(axis, side int, buf []float64) error {
 
 // SelfGhost fills both ghost layers of an unpartitioned axis from this
 // rank's own periodic images.
+//
+//mlmd:hotpath
 func (f *GridFieldC) SelfGhost(axis int) {
 	g := f.D.Ghost
 	f.copyPlanes(axis, f.Ext[axis]-2*g, 0)
 	f.copyPlanes(axis, g, f.Ext[axis]-g)
 }
 
+//mlmd:hotpath
 func (f *GridFieldC) copyPlanes(axis, srcLo, dstLo int) {
 	lo, hi := frameBox(f.D, f.Ext, f.Corners, f.prior, axis, 0, false)
 	g := f.D.Ghost
@@ -135,6 +142,8 @@ func (f *GridFieldC) copyPlanes(axis, srcLo, dstLo int) {
 
 // Refresh fills every ghost layer: ring exchange per partitioned axis,
 // periodic self-copy otherwise, corner forwarding when Corners is set.
+//
+//mlmd:hotpath
 func (f *GridFieldC) Refresh(ex *Exchanger) {
 	f.prior = [3]bool{}
 	for a := 0; a < 3; a++ {
@@ -151,6 +160,7 @@ func (f *GridFieldC) RefreshAxis(ex *Exchanger, axis int) {
 	f.refreshAxis(ex, axis)
 }
 
+//mlmd:hotpath
 func (f *GridFieldC) refreshAxis(ex *Exchanger, axis int) {
 	if f.D.Partitioned(axis) {
 		ex.Post(f, axis)
@@ -162,6 +172,8 @@ func (f *GridFieldC) refreshAxis(ex *Exchanger, axis int) {
 
 // PostAxis starts a face-ghost refresh of one axis without waiting (the
 // periodic self-copy completes immediately on unpartitioned axes).
+//
+//mlmd:hotpath
 func (f *GridFieldC) PostAxis(ex *Exchanger, axis int) {
 	f.prior = [3]bool{}
 	if f.D.Partitioned(axis) {
@@ -172,6 +184,8 @@ func (f *GridFieldC) PostAxis(ex *Exchanger, axis int) {
 }
 
 // FinishAxis completes a PostAxis (no-op for unpartitioned axes).
+//
+//mlmd:hotpath
 func (f *GridFieldC) FinishAxis(ex *Exchanger, axis int) {
 	if f.D.Partitioned(axis) {
 		ex.Finish(f, axis)

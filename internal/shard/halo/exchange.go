@@ -64,6 +64,8 @@ func (ex *Exchanger) BytesSent() int64 { return ex.bytes }
 // PostRing sends the two raw frames for axis: sp toward the plus
 // neighbor first, then sm toward the minus neighbor. The payloads are
 // copied by the transport, so the caller keeps ownership of both slices.
+//
+//mlmd:hotpath
 func (ex *Exchanger) PostRing(axis int, sm, sp []float64) {
 	minus, plus := ex.grid.AxisNeighbors(ex.rank, axis)
 	ex.comm.SendBuf(ex.rank, plus, sp)
@@ -75,6 +77,8 @@ func (ex *Exchanger) PostRing(axis int, sm, sp []float64) {
 // first from the minus neighbor, then from the plus neighbor. The
 // returned slices alias the exchanger's pooled receive buffers and are
 // valid until the next FinishRing/Finish/Ring/Exchange call.
+//
+//mlmd:hotpath
 func (ex *Exchanger) FinishRing(axis int) (rm, rp []float64) {
 	minus, plus := ex.grid.AxisNeighbors(ex.rank, axis)
 	ex.recv[0] = ex.comm.RecvInto(ex.rank, minus, ex.recv[0])
@@ -84,6 +88,8 @@ func (ex *Exchanger) FinishRing(axis int) (rm, rp []float64) {
 
 // Ring performs one complete both-directions transfer of raw frames
 // along axis: PostRing followed by FinishRing.
+//
+//mlmd:hotpath
 func (ex *Exchanger) Ring(axis int, sm, sp []float64) (rm, rp []float64) {
 	ex.PostRing(axis, sm, sp)
 	return ex.FinishRing(axis)
@@ -92,6 +98,8 @@ func (ex *Exchanger) Ring(axis int, sm, sp []float64) (rm, rp []float64) {
 // Post packs both sides of f for axis into the pooled send frames and
 // posts the ring sends. The matching Finish must run before the next
 // Post on this exchanger.
+//
+//mlmd:hotpath
 func (ex *Exchanger) Post(f Field, axis int) {
 	ex.send[0] = f.Pack(axis, 0, ex.send[0][:0])
 	ex.send[1] = f.Pack(axis, 1, ex.send[1][:0])
@@ -100,6 +108,8 @@ func (ex *Exchanger) Post(f Field, axis int) {
 
 // Finish receives both frames for a posted axis and unpacks them into f,
 // minus side first.
+//
+//mlmd:hotpath
 func (ex *Exchanger) Finish(f Field, axis int) {
 	rm, rp := ex.FinishRing(axis)
 	f.Unpack(axis, 0, rm)
@@ -108,6 +118,8 @@ func (ex *Exchanger) Finish(f Field, axis int) {
 
 // Exchange runs Post+Finish for each listed axis in order. Axes must be
 // partitioned (callers skip single-rank axes, which have no ring).
+//
+//mlmd:hotpath
 func (ex *Exchanger) Exchange(f Field, axes ...int) {
 	for _, a := range axes {
 		ex.Post(f, a)

@@ -89,6 +89,8 @@ func (f *GridField) FrameLen(axis, side int) int {
 
 // Pack implements Field: it appends the G owned planes adjacent to the
 // (axis, side) face, x-major z-fastest.
+//
+//mlmd:hotpath
 func (f *GridField) Pack(axis, side int, buf []float64) []float64 {
 	lo, hi := frameBox(f.D, f.Ext, f.Corners, f.prior, axis, side, false)
 	run := (hi[2] - lo[2]) * f.C
@@ -104,6 +106,8 @@ func (f *GridField) Pack(axis, side int, buf []float64) []float64 {
 // Unpack implements Field: it scatters the received frame into the
 // (axis, side) ghost planes. The frame length must match FrameLen; use
 // UnpackChecked when the frame comes from an untrusted source.
+//
+//mlmd:hotpath
 func (f *GridField) Unpack(axis, side int, buf []float64) {
 	lo, hi := frameBox(f.D, f.Ext, f.Corners, f.prior, axis, side, true)
 	run := (hi[2] - lo[2]) * f.C
@@ -135,6 +139,8 @@ func (f *GridField) UnpackChecked(axis, side int, buf []float64) error {
 // rank's own periodic images: the low ghosts copy the high owned planes
 // and vice versa — the same planes a ring exchange would deliver if the
 // axis had neighbors.
+//
+//mlmd:hotpath
 func (f *GridField) SelfGhost(axis int) {
 	g := f.D.Ghost
 	f.copyPlanes(axis, f.Ext[axis]-2*g, 0)
@@ -143,6 +149,8 @@ func (f *GridField) SelfGhost(axis int) {
 
 // copyPlanes copies G planes starting at srcLo along axis to dstLo, over
 // the current transverse frame range.
+//
+//mlmd:hotpath
 func (f *GridField) copyPlanes(axis, srcLo, dstLo int) {
 	lo, hi := frameBox(f.D, f.Ext, f.Corners, f.prior, axis, 0, false)
 	g := f.D.Ghost
@@ -178,6 +186,8 @@ func (f *GridField) copyPlanes(axis, srcLo, dstLo int) {
 // axis (ascending), periodic self-copy otherwise. With Corners set, each
 // axis forwards the ghosts delivered by earlier axes, so afterwards
 // every ghost cell — faces, edges, corners — holds its owner's value.
+//
+//mlmd:hotpath
 func (f *GridField) Refresh(ex *Exchanger) {
 	f.prior = [3]bool{}
 	for a := 0; a < 3; a++ {
@@ -195,6 +205,7 @@ func (f *GridField) RefreshAxis(ex *Exchanger, axis int) {
 	f.refreshAxis(ex, axis)
 }
 
+//mlmd:hotpath
 func (f *GridField) refreshAxis(ex *Exchanger, axis int) {
 	if f.D.Partitioned(axis) {
 		ex.Post(f, axis)
@@ -209,6 +220,8 @@ func (f *GridField) refreshAxis(ex *Exchanger, axis int) {
 // is unpartitioned) and returns without waiting, so callers can overlap
 // interior compute before FinishAxis. Face frames only — corner
 // forwarding requires the sequential Refresh.
+//
+//mlmd:hotpath
 func (f *GridField) PostAxis(ex *Exchanger, axis int) {
 	f.prior = [3]bool{}
 	if f.D.Partitioned(axis) {
@@ -220,6 +233,8 @@ func (f *GridField) PostAxis(ex *Exchanger, axis int) {
 
 // FinishAxis completes a PostAxis: it receives and scatters the two
 // ghost frames (a no-op for unpartitioned axes).
+//
+//mlmd:hotpath
 func (f *GridField) FinishAxis(ex *Exchanger, axis int) {
 	if f.D.Partitioned(axis) {
 		ex.Finish(f, axis)

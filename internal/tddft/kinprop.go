@@ -137,6 +137,8 @@ func (kp *KinProp) Flops(norb int) uint64 {
 // selected implementation. ax is the uniform vector potential along x
 // (Peierls phase). The field layout must match the implementation: AoS for
 // ImplBaseline, SoA otherwise.
+//
+//mlmd:hotpath
 func (kp *KinProp) Propagate(w *grid.WaveField, dt float64, axPot float64, impl Impl) {
 	if w.G != kp.G {
 		panic("tddft: Propagate grid mismatch")
@@ -174,6 +176,7 @@ func (kp *KinProp) peierlsTheta(axPot float64) float64 {
 
 // --- Baseline: AoS, wrap arithmetic and trig inside the loops. ---
 
+//mlmd:hotpath
 func (kp *KinProp) propagateBaseline(w *grid.WaveField, dt, axPot float64) {
 	g := kp.G
 	ngrid := g.Len()
@@ -197,6 +200,7 @@ func (kp *KinProp) propagateBaseline(w *grid.WaveField, dt, axPot float64) {
 	}
 }
 
+//mlmd:hotpath
 func (kp *KinProp) baselineSweep(orb []complex128, ax, parity int, t, theta float64) {
 	g := kp.G
 	for ix := 0; ix < g.Nx; ix++ {
@@ -237,6 +241,7 @@ func (kp *KinProp) baselineSweep(orb []complex128, ax, parity int, t, theta floa
 
 // --- Reordered: SoA, neighbor plans, rotation hoisted out of orbital loop. ---
 
+//mlmd:hotpath
 func (kp *KinProp) propagateReordered(w *grid.WaveField, dt, axPot float64) {
 	norb := w.Norb
 	theta := kp.peierlsTheta(axPot)
@@ -285,6 +290,7 @@ const orbBlock = 32
 // race-free at any boundary.
 const kinPairGrain = 512
 
+//mlmd:hotpath
 func (kp *KinProp) propagateBlocked(w *grid.WaveField, dt, axPot float64, parallel bool) {
 	norb := w.Norb
 	theta := kp.peierlsTheta(axPot)
@@ -329,6 +335,7 @@ func (kp *KinProp) propagateBlocked(w *grid.WaveField, dt, axPot float64, parall
 	})
 }
 
+//mlmd:hotpath
 func (kp *KinProp) blockedSweep(data []complex128, norb int, pairs []int32, c, isF, isB complex128) {
 	// Blocking only pays once a row pair outgrows L1; below that a single
 	// full-width pass avoids re-traversing the pair list.

@@ -205,6 +205,8 @@ func (sp *ShardProp) InitRandom(seed uint64, amp float64) {
 
 // Step advances the orbitals by one Δt: v/2 → kinetic axes → diagonal
 // phase → v/2, the exact Propagator.Step + propagateReordered sequence.
+//
+//mlmd:hotpath
 func (sp *ShardProp) Step(ex *halo.Exchanger) {
 	dt := sp.Dt
 	var axPot float64
@@ -264,6 +266,8 @@ func (sp *ShardProp) Step(ex *halo.Exchanger) {
 
 // rotatePairs applies the 2×2 pair rotation to every (a,b) pair — the
 // serial propagateReordered inner loop verbatim.
+//
+//mlmd:hotpath
 func (sp *ShardProp) rotatePairs(pairs []int32, c, isF, isB complex128) {
 	norb := sp.Norb
 	data := sp.W.Data
@@ -280,6 +284,8 @@ func (sp *ShardProp) rotatePairs(pairs []int32, c, isF, isB complex128) {
 
 // rotateLow applies the b-side assignment of a boundary pair whose a lives
 // in the minus ghost layer: orb[b] = c·vb + isB·va.
+//
+//mlmd:hotpath
 func (sp *ShardProp) rotateLow(pairs []int32, c, isB complex128) {
 	norb := sp.Norb
 	data := sp.W.Data
@@ -295,6 +301,8 @@ func (sp *ShardProp) rotateLow(pairs []int32, c, isB complex128) {
 
 // rotateHigh applies the a-side assignment of a boundary pair whose b lives
 // in the plus ghost layer: orb[a] = c·va + isF·vb.
+//
+//mlmd:hotpath
 func (sp *ShardProp) rotateHigh(pairs []int32, c, isF complex128) {
 	norb := sp.Norb
 	data := sp.W.Data
@@ -310,6 +318,8 @@ func (sp *ShardProp) rotateHigh(pairs []int32, c, isF complex128) {
 
 // vprop applies the local-potential phase e^{−i dt v_loc} cell by cell —
 // the serial VProp expression on the owned box.
+//
+//mlmd:hotpath
 func (sp *ShardProp) vprop(dt float64) {
 	d, f := sp.D, sp.W
 	norb := sp.Norb
@@ -331,6 +341,8 @@ func (sp *ShardProp) vprop(dt float64) {
 }
 
 // scaleOwned multiplies every owned-cell orbital value by rot.
+//
+//mlmd:hotpath
 func (sp *ShardProp) scaleOwned(rot complex128) {
 	d, f := sp.D, sp.W
 	norb := sp.Norb
@@ -378,6 +390,8 @@ func (sp *ShardProp) NumFields() int { return 1 }
 func (sp *ShardProp) FieldWidth(idx int) int { return 2 * sp.Norb }
 
 // PackField appends the owned orbitals as (re, im) pairs.
+//
+//mlmd:hotpath
 func (sp *ShardProp) PackField(idx int, buf []float64) []float64 {
 	return sp.W.PackOwned(buf)
 }

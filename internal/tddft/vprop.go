@@ -10,6 +10,8 @@ import (
 // VProp applies the local-potential phase exp(−iΔt v_loc(r)) to every
 // orbital of w in place. The potential half-steps of the split-operator
 // scheme call this with dt/2. Works for both layouts.
+//
+//mlmd:hotpath
 func VProp(h *Hamiltonian, w *grid.WaveField, dt float64) {
 	n := h.G.Len()
 	if w.G != h.G {
@@ -29,6 +31,8 @@ func VProp(h *Hamiltonian, w *grid.WaveField, dt float64) {
 }
 
 // vpropRange applies the phase on grid points [lo,hi) (SoA layout).
+//
+//mlmd:hotpath
 func vpropRange(h *Hamiltonian, w *grid.WaveField, dt float64, lo, hi int) {
 	norb := w.Norb
 	for g := lo; g < hi; g++ {
@@ -44,6 +48,8 @@ func vpropRange(h *Hamiltonian, w *grid.WaveField, dt float64, lo, hi int) {
 // VPropParallel is VProp with the grid sharded over the shared worker pool
 // (SoA only). Grid rows are disjoint, so any chunking is race-free and the
 // result is bitwise identical to the serial sweep.
+//
+//mlmd:hotpath
 func VPropParallel(h *Hamiltonian, w *grid.WaveField, dt float64) {
 	if w.Layout != grid.LayoutSoA {
 		VProp(h, w, dt)
